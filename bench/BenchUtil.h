@@ -1,0 +1,99 @@
+//===- BenchUtil.h - Shared benchmark helpers -------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source generators and configuration helpers shared by the bench
+/// binaries. Each bench binary reproduces one table/figure/worked example
+/// of the paper (see DESIGN.md §4 for the index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_BENCH_BENCHUTIL_H
+#define EAL_BENCH_BENCHUTIL_H
+
+#include "driver/Pipeline.h"
+
+#include <string>
+
+namespace eal::bench {
+
+/// The Appendix A partition sort functions (append/split/ps), without a
+/// driver expression.
+inline std::string sortPrelude() {
+  return R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h = if (null x) then cons l (cons h nil)
+                  else if (car x) <= p
+                       then split p (cdr x) (cons (car x) l) h
+                       else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (car (split (car x) (cdr x) nil nil)))
+                     (cons (car x)
+                           (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+)";
+}
+
+/// A pseudo-random int list literal of length \p N (deterministic).
+inline std::string literalList(unsigned N) {
+  std::string Out = "[";
+  unsigned V = 7;
+  for (unsigned I = 0; I != N; ++I) {
+    if (I != 0)
+      Out += ", ";
+    V = (V * 197 + 31) % 1021;
+    Out += std::to_string(V);
+  }
+  Out += "]";
+  return Out;
+}
+
+/// Partition sort applied to a literal list (the A.3.1 shape: the spine
+/// is constructed at the call and can live in ps's activation record).
+inline std::string sortLiteralSource(unsigned N) {
+  return sortPrelude() + "in ps " + literalList(N) + "\n";
+}
+
+/// Partition sort applied to create_list N (the A.3.3 shape: the spine is
+/// built by a producer function and goes to a block).
+inline std::string sortProducerSource(unsigned N) {
+  std::string Source = sortPrelude() +
+                       R"(;
+  create_list i = if i = 0 then nil
+                  else cons (i * 193 mod 1021) (create_list (i - 1))
+in ps (create_list )" +
+                       std::to_string(N) + ")\n";
+  return Source;
+}
+
+/// Naive reverse over a literal list of length \p N (A.3.2's REV).
+inline std::string reverseSource(unsigned N) {
+  return std::string(R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil
+          else append (rev (cdr l)) (cons (car l) nil)
+in rev )") +
+         literalList(N) + "\n";
+}
+
+/// Pipeline options for one optimization configuration.
+inline PipelineOptions config(bool Reuse, bool Stack, bool Region,
+                              size_t HeapCapacity = 4096) {
+  PipelineOptions Options;
+  Options.Optimize.EnableReuse = Reuse;
+  Options.Optimize.EnableStack = Stack;
+  Options.Optimize.EnableRegion = Region;
+  Options.Run.HeapCapacity = HeapCapacity;
+  return Options;
+}
+
+} // namespace eal::bench
+
+#endif // EAL_BENCH_BENCHUTIL_H

@@ -1,0 +1,122 @@
+//===- bench_a1_escape_table.cpp - Appendix A.1 global escape table --------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment A1-G. Regenerates the global escape results the paper works
+// out for the partition sort program and compares them against the
+// paper's values:
+//
+//   G(APPEND,1) = <1,0>   G(APPEND,2) = <1,1>
+//   G(SPLIT,1)  = <0,0>   G(SPLIT,2)  = <1,0>
+//   G(SPLIT,3)  = <1,1>   G(SPLIT,4)  = <1,1>
+//   G(PS,1)     = <1,0>
+//
+// The benchmark section times one full program analysis and individual
+// G queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+struct ExpectedRow {
+  const char *Fn;
+  unsigned Param; // 1-based
+  BasicEscape Expected;
+};
+
+const ExpectedRow Rows[] = {
+    {"append", 1, BasicEscape::contained(0)},
+    {"append", 2, BasicEscape::contained(1)},
+    {"split", 1, BasicEscape::none()},
+    {"split", 2, BasicEscape::contained(0)},
+    {"split", 3, BasicEscape::contained(1)},
+    {"split", 4, BasicEscape::contained(1)},
+    {"ps", 1, BasicEscape::contained(0)},
+};
+
+void printTable() {
+  std::cout << "=== A1-G: global escape table for partition sort ===\n";
+  PipelineOptions Options;
+  Options.RunProgram = false;
+  PipelineResult R = runPipeline(sortLiteralSource(6), Options);
+  if (!R.Success) {
+    std::cerr << R.diagnostics();
+    return;
+  }
+  std::cout << std::left << std::setw(12) << "query" << std::setw(10)
+            << "paper" << std::setw(10) << "measured" << "match\n";
+  bool AllMatch = true;
+  for (const ExpectedRow &Row : Rows) {
+    const FunctionEscape *FE =
+        R.Optimized->BaseEscape.find(R.Ast->intern(Row.Fn));
+    BasicEscape Got = FE->Params[Row.Param - 1].Escape;
+    bool Match = Got == Row.Expected;
+    AllMatch = AllMatch && Match;
+    std::string Query =
+        std::string("G(") + Row.Fn + "," + std::to_string(Row.Param) + ")";
+    std::cout << std::left << std::setw(12) << Query << std::setw(10)
+              << Row.Expected.str() << std::setw(10) << Got.str()
+              << (Match ? "yes" : "NO") << '\n';
+  }
+  std::cout << (AllMatch ? "all rows match the paper\n\n"
+                         : "MISMATCH against the paper\n\n");
+}
+
+void BM_AnalyzeProgram(benchmark::State &State) {
+  std::string Source = sortLiteralSource(6);
+  for (auto _ : State) {
+    PipelineOptions Options;
+    Options.RunProgram = false;
+    Options.Optimize.EnableReuse = false;
+    Options.Optimize.EnableStack = false;
+    Options.Optimize.EnableRegion = false;
+    PipelineResult R = runPipeline(Source, Options);
+    benchmark::DoNotOptimize(R.Success);
+  }
+}
+
+void BM_SingleGlobalQuery(benchmark::State &State) {
+  // One G query on a pre-built analyzer (caches shared across queries, as
+  // a compiler would run it).
+  std::string Source = sortLiteralSource(6);
+  SourceManager SM;
+  SM.setBuffer(Source);
+  DiagnosticEngine Diags;
+  AstContext Ast;
+  TypeContext Types;
+  Parser P(SM.buffer(), Ast, Diags);
+  const Expr *Root = P.parseProgram();
+  TypeInference TI(Ast, Types, Diags);
+  auto Typed = TI.run(Root);
+  Symbol Ps = Ast.intern("ps");
+  for (auto _ : State) {
+    EscapeAnalyzer Analyzer(Ast, *Typed, Diags);
+    auto PE = Analyzer.globalEscape(Ps, 0);
+    benchmark::DoNotOptimize(PE);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_AnalyzeProgram);
+BENCHMARK(BM_SingleGlobalQuery);
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

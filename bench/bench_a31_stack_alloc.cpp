@@ -1,0 +1,87 @@
+//===- bench_a31_stack_alloc.cpp - A.3.1 stack allocation -------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment A31. "The spine of the original list [5,2,7,1,3,4] does not
+// escape from PS. Thus the spine of that list can be allocated in PS's
+// activation record. All the cells of the spine will disappear when PS's
+// activation is removed from the stack."
+//
+// The workload sorts literal lists of growing size with stack allocation
+// off/on. Expected shape: the input spine's cells (n of them) move from
+// the garbage-collected heap into the activation arena, reducing GC
+// pressure; results are identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+void printSweep() {
+  std::cout << "=== A31: stack allocation of the literal input spine ===\n";
+  std::cout << std::right << std::setw(6) << "n" << std::setw(12)
+            << "heap(base)" << std::setw(12) << "heap(opt)" << std::setw(12)
+            << "stack(opt)" << std::setw(10) << "GC(base)" << std::setw(10)
+            << "GC(opt)" << std::setw(8) << "same?\n";
+  for (unsigned N : {16u, 64u, 256u, 1024u}) {
+    std::string Source = sortLiteralSource(N);
+    PipelineResult Base = runPipeline(Source, config(false, false, false));
+    PipelineResult Opt = runPipeline(Source, config(false, true, false));
+    if (!Base.Success || !Opt.Success) {
+      std::cerr << Base.diagnostics() << Opt.diagnostics();
+      return;
+    }
+    std::cout << std::right << std::setw(6) << N << std::setw(12)
+              << Base.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.StackCellsAllocated << std::setw(10)
+              << Base.Stats.GcRuns << std::setw(10) << Opt.Stats.GcRuns
+              << std::setw(8)
+              << (Base.RenderedValue == Opt.RenderedValue ? "yes" : "NO")
+              << '\n';
+  }
+  std::cout << "(expected: stack(opt) = n; heap(opt) = heap(base) - n)\n\n";
+}
+
+void BM_SortLiteral(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  bool Stack = State.range(1) != 0;
+  std::string Source = sortLiteralSource(N);
+  RuntimeStats Last;
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, config(false, Stack, false));
+    benchmark::DoNotOptimize(R.RenderedValue);
+    Last = R.Stats;
+  }
+  State.counters["heap"] = static_cast<double>(Last.HeapCellsAllocated);
+  State.counters["stack"] = static_cast<double>(Last.StackCellsAllocated);
+  State.counters["gc"] = static_cast<double>(Last.GcRuns);
+}
+
+} // namespace
+
+BENCHMARK(BM_SortLiteral)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- bench_a32_reverse.cpp - A.3.2 naive reverse (REV') -------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment A32b. "REV can be transformed into REV' which reuses cons
+// cells in the top spine of its argument l, if unshared." Naive reverse
+// allocates Θ(n²) cells (append copies the growing prefix every step);
+// REV'+APPEND' recycle every copy in place.
+//
+// Expected shape: baseline heap allocations grow quadratically; with
+// reuse, fresh allocations grow linearly (only the [car l] singletons)
+// and the quadratic copy volume shows up as DCONS reuses instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+void printSweep() {
+  std::cout << "=== A32b: naive reverse, REV' vs REV ===\n";
+  std::cout << std::right << std::setw(6) << "n" << std::setw(12)
+            << "heap(base)" << std::setw(12) << "heap(opt)" << std::setw(12)
+            << "dcons" << std::setw(10) << "GC(base)" << std::setw(10)
+            << "GC(opt)" << std::setw(8) << "same?\n";
+  for (unsigned N : {16u, 64u, 256u, 512u}) {
+    std::string Source = reverseSource(N);
+    PipelineResult Base = runPipeline(Source, config(false, false, false));
+    PipelineResult Opt = runPipeline(Source, config(true, false, false));
+    if (!Base.Success || !Opt.Success) {
+      std::cerr << Base.diagnostics() << Opt.diagnostics();
+      return;
+    }
+    std::cout << std::right << std::setw(6) << N << std::setw(12)
+              << Base.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.DconsReuses << std::setw(10) << Base.Stats.GcRuns
+              << std::setw(10) << Opt.Stats.GcRuns << std::setw(8)
+              << (Base.RenderedValue == Opt.RenderedValue ? "yes" : "NO")
+              << '\n';
+  }
+  std::cout << "(expected: heap(base) ~ n^2/2, heap(opt) ~ 2n, the\n"
+            << " quadratic part becomes dcons reuses)\n\n";
+}
+
+void BM_Reverse(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  bool Reuse = State.range(1) != 0;
+  std::string Source = reverseSource(N);
+  RuntimeStats Last;
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, config(Reuse, false, false));
+    benchmark::DoNotOptimize(R.RenderedValue);
+    Last = R.Stats;
+  }
+  State.counters["heap"] = static_cast<double>(Last.HeapCellsAllocated);
+  State.counters["dcons"] = static_cast<double>(Last.DconsReuses);
+  State.counters["gc"] = static_cast<double>(Last.GcRuns);
+}
+
+} // namespace
+
+BENCHMARK(BM_Reverse)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

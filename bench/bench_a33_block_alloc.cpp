@@ -1,0 +1,93 @@
+//===- bench_a33_block_alloc.cpp - A.3.3 block allocation/reclamation ------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment A33. "PS (create_list i): create_list should allocate the
+// spine of the list in some block of memory. The spine of the list does
+// not escape from PS, so when PS is finished, the whole block of memory
+// can be put back on the free list" — the Ruggieri–Murtagh local heap.
+//
+// Expected shape: the producer's spine cells move into region blocks;
+// they are reclaimed by O(1) splices (no mark-phase traversal), so GC
+// work (cells marked) drops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+void printSweep() {
+  std::cout << "=== A33: block allocation under ps (create_list n) ===\n";
+  std::cout << std::right << std::setw(6) << "n" << std::setw(12)
+            << "heap(base)" << std::setw(12) << "heap(opt)" << std::setw(12)
+            << "region" << std::setw(12) << "bulkfrees" << std::setw(12)
+            << "mark(base)" << std::setw(12) << "mark(opt)" << std::setw(8)
+            << "same?\n";
+  for (unsigned N : {16u, 64u, 256u, 1024u}) {
+    std::string Source = sortProducerSource(N);
+    // A small heap keeps the collector honest at every size.
+    PipelineResult Base =
+        runPipeline(Source, config(false, false, false, 2048));
+    PipelineResult Opt =
+        runPipeline(Source, config(false, false, true, 2048));
+    if (!Base.Success || !Opt.Success) {
+      std::cerr << Base.diagnostics() << Opt.diagnostics();
+      return;
+    }
+    std::cout << std::right << std::setw(6) << N << std::setw(12)
+              << Base.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.HeapCellsAllocated << std::setw(12)
+              << Opt.Stats.RegionCellsAllocated << std::setw(12)
+              << Opt.Stats.RegionBulkFrees << std::setw(12)
+              << Base.Stats.CellsMarked << std::setw(12)
+              << Opt.Stats.CellsMarked << std::setw(8)
+              << (Base.RenderedValue == Opt.RenderedValue ? "yes" : "NO")
+              << '\n';
+  }
+  std::cout << "(expected: region >= n, bulk frees reclaim them without\n"
+            << " traversal, mark work drops)\n\n";
+}
+
+void BM_SortProducer(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  bool Region = State.range(1) != 0;
+  std::string Source = sortProducerSource(N);
+  RuntimeStats Last;
+  for (auto _ : State) {
+    PipelineResult R =
+        runPipeline(Source, config(false, false, Region, 2048));
+    benchmark::DoNotOptimize(R.RenderedValue);
+    Last = R.Stats;
+  }
+  State.counters["region"] = static_cast<double>(Last.RegionCellsAllocated);
+  State.counters["mark_work"] = static_cast<double>(Last.CellsMarked);
+  State.counters["gc"] = static_cast<double>(Last.GcRuns);
+}
+
+} // namespace
+
+BENCHMARK(BM_SortProducer)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- bench_analysis_scalability.cpp - analysis cost (§7) ------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment SCALE. The conclusion worries about "the computational
+// complexity of finding fixpoints of higher order functions". This
+// binary measures whole-program analysis time against (a) the number of
+// list functions in the program and (b) the spine bound d, and reports
+// the analyzer's cache sizes — the quantities that actually grow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+/// Generates a program with \p NumFns list functions f0..f_{n-1}, where
+/// f_i maps over its input and calls f_{i-1}, plus the usual append. The
+/// element nesting is \p Depth (drives the spine bound d).
+std::string generatedProgram(unsigned NumFns, unsigned Depth) {
+  std::string Source = "letrec\n";
+  Source += "  append x y = if (null x) then y\n"
+            "               else cons (car x) (append (cdr x) y);\n";
+  Source += "  f0 l = if (null l) then nil\n"
+            "         else cons (car l) (f0 (cdr l));\n";
+  for (unsigned I = 1; I != NumFns; ++I) {
+    std::string Prev = "f" + std::to_string(I - 1);
+    std::string Name = "f" + std::to_string(I);
+    Source += "  " + Name + " l = if (null l) then nil\n";
+    Source += "     else append (" + Prev + " l) (cons (car l) (" + Name +
+              " (cdr l)));\n";
+  }
+  // Drive with a literal of the requested nesting.
+  std::string Lit = "1";
+  for (unsigned D = 0; D != Depth; ++D)
+    Lit = "[" + Lit + "]";
+  Source += "  last l = l\n";
+  Source += "in f" + std::to_string(NumFns - 1) + " " + Lit + "\n";
+  return Source;
+}
+
+void printScaling() {
+  std::cout << "=== SCALE: analysis cost vs program size and depth ===\n";
+  std::cout << std::right << std::setw(8) << "fns" << std::setw(8) << "d"
+            << std::setw(10) << "nodes" << std::setw(12) << "cache"
+            << std::setw(12) << "values" << std::setw(10) << "queries\n";
+  for (unsigned NumFns : {2u, 4u, 8u, 16u, 32u}) {
+    std::string Source = generatedProgram(NumFns, 1);
+    SourceManager SM;
+    SM.setBuffer(Source);
+    DiagnosticEngine Diags;
+    AstContext Ast;
+    TypeContext Types;
+    Parser P(SM.buffer(), Ast, Diags);
+    const Expr *Root = P.parseProgram();
+    if (!Root) {
+      std::cerr << Diags.render(SM);
+      return;
+    }
+    TypeInference TI(Ast, Types, Diags);
+    auto Typed = TI.run(Root);
+    if (!Typed) {
+      std::cerr << Diags.render(SM);
+      return;
+    }
+    EscapeAnalyzer Analyzer(Ast, *Typed, Diags);
+    ProgramEscapeReport Report = Analyzer.analyzeProgram();
+    unsigned Queries = 0;
+    for (const FunctionEscape &FE : Report.Functions)
+      Queries += FE.Arity;
+    std::cout << std::right << std::setw(8) << NumFns << std::setw(8)
+              << Typed->spineBound() << std::setw(10) << Ast.numNodes()
+              << std::setw(12) << Report.ApplyCacheEntries << std::setw(12)
+              << Report.DistinctValues << std::setw(10) << Queries << '\n';
+  }
+  std::cout << '\n';
+}
+
+void BM_AnalysisVsFunctions(benchmark::State &State) {
+  unsigned NumFns = static_cast<unsigned>(State.range(0));
+  std::string Source = generatedProgram(NumFns, 1);
+  for (auto _ : State) {
+    PipelineOptions Options;
+    Options.RunProgram = false;
+    Options.Optimize.EnableReuse = false;
+    Options.Optimize.EnableStack = false;
+    Options.Optimize.EnableRegion = false;
+    PipelineResult R = runPipeline(Source, Options);
+    benchmark::DoNotOptimize(R.Success);
+  }
+  State.counters["fns"] = NumFns;
+}
+
+void BM_AnalysisVsDepth(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::string Source = generatedProgram(4, Depth);
+  for (auto _ : State) {
+    PipelineOptions Options;
+    Options.RunProgram = false;
+    Options.Optimize.EnableReuse = false;
+    Options.Optimize.EnableStack = false;
+    Options.Optimize.EnableRegion = false;
+    PipelineResult R = runPipeline(Source, Options);
+    benchmark::DoNotOptimize(R.Success);
+  }
+  State.counters["d"] = Depth;
+}
+
+} // namespace
+
+BENCHMARK(BM_AnalysisVsFunctions)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_AnalysisVsDepth)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+int main(int argc, char **argv) {
+  printScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

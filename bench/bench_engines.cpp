@@ -1,0 +1,111 @@
+//===- bench_engines.cpp - tree-walker vs bytecode VM ------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment ENGINES (an implementation ablation, not a paper table):
+// compares the two execution engines on the paper's workloads, with and
+// without the optimizations. Both share the heap/arena machinery, so
+// allocation counters are identical; only time differs. Also reports
+// bytecode size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "lang/Parser.h"
+#include "vm/Compiler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+PipelineOptions engineConfig(bool UseVm, bool Optimized) {
+  PipelineOptions Options =
+      config(Optimized, Optimized, Optimized);
+  Options.Engine =
+      UseVm ? ExecutionEngine::Bytecode : ExecutionEngine::TreeWalker;
+  return Options;
+}
+
+void printComparison() {
+  std::cout << "=== ENGINES: interpreter vs bytecode VM ===\n";
+  {
+    // Bytecode size for the sort program.
+    SourceManager SM;
+    SM.setBuffer(sortLiteralSource(64));
+    DiagnosticEngine Diags;
+    AstContext Ast;
+    Parser P(SM.buffer(), Ast, Diags);
+    const Expr *Root = P.parseProgram();
+    auto Chunk = compileToBytecode(Ast, Root, nullptr, Diags);
+    std::cout << "partition sort (n=64) compiles to "
+              << Chunk->Protos.size() << " protos, "
+              << Chunk->instructionCount() << " instructions\n";
+  }
+  std::cout << std::left << std::setw(26) << "workload" << std::right
+            << std::setw(14) << "same value?" << std::setw(14)
+            << "same dcons?" << '\n';
+  struct Row {
+    const char *Name;
+    std::string Source;
+  };
+  const Row Rows[] = {
+      {"sort n=256", sortLiteralSource(256)},
+      {"reverse n=128", reverseSource(128)},
+      {"sort producer n=256", sortProducerSource(256)},
+  };
+  for (const Row &Row : Rows) {
+    PipelineResult Tree = runPipeline(Row.Source, engineConfig(false, true));
+    PipelineResult Byte = runPipeline(Row.Source, engineConfig(true, true));
+    std::cout << std::left << std::setw(26) << Row.Name << std::right
+              << std::setw(14)
+              << (Tree.RenderedValue == Byte.RenderedValue ? "yes" : "NO")
+              << std::setw(14)
+              << (Tree.Stats.DconsReuses == Byte.Stats.DconsReuses ? "yes"
+                                                                   : "NO")
+              << '\n';
+  }
+  std::cout << '\n';
+}
+
+void BM_Engine(benchmark::State &State) {
+  bool UseVm = State.range(0) != 0;
+  bool Optimized = State.range(1) != 0;
+  std::string Source = sortLiteralSource(256);
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, engineConfig(UseVm, Optimized));
+    benchmark::DoNotOptimize(R.RenderedValue);
+  }
+}
+
+void BM_EngineReverse(benchmark::State &State) {
+  bool UseVm = State.range(0) != 0;
+  std::string Source = reverseSource(256);
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, engineConfig(UseVm, true));
+    benchmark::DoNotOptimize(R.RenderedValue);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Engine)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineReverse)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,143 @@
+//===- bench_thm1_polymorphic_invariance.cpp - Theorem 1 --------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment THM1. Theorem 1: for any two monomorphic instances f', f''
+// of a polymorphic f, either both global tests yield <0,0>, or they
+// yield <1,k'> and <1,k''> with s' − k' = s'' − k'' — the number of
+// *protected top spines* is the invariant. This binary instantiates
+// append, map, and rev at element types int, int list, and int list
+// list (by driving them with suitably nested literals under monomorphic
+// typing) and checks the invariant; the benchmark compares analysis cost
+// across instances.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+/// A literal of nesting depth \p Depth (>= 1).
+std::string nested(unsigned Depth) {
+  if (Depth == 1)
+    return "[1, 2]";
+  return "[" + nested(Depth - 1) + "]";
+}
+
+struct InstanceResult {
+  unsigned ParamSpines = 0;
+  unsigned EscapingSpines = 0;
+  unsigned Protected = 0;
+  bool Escapes = false;
+};
+
+/// Analyzes function \p Fn (parameter \p Param) in \p Source under
+/// monomorphic typing.
+InstanceResult analyzeInstance(const std::string &Source, const char *Fn,
+                               unsigned Param) {
+  SourceManager SM;
+  SM.setBuffer(Source);
+  DiagnosticEngine Diags;
+  AstContext Ast;
+  TypeContext Types;
+  Parser P(SM.buffer(), Ast, Diags);
+  const Expr *Root = P.parseProgram();
+  TypeInference TI(Ast, Types, Diags, TypeInferenceMode::Monomorphic);
+  auto Typed = TI.run(Root);
+  EscapeAnalyzer Analyzer(Ast, *Typed, Diags);
+  auto PE = Analyzer.globalEscape(Ast.intern(Fn), Param);
+  InstanceResult IR;
+  if (PE) {
+    IR.ParamSpines = PE->ParamSpines;
+    IR.EscapingSpines = PE->escapingSpines();
+    IR.Protected = PE->protectedTopSpines();
+    IR.Escapes = PE->escapes();
+  }
+  return IR;
+}
+
+std::string appendAt(unsigned Depth) {
+  return std::string(R"(
+letrec append x y = if (null x) then y
+                    else cons (car x) (append (cdr x) y)
+in append )") +
+         "[" + nested(Depth) + "]" + " [" + nested(Depth) + "]\n";
+}
+
+std::string revAt(unsigned Depth) {
+  return std::string(R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil
+          else append (rev (cdr l)) (cons (car l) nil)
+in rev )") +
+         "[" + nested(Depth) + "]\n";
+}
+
+std::string mapAt(unsigned Depth) {
+  return std::string(R"(
+letrec map f l = if (null l) then nil
+                 else cons (f (car l)) (map f (cdr l))
+in map (lambda(e). e) )") +
+         "[" + nested(Depth) + "]\n";
+}
+
+void checkInvariance(const char *Label, const char *Fn, unsigned Param,
+                     std::string (*SourceAt)(unsigned)) {
+  std::cout << Label << ":\n";
+  std::optional<unsigned> FirstProtected;
+  bool Invariant = true;
+  for (unsigned Depth : {1u, 2u, 3u}) {
+    InstanceResult IR = analyzeInstance(SourceAt(Depth), Fn, Param);
+    std::cout << "  instance s=" << IR.ParamSpines << ": "
+              << (IR.Escapes
+                      ? "<1," + std::to_string(IR.EscapingSpines) + ">"
+                      : "<0,0>")
+              << ", s-k = " << IR.Protected << '\n';
+    if (!FirstProtected)
+      FirstProtected = IR.Protected;
+    else if (*FirstProtected != IR.Protected)
+      Invariant = false;
+  }
+  std::cout << "  invariant holds: " << (Invariant ? "yes" : "NO") << "\n";
+}
+
+void BM_InstanceAnalysis(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::string Source = appendAt(Depth);
+  for (auto _ : State) {
+    InstanceResult IR = analyzeInstance(Source, "append", 0);
+    benchmark::DoNotOptimize(IR);
+  }
+  State.counters["spines"] = Depth;
+}
+
+} // namespace
+
+BENCHMARK(BM_InstanceAnalysis)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+int main(int argc, char **argv) {
+  std::cout << "=== THM1: polymorphic invariance (s - k constant) ===\n";
+  checkInvariance("append, parameter 1 (k grows with s, s-k fixed)",
+                  "append", 0, appendAt);
+  checkInvariance("append, parameter 2 (everything escapes)", "append", 1,
+                  appendAt);
+  checkInvariance("rev, parameter 1", "rev", 0, revAt);
+  checkInvariance("map, parameter 2", "map", 1, mapAt);
+  std::cout << '\n';
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

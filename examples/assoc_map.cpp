@@ -1,0 +1,66 @@
+//===- assoc_map.cpp - association lists (lists of pairs) -------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Exercises the tuple extension (§1: "our approach for lists could be
+// applied to other data structures such as tuples") on a realistic
+// workload: an association map as an `(int * int) list`, with lookup,
+// insert, and bulk update. The verdicts are instructive: insert and bump
+// rebuild the spine only up to the hit and SHARE the tail into the
+// result, so their map parameter escapes wholesale and no in-place reuse
+// is licensed — exactly the sharing hazard Theorem 2 guards against —
+// while lookup and keysum leave the whole map private.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/AstPrinter.h"
+
+#include <iostream>
+
+int main() {
+  const std::string Source = R"(
+letrec
+  -- lookup k m: the value bound to k, or 0 - 1 if absent.
+  lookup k m = if (null m) then 0 - 1
+               else if fst (car m) = k then snd (car m)
+               else lookup k (cdr m);
+  -- insert k v m: a new map with (k, v) bound, replacing any old binding.
+  insert k v m = if (null m) then cons (k, v) nil
+                 else if fst (car m) = k then cons (k, v) (cdr m)
+                 else cons (car m) (insert k v (cdr m));
+  -- bump k m: add 1 to k's binding (rebuilds the spine up to k).
+  bump k m = if (null m) then nil
+             else if fst (car m) = k
+                  then cons (fst (car m), snd (car m) + 1) (cdr m)
+                  else cons (car m) (bump k (cdr m));
+  keysum m = if (null m) then 0 else fst (car m) + keysum (cdr m)
+in lookup 2 (bump 2 (insert 3 30 (insert 2 20 (insert 1 10 nil))))
+)";
+
+  eal::PipelineOptions Options;
+  eal::PipelineResult R = eal::runPipeline(Source, Options);
+  if (!R.Success) {
+    std::cerr << R.diagnostics();
+    return 1;
+  }
+
+  std::cout << "=== association map over (int * int) list ===\n\n"
+            << "escape analysis:\n"
+            << renderEscapeReport(*R.Ast, R.Optimized->BaseEscape) << '\n';
+
+  std::cout << "reuse versions (none: insert/bump share their tail into\n"
+               "the result, so destructive reuse would corrupt the old\n"
+               "map; the analysis proves it and the optimizer abstains):\n"
+            << renderReuseReport(*R.Ast, R.Optimized->Reuse) << '\n';
+
+  std::cout << "transformed program:\n"
+            << printExpr(*R.Ast, R.Optimized->Root) << "\n\n";
+
+  std::cout << "result: " << R.RenderedValue << "\n"
+            << "heap cells: " << R.Stats.HeapCellsAllocated
+            << ", dcons reuses: " << R.Stats.DconsReuses << '\n';
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- list_library.cpp - Escape table for a realistic list library --------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Analyzes the kind of list library the paper's introduction motivates —
+// append, map, filter, reverse (naive and accumulating), take, drop,
+// zip-with-add, length, sum, last — and prints, for every parameter of
+// every function, the escape verdict and what storage optimizations it
+// licenses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "sharing/SharingAnalysis.h"
+
+#include <iomanip>
+#include <iostream>
+
+int main() {
+  const std::string Source = R"(
+letrec
+  append x y   = if (null x) then y
+                 else cons (car x) (append (cdr x) y);
+  map f l      = if (null l) then nil
+                 else cons (f (car l)) (map f (cdr l));
+  filter p l   = if (null l) then nil
+                 else if p (car l) then cons (car l) (filter p (cdr l))
+                 else filter p (cdr l);
+  rev l        = if (null l) then nil
+                 else append (rev (cdr l)) (cons (car l) nil);
+  revacc l acc = if (null l) then acc
+                 else revacc (cdr l) (cons (car l) acc);
+  take n l     = if n = 0 then nil
+                 else if (null l) then nil
+                 else cons (car l) (take (n - 1) (cdr l));
+  drop n l     = if n = 0 then l
+                 else if (null l) then nil
+                 else drop (n - 1) (cdr l);
+  zipadd a b   = if (null a) then nil
+                 else if (null b) then nil
+                 else cons (car a + car b) (zipadd (cdr a) (cdr b));
+  length l     = if (null l) then 0 else 1 + length (cdr l);
+  sum l        = if (null l) then 0 else car l + sum (cdr l);
+  last l       = if (null (cdr l)) then car l else last (cdr l)
+in sum (zipadd (map (lambda(v). v * 2) (filter (lambda(v). v < 4) [1, 2, 3, 4, 5]))
+               (take 3 (revacc (append [1, 2] [3]) nil)))
+)";
+
+  eal::PipelineOptions Options;
+  eal::PipelineResult R = eal::runPipeline(Source, Options);
+  if (!R.Success) {
+    std::cerr << R.diagnostics();
+    return 1;
+  }
+
+  const eal::ProgramEscapeReport &Report = R.Optimized->BaseEscape;
+  eal::SharingAnalysis Sharing(*R.Ast, *R.Typed, Report);
+
+  std::cout << std::left << std::setw(10) << "function" << std::setw(7)
+            << "param" << std::setw(8) << "G(f,i)" << std::setw(11)
+            << "protected" << "verdict\n";
+  std::cout << std::string(72, '-') << '\n';
+  for (const eal::FunctionEscape &FE : Report.Functions) {
+    for (const eal::ParamEscape &PE : FE.Params) {
+      std::cout << std::left << std::setw(10)
+                << std::string(R.Ast->spelling(FE.Name)) << std::setw(7)
+                << (PE.ParamIndex + 1) << std::setw(8) << PE.Escape.str()
+                << std::setw(11) << PE.protectedTopSpines();
+      if (PE.ParamSpines == 0)
+        std::cout << (PE.escapes() ? "scalar/function escapes"
+                                   : "nothing escapes");
+      else if (!PE.escapes())
+        std::cout << "whole list private: stack-allocatable";
+      else if (PE.protectedTopSpines() > 0)
+        std::cout << "spine reusable, elements escape";
+      else
+        std::cout << "escapes entirely";
+      std::cout << '\n';
+    }
+  }
+
+  std::cout << "\nresult-sharing facts (Theorem 2, any arguments):\n"
+            << renderSharingReport(*R.Ast, *R.Typed, Report);
+
+  std::cout << "\nreuse versions the optimizer generated:\n"
+            << renderReuseReport(*R.Ast, R.Optimized->Reuse);
+
+  std::cout << "\nprogram result: " << R.RenderedValue << '\n';
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- partition_sort.cpp - The Appendix A case study, end to end ----------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Reproduces all of Appendix A on the partition sort program:
+//   A.1  the global escape table for APPEND / SPLIT / PS,
+//   A.2  the sharing facts derived from it,
+//   A.3  the three optimizations — run for real, with the storage
+//        counters that show each one doing its job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/AstPrinter.h"
+#include "sharing/SharingAnalysis.h"
+
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+std::string sortSource(unsigned N) {
+  // ps (create_list N): pseudo-random input produced by a function call,
+  // which is exactly the shape A.3.3 discusses.
+  std::string Source = R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h = if (null x) then cons l (cons h nil)
+                  else if (car x) <= p
+                       then split p (cdr x) (cons (car x) l) h
+                       else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (car (split (car x) (cdr x) nil nil)))
+                     (cons (car x)
+                           (ps (car (cdr (split (car x) (cdr x) nil nil)))));
+  create_list i = if i = 0 then nil
+                  else cons (i * 193 mod 1021) (create_list (i - 1))
+in ps (create_list )";
+  Source += std::to_string(N);
+  Source += ")\n";
+  return Source;
+}
+
+struct ConfigRow {
+  const char *Name;
+  bool Reuse, Stack, Region;
+};
+
+} // namespace
+
+int main() {
+  const std::string Source = sortSource(300);
+
+  // --- Analysis (A.1, A.2) -------------------------------------------------
+  eal::PipelineOptions AnalyzeOnly;
+  AnalyzeOnly.RunProgram = false;
+  eal::PipelineResult A = eal::runPipeline(Source, AnalyzeOnly);
+  if (!A.Success) {
+    std::cerr << A.diagnostics();
+    return 1;
+  }
+  std::cout << "=== A.1: global escape table ===\n"
+            << renderEscapeReport(*A.Ast, A.Optimized->BaseEscape) << "\n";
+  std::cout << "=== A.2: sharing facts ===\n"
+            << renderSharingReport(*A.Ast, *A.Typed, A.Optimized->BaseEscape)
+            << "\n";
+  std::cout << "=== A.3.2: reuse versions generated ===\n"
+            << renderReuseReport(*A.Ast, A.Optimized->Reuse) << "\n";
+
+  // --- Execution under the optimization configurations (A.3) ---------------
+  const ConfigRow Configs[] = {
+      {"baseline (all heap + GC)", false, false, false},
+      {"stack allocation (A.3.1)", false, true, false},
+      {"in-place reuse (A.3.2)", true, false, false},
+      {"block allocation (A.3.3)", false, false, true},
+      {"everything", true, true, true},
+  };
+
+  std::cout << "=== A.3: storage behaviour of partition sort, n = 300 ===\n";
+  std::cout << std::left << std::setw(28) << "configuration" << std::right
+            << std::setw(10) << "heap" << std::setw(10) << "stack"
+            << std::setw(10) << "region" << std::setw(10) << "dcons"
+            << std::setw(8) << "GCs" << std::setw(12) << "GC work"
+            << '\n';
+  for (const ConfigRow &C : Configs) {
+    eal::PipelineOptions Options;
+    Options.Optimize.EnableReuse = C.Reuse;
+    Options.Optimize.EnableStack = C.Stack;
+    Options.Optimize.EnableRegion = C.Region;
+    Options.Run.HeapCapacity = 4096; // small heap: GC pressure is visible
+    eal::PipelineResult R = eal::runPipeline(Source, Options);
+    if (!R.Success) {
+      std::cerr << C.Name << ": " << R.diagnostics();
+      return 1;
+    }
+    std::cout << std::left << std::setw(28) << C.Name << std::right
+              << std::setw(10) << R.Stats.HeapCellsAllocated << std::setw(10)
+              << R.Stats.StackCellsAllocated << std::setw(10)
+              << R.Stats.RegionCellsAllocated << std::setw(10)
+              << R.Stats.DconsReuses << std::setw(8) << R.Stats.GcRuns
+              << std::setw(12) << R.Stats.CellsMarked << '\n';
+  }
+
+  std::cout << "\n(one sorted run checks out: ";
+  eal::PipelineResult Check = eal::runPipeline(sortSource(10));
+  std::cout << Check.RenderedValue << ")\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- quickstart.cpp - First contact with the eal library -----------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Analyze a small nml program, print what the escape analysis learned,
+// and run it. Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "sharing/SharingAnalysis.h"
+
+#include <iostream>
+
+int main() {
+  // append copies its first argument's spine and splices the second on
+  // the end — so x's spine cannot be in the result, but all of y is.
+  const std::string Source = R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y)
+in append [1, 2, 3] [4, 5]
+)";
+
+  std::cout << "program:\n" << Source << "\n";
+
+  eal::PipelineOptions Options;
+  eal::PipelineResult R = eal::runPipeline(Source, Options);
+  if (!R.Success) {
+    std::cerr << R.diagnostics();
+    return 1;
+  }
+
+  // 1. What escapes? (the paper's global escape test G, §4.1)
+  std::cout << "escape analysis (G, section 4.1):\n"
+            << renderEscapeReport(*R.Ast, R.Optimized->BaseEscape) << "\n";
+
+  // 2. What is unshared? (Theorem 2)
+  std::cout << "sharing analysis (Theorem 2):\n"
+            << renderSharingReport(*R.Ast, *R.Typed, R.Optimized->BaseEscape)
+            << "\n";
+
+  // 3. What did the optimizer do with that?
+  std::cout << "in-place reuse transformation (section 6):\n"
+            << renderReuseReport(*R.Ast, R.Optimized->Reuse) << "\n";
+
+  // 4. Run it.
+  std::cout << "result: " << R.RenderedValue << "\n\n";
+  std::cout << "runtime statistics:\n" << R.Stats.str();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- Pipeline.cpp -------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "driver/Stdlib.h"
+#include "lang/Parser.h"
+#include "runtime/ValuePrinter.h"
+
+using namespace eal;
+
+PipelineResult eal::runPipeline(const std::string &Source,
+                                const PipelineOptions &Options) {
+  PipelineResult R;
+  R.SM = std::make_unique<SourceManager>();
+  R.Diags = std::make_unique<DiagnosticEngine>();
+  R.Ast = std::make_unique<AstContext>();
+  R.Types = std::make_unique<TypeContext>();
+
+  R.SM->setBuffer(Options.IncludeStdlib ? withStdlib(Source) : Source);
+  Parser P(R.SM->buffer(), *R.Ast, *R.Diags);
+  R.ParsedRoot = P.parseProgram();
+  if (!R.ParsedRoot)
+    return R;
+
+  TypeInference TI(*R.Ast, *R.Types, *R.Diags, Options.Mode);
+  R.Typed = TI.run(R.ParsedRoot);
+  if (!R.Typed)
+    return R;
+
+  OptimizerConfig OptConfig = Options.Optimize;
+  OptConfig.Mode = Options.Mode;
+  R.Optimized =
+      optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags, OptConfig);
+  if (!R.Optimized)
+    return R;
+
+  if (!Options.RunProgram) {
+    R.Success = !R.Diags->hasErrors();
+    return R;
+  }
+
+  if (Options.Engine == ExecutionEngine::Bytecode) {
+    R.Code = compileToBytecode(*R.Ast, R.Optimized->Root, &R.Optimized->Plan,
+                               *R.Diags);
+    if (!R.Code)
+      return R;
+    Vm::Options VO;
+    VO.HeapCapacity = Options.Run.HeapCapacity;
+    VO.AllowHeapGrowth = Options.Run.AllowHeapGrowth;
+    VO.MaxSteps = Options.Run.MaxSteps;
+    VO.ValidateArenaFrees = Options.Run.ValidateArenaFrees;
+    R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
+    R.Value = R.TheVm->run();
+    R.Stats = R.TheVm->stats();
+  } else {
+    R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
+                                             &R.Optimized->Plan, *R.Diags,
+                                             Options.Run);
+    R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
+                                    : R.Interp->run();
+    R.Stats = R.Interp->stats();
+  }
+  if (!R.Value)
+    return R;
+  R.RenderedValue = renderValue(*R.Value);
+  R.Success = !R.Diags->hasErrors();
+  return R;
+}

@@ -1,0 +1,103 @@
+//===- Pipeline.h - Source-to-result driver ---------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call public API: nml source text in; parse, type inference,
+/// escape analysis, sharing analysis, optimization, and (optionally)
+/// execution out. Examples, tests, and benchmarks are all built on this.
+///
+/// Typical use:
+/// \code
+///   eal::PipelineOptions Options;
+///   eal::PipelineResult R = eal::runPipeline(Source, Options);
+///   if (!R.Success) { /* consult R.diagnostics() */ }
+///   std::cout << R.RenderedValue << "\n" << R.Stats.str();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_DRIVER_PIPELINE_H
+#define EAL_DRIVER_PIPELINE_H
+
+#include "opt/Optimizer.h"
+#include "runtime/Interpreter.h"
+#include "vm/Compiler.h"
+#include "vm/Vm.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace eal {
+
+/// Which engine executes the final program.
+enum class ExecutionEngine {
+  /// The recursive tree-walking interpreter (default).
+  TreeWalker,
+  /// The bytecode compiler + iterative stack VM (no C++-stack recursion).
+  Bytecode,
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// Type discipline (§3.1 monomorphic vs §5 polymorphic).
+  TypeInferenceMode Mode = TypeInferenceMode::Polymorphic;
+  /// Splice the standard prelude (src/driver/Stdlib.h) into the program.
+  bool IncludeStdlib = false;
+  /// Which optimizations to apply.
+  OptimizerConfig Optimize;
+  /// Whether to execute the final program.
+  bool RunProgram = true;
+  /// Which engine runs it.
+  ExecutionEngine Engine = ExecutionEngine::TreeWalker;
+  /// Interpreter knobs (heap size, fuel, arena validation).
+  Interpreter::Options Run;
+  /// Execute on a dedicated big-stack thread (deep recursion needs it).
+  bool UseLargeStack = true;
+};
+
+/// Everything one pipeline run produces. Owns all contexts, so reports,
+/// AST pointers, and the result value stay valid for its lifetime.
+struct PipelineResult {
+  bool Success = false;
+
+  std::unique_ptr<SourceManager> SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<AstContext> Ast;
+  std::unique_ptr<TypeContext> Types;
+
+  /// The parsed (original) program.
+  const Expr *ParsedRoot = nullptr;
+  /// Types of the original program.
+  std::optional<TypedProgram> Typed;
+  /// Analysis + transformation output (valid once parsing/typing
+  /// succeeded).
+  std::optional<OptimizedProgram> Optimized;
+
+  /// The engine (kept alive so Value remains valid) and its result.
+  std::unique_ptr<Interpreter> Interp;
+  std::optional<Chunk> Code;    ///< bytecode (Bytecode engine only)
+  std::unique_ptr<Vm> TheVm;    ///< the VM (Bytecode engine only)
+  std::optional<RtValue> Value;
+  std::string RenderedValue;
+  RuntimeStats Stats;
+
+  /// Rendered diagnostics (empty when clean).
+  std::string diagnostics() const {
+    return Diags && SM ? Diags->render(*SM) : std::string();
+  }
+};
+
+/// Runs the pipeline over \p Source.
+PipelineResult runPipeline(const std::string &Source,
+                           const PipelineOptions &Options = PipelineOptions());
+
+} // namespace eal
+
+#endif // EAL_DRIVER_PIPELINE_H

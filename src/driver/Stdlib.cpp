@@ -1,0 +1,157 @@
+//===- Stdlib.cpp ---------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Stdlib.h"
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+/// One stdlib binding: name plus full binding text.
+struct StdBinding {
+  const char *Name;
+  const char *Text;
+};
+
+const StdBinding Bindings[] = {
+    {"append", "append x y = if (null x) then y\n"
+               "             else cons (car x) (append (cdr x) y)"},
+    {"map", "map f l = if (null l) then nil\n"
+            "          else cons (f (car l)) (map f (cdr l))"},
+    {"filter", "filter p l = if (null l) then nil\n"
+               "             else if p (car l)\n"
+               "                  then cons (car l) (filter p (cdr l))\n"
+               "                  else filter p (cdr l)"},
+    {"foldr", "foldr f z l = if (null l) then z\n"
+              "              else f (car l) (foldr f z (cdr l))"},
+    {"foldl", "foldl f z l = if (null l) then z\n"
+              "              else foldl f (f z (car l)) (cdr l)"},
+    {"length", "length l = if (null l) then 0 else 1 + length (cdr l)"},
+    {"sum", "sum l = if (null l) then 0 else car l + sum (cdr l)"},
+    {"reverse", "reverse l = letrec revgo acc r = if (null r) then acc\n"
+                "                   else revgo (cons (car r) acc) (cdr r)\n"
+                "            in revgo nil l"},
+    {"take", "take n l = if n = 0 then nil else if (null l) then nil\n"
+             "           else cons (car l) (take (n - 1) (cdr l))"},
+    {"drop", "drop n l = if n = 0 then l else if (null l) then nil\n"
+             "           else drop (n - 1) (cdr l)"},
+    {"nth", "nth n l = if n = 0 then car l else nth (n - 1) (cdr l)"},
+    {"last", "last l = if (null (cdr l)) then car l else last (cdr l)"},
+    {"snoc", "snoc l v = if (null l) then cons v nil\n"
+             "           else cons (car l) (snoc (cdr l) v)"},
+    {"zip", "zip a b = if (null a) then nil else if (null b) then nil\n"
+            "          else cons (car a, car b) (zip (cdr a) (cdr b))"},
+    {"unzipfst", "unzipfst l = if (null l) then nil\n"
+                 "             else cons (fst (car l)) (unzipfst (cdr l))"},
+    {"unzipsnd", "unzipsnd l = if (null l) then nil\n"
+                 "             else cons (snd (car l)) (unzipsnd (cdr l))"},
+    {"range", "range a b = if b <= a then nil\n"
+              "            else cons a (range (a + 1) b)"},
+    {"repeatv", "repeatv n v = if n = 0 then nil\n"
+                "              else cons v (repeatv (n - 1) v)"},
+    {"all", "all p l = if (null l) then true\n"
+            "          else if p (car l) then all p (cdr l) else false"},
+    {"any", "any p l = if (null l) then false\n"
+            "          else if p (car l) then true else any p (cdr l)"},
+    {"member", "member v l = if (null l) then false\n"
+               "             else if car l = v then true\n"
+               "             else member v (cdr l)"},
+    {"insertsorted", "insertsorted v l = if (null l) then cons v nil\n"
+                     "       else if v <= car l then cons v l\n"
+                     "       else cons (car l) (insertsorted v (cdr l))"},
+    {"isort", "isort l = if (null l) then nil\n"
+              "          else insertsorted (car l) (isort (cdr l))"},
+    {"maximum", "maximum l = if (null (cdr l)) then car l\n"
+                "            else if car l > maximum (cdr l)\n"
+                "                 then car l else maximum (cdr l)"},
+};
+
+/// Top-level binding names of `letrec ... in ...` source (the same
+/// prescan discipline the parser uses).
+std::set<std::string> topLevelNames(const std::string &Source,
+                                    bool &StartsWithLetrec,
+                                    size_t &LetrecEnd) {
+  std::set<std::string> Names;
+  StartsWithLetrec = false;
+  LetrecEnd = 0;
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  Token First = Lex.next();
+  if (!First.is(TokenKind::KwLetrec))
+    return Names;
+  StartsWithLetrec = true;
+  LetrecEnd = First.Range.End.offset();
+  bool AtBindingStart = true;
+  unsigned Depth = 0;
+  for (;;) {
+    Token Tok = Lex.next();
+    if (Tok.is(TokenKind::EndOfFile) || Tok.is(TokenKind::Error))
+      break;
+    if (Tok.is(TokenKind::KwLetrec) || Tok.is(TokenKind::KwLet))
+      ++Depth;
+    if (Tok.is(TokenKind::KwIn)) {
+      if (Depth == 0)
+        break;
+      --Depth;
+    }
+    if (AtBindingStart && Depth == 0 && Tok.is(TokenKind::Identifier))
+      Names.emplace(Tok.Spelling);
+    AtBindingStart = Depth == 0 && Tok.is(TokenKind::Semicolon);
+  }
+  return Names;
+}
+
+} // namespace
+
+const char *eal::stdlibBindings() {
+  static const std::string Joined = [] {
+    std::ostringstream OS;
+    bool FirstBinding = true;
+    for (const StdBinding &B : Bindings) {
+      if (!FirstBinding)
+        OS << ";\n  ";
+      FirstBinding = false;
+      OS << B.Text;
+    }
+    return OS.str();
+  }();
+  return Joined.c_str();
+}
+
+std::string eal::withStdlib(const std::string &UserSource) {
+  bool StartsWithLetrec = false;
+  size_t LetrecEnd = 0;
+  std::set<std::string> UserNames =
+      topLevelNames(UserSource, StartsWithLetrec, LetrecEnd);
+
+  std::ostringstream Prelude;
+  bool FirstBinding = true;
+  for (const StdBinding &B : Bindings) {
+    if (UserNames.count(B.Name))
+      continue; // the user's definition wins
+    if (!FirstBinding)
+      Prelude << ";\n  ";
+    FirstBinding = false;
+    Prelude << B.Text;
+  }
+  std::string PreludeText = Prelude.str();
+  if (PreludeText.empty())
+    return UserSource;
+
+  if (StartsWithLetrec)
+    // letrec <stdlib>; <user bindings> in <body>
+    return "letrec\n  " + PreludeText + ";\n" +
+           UserSource.substr(LetrecEnd);
+  return "letrec\n  " + PreludeText + "\nin " + UserSource;
+}

@@ -1,0 +1,37 @@
+//===- Stdlib.h - the nml standard prelude ----------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standard prelude of list functions — the vocabulary the paper's
+/// introduction motivates (append, map, reduce, length, ...). Programs
+/// run through the pipeline with `IncludeStdlib` get these bindings
+/// spliced into their top-level letrec; unused bindings cost nothing at
+/// run time (closures are built once) and the analyzer reports on all of
+/// them, which the stdlib example and bench use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_DRIVER_STDLIB_H
+#define EAL_DRIVER_STDLIB_H
+
+#include <string>
+
+namespace eal {
+
+/// Returns the prelude's letrec bindings (no `letrec`/`in`, ends without
+/// a trailing semicolon) so they can be spliced ahead of user bindings.
+const char *stdlibBindings();
+
+/// Wraps \p UserSource with the prelude: if the user program is
+/// `letrec B in e`, produces `letrec <stdlib>; B in e`; otherwise
+/// produces `letrec <stdlib> in <UserSource>`. Purely textual (the
+/// result is reparsed), so user bindings shadow stdlib names naturally.
+std::string withStdlib(const std::string &UserSource);
+
+} // namespace eal
+
+#endif // EAL_DRIVER_STDLIB_H

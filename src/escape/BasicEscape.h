@@ -1,0 +1,109 @@
+//===- BasicEscape.h - The basic escape domain B_e --------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic escape domain B_e of §3.2/§3.4: the chain
+///
+///   ⟨0,0⟩ ⊑ ⟨1,0⟩ ⊑ ⟨1,1⟩ ⊑ ... ⊑ ⟨1,d⟩
+///
+/// where d is the per-program spine bound. ⟨0,0⟩ means no part of the
+/// interesting object may be contained in a value; ⟨1,i⟩ means the bottom
+/// i spines of the interesting object may be contained (i = 0 for an
+/// indivisible, non-list interesting object).
+///
+/// The `sub^s` operator implements the abstract semantics of car^s: when a
+/// list with s spines contains exactly the bottom s spines of the
+/// interesting object, taking its car strips the top one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_ESCAPE_BASICESCAPE_H
+#define EAL_ESCAPE_BASICESCAPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace eal {
+
+/// An element of B_e. The representation packs the pair ⟨contained, i⟩.
+class BasicEscape {
+public:
+  /// Constructs ⟨0,0⟩.
+  constexpr BasicEscape() = default;
+
+  /// Returns ⟨0,0⟩: no part of the interesting object is contained.
+  static constexpr BasicEscape none() { return BasicEscape(); }
+
+  /// Returns ⟨1,i⟩: the bottom \p Spines spines of the interesting object
+  /// may be contained.
+  static constexpr BasicEscape contained(unsigned Spines) {
+    BasicEscape B;
+    B.IsContained = true;
+    B.NumSpines = static_cast<uint8_t>(Spines);
+    return B;
+  }
+
+  /// True for ⟨1,i⟩, false for ⟨0,0⟩.
+  bool isContained() const { return IsContained; }
+
+  /// The i of ⟨1,i⟩ (0 for ⟨0,0⟩).
+  unsigned spines() const { return NumSpines; }
+
+  /// Least upper bound in the chain.
+  friend BasicEscape join(BasicEscape A, BasicEscape B) {
+    if (!A.IsContained)
+      return B;
+    if (!B.IsContained)
+      return A;
+    return contained(A.NumSpines > B.NumSpines ? A.NumSpines : B.NumSpines);
+  }
+
+  /// Partial (here: total) order of the chain.
+  friend bool operator<=(BasicEscape A, BasicEscape B) {
+    if (!A.IsContained)
+      return true;
+    return B.IsContained && A.NumSpines <= B.NumSpines;
+  }
+
+  friend bool operator==(BasicEscape A, BasicEscape B) {
+    return A.IsContained == B.IsContained && A.NumSpines == B.NumSpines;
+  }
+  friend bool operator!=(BasicEscape A, BasicEscape B) { return !(A == B); }
+
+  /// The abstract effect of car^s (§3.4) on the ground component: if this
+  /// value records exactly ⟨1,s⟩ — the s-th bottom spine of the
+  /// interesting object is part of the list's top spine — car strips one
+  /// spine; otherwise the value is unchanged. s may not be smaller than
+  /// the recorded spine count (a list with s spines cannot contain a list
+  /// with more).
+  BasicEscape sub(unsigned S) const {
+    assert(S >= 1 && "car is only applied to lists");
+    if (!IsContained || NumSpines != S)
+      return *this;
+    return contained(NumSpines - 1);
+  }
+
+  /// Renders "⟨0,0⟩" or "⟨1,i⟩" (ASCII variant "<0,0>").
+  std::string str() const {
+    return std::string("<") + (IsContained ? "1" : "0") + "," +
+           std::to_string(NumSpines) + ">";
+  }
+
+  /// A small integer encoding, usable as a hash and total order.
+  unsigned encoding() const {
+    return IsContained ? 1u + NumSpines : 0u;
+  }
+
+private:
+  bool IsContained = false;
+  uint8_t NumSpines = 0;
+};
+
+} // namespace eal
+
+#endif // EAL_ESCAPE_BASICESCAPE_H

@@ -1,0 +1,256 @@
+//===- EscapeAnalyzer.h - Abstract escape interpreter -----------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract escape semantics of §3.4, evaluated by a memoizing
+/// fixpoint interpreter, plus the global escape test G (§4.1) and local
+/// escape test L (§4.2).
+///
+/// Evaluation strategy: applications of closures are memoized in a cache
+/// keyed by (closure atom, argument value). A cache miss starts from ⊥,
+/// which breaks recursive cycles; the whole query is then re-evaluated in
+/// rounds until no cache entry changes. All abstract operators are
+/// monotone and the value space reachable from a program is finite, so the
+/// iteration terminates (§3.5); an iteration budget guards against bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_ESCAPE_ESCAPEANALYZER_H
+#define EAL_ESCAPE_ESCAPEANALYZER_H
+
+#include "escape/EscapeValue.h"
+#include "types/TypeInference.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// The outcome of one escape test on one parameter.
+struct ParamEscape {
+  Symbol Function;
+  unsigned ParamIndex = 0; ///< 0-based
+  const Type *ParamType = nullptr;
+  /// Spine count s_i of the parameter's type.
+  unsigned ParamSpines = 0;
+  /// The test result: ⟨0,0⟩ or ⟨1,k⟩.
+  BasicEscape Escape;
+
+  /// True if any part of the parameter may escape.
+  bool escapes() const { return Escape.isContained(); }
+
+  /// The k of ⟨1,k⟩: how many bottom spines may escape (0 both for
+  /// non-escaping parameters and for escaping non-list parameters).
+  unsigned escapingSpines() const { return Escape.spines(); }
+
+  /// The polymorphically invariant quantity s_i − k: how many top spines
+  /// can never escape (they may be stack allocated or reused). For an
+  /// escaping non-list parameter this is 0; for a non-escaping parameter
+  /// it is the full spine count.
+  unsigned protectedTopSpines() const {
+    if (!Escape.isContained())
+      return ParamSpines;
+    return ParamSpines - Escape.spines();
+  }
+};
+
+/// Global escape results for one function.
+struct FunctionEscape {
+  Symbol Name;
+  const Type *FunctionType = nullptr;
+  unsigned Arity = 0;
+  /// Spine count of the (fully applied) result type.
+  unsigned ResultSpines = 0;
+  std::vector<ParamEscape> Params;
+};
+
+/// Global escape results for a whole program, plus analysis statistics.
+struct ProgramEscapeReport {
+  std::vector<FunctionEscape> Functions;
+  unsigned FixpointRounds = 0;
+  size_t ApplyCacheEntries = 0;
+  size_t DistinctValues = 0;
+
+  const FunctionEscape *find(Symbol Name) const {
+    for (const FunctionEscape &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// One recorded fixpoint iterate of a letrec binding (the append^(k) of
+/// Appendix A.1).
+struct FixpointTraceEntry {
+  Symbol Binding;
+  unsigned Round = 0;
+  /// Rendered value after this round ("<1,0>", "<0,0>+fn(1)", ...).
+  std::string Value;
+  bool Changed = false;
+};
+
+/// Analysis granularity.
+enum class EscapeAnalysisMode {
+  /// The paper's contribution: lists graded per spine (car^s strips).
+  SpineAware,
+  /// The baseline of the authors' earlier work (ESOP'90, the paper's
+  /// reference [10]): objects are indivisible — if any part of a list
+  /// may escape, the whole list escapes. Implemented by treating every
+  /// type as spineless (car is the identity, s_i = 0), which is exactly
+  /// what the paper's abstract domain degenerates to at d = 0.
+  WholeObject,
+};
+
+/// Evaluates the abstract escape semantics over one typed program and
+/// answers escape queries.
+class EscapeAnalyzer {
+public:
+  /// \p MaxRounds bounds the outer fixpoint iteration; exceeding it is
+  /// reported as an error and answered conservatively.
+  EscapeAnalyzer(const AstContext &Ast, const TypedProgram &Program,
+                 DiagnosticEngine &Diags, unsigned MaxRounds = 512,
+                 EscapeAnalysisMode Mode = EscapeAnalysisMode::SpineAware);
+
+  //===--- Queries --------------------------------------------------------==//
+
+  /// The global escape test G(f, i) (§4.1): how much of the (0-based)
+  /// \p ParamIndex-th parameter of top-level function \p Fn may escape in
+  /// *any* application. Returns nullopt if \p Fn is not a top-level
+  /// binding or has fewer parameters.
+  std::optional<ParamEscape> globalEscape(Symbol Fn, unsigned ParamIndex);
+
+  /// The local escape test L(f, i, e1...en) (§4.2) for the application
+  /// expression \p CallSite (which must be an application spine located
+  /// in the top-level scope). Arguments' function components come from
+  /// the actual argument expressions, so the result is at least as
+  /// precise as the global test.
+  std::optional<ParamEscape> localEscape(const Expr *CallSite,
+                                         unsigned ParamIndex);
+
+  /// The local test for a call site *inside* a function body: free
+  /// variables that are not top-level bindings (the enclosing function's
+  /// parameters and lets) are bound to ⟨⟨0,0⟩, W^τ⟩ — they are not the
+  /// interesting object, and their behaviour is worst-cased, which is
+  /// exactly the env_e discipline of §4.2. Sound in any context; at
+  /// least as precise as the global test on the callee.
+  std::optional<ParamEscape> localEscapeInContext(const Expr *CallSite,
+                                                  unsigned ParamIndex);
+
+  /// Runs the global test on every parameter of every top-level function
+  /// binding.
+  ProgramEscapeReport analyzeProgram();
+
+  /// Evaluates \p E in the top-level environment and returns its value.
+  /// Exposed for tests and for clients composing custom queries.
+  ValueId evaluate(const Expr *E);
+
+  //===--- Introspection ---------------------------------------------------==//
+
+  const ValueStore &store() const { return Store; }
+  /// Rounds taken by the most recent query's fixpoint loop.
+  unsigned lastRounds() const { return LastRounds; }
+  /// Total closure-application cache entries discovered so far.
+  size_t applyCacheSize() const { return ApplyCache.size(); }
+  /// True if some query exceeded the round budget (results are then
+  /// conservative).
+  bool hitIterationLimit() const { return HitLimit; }
+
+  /// Enables recording of per-binding fixpoint iterates (Appendix A.1
+  /// style); call before queries.
+  void enableTracing() { Tracing = true; }
+  const std::vector<FixpointTraceEntry> &trace() const { return Trace; }
+  /// Renders the recorded trace as "name^(k) = value" lines.
+  std::string renderTrace() const;
+
+private:
+  //===--- Abstract evaluation ---------------------------------------------==//
+
+  ValueId eval(const Expr *E, EnvId Env);
+  ValueId apply(ValueId Fn, ValueId Arg);
+  ValueId applyAtom(FnAtomId Atom, ValueId Arg);
+  ValueId applyPrim(const FnAtom &Atom, ValueId Arg);
+  ValueId applyWorst(const FnAtom &Atom, ValueId Arg);
+
+  /// Value of binding #Index of \p Inst (memoized, ⊥-seeded).
+  ValueId materializeBinding(LetrecInstId Inst, uint32_t Index);
+
+  /// Resolves an environment binding to a value.
+  ValueId resolveBinding(const EnvBinding &Binding);
+
+  /// The environment inside \p Inst's letrec: outer env plus letrec
+  /// references for every binding.
+  EnvId letrecBodyEnv(LetrecInstId Inst);
+
+  /// Shared implementation of the two local tests.
+  std::optional<ParamEscape> localEscapeUnder(const Expr *CallSite,
+                                              unsigned ParamIndex, EnvId Env);
+
+  /// Ground join of the free variables of \p Lambda (the V of §3.4).
+  BasicEscape closureGround(const LambdaExpr *Lambda, EnvId Env);
+
+  /// Cached free-variable sets per node.
+  const std::vector<Symbol> &freeVarsOf(const Expr *E);
+
+  /// Runs \p Root to fixpoint (monotone rounds until no cache changes).
+  ValueId runToFixpoint(const std::function<ValueId()> &Root);
+
+  /// The top-level environment (letrec bindings if the program root is a
+  /// letrec, empty otherwise) and its instantiation id, built on demand.
+  EnvId topEnv();
+
+  /// Builds the worst-case argument value y_j for a parameter of type
+  /// \p T: ⟨\p Ground, W^τ⟩.
+  ValueId worstArg(BasicEscape Ground, const Type *T);
+
+  /// Splits an n-ary function type into parameter types.
+  std::vector<const Type *> paramTypes(const Type *FnType, unsigned Arity);
+
+  struct CacheEntry {
+    ValueId Val = 0; // bottom
+    unsigned Round = 0;
+    bool InProgress = false;
+  };
+
+  /// Spine count of \p T under the current analysis mode.
+  unsigned modeSpineCount(const Type *T) const;
+
+  const AstContext &Ast;
+  const TypedProgram &Program;
+  DiagnosticEngine &Diags;
+  unsigned MaxRounds;
+  EscapeAnalysisMode Mode;
+
+  ValueStore Store;
+  /// (closure atom, arg) -> result, ⊥-seeded.
+  std::unordered_map<uint64_t, CacheEntry> ApplyCache;
+  /// (letrec inst, binding index) -> value, ⊥-seeded.
+  std::unordered_map<uint64_t, CacheEntry> BindingCache;
+  std::unordered_map<uint32_t, std::vector<Symbol>> FreeVarCache;
+
+  unsigned CurrentRound = 0;
+  bool Changed = false;
+  bool Tracing = false;
+  std::vector<FixpointTraceEntry> Trace;
+  unsigned LastRounds = 0;
+  bool HitLimit = false;
+
+  std::optional<EnvId> CachedTopEnv;
+};
+
+/// Renders \p Report as the paper's Appendix-A style table (one line per
+/// parameter: function, parameter, type, G result, interpretation).
+std::string renderEscapeReport(const AstContext &Ast,
+                               const ProgramEscapeReport &Report);
+
+} // namespace eal
+
+#endif // EAL_ESCAPE_ESCAPEANALYZER_H

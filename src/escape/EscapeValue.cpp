@@ -1,0 +1,244 @@
+//===- EscapeValue.cpp ----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/EscapeValue.h"
+
+#include "types/Type.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eal;
+
+const Type *eal::stripListTypes(const Type *T) {
+  while (const auto *List = dyn_cast<ListType>(T))
+    T = List->element();
+  return T;
+}
+
+ValueStore::ValueStore() {
+  // Intern the bottom value and empty environment at fixed ids.
+  BottomId = makeValue(BasicEscape::none(), {});
+  assert(BottomId == 0 && "bottom must be the first value");
+  EmptyEnvId = internEnv(EnvData());
+  assert(EmptyEnvId == 0 && "empty env must be the first environment");
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+size_t ValueStore::hashAtom(const FnAtom &Atom) const {
+  size_t Seed = hashValues(static_cast<unsigned>(Atom.Kind),
+                           static_cast<unsigned>(Atom.Op), Atom.CarSpines,
+                           static_cast<const void *>(Atom.Lambda),
+                           static_cast<uint32_t>(Atom.Env),
+                           static_cast<const void *>(Atom.WorstType),
+                           Atom.WorstAcc.encoding());
+  for (ValueId V : Atom.Partial)
+    hashCombine(Seed, V);
+  return Seed;
+}
+
+size_t ValueStore::hashValue(const EscapeValue &Value) const {
+  size_t Seed = hashValues(Value.Ground.encoding());
+  for (FnAtomId A : Value.Fns)
+    hashCombine(Seed, A);
+  return Seed;
+}
+
+size_t ValueStore::hashEnv(const EnvData &Data) const {
+  size_t Seed = 0x9e37;
+  for (const EnvBinding &B : Data.Bindings) {
+    hashCombine(Seed, B.Name.id());
+    hashCombine(Seed, static_cast<unsigned>(B.Kind));
+    hashCombine(Seed, B.Val);
+    hashCombine(Seed, B.Inst);
+    hashCombine(Seed, B.Index);
+  }
+  return Seed;
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+ValueId ValueStore::makeValue(BasicEscape Ground, std::vector<FnAtomId> Fns) {
+  std::sort(Fns.begin(), Fns.end());
+  Fns.erase(std::unique(Fns.begin(), Fns.end()), Fns.end());
+  EscapeValue Value{Ground, std::move(Fns)};
+  size_t Hash = hashValue(Value);
+  auto [Begin, End] = ValueTable.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (Values[It->second] == Value)
+      return It->second;
+  ValueId Id = static_cast<ValueId>(Values.size());
+  Values.push_back(std::move(Value));
+  ValueTable.emplace(Hash, Id);
+  return Id;
+}
+
+ValueId ValueStore::joinValues(ValueId A, ValueId B) {
+  if (A == B)
+    return A;
+  const EscapeValue &VA = Values[A];
+  const EscapeValue &VB = Values[B];
+  std::vector<FnAtomId> Fns = VA.Fns;
+  Fns.insert(Fns.end(), VB.Fns.begin(), VB.Fns.end());
+  return makeValue(join(VA.Ground, VB.Ground), std::move(Fns));
+}
+
+ValueId ValueStore::withGround(ValueId V, BasicEscape Ground) {
+  const EscapeValue &Value = Values[V];
+  if (Value.Ground == Ground)
+    return V;
+  return makeValue(Ground, Value.Fns);
+}
+
+//===----------------------------------------------------------------------===//
+// Atoms
+//===----------------------------------------------------------------------===//
+
+FnAtomId ValueStore::internAtom(FnAtom Atom) {
+  size_t Hash = hashAtom(Atom);
+  auto [Begin, End] = AtomTable.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (Atoms[It->second] == Atom)
+      return It->second;
+  FnAtomId Id = static_cast<FnAtomId>(Atoms.size());
+  Atoms.push_back(std::move(Atom));
+  AtomTable.emplace(Hash, Id);
+  return Id;
+}
+
+ValueId ValueStore::makePrim(PrimOp Op, unsigned CarSpines) {
+  // car^0 is the whole-object baseline's identity car; spine-aware
+  // analyses always annotate car with s >= 1.
+  FnAtom Atom;
+  Atom.Kind = FnAtomKind::Prim;
+  Atom.Op = Op;
+  Atom.CarSpines = CarSpines;
+  return makeValue(BasicEscape::none(), {internAtom(std::move(Atom))});
+}
+
+ValueId ValueStore::makeClosure(BasicEscape Ground, const LambdaExpr *Lambda,
+                                EnvId Env) {
+  FnAtom Atom;
+  Atom.Kind = FnAtomKind::Closure;
+  Atom.Lambda = Lambda;
+  Atom.Env = Env;
+  return makeValue(Ground, {internAtom(std::move(Atom))});
+}
+
+void ValueStore::collectWorstAtoms(const Type *T, BasicEscape Acc,
+                                   std::vector<FnAtomId> &Out) {
+  const Type *Core = stripListTypes(T);
+  if (Core->isFun()) {
+    FnAtom Atom;
+    Atom.Kind = FnAtomKind::Worst;
+    Atom.WorstType = Core;
+    Atom.WorstAcc = Acc;
+    Out.push_back(internAtom(std::move(Atom)));
+    return;
+  }
+  if (const auto *Pair = dyn_cast<PairType>(Core)) {
+    collectWorstAtoms(Pair->first(), Acc, Out);
+    collectWorstAtoms(Pair->second(), Acc, Out);
+  }
+}
+
+ValueId ValueStore::makeWorst(BasicEscape Ground, const Type *T) {
+  std::vector<FnAtomId> Atoms;
+  collectWorstAtoms(T, BasicEscape::none(), Atoms);
+  return makeValue(Ground, std::move(Atoms));
+}
+
+ValueId ValueStore::makePairValue(ValueId First, ValueId Second) {
+  FnAtom Atom;
+  Atom.Kind = FnAtomKind::Pair;
+  Atom.Partial = {First, Second};
+  return makeValue(join(ground(First), ground(Second)),
+                   {internAtom(std::move(Atom))});
+}
+
+//===----------------------------------------------------------------------===//
+// Environments
+//===----------------------------------------------------------------------===//
+
+EnvId ValueStore::internEnv(EnvData Data) {
+  size_t Hash = hashEnv(Data);
+  auto [Begin, End] = EnvTable.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (Envs[It->second] == Data)
+      return It->second;
+  EnvId Id = static_cast<EnvId>(Envs.size());
+  Envs.push_back(std::move(Data));
+  EnvTable.emplace(Hash, Id);
+  return Id;
+}
+
+EnvId ValueStore::extend(EnvId Env, EnvBinding Binding) {
+  EnvData Data = Envs[Env];
+  auto It = std::lower_bound(
+      Data.Bindings.begin(), Data.Bindings.end(), Binding,
+      [](const EnvBinding &A, const EnvBinding &B) { return A.Name < B.Name; });
+  if (It != Data.Bindings.end() && It->Name == Binding.Name)
+    *It = Binding; // shadowing overrides
+  else
+    Data.Bindings.insert(It, Binding);
+  return internEnv(std::move(Data));
+}
+
+EnvId ValueStore::restrict(EnvId Env, std::span<const Symbol> Names) {
+  const EnvData &Data = Envs[Env];
+  EnvData Out;
+  for (const EnvBinding &B : Data.Bindings)
+    if (std::find(Names.begin(), Names.end(), B.Name) != Names.end())
+      Out.Bindings.push_back(B);
+  return internEnv(std::move(Out));
+}
+
+const EnvBinding *ValueStore::lookup(EnvId Env, Symbol Name) const {
+  const EnvData &Data = Envs[Env];
+  auto It = std::lower_bound(
+      Data.Bindings.begin(), Data.Bindings.end(), Name,
+      [](const EnvBinding &B, Symbol N) { return B.Name < N; });
+  if (It != Data.Bindings.end() && It->Name == Name)
+    return &*It;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Letrec instantiations
+//===----------------------------------------------------------------------===//
+
+LetrecInstId ValueStore::internLetrecInst(const LetrecExpr *Node,
+                                          EnvId Outer) {
+  LetrecInst Inst{Node, Outer};
+  size_t Hash =
+      hashValues(static_cast<const void *>(Node), static_cast<uint32_t>(Outer));
+  auto [Begin, End] = InstTable.equal_range(Hash);
+  for (auto It = Begin; It != End; ++It)
+    if (Insts[It->second] == Inst)
+      return It->second;
+  LetrecInstId Id = static_cast<LetrecInstId>(Insts.size());
+  Insts.push_back(Inst);
+  InstTable.emplace(Hash, Id);
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Debugging
+//===----------------------------------------------------------------------===//
+
+std::string ValueStore::str(ValueId V) const {
+  const EscapeValue &Value = Values[V];
+  std::string Out = Value.Ground.str();
+  if (!Value.Fns.empty())
+    Out += "+fn(" + std::to_string(Value.Fns.size()) + ")";
+  return Out;
+}

@@ -1,0 +1,271 @@
+//===- EscapeValue.h - Hash-consed abstract escape values -------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Representation of the abstract escape domain D_e (§3.4). A value has
+/// two components: a ground component in B_e, and a function component.
+/// The function component is represented as a *set of atoms*, because the
+/// abstract semantics joins values (at `cons` and at `if`), and the join
+/// of two function values is kept symbolic: applying a join applies every
+/// atom and joins the results. The atom forms are:
+///
+///  * Prim    — a (possibly partially applied) primitive;
+///  * Closure — `lambda(x).e` with its captured environment, restricted
+///              to the lambda's free variables;
+///  * Worst   — the worst-case escape function W^τ of Definition 2, with
+///              the ground escapes accumulated so far.
+///
+/// The empty atom set is `err` (a function that is never applied; applying
+/// it yields ⊥ — safe, because the standard semantics would be stuck).
+///
+/// Environments bind names either to values or to *letrec references*
+/// (binding #k of a letrec instantiation). Representing recursive
+/// bindings by reference rather than by unfolded closures is what keeps
+/// the value space finite so the fixpoint iteration terminates.
+///
+/// Values, atoms, environments, and letrec instantiations are all
+/// hash-consed: equal objects get equal 32-bit ids, so the analyzer's
+/// caches can key on integers and value equality is O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_ESCAPE_ESCAPEVALUE_H
+#define EAL_ESCAPE_ESCAPEVALUE_H
+
+#include "escape/BasicEscape.h"
+#include "lang/Ast.h"
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eal {
+
+class Type;
+
+/// Index of a hash-consed escape value.
+using ValueId = uint32_t;
+/// Index of a hash-consed function atom.
+using FnAtomId = uint32_t;
+/// Index of a hash-consed environment.
+using EnvId = uint32_t;
+/// Index of a hash-consed letrec instantiation (letrec node + outer env).
+using LetrecInstId = uint32_t;
+
+/// Kinds of function atoms.
+enum class FnAtomKind : uint8_t {
+  Prim,
+  Closure,
+  Worst,
+  /// A constructed pair: Partial = {first, second}. Not applicable as a
+  /// function; fst/snd project its components precisely.
+  Pair,
+};
+
+/// One function atom. Plain aggregate; interned by ValueStore.
+struct FnAtom {
+  FnAtomKind Kind = FnAtomKind::Prim;
+
+  // Prim
+  PrimOp Op = PrimOp::Add;
+  /// For car atoms: the s of car^s (spine count of the argument type).
+  unsigned CarSpines = 0;
+  /// Arguments consumed so far by a partially applied primitive.
+  std::vector<ValueId> Partial;
+
+  // Closure
+  const LambdaExpr *Lambda = nullptr;
+  EnvId Env = 0;
+
+  // Worst
+  /// The remaining function type of W^τ (always a FunType).
+  const Type *WorstType = nullptr;
+  /// Ground escapes of the arguments consumed so far.
+  BasicEscape WorstAcc;
+
+  friend bool operator==(const FnAtom &A, const FnAtom &B) {
+    return A.Kind == B.Kind && A.Op == B.Op && A.CarSpines == B.CarSpines &&
+           A.Partial == B.Partial && A.Lambda == B.Lambda && A.Env == B.Env &&
+           A.WorstType == B.WorstType && A.WorstAcc == B.WorstAcc;
+  }
+};
+
+/// One abstract escape value: ground component + atom set (sorted,
+/// deduplicated).
+struct EscapeValue {
+  BasicEscape Ground;
+  std::vector<FnAtomId> Fns;
+
+  friend bool operator==(const EscapeValue &A, const EscapeValue &B) {
+    return A.Ground == B.Ground && A.Fns == B.Fns;
+  }
+};
+
+/// How an environment entry is bound.
+enum class EnvBindingKind : uint8_t {
+  /// An ordinary value.
+  Value,
+  /// Binding #Index of letrec instantiation #Inst, materialized lazily.
+  LetrecRef,
+};
+
+/// One environment entry.
+struct EnvBinding {
+  Symbol Name;
+  EnvBindingKind Kind = EnvBindingKind::Value;
+  ValueId Val = 0;
+  LetrecInstId Inst = 0;
+  uint32_t Index = 0;
+
+  friend bool operator==(const EnvBinding &A, const EnvBinding &B) {
+    return A.Name == B.Name && A.Kind == B.Kind && A.Val == B.Val &&
+           A.Inst == B.Inst && A.Index == B.Index;
+  }
+};
+
+/// An environment: bindings sorted by symbol id (innermost shadowing is
+/// resolved at extension time, so each name appears once).
+struct EnvData {
+  std::vector<EnvBinding> Bindings;
+
+  friend bool operator==(const EnvData &A, const EnvData &B) {
+    return A.Bindings == B.Bindings;
+  }
+};
+
+/// A letrec instantiation: the syntactic letrec plus the (restricted)
+/// environment it closed over.
+struct LetrecInst {
+  const LetrecExpr *Node = nullptr;
+  EnvId Outer = 0;
+
+  friend bool operator==(const LetrecInst &A, const LetrecInst &B) {
+    return A.Node == B.Node && A.Outer == B.Outer;
+  }
+};
+
+/// Owns and interns all escape values, atoms, environments, and letrec
+/// instantiations of one analysis.
+class ValueStore {
+public:
+  ValueStore();
+
+  //===--- Values --------------------------------------------------------===//
+
+  /// The bottom value ⟨⟨0,0⟩, err⟩ (also the value of nil and of all
+  /// data constants).
+  ValueId bottom() const { return BottomId; }
+
+  /// Interns a value with ground \p Ground and atom set \p Fns (need not
+  /// be sorted; duplicates are removed).
+  ValueId makeValue(BasicEscape Ground, std::vector<FnAtomId> Fns);
+
+  /// Interns a ground-only value ⟨\p Ground, err⟩.
+  ValueId makeGround(BasicEscape Ground) { return makeValue(Ground, {}); }
+
+  /// The join of two values: grounds join in B_e, atom sets union.
+  ValueId joinValues(ValueId A, ValueId B);
+
+  /// Returns \p V with its ground component replaced (atom set kept).
+  /// Used by the local escape test, which re-grounds argument values.
+  ValueId withGround(ValueId V, BasicEscape Ground);
+
+  const EscapeValue &value(ValueId Id) const { return Values[Id]; }
+  BasicEscape ground(ValueId Id) const { return Values[Id].Ground; }
+  size_t numValues() const { return Values.size(); }
+
+  //===--- Atoms ---------------------------------------------------------===//
+
+  FnAtomId internAtom(FnAtom Atom);
+  const FnAtom &atom(FnAtomId Id) const { return Atoms[Id]; }
+  size_t numAtoms() const { return Atoms.size(); }
+
+  /// A fresh (unapplied) primitive value. \p CarSpines supplies the s of
+  /// car^s and is required for Car.
+  ValueId makePrim(PrimOp Op, unsigned CarSpines = 0);
+
+  /// A closure value ⟨\p Ground, λ⟩ for \p Lambda under \p Env. \p Ground
+  /// is the V of §3.4 (join of the free variables' grounds).
+  ValueId makeClosure(BasicEscape Ground, const LambdaExpr *Lambda, EnvId Env);
+
+  /// The worst-case value ⟨\p Ground, W^τ⟩ for a parameter of type \p T
+  /// (Definition 2). List constructors are stripped (W^{τ list} = W^τ)
+  /// and pairs contribute the worst-case atoms of *both* components (the
+  /// product analog of the paper's list rule); if no function type
+  /// remains the atom set is empty (W = err).
+  ValueId makeWorst(BasicEscape Ground, const Type *T);
+
+  /// Appends the worst-case atoms for \p T (with accumulated ground
+  /// \p Acc) to \p Out; used by makeWorst and by worst-case application.
+  void collectWorstAtoms(const Type *T, BasicEscape Acc,
+                         std::vector<FnAtomId> &Out);
+
+  /// A pair value ⟨ga ⊔ gb, pair(a, b)⟩.
+  ValueId makePairValue(ValueId First, ValueId Second);
+
+  //===--- Environments --------------------------------------------------===//
+
+  /// The empty environment.
+  EnvId emptyEnv() const { return EmptyEnvId; }
+
+  /// Returns \p Env extended/overridden with \p Binding.
+  EnvId extend(EnvId Env, EnvBinding Binding);
+
+  /// Restricts \p Env to \p Names (missing names are simply absent).
+  EnvId restrict(EnvId Env, std::span<const Symbol> Names);
+
+  /// Looks up \p Name, or nullptr if unbound.
+  const EnvBinding *lookup(EnvId Env, Symbol Name) const;
+
+  const EnvData &env(EnvId Id) const { return Envs[Id]; }
+  size_t numEnvs() const { return Envs.size(); }
+
+  //===--- Letrec instantiations -----------------------------------------===//
+
+  LetrecInstId internLetrecInst(const LetrecExpr *Node, EnvId Outer);
+  const LetrecInst &letrecInst(LetrecInstId Id) const { return Insts[Id]; }
+  size_t numLetrecInsts() const { return Insts.size(); }
+
+  //===--- Debugging -----------------------------------------------------===//
+
+  /// Renders \p V as, e.g., "<1,1>" or "<0,0>+fn" (ground plus a marker
+  /// when the function component is not err).
+  std::string str(ValueId V) const;
+
+private:
+  EnvId internEnv(EnvData Data);
+
+  size_t hashAtom(const FnAtom &Atom) const;
+  size_t hashValue(const EscapeValue &Value) const;
+  size_t hashEnv(const EnvData &Data) const;
+
+  std::vector<EscapeValue> Values;
+  std::vector<FnAtom> Atoms;
+  std::vector<EnvData> Envs;
+  std::vector<LetrecInst> Insts;
+
+  std::unordered_multimap<size_t, ValueId> ValueTable;
+  std::unordered_multimap<size_t, FnAtomId> AtomTable;
+  std::unordered_multimap<size_t, EnvId> EnvTable;
+  std::unordered_multimap<size_t, LetrecInstId> InstTable;
+
+  ValueId BottomId = 0;
+  EnvId EmptyEnvId = 0;
+};
+
+/// Strips list constructors: the abstract list domain collapses to the
+/// element domain (D_e^{τ list} = D_e^τ, §3.4), and W^{τ list} = W^τ
+/// (Definition 2).
+const Type *stripListTypes(const Type *T);
+
+} // namespace eal
+
+#endif // EAL_ESCAPE_ESCAPEVALUE_H

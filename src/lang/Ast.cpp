@@ -1,0 +1,85 @@
+//===- Ast.cpp ------------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace eal;
+
+std::string_view eal::primOpName(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Add:
+    return "+";
+  case PrimOp::Sub:
+    return "-";
+  case PrimOp::Mul:
+    return "*";
+  case PrimOp::Div:
+    return "div";
+  case PrimOp::Mod:
+    return "mod";
+  case PrimOp::Eq:
+    return "=";
+  case PrimOp::Ne:
+    return "<>";
+  case PrimOp::Lt:
+    return "<";
+  case PrimOp::Le:
+    return "<=";
+  case PrimOp::Gt:
+    return ">";
+  case PrimOp::Ge:
+    return ">=";
+  case PrimOp::Not:
+    return "not";
+  case PrimOp::Cons:
+    return "cons";
+  case PrimOp::Car:
+    return "car";
+  case PrimOp::Cdr:
+    return "cdr";
+  case PrimOp::Null:
+    return "null";
+  case PrimOp::DCons:
+    return "dcons";
+  case PrimOp::MkPair:
+    return "pair";
+  case PrimOp::Fst:
+    return "fst";
+  case PrimOp::Snd:
+    return "snd";
+  }
+  return "<unknown prim>";
+}
+
+unsigned eal::primOpArity(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Add:
+  case PrimOp::Sub:
+  case PrimOp::Mul:
+  case PrimOp::Div:
+  case PrimOp::Mod:
+  case PrimOp::Eq:
+  case PrimOp::Ne:
+  case PrimOp::Lt:
+  case PrimOp::Le:
+  case PrimOp::Gt:
+  case PrimOp::Ge:
+  case PrimOp::Cons:
+  case PrimOp::MkPair:
+    return 2;
+  case PrimOp::Not:
+  case PrimOp::Car:
+  case PrimOp::Cdr:
+  case PrimOp::Null:
+  case PrimOp::Fst:
+  case PrimOp::Snd:
+    return 1;
+  case PrimOp::DCons:
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,355 @@
+//===- Ast.h - nml abstract syntax ------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nml abstract syntax, following §3.1 of the paper:
+///
+///   e ::= c | x | e1 e2 | lambda(x).e | if e1 then e2 else e3
+///       | letrec x1 = e1; ... xn = en in e
+///
+/// Constants (Con) cover integers, booleans, nil, and the primitive
+/// functions (+, -, =, <, cons, car, cdr, null, ...). We additionally keep
+/// a non-recursive `let` node (sugar the paper elides) and the destructive
+/// `DCONS` primitive of §6, which the optimizer introduces.
+///
+/// Nodes are arena-allocated, immutable after construction, and carry a
+/// unique id used to key side tables (types, spine annotations,
+/// allocation-site annotations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_AST_H
+#define EAL_LANG_AST_H
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace eal {
+
+class AstContext;
+
+/// Discriminator for the Expr hierarchy.
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  NilLit,
+  Var,
+  Prim,
+  App,
+  Lambda,
+  If,
+  Let,
+  Letrec,
+};
+
+/// The primitive functions of nml (the function-valued members of Con).
+enum class PrimOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  Cons,
+  Car,
+  Cdr,
+  Null,
+  /// Destructive cons (§6): `dcons p b c` overwrites cell p with (b, c)
+  /// and returns it. Never written by users; introduced by the in-place
+  /// reuse transformation.
+  DCons,
+  /// Pair construction and projection (the §1 tuple extension).
+  MkPair,
+  Fst,
+  Snd,
+};
+
+/// Returns the surface spelling of \p Op ("cons", "+", ...).
+std::string_view primOpName(PrimOp Op);
+
+/// Returns the number of curried arguments \p Op consumes.
+unsigned primOpArity(PrimOp Op);
+
+/// Base class of all nml expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceRange range() const { return Range; }
+  SourceLoc loc() const { return Range.Begin; }
+
+  /// Unique, dense id within the owning AstContext; usable as a vector
+  /// index for side tables.
+  uint32_t id() const { return Id; }
+
+protected:
+  Expr(ExprKind Kind, SourceRange Range, uint32_t Id)
+      : Kind(Kind), Range(Range), Id(Id) {}
+
+private:
+  ExprKind Kind;
+  SourceRange Range;
+  uint32_t Id;
+};
+
+/// An integer constant.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceRange Range, uint32_t Id, int64_t Value)
+      : Expr(ExprKind::IntLit, Range, Id), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A boolean constant.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceRange Range, uint32_t Id, bool Value)
+      : Expr(ExprKind::BoolLit, Range, Id), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// The empty list `nil`.
+class NilLitExpr : public Expr {
+public:
+  NilLitExpr(SourceRange Range, uint32_t Id)
+      : Expr(ExprKind::NilLit, Range, Id) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::NilLit; }
+};
+
+/// A variable reference.
+class VarExpr : public Expr {
+public:
+  VarExpr(SourceRange Range, uint32_t Id, Symbol Name)
+      : Expr(ExprKind::Var, Range, Id), Name(Name) {}
+
+  Symbol name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Var; }
+
+private:
+  Symbol Name;
+};
+
+/// A reference to a primitive function.
+class PrimExpr : public Expr {
+public:
+  PrimExpr(SourceRange Range, uint32_t Id, PrimOp Op)
+      : Expr(ExprKind::Prim, Range, Id), Op(Op) {}
+
+  PrimOp op() const { return Op; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Prim; }
+
+private:
+  PrimOp Op;
+};
+
+/// A (curried) application `e1 e2`.
+class AppExpr : public Expr {
+public:
+  AppExpr(SourceRange Range, uint32_t Id, const Expr *Fn, const Expr *Arg)
+      : Expr(ExprKind::App, Range, Id), Fn(Fn), Arg(Arg) {}
+
+  const Expr *fn() const { return Fn; }
+  const Expr *arg() const { return Arg; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::App; }
+
+private:
+  const Expr *Fn;
+  const Expr *Arg;
+};
+
+/// `lambda(x). e`.
+class LambdaExpr : public Expr {
+public:
+  LambdaExpr(SourceRange Range, uint32_t Id, Symbol Param, const Expr *Body)
+      : Expr(ExprKind::Lambda, Range, Id), Param(Param), Body(Body) {}
+
+  Symbol param() const { return Param; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Lambda; }
+
+private:
+  Symbol Param;
+  const Expr *Body;
+};
+
+/// `if e1 then e2 else e3`.
+class IfExpr : public Expr {
+public:
+  IfExpr(SourceRange Range, uint32_t Id, const Expr *Cond, const Expr *Then,
+         const Expr *Else)
+      : Expr(ExprKind::If, Range, Id), Cond(Cond), Then(Then), Else(Else) {}
+
+  const Expr *cond() const { return Cond; }
+  const Expr *thenExpr() const { return Then; }
+  const Expr *elseExpr() const { return Else; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::If; }
+
+private:
+  const Expr *Cond;
+  const Expr *Then;
+  const Expr *Else;
+};
+
+/// Non-recursive `let x = e1 in e2`.
+class LetExpr : public Expr {
+public:
+  LetExpr(SourceRange Range, uint32_t Id, Symbol Name, const Expr *Value,
+          const Expr *Body)
+      : Expr(ExprKind::Let, Range, Id), Name(Name), Value(Value), Body(Body) {}
+
+  Symbol name() const { return Name; }
+  const Expr *value() const { return Value; }
+  const Expr *body() const { return Body; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Let; }
+
+private:
+  Symbol Name;
+  const Expr *Value;
+  const Expr *Body;
+};
+
+/// One binding `x = e` of a letrec.
+struct LetrecBinding {
+  Symbol Name;
+  const Expr *Value = nullptr;
+  SourceLoc NameLoc;
+};
+
+/// `letrec x1 = e1; ... xn = en in e`. All bindings are in scope in every
+/// ei and in the body.
+class LetrecExpr : public Expr {
+public:
+  LetrecExpr(SourceRange Range, uint32_t Id, const LetrecBinding *Bindings,
+             size_t NumBindings, const Expr *Body)
+      : Expr(ExprKind::Letrec, Range, Id), Bindings(Bindings),
+        NumBindings(NumBindings), Body(Body) {}
+
+  std::span<const LetrecBinding> bindings() const {
+    return {Bindings, NumBindings};
+  }
+  const Expr *body() const { return Body; }
+
+  /// Returns the binding for \p Name, or null if absent.
+  const LetrecBinding *findBinding(Symbol Name) const {
+    for (const LetrecBinding &B : bindings())
+      if (B.Name == Name)
+        return &B;
+    return nullptr;
+  }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Letrec; }
+
+private:
+  const LetrecBinding *Bindings;
+  size_t NumBindings;
+  const Expr *Body;
+};
+
+/// Owns the memory, identifier table, and node ids of one nml program
+/// (plus any transformed variants of it).
+class AstContext {
+public:
+  StringInterner &interner() { return Interner; }
+  const StringInterner &interner() const { return Interner; }
+
+  Symbol intern(std::string_view Spelling) {
+    return Interner.intern(Spelling);
+  }
+  std::string_view spelling(Symbol Sym) const {
+    return Interner.spelling(Sym);
+  }
+
+  /// Number of nodes created so far; node ids are < this bound.
+  uint32_t numNodes() const { return NextId; }
+
+  const IntLitExpr *createIntLit(SourceRange R, int64_t Value) {
+    return Mem.create<IntLitExpr>(R, NextId++, Value);
+  }
+  const BoolLitExpr *createBoolLit(SourceRange R, bool Value) {
+    return Mem.create<BoolLitExpr>(R, NextId++, Value);
+  }
+  const NilLitExpr *createNilLit(SourceRange R) {
+    return Mem.create<NilLitExpr>(R, NextId++);
+  }
+  const VarExpr *createVar(SourceRange R, Symbol Name) {
+    return Mem.create<VarExpr>(R, NextId++, Name);
+  }
+  const PrimExpr *createPrim(SourceRange R, PrimOp Op) {
+    return Mem.create<PrimExpr>(R, NextId++, Op);
+  }
+  const AppExpr *createApp(SourceRange R, const Expr *Fn, const Expr *Arg) {
+    return Mem.create<AppExpr>(R, NextId++, Fn, Arg);
+  }
+  const LambdaExpr *createLambda(SourceRange R, Symbol Param,
+                                 const Expr *Body) {
+    return Mem.create<LambdaExpr>(R, NextId++, Param, Body);
+  }
+  const IfExpr *createIf(SourceRange R, const Expr *Cond, const Expr *Then,
+                         const Expr *Else) {
+    return Mem.create<IfExpr>(R, NextId++, Cond, Then, Else);
+  }
+  const LetExpr *createLet(SourceRange R, Symbol Name, const Expr *Value,
+                           const Expr *Body) {
+    return Mem.create<LetExpr>(R, NextId++, Name, Value, Body);
+  }
+  const LetrecExpr *createLetrec(SourceRange R,
+                                 const std::vector<LetrecBinding> &Bindings,
+                                 const Expr *Body) {
+    const LetrecBinding *Copy =
+        Mem.copyArray(Bindings.data(), Bindings.size());
+    return Mem.create<LetrecExpr>(R, NextId++, Copy, Bindings.size(), Body);
+  }
+
+  /// Builds `((Fn A1) A2) ...` with synthesized ranges.
+  const Expr *createAppChain(SourceRange R, const Expr *Fn,
+                             std::span<const Expr *const> Args) {
+    const Expr *Result = Fn;
+    for (const Expr *Arg : Args)
+      Result = createApp(R, Result, Arg);
+    return Result;
+  }
+
+private:
+  Arena Mem;
+  StringInterner Interner;
+  uint32_t NextId = 0;
+};
+
+} // namespace eal
+
+#endif // EAL_LANG_AST_H

@@ -1,0 +1,66 @@
+//===- AstCloner.cpp ------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstCloner.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace eal;
+
+const Expr *AstCloner::clone(const Expr *E) {
+  assert(E && "cloning a null expression");
+  if (const Expr *Replacement = rewrite(E))
+    return Replacement;
+  return cloneDefault(E);
+}
+
+const Expr *AstCloner::cloneDefault(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Ctx.createIntLit(E->range(), cast<IntLitExpr>(E)->value());
+  case ExprKind::BoolLit:
+    return Ctx.createBoolLit(E->range(), cast<BoolLitExpr>(E)->value());
+  case ExprKind::NilLit:
+    return Ctx.createNilLit(E->range());
+  case ExprKind::Var:
+    return Ctx.createVar(E->range(), cast<VarExpr>(E)->name());
+  case ExprKind::Prim:
+    return Ctx.createPrim(E->range(), cast<PrimExpr>(E)->op());
+  case ExprKind::App: {
+    const auto *App = cast<AppExpr>(E);
+    return Ctx.createApp(E->range(), clone(App->fn()), clone(App->arg()));
+  }
+  case ExprKind::Lambda: {
+    const auto *Lambda = cast<LambdaExpr>(E);
+    return Ctx.createLambda(E->range(), Lambda->param(),
+                            clone(Lambda->body()));
+  }
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    return Ctx.createIf(E->range(), clone(If->cond()), clone(If->thenExpr()),
+                        clone(If->elseExpr()));
+  }
+  case ExprKind::Let: {
+    const auto *Let = cast<LetExpr>(E);
+    return Ctx.createLet(E->range(), Let->name(), clone(Let->value()),
+                         clone(Let->body()));
+  }
+  case ExprKind::Letrec: {
+    const auto *Letrec = cast<LetrecExpr>(E);
+    std::vector<LetrecBinding> Bindings;
+    for (const LetrecBinding &B : Letrec->bindings()) {
+      LetrecBinding NB = B;
+      NB.Value = clone(B.Value);
+      Bindings.push_back(NB);
+    }
+    return Ctx.createLetrec(E->range(), Bindings, clone(Letrec->body()));
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return nullptr;
+}

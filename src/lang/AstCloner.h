@@ -1,0 +1,48 @@
+//===- AstCloner.h - Deep AST cloning with rewrite hooks --------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copies nml ASTs, giving every node a fresh id. Transformations
+/// (the DCONS rewrite of §6, call-site retargeting) subclass AstCloner and
+/// override rewrite() to replace selected subtrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_ASTCLONER_H
+#define EAL_LANG_ASTCLONER_H
+
+#include "lang/Ast.h"
+
+namespace eal {
+
+/// Clones expressions into an AstContext (typically the same one the
+/// source came from; node ids stay unique either way).
+class AstCloner {
+public:
+  explicit AstCloner(AstContext &Ctx) : Ctx(Ctx) {}
+  virtual ~AstCloner() = default;
+
+  /// Returns a deep copy of \p E with rewrite() applied at every node.
+  const Expr *clone(const Expr *E);
+
+protected:
+  /// Override point. Return a replacement for \p E (built with cloneDefault
+  /// / clone on subtrees as needed), or null to clone \p E structurally.
+  virtual const Expr *rewrite(const Expr *E) {
+    (void)E;
+    return nullptr;
+  }
+
+  /// Structural clone of \p E (children via clone()).
+  const Expr *cloneDefault(const Expr *E);
+
+  AstContext &Ctx;
+};
+
+} // namespace eal
+
+#endif // EAL_LANG_ASTCLONER_H

@@ -1,0 +1,295 @@
+//===- AstPrinter.cpp -----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include "lang/Ast.h"
+
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+/// Binding strength used to decide parenthesization. Higher is tighter.
+enum Precedence : unsigned {
+  PrecExpr = 0,       // if / lambda / let / letrec
+  PrecRelational = 1, // = <> < <= > >=
+  PrecCons = 2,       // ::
+  PrecAdditive = 3,   // + -
+  PrecMult = 4,       // * div mod
+  PrecApp = 5,        // juxtaposition
+  PrecPrimary = 6,
+};
+
+/// Returns the infix precedence of \p Op, or PrecApp if \p Op has no infix
+/// form (cons is special-cased separately).
+Precedence infixPrecedence(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Eq:
+  case PrimOp::Ne:
+  case PrimOp::Lt:
+  case PrimOp::Le:
+  case PrimOp::Gt:
+  case PrimOp::Ge:
+    return PrecRelational;
+  case PrimOp::Add:
+  case PrimOp::Sub:
+    return PrecAdditive;
+  case PrimOp::Mul:
+  case PrimOp::Div:
+  case PrimOp::Mod:
+    return PrecMult;
+  default:
+    return PrecApp;
+  }
+}
+
+bool hasInfixForm(PrimOp Op) { return infixPrecedence(Op) != PrecApp; }
+
+/// True for primitives whose name is a parsable identifier.
+bool hasNamedForm(PrimOp Op) {
+  switch (Op) {
+  case PrimOp::Cons:
+  case PrimOp::Car:
+  case PrimOp::Cdr:
+  case PrimOp::Null:
+  case PrimOp::Not:
+  case PrimOp::DCons:
+  case PrimOp::MkPair:
+  case PrimOp::Fst:
+  case PrimOp::Snd:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class PrinterImpl {
+public:
+  PrinterImpl(const AstContext &Ctx, const PrintOptions &Options)
+      : Ctx(Ctx), Options(Options) {}
+
+  std::string run(const Expr *Root) {
+    print(Root, PrecExpr);
+    return OS.str();
+  }
+
+private:
+  void print(const Expr *E, unsigned MinPrec);
+  void printApp(const AppExpr *App, unsigned MinPrec);
+  void printParenthesized(const Expr *E, unsigned Prec, unsigned MinPrec,
+                          auto PrintBody);
+  /// If \p E is a cons-literal chain `cons a (cons b ... nil)`, collects
+  /// the elements and returns true.
+  bool collectListLiteral(const Expr *E, std::vector<const Expr *> &Out);
+  void newline() {
+    OS << '\n';
+    for (unsigned I = 0; I != Indent * Options.IndentWidth; ++I)
+      OS << ' ';
+  }
+
+  const AstContext &Ctx;
+  const PrintOptions &Options;
+  std::ostringstream OS;
+  unsigned Indent = 0;
+};
+
+void PrinterImpl::printParenthesized(const Expr *E, unsigned Prec,
+                                     unsigned MinPrec, auto PrintBody) {
+  (void)E;
+  bool Paren = Prec < MinPrec;
+  if (Paren)
+    OS << '(';
+  PrintBody();
+  if (Paren)
+    OS << ')';
+}
+
+bool PrinterImpl::collectListLiteral(const Expr *E,
+                                     std::vector<const Expr *> &Out) {
+  const Expr *Cur = E;
+  for (;;) {
+    if (isa<NilLitExpr>(Cur))
+      return true;
+    const auto *Outer = dyn_cast<AppExpr>(Cur);
+    if (!Outer)
+      return false;
+    const auto *Inner = dyn_cast<AppExpr>(Outer->fn());
+    if (!Inner)
+      return false;
+    const auto *Prim = dyn_cast<PrimExpr>(Inner->fn());
+    if (!Prim || Prim->op() != PrimOp::Cons)
+      return false;
+    Out.push_back(Inner->arg());
+    Cur = Outer->arg();
+  }
+}
+
+void PrinterImpl::printApp(const AppExpr *App, unsigned MinPrec) {
+  // Try sugar: list literal.
+  std::vector<const Expr *> Elements;
+  if (collectListLiteral(App, Elements)) {
+    OS << '[';
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      print(Elements[I], PrecExpr);
+    }
+    OS << ']';
+    return;
+  }
+
+  // Try sugar: fully applied infix operator (including '::').
+  if (const auto *Inner = dyn_cast<AppExpr>(App->fn())) {
+    if (const auto *Prim = dyn_cast<PrimExpr>(Inner->fn())) {
+      if (hasInfixForm(Prim->op())) {
+        unsigned Prec = infixPrecedence(Prim->op());
+        printParenthesized(App, Prec, MinPrec, [&] {
+          // Relational is non-associative, additive/mult are
+          // left-associative: the left operand may be at the same level
+          // for left-assoc operators.
+          unsigned LhsMin =
+              Prec == PrecRelational ? Prec + 1 : Prec;
+          print(Inner->arg(), LhsMin);
+          OS << ' ' << primOpName(Prim->op()) << ' ';
+          print(App->arg(), Prec + 1);
+        });
+        return;
+      }
+      if (Prim->op() == PrimOp::Cons) {
+        printParenthesized(App, PrecCons, MinPrec, [&] {
+          print(Inner->arg(), PrecCons + 1);
+          OS << " :: ";
+          print(App->arg(), PrecCons); // right associative
+        });
+        return;
+      }
+      if (Prim->op() == PrimOp::MkPair) {
+        // Tuple sugar: always self-delimiting.
+        OS << '(';
+        print(Inner->arg(), PrecExpr);
+        OS << ", ";
+        print(App->arg(), PrecExpr);
+        OS << ')';
+        return;
+      }
+    }
+  }
+
+  printParenthesized(App, PrecApp, MinPrec, [&] {
+    print(App->fn(), PrecApp);
+    OS << ' ';
+    print(App->arg(), PrecApp + 1);
+  });
+}
+
+void PrinterImpl::print(const Expr *E, unsigned MinPrec) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    OS << cast<IntLitExpr>(E)->value();
+    return;
+  case ExprKind::BoolLit:
+    OS << (cast<BoolLitExpr>(E)->value() ? "true" : "false");
+    return;
+  case ExprKind::NilLit:
+    OS << "nil";
+    return;
+  case ExprKind::Var:
+    OS << Ctx.spelling(cast<VarExpr>(E)->name());
+    return;
+  case ExprKind::Prim: {
+    PrimOp Op = cast<PrimExpr>(E)->op();
+    if (hasNamedForm(Op)) {
+      OS << primOpName(Op);
+      return;
+    }
+    // Operators have no standalone surface form; print an eta-expansion
+    // so the output stays re-parsable.
+    OS << "(lambda(opa opb). opa " << primOpName(Op) << " opb)";
+    return;
+  }
+  case ExprKind::App:
+    printApp(cast<AppExpr>(E), MinPrec);
+    return;
+  case ExprKind::Lambda: {
+    const auto *Lambda = cast<LambdaExpr>(E);
+    printParenthesized(E, PrecExpr, MinPrec, [&] {
+      OS << "lambda(" << Ctx.spelling(Lambda->param()) << "). ";
+      print(Lambda->body(), PrecExpr);
+    });
+    return;
+  }
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    printParenthesized(E, PrecExpr, MinPrec, [&] {
+      OS << "if ";
+      print(If->cond(), PrecExpr);
+      OS << " then ";
+      print(If->thenExpr(), PrecExpr);
+      OS << " else ";
+      print(If->elseExpr(), PrecExpr);
+    });
+    return;
+  }
+  case ExprKind::Let: {
+    const auto *Let = cast<LetExpr>(E);
+    printParenthesized(E, PrecExpr, MinPrec, [&] {
+      OS << "let " << Ctx.spelling(Let->name()) << " = ";
+      print(Let->value(), PrecExpr);
+      OS << " in ";
+      print(Let->body(), PrecExpr);
+    });
+    return;
+  }
+  case ExprKind::Letrec: {
+    const auto *Letrec = cast<LetrecExpr>(E);
+    printParenthesized(E, PrecExpr, MinPrec, [&] {
+      OS << "letrec";
+      ++Indent;
+      bool First = true;
+      for (const LetrecBinding &B : Letrec->bindings()) {
+        if (!First)
+          OS << ';';
+        First = false;
+        if (Options.Multiline)
+          newline();
+        else
+          OS << ' ';
+        OS << Ctx.spelling(B.Name);
+        // Uncurry leading lambdas into parameter syntax.
+        const Expr *Value = B.Value;
+        while (const auto *Lambda = dyn_cast<LambdaExpr>(Value)) {
+          OS << ' ' << Ctx.spelling(Lambda->param());
+          Value = Lambda->body();
+        }
+        OS << " = ";
+        print(Value, PrecExpr);
+      }
+      --Indent;
+      if (Options.Multiline)
+        newline();
+      else
+        OS << ' ';
+      OS << "in ";
+      print(Letrec->body(), PrecExpr);
+    });
+    return;
+  }
+  }
+  assert(false && "unhandled expression kind");
+}
+
+} // namespace
+
+std::string eal::printExpr(const AstContext &Ctx, const Expr *Root,
+                           const PrintOptions &Options) {
+  assert(Root && "printing a null expression");
+  return PrinterImpl(Ctx, Options).run(Root);
+}

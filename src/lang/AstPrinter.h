@@ -1,0 +1,41 @@
+//===- AstPrinter.h - nml pretty printer ------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an nml AST back to (re-parsable) surface syntax. Used by the
+/// optimizer examples to show the DCONS-transformed programs, and by
+/// round-trip tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_ASTPRINTER_H
+#define EAL_LANG_ASTPRINTER_H
+
+#include <string>
+
+namespace eal {
+
+class AstContext;
+class Expr;
+
+/// Options controlling pretty-printing.
+struct PrintOptions {
+  /// When true, letrec bindings are printed one per line with indentation;
+  /// otherwise everything is printed on one line.
+  bool Multiline = true;
+  /// Indentation width for multiline output.
+  unsigned IndentWidth = 2;
+};
+
+/// Renders \p Root as surface syntax. The result re-parses to an
+/// alpha-equivalent AST (infix sugar is re-introduced where possible).
+std::string printExpr(const AstContext &Ctx, const Expr *Root,
+                      const PrintOptions &Options = PrintOptions());
+
+} // namespace eal
+
+#endif // EAL_LANG_ASTPRINTER_H

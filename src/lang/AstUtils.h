@@ -1,0 +1,44 @@
+//===- AstUtils.h - AST traversal helpers -----------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-variable computation and generic traversal over nml ASTs. The
+/// escape semantics of lambda needs the free identifiers of each lambda
+/// (the set F in §3.4); the optimizer needs last-use information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_ASTUTILS_H
+#define EAL_LANG_ASTUTILS_H
+
+#include "lang/Ast.h"
+
+#include <functional>
+#include <vector>
+
+namespace eal {
+
+/// Returns the free variables of \p E in first-occurrence order,
+/// deduplicated. Primitives are constants, not variables.
+std::vector<Symbol> freeVariables(const Expr *E);
+
+/// Calls \p Visit on \p E and every descendant, preorder.
+void forEachExpr(const Expr *E, const std::function<void(const Expr *)> &Visit);
+
+/// Counts the nodes of \p E (a cheap size metric for scalability benches).
+size_t countNodes(const Expr *E);
+
+/// If \p E is an application spine `f a1 ... an`, returns the callee and
+/// fills \p Args (empty Args and E itself otherwise).
+const Expr *uncurryCall(const Expr *E, std::vector<const Expr *> &Args);
+
+/// Counts the leading lambda binders of \p E (its syntactic arity).
+unsigned lambdaArity(const Expr *E);
+
+} // namespace eal
+
+#endif // EAL_LANG_ASTUTILS_H

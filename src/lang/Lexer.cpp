@@ -1,0 +1,252 @@
+//===- Lexer.cpp ----------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostics.h"
+
+#include <cctype>
+#include <string>
+
+using namespace eal;
+
+const char *eal::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwLetrec:
+    return "'letrec'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwLambda:
+    return "'lambda'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNil:
+    return "'nil'";
+  case TokenKind::KwDiv:
+    return "'div'";
+  case TokenKind::KwMod:
+    return "'mod'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::NotEqual:
+    return "'<>'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::ColonColon:
+    return "'::'";
+  }
+  return "unknown token";
+}
+
+bool Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    // '--' line comment.
+    if (C == '-' && peek(1) == '-') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    // '(* ... *)' nested block comment.
+    if (C == '(' && peek(1) == '*') {
+      size_t Begin = Pos;
+      Pos += 2;
+      unsigned Depth = 1;
+      while (!atEnd() && Depth != 0) {
+        if (peek() == '(' && peek(1) == '*') {
+          Pos += 2;
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          Pos += 2;
+          --Depth;
+        } else {
+          ++Pos;
+        }
+      }
+      if (Depth != 0) {
+        Diags.error(SourceLoc(static_cast<uint32_t>(Begin)),
+                    "unterminated block comment");
+        return false;
+      }
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin) const {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Range = SourceRange(SourceLoc(static_cast<uint32_t>(Begin)),
+                          SourceLoc(static_cast<uint32_t>(Pos)));
+  Tok.Spelling = Buffer.substr(Begin, Pos - Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(size_t Begin) {
+  while (!atEnd() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+          peek() == '\''))
+    ++Pos;
+  Token Tok = makeToken(TokenKind::Identifier, Begin);
+  struct Keyword {
+    std::string_view Spelling;
+    TokenKind Kind;
+  };
+  static constexpr Keyword Keywords[] = {
+      {"letrec", TokenKind::KwLetrec}, {"let", TokenKind::KwLet},
+      {"in", TokenKind::KwIn},         {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},     {"else", TokenKind::KwElse},
+      {"lambda", TokenKind::KwLambda}, {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"nil", TokenKind::KwNil},
+      {"div", TokenKind::KwDiv},       {"mod", TokenKind::KwMod},
+  };
+  for (const Keyword &KW : Keywords)
+    if (Tok.Spelling == KW.Spelling) {
+      Tok.Kind = KW.Kind;
+      break;
+    }
+  return Tok;
+}
+
+Token Lexer::lexNumber(size_t Begin) {
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin);
+  int64_t Value = 0;
+  bool Overflow = false;
+  for (char C : Tok.Spelling) {
+    if (Value > (INT64_MAX - (C - '0')) / 10) {
+      Overflow = true;
+      break;
+    }
+    Value = Value * 10 + (C - '0');
+  }
+  if (Overflow) {
+    Diags.error(Tok.loc(), "integer literal '" + std::string(Tok.Spelling) +
+                               "' is too large");
+    Tok.Kind = TokenKind::Error;
+    return Tok;
+  }
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+Token Lexer::next() {
+  if (!skipTrivia())
+    return makeToken(TokenKind::Error, Pos);
+  size_t Begin = Pos;
+  if (atEnd())
+    return makeToken(TokenKind::EndOfFile, Begin);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Begin);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Begin);
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin);
+  case '[':
+    return makeToken(TokenKind::LBracket, Begin);
+  case ']':
+    return makeToken(TokenKind::RBracket, Begin);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Begin);
+  case '.':
+    return makeToken(TokenKind::Dot, Begin);
+  case '=':
+    return makeToken(TokenKind::Equal, Begin);
+  case '+':
+    return makeToken(TokenKind::Plus, Begin);
+  case '-':
+    return makeToken(TokenKind::Minus, Begin);
+  case '*':
+    return makeToken(TokenKind::Star, Begin);
+  case '<':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::LessEqual, Begin);
+    }
+    if (peek() == '>') {
+      ++Pos;
+      return makeToken(TokenKind::NotEqual, Begin);
+    }
+    return makeToken(TokenKind::Less, Begin);
+  case '>':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::GreaterEqual, Begin);
+    }
+    return makeToken(TokenKind::Greater, Begin);
+  case ':':
+    if (peek() == ':') {
+      ++Pos;
+      return makeToken(TokenKind::ColonColon, Begin);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(SourceLoc(static_cast<uint32_t>(Begin)),
+              std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Begin);
+}

@@ -1,0 +1,59 @@
+//===- Lexer.h - nml lexer --------------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for nml. Supports `--` line comments and nested
+/// `(* ... *)` block comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_LEXER_H
+#define EAL_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Produces Tokens from a source buffer one at a time.
+class Lexer {
+public:
+  /// Lexes \p Buffer, reporting malformed input to \p Diags. The buffer
+  /// must outlive the lexer and all tokens it produces.
+  Lexer(std::string_view Buffer, DiagnosticEngine &Diags)
+      : Buffer(Buffer), Diags(Diags) {}
+
+  /// Lexes and returns the next token; returns EndOfFile forever once the
+  /// buffer is exhausted.
+  Token next();
+
+private:
+  bool atEnd() const { return Pos >= Buffer.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  char advance() { return Buffer[Pos++]; }
+
+  /// Skips whitespace and comments; returns false on an unterminated block
+  /// comment (after reporting it).
+  bool skipTrivia();
+
+  Token makeToken(TokenKind Kind, size_t Begin) const;
+  Token lexIdentifierOrKeyword(size_t Begin);
+  Token lexNumber(size_t Begin);
+
+  std::string_view Buffer;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace eal
+
+#endif // EAL_LANG_LEXER_H

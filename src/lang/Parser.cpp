@@ -1,0 +1,491 @@
+//===- Parser.cpp ---------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace eal;
+
+Parser::Parser(std::string_view Buffer, AstContext &Ctx,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {
+  Lexer Lex(Buffer, Diags);
+  for (;;) {
+    Token Tok = Lex.next();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::EndOfFile) || Tok.is(TokenKind::Error))
+      break;
+  }
+  // Guarantee the stream ends with EndOfFile so lookahead is always safe.
+  if (!Tokens.back().is(TokenKind::EndOfFile)) {
+    Token Eof;
+    Eof.Kind = TokenKind::EndOfFile;
+    Eof.Range = Tokens.back().Range;
+    Tokens.push_back(Eof);
+  }
+}
+
+SourceRange Parser::rangeFrom(SourceLoc Begin) const {
+  SourceLoc End = Pos > 0 ? Tokens[Pos - 1].Range.End : Begin;
+  return SourceRange(Begin, End);
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (peek().is(Kind)) {
+    consume();
+    return true;
+  }
+  Diags.error(peek().loc(), std::string("expected ") + tokenKindName(Kind) +
+                                " " + Context + ", found " +
+                                tokenKindName(peek().Kind));
+  return false;
+}
+
+const Expr *Parser::parseProgram() {
+  const Expr *Root = parseExpr();
+  if (!Root)
+    return nullptr;
+  if (!peek().is(TokenKind::EndOfFile)) {
+    Diags.error(peek().loc(), std::string("expected end of input, found ") +
+                                  tokenKindName(peek().Kind));
+    return nullptr;
+  }
+  return Root;
+}
+
+const Expr *Parser::parseExpr() {
+  switch (peek().Kind) {
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwLambda:
+    return parseLambda();
+  case TokenKind::KwLet:
+    return parseLet();
+  case TokenKind::KwLetrec:
+    return parseLetrec();
+  default:
+    return parseRelational();
+  }
+}
+
+const Expr *Parser::parseIf() {
+  SourceLoc Begin = peek().loc();
+  consume(); // 'if'
+  const Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::KwThen, "after if condition"))
+    return nullptr;
+  const Expr *Then = parseExpr();
+  if (!Then || !expect(TokenKind::KwElse, "after then branch"))
+    return nullptr;
+  const Expr *Else = parseExpr();
+  if (!Else)
+    return nullptr;
+  return Ctx.createIf(rangeFrom(Begin), Cond, Then, Else);
+}
+
+const Expr *Parser::parseLambda() {
+  SourceLoc Begin = peek().loc();
+  consume(); // 'lambda'
+  if (!expect(TokenKind::LParen, "after 'lambda'"))
+    return nullptr;
+  std::vector<Symbol> Params;
+  while (peek().is(TokenKind::Identifier)) {
+    Params.push_back(Ctx.intern(consume().Spelling));
+    if (peek().is(TokenKind::Comma))
+      consume(); // optional comma between parameters
+  }
+  if (Params.empty()) {
+    Diags.error(peek().loc(), "expected parameter name after 'lambda('");
+    return nullptr;
+  }
+  if (!expect(TokenKind::RParen, "after lambda parameters") ||
+      !expect(TokenKind::Dot, "after lambda parameter list"))
+    return nullptr;
+
+  for (Symbol Param : Params)
+    ScopeStack.push_back(Param);
+  const Expr *Body = parseExpr();
+  ScopeStack.resize(ScopeStack.size() - Params.size());
+  if (!Body)
+    return nullptr;
+
+  const Expr *Result = Body;
+  for (auto It = Params.rbegin(); It != Params.rend(); ++It)
+    Result = Ctx.createLambda(rangeFrom(Begin), *It, Result);
+  return Result;
+}
+
+const Expr *Parser::parseLet() {
+  SourceLoc Begin = peek().loc();
+  consume(); // 'let'
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().loc(), "expected identifier after 'let'");
+    return nullptr;
+  }
+  Symbol Name = Ctx.intern(consume().Spelling);
+  std::vector<Symbol> Params;
+  while (peek().is(TokenKind::Identifier))
+    Params.push_back(Ctx.intern(consume().Spelling));
+  if (!expect(TokenKind::Equal, "in let binding"))
+    return nullptr;
+
+  for (Symbol Param : Params)
+    ScopeStack.push_back(Param);
+  const Expr *Value = parseExpr();
+  ScopeStack.resize(ScopeStack.size() - Params.size());
+  if (!Value)
+    return nullptr;
+  for (auto It = Params.rbegin(); It != Params.rend(); ++It)
+    Value = Ctx.createLambda(Value->range(), *It, Value);
+
+  if (!expect(TokenKind::KwIn, "after let binding"))
+    return nullptr;
+  ScopeStack.push_back(Name);
+  const Expr *Body = parseExpr();
+  ScopeStack.pop_back();
+  if (!Body)
+    return nullptr;
+  return Ctx.createLet(rangeFrom(Begin), Name, Value, Body);
+}
+
+std::optional<LetrecBinding> Parser::parseBinding() {
+  if (!peek().is(TokenKind::Identifier)) {
+    Diags.error(peek().loc(), "expected identifier in letrec binding");
+    return std::nullopt;
+  }
+  Token NameTok = consume();
+  Symbol Name = Ctx.intern(NameTok.Spelling);
+  std::vector<Symbol> Params;
+  while (peek().is(TokenKind::Identifier))
+    Params.push_back(Ctx.intern(consume().Spelling));
+  if (!expect(TokenKind::Equal, "in letrec binding"))
+    return std::nullopt;
+
+  for (Symbol Param : Params)
+    ScopeStack.push_back(Param);
+  const Expr *Value = parseExpr();
+  ScopeStack.resize(ScopeStack.size() - Params.size());
+  if (!Value)
+    return std::nullopt;
+  for (auto It = Params.rbegin(); It != Params.rend(); ++It)
+    Value = Ctx.createLambda(Value->range(), *It, Value);
+
+  LetrecBinding Binding;
+  Binding.Name = Name;
+  Binding.Value = Value;
+  Binding.NameLoc = NameTok.loc();
+  return Binding;
+}
+
+const Expr *Parser::parseLetrec() {
+  SourceLoc Begin = peek().loc();
+  consume(); // 'letrec'
+
+  // All letrec-bound names are in scope in every binding body, so scan
+  // ahead for the binding names first. A binding name is an identifier
+  // that follows 'letrec' or ';'.
+  std::vector<Symbol> Names;
+  {
+    size_t Scan = Pos;
+    bool AtBindingStart = true;
+    unsigned Depth = 0;
+    while (Scan < Tokens.size()) {
+      const Token &Tok = Tokens[Scan];
+      if (Tok.is(TokenKind::EndOfFile))
+        break;
+      if (Tok.is(TokenKind::KwLetrec) || Tok.is(TokenKind::KwLet))
+        ++Depth; // nested let/letrec: its 'in' is not ours
+      if (Tok.is(TokenKind::KwIn)) {
+        if (Depth == 0)
+          break;
+        --Depth;
+      }
+      if (AtBindingStart && Depth == 0 && Tok.is(TokenKind::Identifier))
+        Names.push_back(Ctx.intern(Tok.Spelling));
+      AtBindingStart = Depth == 0 && Tok.is(TokenKind::Semicolon);
+      ++Scan;
+    }
+  }
+  for (Symbol Name : Names)
+    ScopeStack.push_back(Name);
+
+  std::vector<LetrecBinding> Bindings;
+  bool Ok = true;
+  for (;;) {
+    std::optional<LetrecBinding> Binding = parseBinding();
+    if (!Binding) {
+      Ok = false;
+      break;
+    }
+    Bindings.push_back(*Binding);
+    if (peek().is(TokenKind::Semicolon)) {
+      consume();
+      if (peek().is(TokenKind::KwIn))
+        break; // trailing ';'
+      continue;
+    }
+    break;
+  }
+  if (Ok)
+    Ok = expect(TokenKind::KwIn, "after letrec bindings");
+  const Expr *Body = Ok ? parseExpr() : nullptr;
+  ScopeStack.resize(ScopeStack.size() - Names.size());
+  if (!Body)
+    return nullptr;
+
+  // Reject duplicate binding names: the escape environment would silently
+  // drop one of them otherwise.
+  for (size_t I = 0; I != Bindings.size(); ++I)
+    for (size_t J = I + 1; J != Bindings.size(); ++J)
+      if (Bindings[I].Name == Bindings[J].Name) {
+        Diags.error(Bindings[J].NameLoc,
+                    "duplicate letrec binding '" +
+                        std::string(Ctx.spelling(Bindings[J].Name)) + "'");
+        return nullptr;
+      }
+
+  return Ctx.createLetrec(rangeFrom(Begin), Bindings, Body);
+}
+
+const Expr *Parser::parseRelational() {
+  SourceLoc Begin = peek().loc();
+  const Expr *Lhs = parseCons();
+  if (!Lhs)
+    return nullptr;
+  PrimOp Op;
+  switch (peek().Kind) {
+  case TokenKind::Equal:
+    Op = PrimOp::Eq;
+    break;
+  case TokenKind::NotEqual:
+    Op = PrimOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = PrimOp::Lt;
+    break;
+  case TokenKind::LessEqual:
+    Op = PrimOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = PrimOp::Gt;
+    break;
+  case TokenKind::GreaterEqual:
+    Op = PrimOp::Ge;
+    break;
+  default:
+    return Lhs;
+  }
+  Token OpTok = consume();
+  const Expr *Rhs = parseCons();
+  if (!Rhs)
+    return nullptr;
+  const Expr *Prim = Ctx.createPrim(SourceRange(OpTok.loc()), Op);
+  const Expr *Args[] = {Lhs, Rhs};
+  return Ctx.createAppChain(rangeFrom(Begin), Prim, Args);
+}
+
+const Expr *Parser::parseCons() {
+  SourceLoc Begin = peek().loc();
+  const Expr *Head = parseAdditive();
+  if (!Head)
+    return nullptr;
+  if (!peek().is(TokenKind::ColonColon))
+    return Head;
+  Token OpTok = consume();
+  const Expr *Tail = parseCons(); // right associative
+  if (!Tail)
+    return nullptr;
+  const Expr *Prim = Ctx.createPrim(SourceRange(OpTok.loc()), PrimOp::Cons);
+  const Expr *Args[] = {Head, Tail};
+  return Ctx.createAppChain(rangeFrom(Begin), Prim, Args);
+}
+
+const Expr *Parser::parseAdditive() {
+  SourceLoc Begin = peek().loc();
+  const Expr *Lhs = parseMultiplicative();
+  if (!Lhs)
+    return nullptr;
+  while (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus)) {
+    Token OpTok = consume();
+    PrimOp Op = OpTok.is(TokenKind::Plus) ? PrimOp::Add : PrimOp::Sub;
+    const Expr *Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    const Expr *Prim = Ctx.createPrim(SourceRange(OpTok.loc()), Op);
+    const Expr *Args[] = {Lhs, Rhs};
+    Lhs = Ctx.createAppChain(rangeFrom(Begin), Prim, Args);
+  }
+  return Lhs;
+}
+
+const Expr *Parser::parseMultiplicative() {
+  SourceLoc Begin = peek().loc();
+  const Expr *Lhs = parseApplication();
+  if (!Lhs)
+    return nullptr;
+  for (;;) {
+    PrimOp Op;
+    switch (peek().Kind) {
+    case TokenKind::Star:
+      Op = PrimOp::Mul;
+      break;
+    case TokenKind::KwDiv:
+      Op = PrimOp::Div;
+      break;
+    case TokenKind::KwMod:
+      Op = PrimOp::Mod;
+      break;
+    default:
+      return Lhs;
+    }
+    Token OpTok = consume();
+    const Expr *Rhs = parseApplication();
+    if (!Rhs)
+      return nullptr;
+    const Expr *Prim = Ctx.createPrim(SourceRange(OpTok.loc()), Op);
+    const Expr *Args[] = {Lhs, Rhs};
+    Lhs = Ctx.createAppChain(rangeFrom(Begin), Prim, Args);
+  }
+}
+
+bool Parser::startsPrimary(const Token &Tok) const {
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral:
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+  case TokenKind::KwNil:
+  case TokenKind::Identifier:
+  case TokenKind::LParen:
+  case TokenKind::LBracket:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Expr *Parser::parseApplication() {
+  SourceLoc Begin = peek().loc();
+  const Expr *Fn = parsePrimary();
+  if (!Fn)
+    return nullptr;
+  while (startsPrimary(peek())) {
+    const Expr *Arg = parsePrimary();
+    if (!Arg)
+      return nullptr;
+    Fn = Ctx.createApp(rangeFrom(Begin), Fn, Arg);
+  }
+  return Fn;
+}
+
+const Expr *Parser::resolveIdentifier(const Token &Tok) {
+  Symbol Name = Ctx.intern(Tok.Spelling);
+  bool Bound = std::find(ScopeStack.rbegin(), ScopeStack.rend(), Name) !=
+               ScopeStack.rend();
+  if (!Bound) {
+    struct PrimName {
+      std::string_view Spelling;
+      PrimOp Op;
+    };
+    static constexpr PrimName PrimNames[] = {
+        {"cons", PrimOp::Cons}, {"car", PrimOp::Car},
+        {"cdr", PrimOp::Cdr},   {"null", PrimOp::Null},
+        {"not", PrimOp::Not},   {"dcons", PrimOp::DCons},
+        {"pair", PrimOp::MkPair}, {"fst", PrimOp::Fst},
+        {"snd", PrimOp::Snd},
+    };
+    for (const PrimName &P : PrimNames)
+      if (Tok.Spelling == P.Spelling)
+        return Ctx.createPrim(Tok.Range, P.Op);
+  }
+  return Ctx.createVar(Tok.Range, Name);
+}
+
+const Expr *Parser::parsePrimary() {
+  Token Tok = peek();
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral:
+    consume();
+    return Ctx.createIntLit(Tok.Range, Tok.IntValue);
+  case TokenKind::KwTrue:
+    consume();
+    return Ctx.createBoolLit(Tok.Range, true);
+  case TokenKind::KwFalse:
+    consume();
+    return Ctx.createBoolLit(Tok.Range, false);
+  case TokenKind::KwNil:
+    consume();
+    return Ctx.createNilLit(Tok.Range);
+  case TokenKind::Identifier:
+    consume();
+    return resolveIdentifier(Tok);
+  case TokenKind::LParen: {
+    SourceLoc Begin = Tok.loc();
+    consume();
+    const Expr *Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    // Tuple syntax: (a, b, c) is sugar for pair a (pair b c).
+    std::vector<const Expr *> Elements = {Inner};
+    while (peek().is(TokenKind::Comma)) {
+      consume();
+      const Expr *Next = parseExpr();
+      if (!Next)
+        return nullptr;
+      Elements.push_back(Next);
+    }
+    if (!expect(TokenKind::RParen, "to close '('"))
+      return nullptr;
+    if (Elements.size() == 1)
+      return Inner;
+    SourceRange Range = rangeFrom(Begin);
+    const Expr *Result = Elements.back();
+    for (size_t I = Elements.size() - 1; I-- != 0;) {
+      const Expr *Prim = Ctx.createPrim(Range, PrimOp::MkPair);
+      const Expr *Args[] = {Elements[I], Result};
+      Result = Ctx.createAppChain(Range, Prim, Args);
+    }
+    return Result;
+  }
+  case TokenKind::LBracket: {
+    SourceLoc Begin = Tok.loc();
+    consume();
+    std::vector<const Expr *> Elements;
+    if (!peek().is(TokenKind::RBracket)) {
+      for (;;) {
+        const Expr *Element = parseExpr();
+        if (!Element)
+          return nullptr;
+        Elements.push_back(Element);
+        if (!peek().is(TokenKind::Comma))
+          break;
+        consume();
+      }
+    }
+    if (!expect(TokenKind::RBracket, "to close list literal"))
+      return nullptr;
+    // [a, b] desugars to cons a (cons b nil).
+    SourceRange Range = rangeFrom(Begin);
+    const Expr *Result = Ctx.createNilLit(Range);
+    for (auto It = Elements.rbegin(); It != Elements.rend(); ++It) {
+      const Expr *Prim = Ctx.createPrim(Range, PrimOp::Cons);
+      const Expr *Args[] = {*It, Result};
+      Result = Ctx.createAppChain(Range, Prim, Args);
+    }
+    return Result;
+  }
+  default:
+    Diags.error(Tok.loc(), std::string("expected an expression, found ") +
+                               tokenKindName(Tok.Kind));
+    return nullptr;
+  }
+}

@@ -1,0 +1,100 @@
+//===- Parser.h - nml parser ------------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for nml. The accepted grammar (binding looser
+/// to tighter):
+///
+///   program   := expr
+///   expr      := 'if' expr 'then' expr 'else' expr
+///              | 'lambda' '(' ident+ ')' '.' expr
+///              | 'let' ident ident* '=' expr 'in' expr
+///              | 'letrec' binding (';' binding)* ';'? 'in' expr
+///              | relational
+///   binding   := ident ident* '=' expr
+///   relational:= cons (('='|'<>'|'<'|'<='|'>'|'>=') cons)?    [nonassoc]
+///   cons      := additive ('::' cons)?                        [right]
+///   additive  := multiplicative (('+'|'-') multiplicative)*   [left]
+///   multiplicative := application (('*'|'div'|'mod') application)*
+///   application    := primary primary*                        [left]
+///   primary   := int | 'true' | 'false' | 'nil' | ident
+///              | '(' expr ')' | '[' (expr (',' expr)*)? ']'
+///
+/// `f x y = e` bindings are sugar for `f = lambda(x).lambda(y).e`;
+/// `[a, b]` is sugar for `cons a (cons b nil)`; `a :: b` for `cons a b`;
+/// infix arithmetic/comparison for applications of the corresponding
+/// primitive. Identifiers that are not lexically bound and spell a
+/// primitive name (cons, car, cdr, null, not, dcons) resolve to that
+/// primitive. There is no unary minus; write `0 - x`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_PARSER_H
+#define EAL_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Parses one nml program from a source buffer into an AstContext.
+class Parser {
+public:
+  Parser(std::string_view Buffer, AstContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Parses a whole program (a single expression followed by end of
+  /// input). Returns null after reporting a diagnostic on malformed input.
+  const Expr *parseProgram();
+
+  /// Parses a single expression without requiring end of input; used by
+  /// tests and by tools embedding fragments.
+  const Expr *parseExpr();
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &peekAhead(size_t N) const {
+    size_t Index = Pos + N < Tokens.size() ? Pos + N : Tokens.size() - 1;
+    return Tokens[Index];
+  }
+  Token consume() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool expect(TokenKind Kind, const char *Context);
+
+  const Expr *parseIf();
+  const Expr *parseLambda();
+  const Expr *parseLet();
+  const Expr *parseLetrec();
+  std::optional<LetrecBinding> parseBinding();
+  const Expr *parseRelational();
+  const Expr *parseCons();
+  const Expr *parseAdditive();
+  const Expr *parseMultiplicative();
+  const Expr *parseApplication();
+  const Expr *parsePrimary();
+  bool startsPrimary(const Token &Tok) const;
+
+  /// Resolves an identifier to a variable or primitive reference.
+  const Expr *resolveIdentifier(const Token &Tok);
+
+  SourceRange rangeFrom(SourceLoc Begin) const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+  /// Lexically bound names, for shadow-aware primitive resolution.
+  std::vector<Symbol> ScopeStack;
+};
+
+} // namespace eal
+
+#endif // EAL_LANG_PARSER_H

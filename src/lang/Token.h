@@ -1,0 +1,82 @@
+//===- Token.h - nml tokens -------------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the nml lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LANG_TOKEN_H
+#define EAL_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace eal {
+
+/// The kinds of nml tokens.
+enum class TokenKind : uint8_t {
+  EndOfFile,
+  Error,
+
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwLetrec,
+  KwLet,
+  KwIn,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwLambda,
+  KwTrue,
+  KwFalse,
+  KwNil,
+  KwDiv,
+  KwMod,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Dot,
+  Equal,        ///< '=' (binding separator and equality primitive)
+  NotEqual,     ///< '<>'
+  Less,         ///< '<'
+  LessEqual,    ///< '<='
+  Greater,      ///< '>'
+  GreaterEqual, ///< '>='
+  Plus,         ///< '+'
+  Minus,        ///< '-'
+  Star,         ///< '*'
+  ColonColon,   ///< '::' (infix cons)
+};
+
+/// Returns a stable human-readable name for \p Kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token: kind, source range, and (for identifiers/literals) the
+/// spelled text and decoded value.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceRange Range;
+  std::string_view Spelling;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  SourceLoc loc() const { return Range.Begin; }
+};
+
+} // namespace eal
+
+#endif // EAL_LANG_TOKEN_H

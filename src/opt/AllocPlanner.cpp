@@ -1,0 +1,202 @@
+//===- AllocPlanner.cpp ---------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/AllocPlanner.h"
+
+#include "lang/AstUtils.h"
+
+#include <iterator>
+#include <sstream>
+
+using namespace eal;
+
+namespace {
+
+/// Matches `cons e1 e2`; fills operands.
+bool isConsApp(const Expr *E, const Expr *&Head, const Expr *&Tail) {
+  const auto *Outer = dyn_cast<AppExpr>(E);
+  if (!Outer)
+    return false;
+  const auto *Inner = dyn_cast<AppExpr>(Outer->fn());
+  if (!Inner)
+    return false;
+  const auto *Prim = dyn_cast<PrimExpr>(Inner->fn());
+  if (!Prim || Prim->op() != PrimOp::Cons)
+    return false;
+  Head = Inner->arg();
+  Tail = Outer->arg();
+  return true;
+}
+
+} // namespace
+
+void AllocPlanner::attribute(const Expr *E, unsigned Level, unsigned MaxLevel,
+                             ArenaSiteClass Class, ArgArenaDirective &Out) {
+  if (Level > MaxLevel)
+    return;
+  switch (E->kind()) {
+  case ExprKind::NilLit:
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::Var:
+  case ExprKind::Prim:
+  case ExprKind::Lambda:
+    return;
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    attribute(If->thenExpr(), Level, MaxLevel, Class, Out);
+    attribute(If->elseExpr(), Level, MaxLevel, Class, Out);
+    return;
+  }
+  case ExprKind::Let:
+    attribute(cast<LetExpr>(E)->body(), Level, MaxLevel, Class, Out);
+    return;
+  case ExprKind::Letrec:
+    attribute(cast<LetrecExpr>(E)->body(), Level, MaxLevel, Class, Out);
+    return;
+  case ExprKind::App: {
+    const Expr *Head = nullptr, *Tail = nullptr;
+    if (isConsApp(E, Head, Tail)) {
+      Out.Sites.emplace(E->id(), Class);
+      attribute(Head, Level + 1, MaxLevel, Class, Out);
+      attribute(Tail, Level, MaxLevel, Class, Out);
+      return;
+    }
+    std::vector<const Expr *> Args;
+    const Expr *Callee = uncurryCall(E, Args);
+    if (const auto *Prim = dyn_cast<PrimExpr>(Callee)) {
+      // cdr shares its operand's spines at the same levels; the dropped
+      // head cell becomes garbage immediately, so arena-placing it is
+      // safe. car extracts an element: unattributable, stop.
+      if (Prim->op() == PrimOp::Cdr && Args.size() == 1)
+        attribute(Args[0], Level, MaxLevel, Class, Out);
+      return;
+    }
+    if (Options.EnableRegion) {
+      if (const auto *Var = dyn_cast<VarExpr>(Callee)) {
+        auto ArityIt = FnArities.find(Var->name().id());
+        if (ArityIt != FnArities.end() && ArityIt->second == Args.size())
+          attributeCallee(Var->name(), Level, MaxLevel, Out);
+      }
+    }
+    return;
+  }
+  }
+}
+
+void AllocPlanner::attributeCallee(Symbol Fn, unsigned Level,
+                                   unsigned MaxLevel,
+                                   ArgArenaDirective &Out) {
+  if (Level > MaxLevel)
+    return;
+  uint64_t Key = (static_cast<uint64_t>(Fn.id()) << 8) | Level;
+  if (!VisitedCallees.insert(Key).second)
+    return;
+  auto It = FnBodies.find(Fn.id());
+  if (It == FnBodies.end())
+    return;
+  // The producer's result feeds this spine level: its spine-building
+  // sites are the ones reachable in result position.
+  attribute(It->second, Level, MaxLevel, ArenaSiteClass::Region, Out);
+}
+
+AllocationPlan AllocPlanner::run() {
+  AllocationPlan Plan;
+  const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
+  if (!Letrec)
+    return Plan;
+
+  for (const LetrecBinding &B : Letrec->bindings()) {
+    unsigned Arity = lambdaArity(B.Value);
+    if (Arity == 0)
+      continue;
+    FnArities[B.Name.id()] = Arity;
+    const Expr *Body = B.Value;
+    for (unsigned I = 0; I != Arity; ++I)
+      Body = cast<LambdaExpr>(Body)->body();
+    FnBodies[B.Name.id()] = Body;
+  }
+
+  // Only calls whose free variables are all top-level bindings can use
+  // the local escape test (its arguments are evaluated in the top-level
+  // environment); other calls fall back to the global test, which is
+  // sound for any context.
+  auto IsTopLevelClosed = [&](const Expr *Call) {
+    for (Symbol Free : freeVariables(Call))
+      if (!Letrec->findBinding(Free))
+        return false;
+    return true;
+  };
+
+  // Visit every saturated call of a top-level function, in every binding
+  // body and the program body.
+  auto VisitCalls = [&](const Expr *Root) {
+    forEachExpr(Root, [&](const Expr *Node) {
+      std::vector<const Expr *> Args;
+      const Expr *Callee = uncurryCall(Node, Args);
+      const auto *Var = dyn_cast<VarExpr>(Callee);
+      if (!Var || Args.empty())
+        return;
+      auto ArityIt = FnArities.find(Var->name().id());
+      if (ArityIt == FnArities.end() || ArityIt->second != Args.size())
+        return;
+      bool UseLocal = IsTopLevelClosed(Node);
+      for (unsigned I = 0; I != Args.size(); ++I) {
+        if (spineCount(Program.typeOf(Args[I])) == 0)
+          continue;
+        // Top-level-closed calls get the plain local test; interior
+        // calls get the worst-case-context variant, falling back to the
+        // global test when that gives up.
+        auto Local = UseLocal ? Analyzer.localEscape(Node, I)
+                              : Analyzer.localEscapeInContext(Node, I);
+        if (!Local)
+          Local = Analyzer.globalEscape(Var->name(), I);
+        if (!Local || Local->protectedTopSpines() == 0)
+          continue;
+        ArgArenaDirective D;
+        D.CallAppId = Node->id();
+        D.ArgIndex = I;
+        D.Callee = Var->name();
+        D.ProtectedSpines = Local->protectedTopSpines();
+        attribute(Args[I], 1, D.ProtectedSpines, ArenaSiteClass::Stack, D);
+        VisitedCallees.clear();
+        if (D.Sites.empty())
+          continue;
+        if (!Options.EnableStack) {
+          // Drop argument-local (stack) sites when disabled.
+          for (auto It = D.Sites.begin(); It != D.Sites.end();)
+            It = It->second == ArenaSiteClass::Stack ? D.Sites.erase(It)
+                                                     : std::next(It);
+          if (D.Sites.empty())
+            continue;
+        }
+        Plan.Directives.push_back(std::move(D));
+      }
+    });
+  };
+  for (const LetrecBinding &B : Letrec->bindings())
+    VisitCalls(B.Value);
+  VisitCalls(Letrec->body());
+
+  Plan.index();
+  return Plan;
+}
+
+std::string eal::renderAllocationPlan(const AstContext &Ast,
+                                      const AllocationPlan &Plan) {
+  std::ostringstream OS;
+  for (const ArgArenaDirective &D : Plan.Directives) {
+    unsigned NumStack = 0, NumRegion = 0;
+    for (const auto &[Id, Class] : D.Sites)
+      (Class == ArenaSiteClass::Stack ? NumStack : NumRegion) += 1;
+    OS << "call of " << Ast.spelling(D.Callee) << " (node " << D.CallAppId
+       << "), argument " << (D.ArgIndex + 1) << ": top " << D.ProtectedSpines
+       << " spine(s) protected; " << NumStack << " stack site(s), "
+       << NumRegion << " region site(s)\n";
+  }
+  return OS.str();
+}

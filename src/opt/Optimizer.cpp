@@ -1,0 +1,60 @@
+//===- Optimizer.cpp ------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+#include "support/Diagnostics.h"
+
+using namespace eal;
+
+std::optional<OptimizedProgram>
+eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
+                     const TypedProgram &Program, DiagnosticEngine &Diags,
+                     const OptimizerConfig &Config) {
+  OptimizedProgram Out;
+
+  // Phase 1: analyze the original program.
+  EscapeAnalyzer BaseAnalyzer(Ast, Program, Diags, 512, Config.Analysis);
+  Out.BaseEscape = BaseAnalyzer.analyzeProgram();
+
+  // Phase 2: in-place reuse.
+  const Expr *FinalRoot = Program.root();
+  if (Config.EnableReuse) {
+    SharingAnalysis Sharing(Ast, Program, Out.BaseEscape);
+    ReuseTransform Transform(Ast, Program, Out.BaseEscape, Sharing);
+    if (auto Result = Transform.run()) {
+      Out.Reuse = std::move(*Result);
+      FinalRoot = Out.Reuse.NewRoot;
+    }
+  }
+
+  // Phase 3: re-type and re-analyze the final program. (When reuse did
+  // nothing the AST is unchanged, but re-inference is cheap and keeps the
+  // invariant that Out.Typed covers Out.Root.)
+  Out.Root = FinalRoot;
+  TypeInference TI(Ast, Types, Diags, Config.Mode);
+  std::optional<TypedProgram> Retyped = TI.run(FinalRoot);
+  if (!Retyped) {
+    Diags.error(SourceLoc::invalid(),
+                "internal error: transformed program failed to typecheck");
+    return std::nullopt;
+  }
+  Out.Typed = std::move(*Retyped);
+
+  EscapeAnalyzer FinalAnalyzer(Ast, Out.Typed, Diags, 512, Config.Analysis);
+  Out.FinalEscape = FinalAnalyzer.analyzeProgram();
+
+  // Phase 4: allocation planning on the final program.
+  if (Config.EnableStack || Config.EnableRegion) {
+    AllocPlannerOptions PO;
+    PO.EnableStack = Config.EnableStack;
+    PO.EnableRegion = Config.EnableRegion;
+    AllocPlanner Planner(Ast, Out.Typed, FinalAnalyzer, PO);
+    Out.Plan = Planner.run();
+  }
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- Optimizer.h - Analysis-driven optimization pipeline ------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the complete optimization pipeline of §6/Appendix A.3 over a
+/// typed program:
+///
+///   1. global escape analysis (§4.1) and sharing analysis (Theorem 2);
+///   2. the in-place reuse transformation (DCONS, A.3.2), if enabled;
+///   3. re-inference and re-analysis of the transformed program;
+///   4. stack/region allocation planning (A.3.1/A.3.3), if enabled.
+///
+/// The output carries everything the runtime needs: the final AST, its
+/// typed program, and the allocation plan, plus the analysis reports for
+/// display.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_OPT_OPTIMIZER_H
+#define EAL_OPT_OPTIMIZER_H
+
+#include "opt/AllocPlanner.h"
+#include "opt/ReuseTransform.h"
+
+#include <memory>
+#include <optional>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Which optimizations to apply.
+struct OptimizerConfig {
+  bool EnableReuse = true;
+  bool EnableStack = true;
+  bool EnableRegion = true;
+  /// Inference mode for re-typing the transformed program.
+  TypeInferenceMode Mode = TypeInferenceMode::Polymorphic;
+  /// Analysis granularity: the paper's spine-aware analysis or the
+  /// ESOP'90 whole-object baseline (ablation).
+  EscapeAnalysisMode Analysis = EscapeAnalysisMode::SpineAware;
+};
+
+/// Everything the pipeline produces.
+struct OptimizedProgram {
+  /// The final AST (transformed, or the original root if reuse was
+  /// disabled / found nothing).
+  const Expr *Root = nullptr;
+  /// Types for the final AST.
+  TypedProgram Typed;
+  /// Escape report for the *original* program (what the paper tabulates).
+  ProgramEscapeReport BaseEscape;
+  /// Escape report for the final program (drives the allocation plan).
+  ProgramEscapeReport FinalEscape;
+  /// Record of the reuse transformation (empty if disabled).
+  ReuseTransformResult Reuse;
+  /// Arena directives for the runtime.
+  AllocationPlan Plan;
+};
+
+/// Runs the pipeline. Returns nullopt after reporting diagnostics if the
+/// transformed program fails to re-typecheck (an internal error).
+std::optional<OptimizedProgram>
+optimizeProgram(AstContext &Ast, TypeContext &Types,
+                const TypedProgram &Program, DiagnosticEngine &Diags,
+                const OptimizerConfig &Config = OptimizerConfig());
+
+} // namespace eal
+
+#endif // EAL_OPT_OPTIMIZER_H

@@ -1,0 +1,102 @@
+//===- ReuseTransform.h - In-place reuse via DCONS (§6) ---------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-place reuse optimization of §6 / A.3.2. For a top-level function
+/// f whose i-th (list) parameter x has a non-escaping top spine, a new
+/// version f' is generated in which a qualifying `cons e1 e2` becomes
+/// `DCONS x e1 e2`, destructively reusing the head cell of x. A cons
+/// qualifies when:
+///
+///  * x is known non-nil at the site (the site is dominated by the else
+///    branch of an `if (null x)` test), so the head cell exists;
+///  * x is never captured by a nested lambda, and no reference to x is
+///    evaluated after the cons (the paper's "no further use of x_i after
+///    the evaluation of (cons e1 e2)"), so overwriting is unobservable;
+///  * at most one reuse per execution path (one activation owns one dead
+///    head cell).
+///
+/// Call sites are then retargeted from f to f' wherever Theorem 2 proves
+/// the actual argument's top spine unshared (the reuse budget
+/// min{u_i, d_i − esc_i} of §6 is at least 1). Inside f' itself, x's top
+/// spine is unshared by construction (callers guarantee it), which is what
+/// lets APPEND' and REV' recurse into themselves, exactly as in A.3.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_OPT_REUSETRANSFORM_H
+#define EAL_OPT_REUSETRANSFORM_H
+
+#include "sharing/SharingAnalysis.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eal {
+
+/// One generated reuse version f' of a function f.
+struct ReuseVersion {
+  Symbol Original;
+  Symbol Primed;
+  unsigned ParamIndex = 0; ///< 0-based parameter whose cells are reused
+  /// Node ids (in the *original* AST) of the cons applications rewritten
+  /// to DCONS in the primed body.
+  std::vector<uint32_t> DconsSites;
+};
+
+/// One call-site retargeting f -> f'.
+struct CallRetarget {
+  /// Node id (in the original AST) of the callee VarExpr occurrence.
+  uint32_t CalleeVarId = 0;
+  Symbol From;
+  Symbol To;
+  /// Whether the site is inside a primed body (true) or the base program.
+  bool InPrimedBody = false;
+};
+
+/// The transformed program plus a record of what was done.
+struct ReuseTransformResult {
+  const Expr *NewRoot = nullptr;
+  std::vector<ReuseVersion> Versions;
+  std::vector<CallRetarget> Retargets;
+
+  bool changedAnything() const {
+    return !Versions.empty() || !Retargets.empty();
+  }
+};
+
+/// Runs the §6 transformation over a typed program.
+class ReuseTransform {
+public:
+  ReuseTransform(AstContext &Ast, const TypedProgram &Program,
+                 const ProgramEscapeReport &Escape,
+                 const SharingAnalysis &Sharing)
+      : Ast(Ast), Program(Program), Escape(Escape), Sharing(Sharing) {}
+
+  /// Returns the transformed program, or nullopt when the root is not a
+  /// letrec (nothing to transform). The result's NewRoot is always valid;
+  /// if no opportunity exists it is a plain clone.
+  std::optional<ReuseTransformResult> run();
+
+private:
+  class Impl;
+
+  AstContext &Ast;
+  const TypedProgram &Program;
+  const ProgramEscapeReport &Escape;
+  const SharingAnalysis &Sharing;
+};
+
+/// Renders the transformation record (versions generated, sites rewritten,
+/// calls retargeted) for reports and examples.
+std::string renderReuseReport(const AstContext &Ast,
+                              const ReuseTransformResult &Result);
+
+} // namespace eal
+
+#endif // EAL_OPT_REUSETRANSFORM_H

@@ -1,0 +1,154 @@
+//===- Heap.h - Cons-cell heap with mark-sweep GC and arenas ----*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage manager the optimizations act on. Cons cells come from a
+/// slab pool with a free list. Heap-class cells are reclaimed by
+/// mark-sweep collection; Stack- and Region-class cells live in *arenas*
+/// owned by activations and are reclaimed wholesale:
+///
+///  * a Stack arena models allocation in an activation record (A.3.1);
+///  * a Region models the Ruggieri–Murtagh "local heap" (A.3.3): the
+///    whole block is spliced back onto the free list in O(1), with no
+///    traversal of the list structure.
+///
+/// The mark phase traverses cons cells itself; closures (whose
+/// environments the heap knows nothing about) are traced through a
+/// callback installed by the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_RUNTIME_HEAP_H
+#define EAL_RUNTIME_HEAP_H
+
+#include "runtime/RtValue.h"
+#include "runtime/RuntimeStats.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace eal {
+
+/// Marks values during collection. Cons-cell traversal is iterative (long
+/// spines must not overflow the C++ stack); closures are delegated to the
+/// interpreter-installed tracer.
+class Marker {
+public:
+  /// Marks \p V and everything reachable from it.
+  void value(RtValue V);
+
+private:
+  friend class Heap;
+  explicit Marker(class Heap &H) : H(H) {}
+  void drain();
+
+  Heap &H;
+  std::vector<RtValue> Work;
+};
+
+/// A chain of cells owned by one activation.
+class CellArena {
+public:
+  bool empty() const { return Head == nullptr; }
+  size_t cellCount() const { return Count; }
+
+private:
+  friend class Heap;
+  ConsCell *Head = nullptr;
+  ConsCell *Tail = nullptr;
+  size_t Count = 0;
+  size_t StackCells = 0;
+  size_t RegionCells = 0;
+  bool Live = false;
+};
+
+/// The cell pool, free list, garbage collector, and arena registry.
+class Heap {
+public:
+  struct Options {
+    /// Initial pool size in cells.
+    size_t InitialCapacity = 1 << 14;
+    /// Whether the pool may grow when collection frees too little; when
+    /// false, exhaustion makes allocation return null.
+    bool AllowGrowth = true;
+    /// Grow when a collection frees less than this fraction of capacity.
+    double GrowthTrigger = 0.2;
+  };
+
+  /// Scans the interpreter's roots, marking each root value.
+  using RootScanner = std::function<void(Marker &)>;
+  /// Traces one closure's environment (marking the values it captures).
+  using ClosureTracer = std::function<void(const RtClosure *, Marker &)>;
+
+  explicit Heap(RuntimeStats &Stats);
+  Heap(RuntimeStats &Stats, Options Opts);
+
+  void setRootScanner(RootScanner Scanner) { Roots = std::move(Scanner); }
+  void setClosureTracer(ClosureTracer Tracer) {
+    TraceClosure = std::move(Tracer);
+  }
+
+  /// Allocates a garbage-collected heap cell, collecting (and possibly
+  /// growing) as needed. Returns null only when growth is disabled and
+  /// everything is live.
+  ConsCell *allocateHeap();
+
+  //===--- Arenas ----------------------------------------------------------==//
+
+  /// Opens a new arena. The handle stays valid until freeArena.
+  size_t createArena();
+
+  /// Allocates a cell of \p Class (Stack or Region) into arena \p Handle.
+  ConsCell *allocateInArena(size_t Handle, CellClass Class);
+
+  /// Reclaims the whole arena: its chain is spliced onto the free list
+  /// without visiting the list structure. Statistics record stack and
+  /// region cells separately.
+  void freeArena(size_t Handle);
+
+  /// Debug validation: true if any cell of arena \p Handle is reachable
+  /// from the current roots *excluding* arena chains themselves. Used to
+  /// detect unsafe allocation plans before freeing.
+  bool arenaIsReachable(size_t Handle);
+
+  //===--- Collection -------------------------------------------------------==//
+
+  /// Runs a full mark-sweep collection.
+  void collect();
+
+  size_t liveHeapCells() const { return LiveHeap; }
+  size_t capacity() const { return Capacity; }
+
+private:
+  friend class Marker;
+
+  void growPool(size_t MinCells);
+  void markPhase(bool IncludeArenas, size_t ExcludeHandle);
+  void clearMarks();
+
+  RuntimeStats &Stats;
+  Options Opts;
+  RootScanner Roots;
+  ClosureTracer TraceClosure;
+
+  std::vector<std::unique_ptr<ConsCell[]>> Slabs;
+  std::vector<size_t> SlabSizes;
+  ConsCell *FreeList = nullptr;
+  size_t Capacity = 0;
+  size_t LiveHeap = 0;
+
+  std::vector<CellArena> Arenas;
+  std::vector<size_t> FreeArenaSlots;
+
+  /// Pops a cell off the free list (null if empty) and initializes it.
+  ConsCell *popFree(CellClass Class);
+};
+
+} // namespace eal
+
+#endif // EAL_RUNTIME_HEAP_H

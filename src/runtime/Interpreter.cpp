@@ -1,0 +1,549 @@
+//===- Interpreter.cpp ----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "runtime/PrimOps.h"
+#include "runtime/ValuePrinter.h"
+
+#include "lang/AstUtils.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <pthread.h>
+#include <sstream>
+
+using namespace eal;
+
+namespace {
+
+/// Restores the shadow stack to its entry size (rooted temporaries).
+class ShadowGuard {
+public:
+  ShadowGuard(std::vector<RtValue> &Stack) : Stack(Stack), Mark(Stack.size()) {}
+  ~ShadowGuard() { Stack.resize(Mark); }
+  void push(RtValue V) { Stack.push_back(V); }
+
+private:
+  std::vector<RtValue> &Stack;
+  size_t Mark;
+};
+
+/// Keeps an environment frame registered as a GC root.
+class FrameGuard {
+public:
+  FrameGuard(std::vector<EnvFrame *> &Frames, EnvFrame *Frame)
+      : Frames(Frames) {
+    Frames.push_back(Frame);
+  }
+  ~FrameGuard() { Frames.pop_back(); }
+
+private:
+  std::vector<EnvFrame *> &Frames;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const AstContext &Ast, const TypedProgram &Program,
+                         const AllocationPlan *Plan, DiagnosticEngine &Diags)
+    : Interpreter(Ast, Program, Plan, Diags, Options()) {}
+
+Interpreter::Interpreter(const AstContext &Ast, const TypedProgram &Program,
+                         const AllocationPlan *Plan, DiagnosticEngine &Diags,
+                         Options Opts)
+    : Ast(Ast), Program(Program), Plan(Plan), Diags(Diags), Opts(Opts),
+      TheHeap(Stats, Heap::Options{Opts.HeapCapacity, Opts.AllowHeapGrowth,
+                                   0.2}) {
+  TheHeap.setRootScanner([this](Marker &M) {
+    ++MarkEpoch;
+    for (RtValue V : ShadowStack)
+      M.value(V);
+    for (EnvFrame *Frame : ActiveFrames) {
+      for (EnvFrame *F = Frame; F && F->MarkEpoch != MarkEpoch;
+           F = F->Parent.get()) {
+        F->MarkEpoch = MarkEpoch;
+        for (auto &Slot : F->Slots)
+          M.value(Slot.second);
+      }
+    }
+  });
+  TheHeap.setClosureTracer([this](const RtClosure *C, Marker &M) {
+    for (RtValue V : C->Partial)
+      M.value(V);
+    for (EnvFrame *F = C->Env.get(); F && F->MarkEpoch != MarkEpoch;
+         F = F->Parent.get()) {
+      F->MarkEpoch = MarkEpoch;
+      for (auto &Slot : F->Slots)
+        M.value(Slot.second);
+    }
+  });
+}
+
+Interpreter::~Interpreter() {
+  // Letrec frames participate in reference cycles with their closures;
+  // break them explicitly so the shared_ptr graph tears down.
+  for (const EnvPtr &Frame : LetrecFrames)
+    Frame->Slots.clear();
+  for (const std::unique_ptr<RtClosure> &C : Closures)
+    C->Env.reset();
+}
+
+bool Interpreter::error(SourceLoc Loc, std::string Message) {
+  if (!Failed)
+    Diags.error(Loc, std::move(Message));
+  Failed = true;
+  return false;
+}
+
+bool Interpreter::fuel(const Expr *E) {
+  if (++Stats.Steps <= Opts.MaxSteps)
+    return true;
+  return error(E->loc(), "evaluation exceeded the step budget");
+}
+
+RtClosure *Interpreter::newClosure() {
+  Closures.push_back(std::make_unique<RtClosure>());
+  ++Stats.ClosuresCreated;
+  return Closures.back().get();
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+ConsCell *Interpreter::allocateConsCell(uint32_t SiteId) {
+  // Innermost active arena claiming this site wins (tightest lifetime).
+  for (auto It = ArenaStack.rbegin(); It != ArenaStack.rend(); ++It) {
+    auto SiteIt = It->Directive->Sites.find(SiteId);
+    if (SiteIt == It->Directive->Sites.end())
+      continue;
+    CellClass Class = SiteIt->second == ArenaSiteClass::Stack
+                          ? CellClass::Stack
+                          : CellClass::Region;
+    return TheHeap.allocateInArena(It->Handle, Class);
+  }
+  return TheHeap.allocateHeap();
+}
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+std::optional<RtValue>
+Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
+                          const std::vector<RtValue> &Args) {
+  PrimOpsHooks Hooks;
+  Hooks.AllocateCell = [this](uint32_t Site) { return allocateConsCell(Site); };
+  Hooks.Error = [this](const std::string &Message) {
+    error(SourceLoc::invalid(), Message);
+  };
+  Hooks.Stats = &Stats;
+  return evalSaturatedPrim(Op, SiteId, Args, Hooks);
+}
+
+//===----------------------------------------------------------------------===//
+// Application
+//===----------------------------------------------------------------------===//
+
+std::optional<RtValue>
+Interpreter::applyPrim(RtClosure &Prim, const std::vector<RtValue> &Args,
+                       size_t First, size_t &Consumed) {
+  unsigned Arity = primOpArity(Prim.Op);
+  size_t Have = Prim.Partial.size();
+  size_t Avail = Args.size() - First;
+  assert(Have < Arity && "over-applied primitive closure");
+  if (Have + Avail < Arity) {
+    // Still partial: new primitive closure accumulating the arguments.
+    RtClosure *C = newClosure();
+    C->IsPrim = true;
+    C->Op = Prim.Op;
+    C->PrimNodeId = Prim.PrimNodeId;
+    C->Partial = Prim.Partial;
+    C->Partial.insert(C->Partial.end(), Args.begin() + First, Args.end());
+    Consumed = Avail;
+    return RtValue::makeClosure(C);
+  }
+  std::vector<RtValue> Full = Prim.Partial;
+  size_t Need = Arity - Have;
+  Full.insert(Full.end(), Args.begin() + First, Args.begin() + First + Need);
+  Consumed = Need;
+  // Cells allocated through a primitive *value* have no static call site;
+  // they go to the heap (SiteId of the prim occurrence never appears in
+  // any directive).
+  return evalPrimCall(Prim.Op, Prim.PrimNodeId, Full);
+}
+
+std::optional<RtValue>
+Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
+                         std::vector<size_t> &&Arenas) {
+  // Rooting discipline: slot Base holds the current callee/result; slot
+  // Base+1+i holds argument i until it is consumed. A consumed argument's
+  // slot is cleared — it is then reachable only through the activation
+  // frame, which matches the semantic lifetime the escape analysis
+  // reasons about (and is what makes arena-free validation precise).
+  ShadowGuard Rooted(ShadowStack);
+  size_t Base = ShadowStack.size();
+  Rooted.push(Callee);
+  for (RtValue A : Args)
+    Rooted.push(A);
+  auto ClearConsumed = [&](size_t UpTo) {
+    for (size_t I = 0; I != UpTo; ++I)
+      ShadowStack[Base + 1 + I] = RtValue::makeNil();
+  };
+  bool ArenasFreed = Arenas.empty();
+  auto FreeArenas = [&](RtValue *Result) {
+    if (ArenasFreed)
+      return true;
+    ArenasFreed = true;
+    ShadowGuard ResultRoot(ShadowStack);
+    if (Result)
+      ResultRoot.push(*Result);
+    for (size_t Handle : Arenas) {
+      if (Opts.ValidateArenaFrees && TheHeap.arenaIsReachable(Handle))
+        return error(SourceLoc::invalid(),
+                     "allocation plan error: arena cell still reachable "
+                     "when its activation returned");
+      TheHeap.freeArena(Handle);
+    }
+    return true;
+  };
+
+  RtValue Current = Callee;
+  size_t Idx = 0;
+  while (Idx < Args.size()) {
+    if (!Current.isClosure()) {
+      FreeArenas(nullptr);
+      error(SourceLoc::invalid(), "applied a non-function value");
+      return std::nullopt;
+    }
+    RtClosure *C = Current.closure();
+    ++Stats.Applications;
+
+    if (C->IsPrim) {
+      size_t Consumed = 0;
+      std::optional<RtValue> R = applyPrim(*C, Args, Idx, Consumed);
+      if (!R) {
+        FreeArenas(nullptr);
+        return std::nullopt;
+      }
+      Idx += Consumed;
+      Current = *R;
+      ShadowStack[Base] = Current;
+      ClearConsumed(Idx);
+      continue;
+    }
+
+    // User closure: bind as many leading parameters as arguments remain.
+    EnvPtr Frame = std::make_shared<EnvFrame>();
+    Frame->Parent = C->Env;
+    const Expr *Body = C->Lambda;
+    while (const auto *L = dyn_cast<LambdaExpr>(Body)) {
+      if (Idx == Args.size())
+        break;
+      Frame->Slots.emplace_back(L->param(), Args[Idx++]);
+      Body = L->body();
+    }
+    if (isa<LambdaExpr>(Body)) {
+      // Arguments exhausted mid-chain: the result is a closure.
+      RtClosure *Partial = newClosure();
+      Partial->Lambda = cast<LambdaExpr>(Body);
+      Partial->Env = Frame;
+      Current = RtValue::makeClosure(Partial);
+      ShadowStack[Base] = Current;
+      ClearConsumed(Idx);
+      continue;
+    }
+
+    // Evaluate the body; arenas (if any) belong to this first activation
+    // and die when it returns. Consumed arguments live on only through
+    // the frame.
+    ClearConsumed(Idx);
+    ShadowStack[Base] = RtValue::makeNil(); // callee consumed too
+    std::optional<RtValue> R;
+    {
+      FrameGuard Active(ActiveFrames, Frame.get());
+      R = eval(Body, Frame);
+    }
+    if (!R) {
+      FreeArenas(nullptr);
+      return std::nullopt;
+    }
+    if (!FreeArenas(&*R))
+      return std::nullopt;
+    Current = *R;
+    ShadowStack[Base] = Current;
+  }
+  if (!FreeArenas(&Current))
+    return std::nullopt;
+  return Current;
+}
+
+std::optional<RtValue> Interpreter::evalCallSpine(const AppExpr *Call,
+                                                  const EnvPtr &Env) {
+  std::vector<const Expr *> ArgExprs;
+  const Expr *CalleeExpr = uncurryCall(Call, ArgExprs);
+
+  size_t ShadowMark = ShadowStack.size();
+  ShadowGuard Rooted(ShadowStack);
+
+  // Fast path: a saturated direct primitive application needs no closure.
+  if (const auto *Prim = dyn_cast<PrimExpr>(CalleeExpr)) {
+    if (ArgExprs.size() == primOpArity(Prim->op())) {
+      std::vector<RtValue> Args;
+      Args.reserve(ArgExprs.size());
+      for (const Expr *ArgExpr : ArgExprs) {
+        std::optional<RtValue> V = eval(ArgExpr, Env);
+        if (!V)
+          return std::nullopt;
+        Rooted.push(*V);
+        Args.push_back(*V);
+      }
+      // The cons site id is the outermost App node of the spine.
+      return evalPrimCall(Prim->op(), Call->id(), Args);
+    }
+  }
+
+  std::optional<RtValue> CalleeVal = eval(CalleeExpr, Env);
+  if (!CalleeVal)
+    return std::nullopt;
+  Rooted.push(*CalleeVal);
+
+  // Arena directives for this call, if any.
+  const std::vector<const ArgArenaDirective *> *Directives = nullptr;
+  if (Plan) {
+    auto It = Plan->ByCall.find(Call->id());
+    if (It != Plan->ByCall.end())
+      Directives = &It->second;
+  }
+
+  std::vector<RtValue> Args;
+  std::vector<size_t> Arenas;
+  Args.reserve(ArgExprs.size());
+  for (size_t I = 0; I != ArgExprs.size(); ++I) {
+    const ArgArenaDirective *D = nullptr;
+    if (Directives)
+      for (const ArgArenaDirective *Cand : *Directives)
+        if (Cand->ArgIndex == I) {
+          D = Cand;
+          break;
+        }
+    std::optional<RtValue> V;
+    if (D) {
+      size_t Handle = TheHeap.createArena();
+      ArenaStack.push_back(ActiveArena{D, Handle});
+      V = eval(ArgExprs[I], Env);
+      ArenaStack.pop_back();
+      Arenas.push_back(Handle);
+    } else {
+      V = eval(ArgExprs[I], Env);
+    }
+    if (!V) {
+      for (size_t Handle : Arenas)
+        TheHeap.freeArena(Handle);
+      return std::nullopt;
+    }
+    Rooted.push(*V);
+    Args.push_back(*V);
+  }
+
+  // Hand rooting over to applyValues (which re-roots callee and args
+  // immediately and releases each as it is consumed). Nothing can
+  // allocate between this resize and the re-rooting.
+  ShadowStack.resize(ShadowMark);
+  return applyValues(*CalleeVal, Args, std::move(Arenas));
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+std::optional<RtValue> Interpreter::eval(const Expr *E, const EnvPtr &Env) {
+  if (!fuel(E))
+    return std::nullopt;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return RtValue::makeInt(cast<IntLitExpr>(E)->value());
+  case ExprKind::BoolLit:
+    return RtValue::makeBool(cast<BoolLitExpr>(E)->value());
+  case ExprKind::NilLit:
+    return RtValue::makeNil();
+  case ExprKind::Var: {
+    Symbol Name = cast<VarExpr>(E)->name();
+    for (EnvFrame *F = Env.get(); F; F = F->Parent.get())
+      if (RtValue *Slot = F->find(Name))
+        return *Slot;
+    error(E->loc(), "unbound identifier '" +
+                        std::string(Ast.spelling(Name)) + "' at run time");
+    return std::nullopt;
+  }
+  case ExprKind::Prim: {
+    const auto *Prim = cast<PrimExpr>(E);
+    RtClosure *C = newClosure();
+    C->IsPrim = true;
+    C->Op = Prim->op();
+    C->PrimNodeId = E->id();
+    return RtValue::makeClosure(C);
+  }
+  case ExprKind::App:
+    return evalCallSpine(cast<AppExpr>(E), Env);
+  case ExprKind::Lambda: {
+    RtClosure *C = newClosure();
+    C->Lambda = cast<LambdaExpr>(E);
+    C->Env = Env;
+    return RtValue::makeClosure(C);
+  }
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    std::optional<RtValue> Cond = eval(If->cond(), Env);
+    if (!Cond)
+      return std::nullopt;
+    if (!Cond->isBool()) {
+      error(If->cond()->loc(), "if condition is not a boolean");
+      return std::nullopt;
+    }
+    return eval(Cond->boolValue() ? If->thenExpr() : If->elseExpr(), Env);
+  }
+  case ExprKind::Let: {
+    const auto *Let = cast<LetExpr>(E);
+    std::optional<RtValue> V = eval(Let->value(), Env);
+    if (!V)
+      return std::nullopt;
+    EnvPtr Frame = std::make_shared<EnvFrame>();
+    Frame->Parent = Env;
+    Frame->Slots.emplace_back(Let->name(), *V);
+    FrameGuard Active(ActiveFrames, Frame.get());
+    return eval(Let->body(), Frame);
+  }
+  case ExprKind::Letrec: {
+    const auto *Letrec = cast<LetrecExpr>(E);
+    EnvPtr Frame = std::make_shared<EnvFrame>();
+    Frame->Parent = Env;
+    LetrecFrames.push_back(Frame);
+    for (const LetrecBinding &B : Letrec->bindings())
+      Frame->Slots.emplace_back(B.Name, RtValue::makeNil());
+    FrameGuard Active(ActiveFrames, Frame.get());
+    auto Bindings = Letrec->bindings();
+    for (size_t I = 0; I != Bindings.size(); ++I) {
+      std::optional<RtValue> V = eval(Bindings[I].Value, Frame);
+      if (!V)
+        return std::nullopt;
+      Frame->Slots[I].second = *V;
+    }
+    return eval(Letrec->body(), Frame);
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+std::optional<RtValue> Interpreter::run() {
+  Failed = false;
+  EnvPtr Root = std::make_shared<EnvFrame>();
+  FrameGuard Active(ActiveFrames, Root.get());
+  std::optional<RtValue> Result = eval(Program.root(), Root);
+  if (Failed)
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<RtValue>
+Interpreter::callBinding(Symbol Fn, std::span<const Expr *const> Args,
+                         std::vector<RtValue> *ArgValues) {
+  Failed = false;
+  const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
+  if (!Letrec) {
+    error(SourceLoc::invalid(), "callBinding requires a letrec program");
+    return std::nullopt;
+  }
+  EnvPtr Root = std::make_shared<EnvFrame>();
+  FrameGuard ActiveRoot(ActiveFrames, Root.get());
+
+  // Build the letrec frame (mirrors the Letrec case of eval()).
+  EnvPtr Frame = std::make_shared<EnvFrame>();
+  Frame->Parent = Root;
+  LetrecFrames.push_back(Frame);
+  for (const LetrecBinding &B : Letrec->bindings())
+    Frame->Slots.emplace_back(B.Name, RtValue::makeNil());
+  FrameGuard Active(ActiveFrames, Frame.get());
+  auto Bindings = Letrec->bindings();
+  for (size_t I = 0; I != Bindings.size(); ++I) {
+    std::optional<RtValue> V = eval(Bindings[I].Value, Frame);
+    if (!V)
+      return std::nullopt;
+    Frame->Slots[I].second = *V;
+  }
+
+  RtValue *FnSlot = Frame->find(Fn);
+  if (!FnSlot) {
+    error(SourceLoc::invalid(), "callBinding: no such binding");
+    return std::nullopt;
+  }
+
+  ShadowGuard Rooted(ShadowStack);
+  std::vector<RtValue> Values;
+  for (const Expr *Arg : Args) {
+    std::optional<RtValue> V = eval(Arg, Frame);
+    if (!V)
+      return std::nullopt;
+    Rooted.push(*V);
+    Values.push_back(*V);
+  }
+  if (ArgValues)
+    *ArgValues = Values;
+  std::optional<RtValue> Result =
+      applyValues(*FnSlot, Values, std::vector<size_t>());
+  if (Failed)
+    return std::nullopt;
+  return Result;
+}
+
+namespace {
+
+struct ThreadRun {
+  Interpreter *I;
+  std::optional<RtValue> Result;
+};
+
+void *runTrampoline(void *Arg) {
+  auto *TR = static_cast<ThreadRun *>(Arg);
+  TR->Result = TR->I->run();
+  return nullptr;
+}
+
+} // namespace
+
+std::optional<RtValue> Interpreter::runOnLargeStack(size_t StackBytes) {
+  pthread_attr_t Attr;
+  if (pthread_attr_init(&Attr) != 0)
+    return run();
+  pthread_attr_setstacksize(&Attr, StackBytes);
+  ThreadRun TR{this, std::nullopt};
+  pthread_t Thread;
+  if (pthread_create(&Thread, &Attr, runTrampoline, &TR) != 0) {
+    pthread_attr_destroy(&Attr);
+    return run();
+  }
+  pthread_join(Thread, nullptr);
+  pthread_attr_destroy(&Attr);
+  return TR.Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Value rendering
+//===----------------------------------------------------------------------===//
+
+std::string Interpreter::render(RtValue V, size_t MaxElements) const {
+  return renderValue(V, MaxElements);
+}
+
+std::vector<int64_t> Interpreter::toIntVector(RtValue V) {
+  return valueToIntVector(V);
+}

@@ -1,0 +1,147 @@
+//===- RtValue.h - Runtime values -------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the nml abstract machine: integers, booleans, nil,
+/// cons cells, and closures. The machine follows the implementation model
+/// the paper analyzes (§3.3): aggregates are aliased, not copied, and
+/// cons cells live in an explicitly managed heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_RUNTIME_RTVALUE_H
+#define EAL_RUNTIME_RTVALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace eal {
+
+class LambdaExpr;
+struct ConsCell;
+struct RtClosure;
+
+/// Discriminator for runtime values.
+enum class RtValueKind : uint8_t {
+  Int,
+  Bool,
+  Nil,
+  Cons,
+  /// A pair cell (the tuple extension); shares the ConsCell layout:
+  /// Car = first component, Cdr = second.
+  Pair,
+  Closure,
+};
+
+/// One runtime value. Trivially copyable; cons cells and closures are
+/// referenced, never embedded.
+class RtValue {
+public:
+  RtValue() : Kind(RtValueKind::Nil), Cell(nullptr) {}
+
+  static RtValue makeInt(int64_t V) {
+    RtValue R;
+    R.Kind = RtValueKind::Int;
+    R.Int = V;
+    return R;
+  }
+  static RtValue makeBool(bool V) {
+    RtValue R;
+    R.Kind = RtValueKind::Bool;
+    R.Int = V ? 1 : 0;
+    return R;
+  }
+  static RtValue makeNil() { return RtValue(); }
+  static RtValue makeCons(ConsCell *C) {
+    assert(C && "null cons cell");
+    RtValue R;
+    R.Kind = RtValueKind::Cons;
+    R.Cell = C;
+    return R;
+  }
+  static RtValue makePair(ConsCell *C) {
+    assert(C && "null pair cell");
+    RtValue R;
+    R.Kind = RtValueKind::Pair;
+    R.Cell = C;
+    return R;
+  }
+  static RtValue makeClosure(RtClosure *C) {
+    assert(C && "null closure");
+    RtValue R;
+    R.Kind = RtValueKind::Closure;
+    R.Closure = C;
+    return R;
+  }
+
+  RtValueKind kind() const { return Kind; }
+  bool isInt() const { return Kind == RtValueKind::Int; }
+  bool isBool() const { return Kind == RtValueKind::Bool; }
+  bool isNil() const { return Kind == RtValueKind::Nil; }
+  bool isCons() const { return Kind == RtValueKind::Cons; }
+  bool isPair() const { return Kind == RtValueKind::Pair; }
+  bool isClosure() const { return Kind == RtValueKind::Closure; }
+
+  int64_t intValue() const {
+    assert(isInt() && "not an int");
+    return Int;
+  }
+  bool boolValue() const {
+    assert(isBool() && "not a bool");
+    return Int != 0;
+  }
+  ConsCell *cell() const {
+    assert((isCons() || isPair()) && "not a cell value");
+    return Cell;
+  }
+  RtClosure *closure() const {
+    assert(isClosure() && "not a closure");
+    return Closure;
+  }
+
+private:
+  RtValueKind Kind;
+  union {
+    int64_t Int;
+    ConsCell *Cell;
+    RtClosure *Closure;
+  };
+};
+
+/// Where a cell was allocated (drives reclamation and statistics).
+enum class CellClass : uint8_t {
+  /// Garbage-collected heap cell.
+  Heap,
+  /// Activation-record arena cell (A.3.1): dies when the owning
+  /// activation is popped.
+  Stack,
+  /// Region ("local heap", A.3.3) cell: bulk-returned to the free list,
+  /// without traversal, when the owning activation is popped.
+  Region,
+};
+
+/// Allocation state of a cell.
+enum class CellState : uint8_t {
+  Free,
+  Live,
+};
+
+/// One cons cell.
+struct ConsCell {
+  RtValue Car;
+  RtValue Cdr;
+  /// Next cell in the free list or in an arena chain (a cell is on at
+  /// most one of those at a time).
+  ConsCell *Next = nullptr;
+  CellClass Class = CellClass::Heap;
+  CellState State = CellState::Free;
+  bool Mark = false;
+};
+
+} // namespace eal
+
+#endif // EAL_RUNTIME_RTVALUE_H

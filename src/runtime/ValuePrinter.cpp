@@ -1,0 +1,66 @@
+//===- ValuePrinter.cpp ---------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ValuePrinter.h"
+
+#include <sstream>
+
+using namespace eal;
+
+std::string eal::renderValue(RtValue V, size_t MaxElements) {
+  std::ostringstream OS;
+  switch (V.kind()) {
+  case RtValueKind::Int:
+    OS << V.intValue();
+    break;
+  case RtValueKind::Bool:
+    OS << (V.boolValue() ? "true" : "false");
+    break;
+  case RtValueKind::Nil:
+    OS << "[]";
+    break;
+  case RtValueKind::Closure:
+    OS << "<fun>";
+    break;
+  case RtValueKind::Pair:
+    OS << '(' << renderValue(V.cell()->Car, MaxElements) << ", "
+       << renderValue(V.cell()->Cdr, MaxElements) << ')';
+    break;
+  case RtValueKind::Cons: {
+    OS << '[';
+    RtValue Cur = V;
+    size_t N = 0;
+    while (Cur.isCons()) {
+      if (N++ != 0)
+        OS << ", ";
+      if (N > MaxElements) {
+        OS << "...";
+        break;
+      }
+      OS << renderValue(Cur.cell()->Car, MaxElements);
+      Cur = Cur.cell()->Cdr;
+    }
+    if (!Cur.isCons() && !Cur.isNil())
+      OS << " . " << renderValue(Cur, MaxElements);
+    OS << ']';
+    break;
+  }
+  }
+  return OS.str();
+}
+
+std::vector<int64_t> eal::valueToIntVector(RtValue V) {
+  std::vector<int64_t> Out;
+  while (V.isCons()) {
+    RtValue Head = V.cell()->Car;
+    if (!Head.isInt())
+      return {};
+    Out.push_back(Head.intValue());
+    V = V.cell()->Cdr;
+  }
+  return Out;
+}

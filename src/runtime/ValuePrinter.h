@@ -1,0 +1,34 @@
+//===- ValuePrinter.h - rendering runtime values -----------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rendering and conversion of runtime values, shared by both execution
+/// engines, tests, and tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_RUNTIME_VALUEPRINTER_H
+#define EAL_RUNTIME_VALUEPRINTER_H
+
+#include "runtime/RtValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eal {
+
+/// Renders \p V: "42", "true", "[1, 2, 3]", "(1, [2])", "<fun>". Long
+/// structures are truncated with "...".
+std::string renderValue(RtValue V, size_t MaxElements = 64);
+
+/// Flattens an int list value into a vector (empty on mismatch).
+std::vector<int64_t> valueToIntVector(RtValue V);
+
+} // namespace eal
+
+#endif // EAL_RUNTIME_VALUEPRINTER_H

@@ -1,0 +1,143 @@
+//===- SharingAnalysis.cpp ------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sharing/SharingAnalysis.h"
+
+#include "lang/AstUtils.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace eal;
+
+std::optional<SharingResult> SharingAnalysis::resultSharing(Symbol Fn) const {
+  const FunctionEscape *FE = Report.find(Fn);
+  if (!FE)
+    return std::nullopt;
+  // Clause 2: u_i = 0 for every argument, so min{esc_i, d_i − 0} = esc_i
+  // (esc_i ≤ d_i always).
+  std::vector<unsigned> Zero(FE->Arity, 0);
+  return resultSharing(Fn, Zero);
+}
+
+std::optional<SharingResult>
+SharingAnalysis::resultSharing(Symbol Fn,
+                               std::span<const unsigned> ArgUnshared) const {
+  const FunctionEscape *FE = Report.find(Fn);
+  if (!FE || ArgUnshared.size() != FE->Arity)
+    return std::nullopt;
+  unsigned MaxSharedEscape = 0;
+  for (unsigned I = 0; I != FE->Arity; ++I) {
+    const ParamEscape &PE = FE->Params[I];
+    unsigned D = PE.ParamSpines;
+    unsigned U = std::min(ArgUnshared[I], D);
+    // The spines of e_i that may be shared number d_i − u_i; of those,
+    // at most esc_i can escape into the result.
+    unsigned SharedEscaping = std::min(escapingSpines(PE), D - U);
+    MaxSharedEscape = std::max(MaxSharedEscape, SharedEscaping);
+  }
+  SharingResult SR;
+  SR.Function = Fn;
+  SR.ResultSpines = FE->ResultSpines;
+  SR.UnsharedTopSpines =
+      FE->ResultSpines >= MaxSharedEscape ? FE->ResultSpines - MaxSharedEscape
+                                          : 0;
+  return SR;
+}
+
+unsigned SharingAnalysis::unsharedTopSpines(
+    const Expr *E,
+    const std::unordered_map<uint32_t, unsigned> *Assumptions) const {
+  unsigned Spines = spineCount(Program.typeOf(E));
+  if (Spines == 0)
+    return 0;
+  switch (E->kind()) {
+  case ExprKind::NilLit:
+    return Spines; // the empty list shares nothing
+  case ExprKind::Var: {
+    if (!Assumptions)
+      return 0;
+    auto It = Assumptions->find(cast<VarExpr>(E)->name().id());
+    return It != Assumptions->end() ? std::min(It->second, Spines) : 0;
+  }
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    return std::min(unsharedTopSpines(If->thenExpr(), Assumptions),
+                    unsharedTopSpines(If->elseExpr(), Assumptions));
+  }
+  case ExprKind::Let:
+    return unsharedTopSpines(cast<LetExpr>(E)->body(), Assumptions);
+  case ExprKind::Letrec:
+    return unsharedTopSpines(cast<LetrecExpr>(E)->body(), Assumptions);
+  case ExprKind::App: {
+    std::vector<const Expr *> Args;
+    const Expr *Callee = uncurryCall(E, Args);
+    // cons a b: the new cell is fresh; the top spine is unshared as far
+    // as b's is, deeper spines as far as a's (shifted down one level).
+    if (const auto *Prim = dyn_cast<PrimExpr>(Callee)) {
+      // The tail b contributes cells to the *same* spine levels as the
+      // result; the head a contributes one level deeper.
+      if (Prim->op() == PrimOp::Cons && Args.size() == 2)
+        return std::min({unsharedTopSpines(Args[0], Assumptions) + 1,
+                         unsharedTopSpines(Args[1], Assumptions), Spines});
+      // car extracts an element: its top spine is the argument's second
+      // spine, so the unshared prefix shifts up one level. cdr shares the
+      // argument's spines at the same levels.
+      if (Prim->op() == PrimOp::Car && Args.size() == 1) {
+        unsigned U = unsharedTopSpines(Args[0], Assumptions);
+        return U > 0 ? U - 1 : 0;
+      }
+      if (Prim->op() == PrimOp::Cdr && Args.size() == 1)
+        return unsharedTopSpines(Args[0], Assumptions);
+      return 0;
+    }
+    // A saturated call of a known top-level function: Theorem 2 clause 1
+    // with recursively inferred argument sharing.
+    if (const auto *Var = dyn_cast<VarExpr>(Callee)) {
+      const FunctionEscape *FE = Report.find(Var->name());
+      if (FE && FE->Arity == Args.size()) {
+        std::vector<unsigned> ArgU;
+        ArgU.reserve(Args.size());
+        for (const Expr *Arg : Args)
+          ArgU.push_back(unsharedTopSpines(Arg, Assumptions));
+        if (auto SR = resultSharing(Var->name(), ArgU))
+          return SR->UnsharedTopSpines;
+      }
+    }
+    return 0;
+  }
+  default:
+    return 0; // variables and anything else: possibly shared
+  }
+}
+
+unsigned SharingAnalysis::reusableTopSpines(
+    Symbol Fn, unsigned ParamIndex, const Expr *ArgExpr,
+    const std::unordered_map<uint32_t, unsigned> *Assumptions) const {
+  const FunctionEscape *FE = Report.find(Fn);
+  if (!FE || ParamIndex >= FE->Arity)
+    return 0;
+  const ParamEscape &PE = FE->Params[ParamIndex];
+  unsigned U = unsharedTopSpines(ArgExpr, Assumptions);
+  return std::min(U, PE.protectedTopSpines());
+}
+
+std::string eal::renderSharingReport(const AstContext &Ast,
+                                     const TypedProgram &Program,
+                                     const ProgramEscapeReport &Report) {
+  SharingAnalysis SA(Ast, Program, Report);
+  std::ostringstream OS;
+  for (const FunctionEscape &FE : Report.Functions) {
+    auto SR = SA.resultSharing(FE.Name);
+    if (!SR)
+      continue;
+    OS << Ast.spelling(FE.Name) << ": result has " << SR->ResultSpines
+       << " spine(s); top " << SR->UnsharedTopSpines
+       << " unshared for any arguments\n";
+  }
+  return OS.str();
+}

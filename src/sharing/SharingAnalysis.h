@@ -1,0 +1,113 @@
+//===- SharingAnalysis.h - Sharing from escape info (§6) --------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Theorem 2: in a strict language, escape information yields sharing
+/// information. For a call (f e1 ... en) where parameter i has d_i spines,
+/// esc_i of them escape, and the argument e_i has u_i unshared top spines:
+///
+///  1. all cons cells in the top
+///       d_f − max_i { min { esc_i, d_i − u_i } }
+///     spines of the result are unshared;
+///  2. with no argument information (u_i = 0), all cells in the top
+///       d_f − max_i { esc_i }
+///     spines of the result are unshared.
+///
+/// The module also infers u_i for argument expressions with simple
+/// structural rules (fresh literals are fully unshared; calls use clause
+/// 1/2 recursively; variables are unknown), and derives the in-place-reuse
+/// budget of §6: f may reuse the top min{u_i, d_i − esc_i} spines of its
+/// i-th argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SHARING_SHARINGANALYSIS_H
+#define EAL_SHARING_SHARINGANALYSIS_H
+
+#include "escape/EscapeAnalyzer.h"
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+namespace eal {
+
+/// Sharing facts about one function's result.
+struct SharingResult {
+  Symbol Function;
+  /// d_f: spine count of the result type.
+  unsigned ResultSpines = 0;
+  /// How many top spines of the result are unshared.
+  unsigned UnsharedTopSpines = 0;
+};
+
+/// Derives sharing facts from a program's global escape report.
+class SharingAnalysis {
+public:
+  /// \p Report must come from an EscapeAnalyzer over the same program.
+  SharingAnalysis(const AstContext &Ast, const TypedProgram &Program,
+                  const ProgramEscapeReport &Report)
+      : Ast(Ast), Program(Program), Report(Report) {}
+
+  /// Theorem 2 clause 2: unshared top spines of f's result for *any*
+  /// arguments. Returns nullopt for unknown functions or non-list
+  /// results.
+  std::optional<SharingResult> resultSharing(Symbol Fn) const;
+
+  /// Theorem 2 clause 1: unshared top spines of f's result given the
+  /// unshared-top-spine counts \p ArgUnshared of the actual arguments
+  /// (must have one entry per parameter).
+  std::optional<SharingResult>
+  resultSharing(Symbol Fn, std::span<const unsigned> ArgUnshared) const;
+
+  /// Structurally infers the unshared top spines u of expression \p E:
+  ///   u(nil)            = spines (vacuously fresh)
+  ///   u(cons a b)       = min(u(a) + 1, u(b))   [fresh cell + b's spine]
+  ///   u(car e)          = max(u(e) − 1, 0)      [levels shift up one]
+  ///   u(cdr e)          = u(e)                  [same levels]
+  ///   u(f e1...en)      = clause 1 with inferred argument sharing
+  ///   u(if c t e)       = min(u(t), u(e))
+  ///   u(let/letrec...)  = u(body)
+  ///   u(anything else)  = 0 (unknown / possibly shared)
+  ///
+  /// \p Assumptions optionally supplies known u values for variables
+  /// (keyed by Symbol id); the in-place-reuse transformation uses this to
+  /// record that inside f' the reused parameter's top spine is unshared.
+  unsigned unsharedTopSpines(
+      const Expr *E,
+      const std::unordered_map<uint32_t, unsigned> *Assumptions =
+          nullptr) const;
+
+  /// The §6 reuse budget: how many top spines of argument \p ArgExpr the
+  /// callee \p Fn may destructively reuse in parameter \p ParamIndex
+  /// (0-based): min{u_i, d_i − esc_i}.
+  unsigned reusableTopSpines(Symbol Fn, unsigned ParamIndex,
+                             const Expr *ArgExpr,
+                             const std::unordered_map<uint32_t, unsigned>
+                                 *Assumptions = nullptr) const;
+
+private:
+  /// The k of G(f,i) as the esc_i of Theorem 2 (0 when nothing escapes).
+  static unsigned escapingSpines(const ParamEscape &PE) {
+    return PE.Escape.isContained() ? PE.Escape.spines() : 0;
+  }
+
+  const AstContext &Ast;
+  const TypedProgram &Program;
+  const ProgramEscapeReport &Report;
+};
+
+/// Renders clause-2 sharing facts for every function in \p Report
+/// (Appendix A.2 style).
+std::string renderSharingReport(const AstContext &Ast,
+                                const TypedProgram &Program,
+                                const ProgramEscapeReport &Report);
+
+} // namespace eal
+
+#endif // EAL_SHARING_SHARINGANALYSIS_H

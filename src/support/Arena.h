@@ -1,0 +1,108 @@
+//===- Arena.h - Bump-pointer allocator -------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for AST nodes and other objects whose lifetime is
+/// tied to a compilation. Objects allocated here are never individually
+/// freed; trivially destructible types are assumed (asserted at compile
+/// time by create()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_ARENA_H
+#define EAL_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eal {
+
+/// A bump-pointer allocator. Allocation is a pointer increment; all memory
+/// is released when the arena is destroyed.
+class Arena {
+public:
+  explicit Arena(size_t SlabSize = 64 * 1024) : SlabSize(SlabSize) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    size_t Adjust = Aligned - P;
+    if (Adjust + Size > static_cast<size_t>(End - Cur)) {
+      growSlab(Size + Align);
+      return allocate(Size, Align);
+    }
+    Cur = reinterpret_cast<char *>(Aligned) + Size;
+    BytesAllocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible, since
+  /// destructors are never run.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Copies the array [Data, Data + Count) into the arena and returns the
+  /// copy. Used to give AST nodes stable child arrays.
+  template <typename T> T *copyArray(const T *Data, size_t Count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    if (Count == 0)
+      return nullptr;
+    T *Mem = static_cast<T *>(allocate(sizeof(T) * Count, alignof(T)));
+    for (size_t I = 0; I != Count; ++I)
+      new (Mem + I) T(Data[I]);
+    return Mem;
+  }
+
+  /// Copies a string's bytes (plus NUL) into the arena.
+  const char *copyString(const char *Str, size_t Len) {
+    char *Mem = static_cast<char *>(allocate(Len + 1, 1));
+    for (size_t I = 0; I != Len; ++I)
+      Mem[I] = Str[I];
+    Mem[Len] = '\0';
+    return Mem;
+  }
+
+  size_t bytesAllocated() const { return BytesAllocated; }
+  size_t slabCount() const { return Slabs.size(); }
+
+private:
+  void growSlab(size_t MinSize) {
+    size_t Size = SlabSize;
+    while (Size < MinSize)
+      Size *= 2;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    Cur = Slabs.back().get();
+    End = Cur + Size;
+  }
+
+  size_t SlabSize;
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_ARENA_H

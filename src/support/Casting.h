@@ -1,0 +1,50 @@
+//===- Casting.h - isa/cast/dyn_cast ----------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style checked casting built on a static classof() predicate. Class
+/// hierarchies opt in by providing `static bool classof(const Base *)` on
+/// each derived class; no RTTI is used.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_CASTING_H
+#define EAL_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace eal {
+
+/// Returns true if \p Val is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null if \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_CASTING_H

@@ -1,0 +1,36 @@
+//===- Diagnostics.cpp ----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace eal;
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render(const SourceManager &SM) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    LineColumn LC = SM.lineColumn(D.Loc);
+    OS << SM.name() << ':' << LC.Line << ':' << LC.Column << ": "
+       << severityName(D.Severity) << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,84 @@
+//===- Diagnostics.h - Diagnostic engine ------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never throws or prints directly;
+/// it reports errors here, and tools decide how to render them. Messages
+/// follow the LLVM style: lowercase first word, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_DIAGNOSTICS_H
+#define EAL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace eal {
+
+class SourceManager;
+
+/// Severity of a diagnostic.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One reported diagnostic: severity, location, and message text.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced by the front end and analyses.
+///
+/// The engine only stores diagnostics; rendering (with line/column, caret
+/// lines, etc.) is a separate step so library clients can consume the
+/// structured form.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message) {
+    if (Severity == DiagSeverity::Error)
+      ++NumErrors;
+    Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders all diagnostics as "name:line:col: severity: message" lines,
+  /// one per diagnostic, using \p SM for location translation.
+  std::string render(const SourceManager &SM) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,37 @@
+//===- Hashing.h - Hash combination helpers ---------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash combination helpers used by the hash-consed type and escape-value
+/// stores. The combiner is the 64-bit variant of boost::hash_combine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_HASHING_H
+#define EAL_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace eal {
+
+/// Mixes \p Value into the running hash \p Seed.
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4);
+}
+
+/// Hashes each argument and folds it into a single hash value.
+template <typename... Ts> size_t hashValues(const Ts &...Values) {
+  size_t Seed = 0;
+  (hashCombine(Seed, std::hash<Ts>()(Values)), ...);
+  return Seed;
+}
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_HASHING_H

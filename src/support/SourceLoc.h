@@ -1,0 +1,75 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations. A SourceLoc is a byte offset into the
+/// buffer owned by a SourceManager; a SourceRange is a half-open pair of
+/// offsets. Both are trivially copyable and cheap to store on AST nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_SOURCELOC_H
+#define EAL_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace eal {
+
+/// A position in a source buffer, identified by byte offset.
+///
+/// The invalid location (offset == ~0u) is used for synthesized nodes that
+/// have no textual origin, such as transformed functions produced by the
+/// optimizer.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  explicit SourceLoc(uint32_t Offset) : Offset(Offset) {}
+
+  /// Returns the invalid (synthesized) location.
+  static SourceLoc invalid() { return SourceLoc(); }
+
+  bool isValid() const { return Offset != InvalidOffset; }
+  uint32_t offset() const { return Offset; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Offset < B.Offset;
+  }
+
+private:
+  static constexpr uint32_t InvalidOffset = ~0u;
+  uint32_t Offset = InvalidOffset;
+};
+
+/// A half-open range [Begin, End) of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Point) : Begin(Point), End(Point) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+/// A human-readable line/column pair, both 1-based.
+struct LineColumn {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  friend bool operator==(const LineColumn &A, const LineColumn &B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_SOURCELOC_H

@@ -1,0 +1,68 @@
+//===- SourceManager.cpp --------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eal;
+
+void SourceManager::setBuffer(std::string NewText, std::string NewName) {
+  Text = std::move(NewText);
+  Name = std::move(NewName);
+  LineStarts.clear();
+  LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Text.size()); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+size_t SourceManager::lineIndexFor(uint32_t Offset) const {
+  // upper_bound finds the first line starting strictly after Offset; the
+  // line containing Offset is the one before it.
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+  assert(It != LineStarts.begin() && "LineStarts always contains 0");
+  return static_cast<size_t>(It - LineStarts.begin()) - 1;
+}
+
+LineColumn SourceManager::lineColumn(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return LineColumn();
+  uint32_t Offset = std::min<uint32_t>(Loc.offset(),
+                                       static_cast<uint32_t>(Text.size()));
+  size_t Line = lineIndexFor(Offset);
+  return LineColumn{static_cast<uint32_t>(Line + 1),
+                    Offset - LineStarts[Line] + 1};
+}
+
+std::string_view SourceManager::lineText(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return {};
+  uint32_t Offset = std::min<uint32_t>(Loc.offset(),
+                                       static_cast<uint32_t>(Text.size()));
+  size_t Line = lineIndexFor(Offset);
+  uint32_t Begin = LineStarts[Line];
+  uint32_t End = Line + 1 < LineStarts.size()
+                     ? LineStarts[Line + 1] - 1
+                     : static_cast<uint32_t>(Text.size());
+  return std::string_view(Text).substr(Begin, End - Begin);
+}
+
+std::string_view SourceManager::text(SourceRange Range) const {
+  if (!Range.isValid())
+    return {};
+  uint32_t Begin = std::min<uint32_t>(Range.Begin.offset(),
+                                      static_cast<uint32_t>(Text.size()));
+  uint32_t End = Range.End.isValid()
+                     ? std::min<uint32_t>(Range.End.offset(),
+                                          static_cast<uint32_t>(Text.size()))
+                     : Begin;
+  if (End < Begin)
+    End = Begin;
+  return std::string_view(Text).substr(Begin, End - Begin);
+}

@@ -1,0 +1,63 @@
+//===- SourceManager.h - Ownership of source buffers ------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SourceManager owns the text of the program being analyzed and maps
+/// SourceLoc byte offsets back to line/column pairs for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_SOURCEMANAGER_H
+#define EAL_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eal {
+
+/// Owns a single source buffer and provides offset -> line/column mapping.
+///
+/// nml programs are small, self-contained texts, so a single buffer (with a
+/// display name) is sufficient; there is no #include mechanism.
+class SourceManager {
+public:
+  SourceManager() = default;
+
+  /// Takes ownership of \p Text under the display name \p Name and indexes
+  /// line starts for later lookups.
+  void setBuffer(std::string Text, std::string Name = "<input>");
+
+  std::string_view buffer() const { return Text; }
+  const std::string &name() const { return Name; }
+
+  /// Translates \p Loc to a 1-based line/column pair. Invalid locations map
+  /// to {0, 0}.
+  LineColumn lineColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the line containing \p Loc (without the
+  /// trailing newline), or an empty view for invalid locations.
+  std::string_view lineText(SourceLoc Loc) const;
+
+  /// Returns the source text covered by \p Range, clamped to the buffer.
+  std::string_view text(SourceRange Range) const;
+
+private:
+  /// Index of the line (0-based) containing byte offset \p Offset.
+  size_t lineIndexFor(uint32_t Offset) const;
+
+  std::string Text;
+  std::string Name = "<input>";
+  /// Byte offsets at which each line begins; always contains 0.
+  std::vector<uint32_t> LineStarts = {0};
+};
+
+} // namespace eal
+
+#endif // EAL_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,93 @@
+//===- StringInterner.h - Identifier interning ------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier spellings to small integer Symbols so that
+/// environments, free-variable sets, and caches can key on integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_STRINGINTERNER_H
+#define EAL_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace eal {
+
+/// An interned identifier. Symbols from the same interner compare equal
+/// iff their spellings are equal.
+class Symbol {
+public:
+  Symbol() = default;
+
+  static Symbol invalid() { return Symbol(); }
+
+  bool isValid() const { return Id != InvalidId; }
+  uint32_t id() const {
+    assert(isValid() && "querying invalid symbol");
+    return Id;
+  }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  friend class StringInterner;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  static constexpr uint32_t InvalidId = ~0u;
+  uint32_t Id = InvalidId;
+};
+
+/// Maps identifier spellings to Symbols and back.
+class StringInterner {
+public:
+  /// Returns the unique Symbol for \p Spelling, creating it if needed.
+  Symbol intern(std::string_view Spelling) {
+    auto It = Map.find(std::string(Spelling));
+    if (It != Map.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Spellings.size());
+    Spellings.emplace_back(Spelling);
+    Map.emplace(Spellings.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// Returns the spelling of \p Sym; Sym must come from this interner.
+  std::string_view spelling(Symbol Sym) const {
+    assert(Sym.isValid() && Sym.id() < Spellings.size() &&
+           "symbol from a different interner");
+    return Spellings[Sym.id()];
+  }
+
+  size_t size() const { return Spellings.size(); }
+
+private:
+  std::unordered_map<std::string, uint32_t> Map;
+  std::vector<std::string> Spellings;
+};
+
+} // namespace eal
+
+namespace std {
+template <> struct hash<eal::Symbol> {
+  size_t operator()(eal::Symbol Sym) const {
+    return sym_hash(Sym.isValid() ? Sym.id() : ~0u);
+  }
+
+private:
+  static size_t sym_hash(uint32_t V) { return std::hash<uint32_t>()(V); }
+};
+} // namespace std
+
+#endif // EAL_SUPPORT_STRINGINTERNER_H

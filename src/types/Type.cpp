@@ -1,0 +1,84 @@
+//===- Type.cpp -----------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace eal;
+
+unsigned eal::spineCount(const Type *T) {
+  assert(T && "spine count of a null type");
+  unsigned Count = 0;
+  while (const auto *List = dyn_cast<ListType>(T)) {
+    ++Count;
+    T = List->element();
+  }
+  return Count;
+}
+
+namespace {
+
+void printType(std::ostringstream &OS, const Type *T, bool NeedParens) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    OS << "int";
+    return;
+  case TypeKind::Bool:
+    OS << "bool";
+    return;
+  case TypeKind::Var:
+    OS << 't' << cast<TypeVar>(T)->id();
+    return;
+  case TypeKind::List: {
+    const Type *Element = cast<ListType>(T)->element();
+    // The list constructor is postfix and binds tighter than '->' and
+    // '*', so function and pair element types need parentheses.
+    printType(OS, Element,
+              /*NeedParens=*/Element->isFun() || Element->isPair());
+    OS << " list";
+    return;
+  }
+  case TypeKind::Pair: {
+    const auto *Pair = cast<PairType>(T);
+    if (NeedParens)
+      OS << '(';
+    printType(OS, Pair->first(),
+              /*NeedParens=*/Pair->first()->isFun() ||
+                  Pair->first()->isPair());
+    OS << " * ";
+    printType(OS, Pair->second(),
+              /*NeedParens=*/Pair->second()->isFun() ||
+                  Pair->second()->isPair());
+    if (NeedParens)
+      OS << ')';
+    return;
+  }
+  case TypeKind::Fun: {
+    const auto *Fun = cast<FunType>(T);
+    if (NeedParens)
+      OS << '(';
+    printType(OS, Fun->param(), /*NeedParens=*/Fun->param()->isFun());
+    OS << " -> ";
+    printType(OS, Fun->result(), /*NeedParens=*/false);
+    if (NeedParens)
+      OS << ')';
+    return;
+  }
+  }
+  assert(false && "unhandled type kind");
+}
+
+} // namespace
+
+std::string eal::typeName(const Type *T) {
+  assert(T && "printing a null type");
+  std::ostringstream OS;
+  printType(OS, T, /*NeedParens=*/false);
+  return OS.str();
+}

@@ -1,0 +1,231 @@
+//===- Type.h - nml types ---------------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// nml types: int, bool, τ list, τ1 → τ2, plus unification variables used
+/// during inference. Types are immutable and hash-consed by a TypeContext,
+/// so pointer equality is type equality.
+///
+/// The central derived quantity is the *spine count* of a type
+/// (Definition 1): spines(int) = spines(bool) = spines(τ1 → τ2) = 0 and
+/// spines(τ list) = spines(τ) + 1. It bounds the basic escape domain and
+/// annotates every occurrence of `car`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_TYPES_TYPE_H
+#define EAL_TYPES_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eal {
+
+/// Discriminator for the Type hierarchy.
+enum class TypeKind : uint8_t {
+  Int,
+  Bool,
+  List,
+  Fun,
+  Pair,
+  Var,
+};
+
+/// Base class of all nml types. Instances are unique within a TypeContext.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isList() const { return Kind == TypeKind::List; }
+  bool isFun() const { return Kind == TypeKind::Fun; }
+  bool isPair() const { return Kind == TypeKind::Pair; }
+  bool isVar() const { return Kind == TypeKind::Var; }
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+private:
+  TypeKind Kind;
+};
+
+/// The type of integers.
+class IntType : public Type {
+public:
+  IntType() : Type(TypeKind::Int) {}
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Int; }
+};
+
+/// The type of booleans.
+class BoolType : public Type {
+public:
+  BoolType() : Type(TypeKind::Bool) {}
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Bool; }
+};
+
+/// `τ list`.
+class ListType : public Type {
+public:
+  explicit ListType(const Type *Element)
+      : Type(TypeKind::List), Element(Element) {}
+
+  const Type *element() const { return Element; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::List; }
+
+private:
+  const Type *Element;
+};
+
+/// `τ1 → τ2`.
+class FunType : public Type {
+public:
+  FunType(const Type *Param, const Type *Result)
+      : Type(TypeKind::Fun), Param(Param), Result(Result) {}
+
+  const Type *param() const { return Param; }
+  const Type *result() const { return Result; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Fun; }
+
+private:
+  const Type *Param;
+  const Type *Result;
+};
+
+/// `τ1 * τ2` — the product extension the paper sketches in §1 ("our
+/// approach for lists could be applied to other data structures such as
+/// tuples"). Pairs are spineless: for escape grading they are
+/// indivisible objects, but their components flow precisely through the
+/// abstract semantics.
+class PairType : public Type {
+public:
+  PairType(const Type *First, const Type *Second)
+      : Type(TypeKind::Pair), First(First), Second(Second) {}
+
+  const Type *first() const { return First; }
+  const Type *second() const { return Second; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Pair; }
+
+private:
+  const Type *First;
+  const Type *Second;
+};
+
+/// A unification variable. Only appears during type inference; fully
+/// inferred programs have none (leftover variables are defaulted).
+class TypeVar : public Type {
+public:
+  explicit TypeVar(uint32_t Id) : Type(TypeKind::Var), Id(Id) {}
+
+  uint32_t id() const { return Id; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Var; }
+
+private:
+  uint32_t Id;
+};
+
+/// Owns and uniques types. Pointer equality on types from the same context
+/// is semantic equality.
+class TypeContext {
+public:
+  TypeContext() = default;
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const IntType *getInt() { return &Int; }
+  const BoolType *getBool() { return &Bool; }
+
+  const ListType *getList(const Type *Element) {
+    auto It = Lists.find(Element);
+    if (It != Lists.end())
+      return It->second.get();
+    auto Owner = std::make_unique<ListType>(Element);
+    const ListType *Result = Owner.get();
+    Lists.emplace(Element, std::move(Owner));
+    return Result;
+  }
+
+  const FunType *getFun(const Type *Param, const Type *Result) {
+    auto Key = std::make_pair(Param, Result);
+    auto It = Funs.find(Key);
+    if (It != Funs.end())
+      return It->second.get();
+    auto Owner = std::make_unique<FunType>(Param, Result);
+    const FunType *Ptr = Owner.get();
+    Funs.emplace(Key, std::move(Owner));
+    return Ptr;
+  }
+
+  const PairType *getPair(const Type *First, const Type *Second) {
+    auto Key = std::make_pair(First, Second);
+    auto It = Pairs.find(Key);
+    if (It != Pairs.end())
+      return It->second.get();
+    auto Owner = std::make_unique<PairType>(First, Second);
+    const PairType *Ptr = Owner.get();
+    Pairs.emplace(Key, std::move(Owner));
+    return Ptr;
+  }
+
+  /// Builds `τ1 → τ2 → ... → Result` (right associated).
+  const Type *getFunChain(const std::vector<const Type *> &Params,
+                          const Type *Result) {
+    const Type *T = Result;
+    for (auto It = Params.rbegin(); It != Params.rend(); ++It)
+      T = getFun(*It, T);
+    return T;
+  }
+
+  /// Creates a fresh unification variable.
+  const TypeVar *freshVar() {
+    Vars.push_back(std::make_unique<TypeVar>(NextVarId++));
+    return Vars.back().get();
+  }
+
+  uint32_t numVars() const { return NextVarId; }
+
+private:
+  struct PairHash {
+    size_t operator()(const std::pair<const Type *, const Type *> &P) const {
+      return std::hash<const void *>()(P.first) * 31 ^
+             std::hash<const void *>()(P.second);
+    }
+  };
+
+  IntType Int;
+  BoolType Bool;
+  std::unordered_map<const Type *, std::unique_ptr<ListType>> Lists;
+  std::unordered_map<std::pair<const Type *, const Type *>,
+                     std::unique_ptr<FunType>, PairHash>
+      Funs;
+  std::unordered_map<std::pair<const Type *, const Type *>,
+                     std::unique_ptr<PairType>, PairHash>
+      Pairs;
+  std::vector<std::unique_ptr<TypeVar>> Vars;
+  uint32_t NextVarId = 0;
+};
+
+/// Returns the spine count of \p T (Definition 1). Unresolved type
+/// variables count as spineless (they default to int).
+unsigned spineCount(const Type *T);
+
+/// Renders \p T in ML syntax, e.g. "int list list" or
+/// "(int -> bool) -> int list".
+std::string typeName(const Type *T);
+
+} // namespace eal
+
+#endif // EAL_TYPES_TYPE_H

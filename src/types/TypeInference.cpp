@@ -1,0 +1,456 @@
+//===- TypeInference.cpp --------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeInference.h"
+
+#include "lang/AstUtils.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace eal;
+
+namespace {
+
+/// A type scheme ∀Vars. Body. Monomorphic bindings have empty Vars.
+struct Scheme {
+  std::vector<const TypeVar *> Vars;
+  const Type *Body = nullptr;
+};
+
+} // namespace
+
+class TypeInference::Impl {
+public:
+  Impl(AstContext &Ast, TypeContext &Types, DiagnosticEngine &Diags,
+       TypeInferenceMode Mode)
+      : Ast(Ast), Types(Types), Diags(Diags), Mode(Mode) {}
+
+  std::optional<TypedProgram> run(const Expr *Root);
+
+private:
+  //===------------------------------------------------------------------===//
+  // Substitution (union-find over type variables).
+  //===------------------------------------------------------------------===//
+
+  /// Follows variable bindings until reaching an unbound variable or a
+  /// constructor, with path compression.
+  const Type *prune(const Type *T) {
+    while (const auto *Var = dyn_cast<TypeVar>(T)) {
+      auto It = Subst.find(Var);
+      if (It == Subst.end())
+        break;
+      It->second = prune(It->second);
+      T = It->second;
+    }
+    return T;
+  }
+
+  bool occurs(const TypeVar *Var, const Type *T) {
+    T = prune(T);
+    if (T == Var)
+      return true;
+    if (const auto *List = dyn_cast<ListType>(T))
+      return occurs(Var, List->element());
+    if (const auto *Fun = dyn_cast<FunType>(T))
+      return occurs(Var, Fun->param()) || occurs(Var, Fun->result());
+    if (const auto *Pair = dyn_cast<PairType>(T))
+      return occurs(Var, Pair->first()) || occurs(Var, Pair->second());
+    return false;
+  }
+
+  bool unify(const Type *A, const Type *B, SourceLoc Loc) {
+    A = prune(A);
+    B = prune(B);
+    if (A == B)
+      return true;
+    if (const auto *Var = dyn_cast<TypeVar>(A)) {
+      if (occurs(Var, B)) {
+        Diags.error(Loc, "cannot construct the infinite type " + typeName(A) +
+                             " = " + typeName(B));
+        return false;
+      }
+      Subst[Var] = B;
+      return true;
+    }
+    if (isa<TypeVar>(B))
+      return unify(B, A, Loc);
+    if (const auto *ListA = dyn_cast<ListType>(A))
+      if (const auto *ListB = dyn_cast<ListType>(B))
+        return unify(ListA->element(), ListB->element(), Loc);
+    if (const auto *FunA = dyn_cast<FunType>(A))
+      if (const auto *FunB = dyn_cast<FunType>(B))
+        return unify(FunA->param(), FunB->param(), Loc) &&
+               unify(FunA->result(), FunB->result(), Loc);
+    if (const auto *PairA = dyn_cast<PairType>(A))
+      if (const auto *PairB = dyn_cast<PairType>(B))
+        return unify(PairA->first(), PairB->first(), Loc) &&
+               unify(PairA->second(), PairB->second(), Loc);
+    Diags.error(Loc, "type mismatch: expected " + typeName(A) + ", found " +
+                         typeName(B));
+    return false;
+  }
+
+  /// Fully applies the substitution, replacing unbound variables with
+  /// `int` (the simplest monotype instance; Theorem 1 justifies this
+  /// defaulting for the analysis).
+  const Type *zonk(const Type *T) {
+    T = prune(T);
+    switch (T->kind()) {
+    case TypeKind::Int:
+    case TypeKind::Bool:
+      return T;
+    case TypeKind::Var:
+      return Types.getInt();
+    case TypeKind::List:
+      return Types.getList(zonk(cast<ListType>(T)->element()));
+    case TypeKind::Fun: {
+      const auto *Fun = cast<FunType>(T);
+      return Types.getFun(zonk(Fun->param()), zonk(Fun->result()));
+    }
+    case TypeKind::Pair: {
+      const auto *Pair = cast<PairType>(T);
+      return Types.getPair(zonk(Pair->first()), zonk(Pair->second()));
+    }
+    }
+    assert(false && "unhandled type kind");
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Schemes and the typing environment.
+  //===------------------------------------------------------------------===//
+
+  void collectFreeVars(const Type *T, std::vector<const TypeVar *> &Out) {
+    T = prune(T);
+    if (const auto *Var = dyn_cast<TypeVar>(T)) {
+      if (std::find(Out.begin(), Out.end(), Var) == Out.end())
+        Out.push_back(Var);
+      return;
+    }
+    if (const auto *List = dyn_cast<ListType>(T)) {
+      collectFreeVars(List->element(), Out);
+      return;
+    }
+    if (const auto *Fun = dyn_cast<FunType>(T)) {
+      collectFreeVars(Fun->param(), Out);
+      collectFreeVars(Fun->result(), Out);
+      return;
+    }
+    if (const auto *Pair = dyn_cast<PairType>(T)) {
+      collectFreeVars(Pair->first(), Out);
+      collectFreeVars(Pair->second(), Out);
+    }
+  }
+
+  /// Generalizes \p T over variables not free in the environment.
+  Scheme generalize(const Type *T) {
+    Scheme S;
+    S.Body = T;
+    if (Mode == TypeInferenceMode::Monomorphic)
+      return S;
+    // A variable is free in the environment if it occurs in a scheme body
+    // and is not quantified by that scheme.
+    std::vector<const TypeVar *> EnvVars;
+    for (const auto &Entry : Env) {
+      std::vector<const TypeVar *> BodyVars;
+      collectFreeVars(Entry.second.Body, BodyVars);
+      for (const TypeVar *Var : BodyVars)
+        if (std::find(Entry.second.Vars.begin(), Entry.second.Vars.end(),
+                      Var) == Entry.second.Vars.end())
+          EnvVars.push_back(Var);
+    }
+    std::vector<const TypeVar *> TypeVars;
+    collectFreeVars(T, TypeVars);
+    for (const TypeVar *Var : TypeVars)
+      if (std::find(EnvVars.begin(), EnvVars.end(), Var) == EnvVars.end())
+        S.Vars.push_back(Var);
+    return S;
+  }
+
+  /// Instantiates \p S with fresh variables for its quantified variables.
+  const Type *instantiate(const Scheme &S) {
+    if (S.Vars.empty())
+      return S.Body;
+    std::unordered_map<const TypeVar *, const Type *> Fresh;
+    for (const TypeVar *Var : S.Vars)
+      Fresh[Var] = Types.freshVar();
+    return substitute(S.Body, Fresh);
+  }
+
+  const Type *
+  substitute(const Type *T,
+             const std::unordered_map<const TypeVar *, const Type *> &Map) {
+    T = prune(T);
+    if (const auto *Var = dyn_cast<TypeVar>(T)) {
+      auto It = Map.find(Var);
+      return It != Map.end() ? It->second : T;
+    }
+    if (const auto *List = dyn_cast<ListType>(T))
+      return Types.getList(substitute(List->element(), Map));
+    if (const auto *Fun = dyn_cast<FunType>(T))
+      return Types.getFun(substitute(Fun->param(), Map),
+                          substitute(Fun->result(), Map));
+    if (const auto *Pair = dyn_cast<PairType>(T))
+      return Types.getPair(substitute(Pair->first(), Map),
+                           substitute(Pair->second(), Map));
+    return T;
+  }
+
+  const Scheme *lookup(Symbol Name) const {
+    for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+      if (It->first == Name)
+        return &It->second;
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Inference proper.
+  //===------------------------------------------------------------------===//
+
+  /// The polymorphic type of primitive \p Op, instantiated fresh.
+  const Type *primType(PrimOp Op) {
+    const Type *IntTy = Types.getInt();
+    const Type *BoolTy = Types.getBool();
+    switch (Op) {
+    case PrimOp::Add:
+    case PrimOp::Sub:
+    case PrimOp::Mul:
+    case PrimOp::Div:
+    case PrimOp::Mod:
+      return Types.getFun(IntTy, Types.getFun(IntTy, IntTy));
+    case PrimOp::Eq:
+    case PrimOp::Ne:
+    case PrimOp::Lt:
+    case PrimOp::Le:
+    case PrimOp::Gt:
+    case PrimOp::Ge:
+      return Types.getFun(IntTy, Types.getFun(IntTy, BoolTy));
+    case PrimOp::Not:
+      return Types.getFun(BoolTy, BoolTy);
+    case PrimOp::Cons: {
+      const Type *A = Types.freshVar();
+      const Type *ListA = Types.getList(A);
+      return Types.getFun(A, Types.getFun(ListA, ListA));
+    }
+    case PrimOp::Car: {
+      const Type *A = Types.freshVar();
+      return Types.getFun(Types.getList(A), A);
+    }
+    case PrimOp::Cdr: {
+      const Type *ListA = Types.getList(Types.freshVar());
+      return Types.getFun(ListA, ListA);
+    }
+    case PrimOp::Null:
+      return Types.getFun(Types.getList(Types.freshVar()), BoolTy);
+    case PrimOp::DCons: {
+      // dcons reuseCell head tail: the reused cell comes from a list of
+      // the result type.
+      const Type *A = Types.freshVar();
+      const Type *ListA = Types.getList(A);
+      return Types.getFun(ListA, Types.getFun(A, Types.getFun(ListA, ListA)));
+    }
+    case PrimOp::MkPair: {
+      const Type *A = Types.freshVar();
+      const Type *B = Types.freshVar();
+      return Types.getFun(A, Types.getFun(B, Types.getPair(A, B)));
+    }
+    case PrimOp::Fst: {
+      const Type *A = Types.freshVar();
+      const Type *B = Types.freshVar();
+      return Types.getFun(Types.getPair(A, B), A);
+    }
+    case PrimOp::Snd: {
+      const Type *A = Types.freshVar();
+      const Type *B = Types.freshVar();
+      return Types.getFun(Types.getPair(A, B), B);
+    }
+    }
+    assert(false && "unhandled primitive");
+    return nullptr;
+  }
+
+  /// Infers the type of \p E, recording it in the node-type table.
+  /// Returns null after a diagnostic on error.
+  const Type *infer(const Expr *E) {
+    const Type *T = inferUncached(E);
+    if (!T)
+      return nullptr;
+    if (RawNodeTypes.size() <= E->id())
+      RawNodeTypes.resize(E->id() + 1, nullptr);
+    RawNodeTypes[E->id()] = T;
+    return T;
+  }
+
+  const Type *inferUncached(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      return Types.getInt();
+    case ExprKind::BoolLit:
+      return Types.getBool();
+    case ExprKind::NilLit:
+      return Types.getList(Types.freshVar());
+    case ExprKind::Var: {
+      const auto *Var = cast<VarExpr>(E);
+      const Scheme *S = lookup(Var->name());
+      if (!S) {
+        Diags.error(E->loc(), "unbound identifier '" +
+                                  std::string(Ast.spelling(Var->name())) +
+                                  "'");
+        return nullptr;
+      }
+      return instantiate(*S);
+    }
+    case ExprKind::Prim:
+      return primType(cast<PrimExpr>(E)->op());
+    case ExprKind::App: {
+      const auto *App = cast<AppExpr>(E);
+      const Type *FnTy = infer(App->fn());
+      const Type *ArgTy = infer(App->arg());
+      if (!FnTy || !ArgTy)
+        return nullptr;
+      const Type *ResultTy = Types.freshVar();
+      if (!unify(FnTy, Types.getFun(ArgTy, ResultTy), App->loc()))
+        return nullptr;
+      return ResultTy;
+    }
+    case ExprKind::Lambda: {
+      const auto *Lambda = cast<LambdaExpr>(E);
+      const Type *ParamTy = Types.freshVar();
+      Env.emplace_back(Lambda->param(), Scheme{{}, ParamTy});
+      const Type *BodyTy = infer(Lambda->body());
+      Env.pop_back();
+      if (!BodyTy)
+        return nullptr;
+      return Types.getFun(ParamTy, BodyTy);
+    }
+    case ExprKind::If: {
+      const auto *If = cast<IfExpr>(E);
+      const Type *CondTy = infer(If->cond());
+      if (!CondTy || !unify(CondTy, Types.getBool(), If->cond()->loc()))
+        return nullptr;
+      const Type *ThenTy = infer(If->thenExpr());
+      const Type *ElseTy = infer(If->elseExpr());
+      if (!ThenTy || !ElseTy ||
+          !unify(ThenTy, ElseTy, If->elseExpr()->loc()))
+        return nullptr;
+      return ThenTy;
+    }
+    case ExprKind::Let: {
+      const auto *Let = cast<LetExpr>(E);
+      const Type *ValueTy = infer(Let->value());
+      if (!ValueTy)
+        return nullptr;
+      Env.emplace_back(Let->name(), generalize(ValueTy));
+      const Type *BodyTy = infer(Let->body());
+      Env.pop_back();
+      return BodyTy;
+    }
+    case ExprKind::Letrec: {
+      const auto *Letrec = cast<LetrecExpr>(E);
+      size_t Mark = Env.size();
+      // Bind every name to a fresh monomorphic variable first: all
+      // bindings are mutually in scope, monomorphically (standard HM;
+      // no polymorphic recursion).
+      std::vector<const Type *> BindingTys;
+      for (const LetrecBinding &B : Letrec->bindings()) {
+        const Type *Var = Types.freshVar();
+        BindingTys.push_back(Var);
+        Env.emplace_back(B.Name, Scheme{{}, Var});
+      }
+      auto Bindings = Letrec->bindings();
+      for (size_t I = 0; I != Bindings.size(); ++I) {
+        const Type *ValueTy = infer(Bindings[I].Value);
+        if (!ValueTy ||
+            !unify(BindingTys[I], ValueTy, Bindings[I].NameLoc)) {
+          Env.resize(Mark);
+          return nullptr;
+        }
+      }
+      // Re-bind generalized for the body.
+      Env.resize(Mark);
+      for (size_t I = 0; I != Bindings.size(); ++I)
+        Env.emplace_back(Bindings[I].Name, generalize(BindingTys[I]));
+      const Type *BodyTy = infer(Letrec->body());
+      Env.resize(Mark);
+      return BodyTy;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  AstContext &Ast;
+  TypeContext &Types;
+  DiagnosticEngine &Diags;
+  TypeInferenceMode Mode;
+  std::unordered_map<const TypeVar *, const Type *> Subst;
+  std::vector<std::pair<Symbol, Scheme>> Env;
+  std::vector<const Type *> RawNodeTypes;
+};
+
+std::optional<TypedProgram> TypeInference::Impl::run(const Expr *Root) {
+  RawNodeTypes.assign(Ast.numNodes(), nullptr);
+  if (!infer(Root))
+    return std::nullopt;
+
+  TypedProgram Result;
+  Result.Root = Root;
+  Result.NodeTypes.assign(RawNodeTypes.size(), nullptr);
+  Result.CarSpines.assign(RawNodeTypes.size(), 0);
+  unsigned SpineBound = 0;
+  for (size_t I = 0; I != RawNodeTypes.size(); ++I) {
+    if (!RawNodeTypes[I])
+      continue; // node belongs to another program in this context
+    const Type *T = zonk(RawNodeTypes[I]);
+    Result.NodeTypes[I] = T;
+    // The bound must cover every type reachable in the program, including
+    // components of function types (arguments may be deep lists).
+    unsigned Deep = 0;
+    std::vector<const Type *> Work = {T};
+    while (!Work.empty()) {
+      const Type *Cur = Work.back();
+      Work.pop_back();
+      Deep = std::max(Deep, spineCount(Cur));
+      if (const auto *List = dyn_cast<ListType>(Cur)) {
+        Work.push_back(List->element());
+      } else if (const auto *Fun = dyn_cast<FunType>(Cur)) {
+        Work.push_back(Fun->param());
+        Work.push_back(Fun->result());
+      } else if (const auto *Pair = dyn_cast<PairType>(Cur)) {
+        Work.push_back(Pair->first());
+        Work.push_back(Pair->second());
+      }
+    }
+    SpineBound = std::max(SpineBound, Deep);
+  }
+  Result.SpineBound = SpineBound;
+
+  // Annotate car occurrences with the spine count of their argument
+  // (car^s in §3.4): car : τ list → τ, so s = spines(τ list).
+  forEachExpr(Root, [&Result](const Expr *E) {
+    const auto *Prim = dyn_cast<PrimExpr>(E);
+    if (!Prim || Prim->op() != PrimOp::Car)
+      return;
+    const auto *Fun = cast<FunType>(Result.NodeTypes[E->id()]);
+    Result.CarSpines[E->id()] = spineCount(Fun->param());
+  });
+  return Result;
+}
+
+TypeInference::TypeInference(AstContext &Ast, TypeContext &Types,
+                             DiagnosticEngine &Diags, TypeInferenceMode Mode)
+    : TheImpl(std::make_unique<Impl>(Ast, Types, Diags, Mode)) {}
+
+TypeInference::~TypeInference() = default;
+
+std::optional<TypedProgram> TypeInference::run(const Expr *Root) {
+  return TheImpl->run(Root);
+}

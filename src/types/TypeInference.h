@@ -1,0 +1,102 @@
+//===- TypeInference.h - Hindley-Milner inference for nml -------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type inference for nml. The paper assumes monomorphic type inference
+/// has already been performed (§3.1) and later lifts the restriction via
+/// polymorphic invariance (§5, Theorem 1). Both stances are supported:
+///
+/// * Monomorphic mode: `let`/`letrec` bindings are not generalized; each
+///   function gets the single monotype its uses force, exactly like the
+///   paper's base language. Using one function at two incompatible types
+///   is a type error.
+/// * Polymorphic mode (default): classic Algorithm W with generalization
+///   at bindings. Residual type variables are defaulted to `int`, so the
+///   analysis sees the *simplest monotyped instance* of each function —
+///   the instance Theorem 1 says suffices.
+///
+/// Besides per-node types, inference produces the `car^s` annotation the
+/// abstract semantics needs (§3.4): for every occurrence of `car`, the
+/// spine count `s` of its list argument, statically determined by type.
+/// It also computes the program's spine bound `d`, which caps the basic
+/// escape domain B_e.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_TYPES_TYPEINFERENCE_H
+#define EAL_TYPES_TYPEINFERENCE_H
+
+#include "lang/Ast.h"
+#include "types/Type.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Whether bindings are generalized (see file comment).
+enum class TypeInferenceMode {
+  Monomorphic,
+  Polymorphic,
+};
+
+/// The result of type inference: resolved per-node types plus the derived
+/// escape-analysis annotations.
+class TypedProgram {
+public:
+  const Expr *root() const { return Root; }
+
+  /// The fully resolved (variable-free) type of \p E.
+  const Type *typeOf(const Expr *E) const {
+    assert(E->id() < NodeTypes.size() && "expression from a later context");
+    const Type *T = NodeTypes[E->id()];
+    assert(T && "expression was not visited by inference");
+    return T;
+  }
+
+  /// The spine count `s` annotated on a `car` primitive occurrence.
+  unsigned carSpine(const Expr *CarPrim) const {
+    assert(CarPrim->id() < CarSpines.size() && CarSpines[CarPrim->id()] != 0 &&
+           "not an analyzed car occurrence");
+    return CarSpines[CarPrim->id()];
+  }
+
+  /// The program's spine bound `d`: the maximum spine count of any type
+  /// occurring in the program. The basic escape domain is
+  /// {⟨0,0⟩, ⟨1,0⟩, ..., ⟨1,d⟩}.
+  unsigned spineBound() const { return SpineBound; }
+
+private:
+  friend class TypeInference;
+  const Expr *Root = nullptr;
+  std::vector<const Type *> NodeTypes;
+  std::vector<unsigned> CarSpines; // 0 = not a car occurrence
+  unsigned SpineBound = 0;
+};
+
+/// Runs type inference over one program.
+class TypeInference {
+public:
+  TypeInference(AstContext &Ast, TypeContext &Types, DiagnosticEngine &Diags,
+                TypeInferenceMode Mode = TypeInferenceMode::Polymorphic);
+  ~TypeInference();
+
+  /// Infers types for \p Root. Returns nullopt after reporting
+  /// diagnostics if the program is ill-typed.
+  std::optional<TypedProgram> run(const Expr *Root);
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> TheImpl;
+};
+
+} // namespace eal
+
+#endif // EAL_TYPES_TYPEINFERENCE_H

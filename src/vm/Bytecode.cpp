@@ -1,0 +1,105 @@
+//===- Bytecode.cpp -------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include <sstream>
+
+using namespace eal;
+
+const char *eal::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::PushInt:
+    return "push.int";
+  case Opcode::PushBool:
+    return "push.bool";
+  case Opcode::PushNil:
+    return "push.nil";
+  case Opcode::PushPrim:
+    return "push.prim";
+  case Opcode::LoadSlot:
+    return "load";
+  case Opcode::MakeClosure:
+    return "closure";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Return:
+    return "ret";
+  case Opcode::Jump:
+    return "jmp";
+  case Opcode::JumpIfFalse:
+    return "jmp.false";
+  case Opcode::Prim:
+    return "prim";
+  case Opcode::EnterScope:
+    return "enter";
+  case Opcode::StoreSlot:
+    return "store";
+  case Opcode::LeaveScope:
+    return "leave";
+  case Opcode::BeginArena:
+    return "arena.begin";
+  case Opcode::StashArena:
+    return "arena.stash";
+  }
+  return "???";
+}
+
+std::string eal::disassemble(const Chunk &C) {
+  std::ostringstream OS;
+  for (size_t PI = 0; PI != C.Protos.size(); ++PI) {
+    const Proto &P = C.Protos[PI];
+    OS << "proto " << PI << " '" << P.Name << "' arity " << P.Arity
+       << (PI == C.Entry ? " (entry)" : "") << ":\n";
+    for (size_t I = 0; I != P.Code.size(); ++I) {
+      const Instr &In = P.Code[I];
+      OS << "  " << I << ": " << opcodeName(In.Op);
+      switch (In.Op) {
+      case Opcode::PushInt:
+        OS << ' ' << In.Imm;
+        break;
+      case Opcode::PushBool:
+        OS << ' ' << (In.A ? "true" : "false");
+        break;
+      case Opcode::PushPrim:
+      case Opcode::Prim:
+        OS << ' ' << primOpName(static_cast<PrimOp>(In.A));
+        if (In.B)
+          OS << " @site" << In.B;
+        break;
+      case Opcode::LoadSlot:
+        OS << " depth=" << In.A << " slot=" << In.B;
+        break;
+      case Opcode::MakeClosure:
+        OS << " proto=" << In.A;
+        break;
+      case Opcode::Call:
+        OS << " nargs=" << In.A;
+        if (In.B)
+          OS << " arenas=" << In.B;
+        break;
+      case Opcode::Jump:
+      case Opcode::JumpIfFalse:
+        OS << " -> " << (static_cast<int64_t>(I) + 1 + In.A);
+        break;
+      case Opcode::EnterScope:
+        OS << " slots=" << In.A << (In.B ? " rec" : "");
+        break;
+      case Opcode::StoreSlot:
+        OS << " slot=" << In.A;
+        break;
+      case Opcode::BeginArena:
+        OS << " directive=" << In.A;
+        break;
+      default:
+        break;
+      }
+      OS << '\n';
+    }
+  }
+  return OS.str();
+}

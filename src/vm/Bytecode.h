@@ -1,0 +1,95 @@
+//===- Bytecode.h - nml bytecode --------------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact stack-machine bytecode for nml, the second execution engine
+/// beside the tree-walking interpreter. The compiler resolves variables
+/// to (frame depth, slot) pairs at compile time and turns lambda chains
+/// into n-ary protos; the VM runs an iterative dispatch loop, so nml
+/// recursion depth is bounded by memory, not by the C++ stack.
+///
+/// Allocation-plan integration mirrors the interpreter: cons/pair
+/// instructions carry their static site id, and argument evaluation for
+/// calls with arena directives is bracketed by BeginArena/StashArena so
+/// the arenas attach to the callee's activation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_VM_BYTECODE_H
+#define EAL_VM_BYTECODE_H
+
+#include "lang/Ast.h"
+#include "opt/AllocPlanner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eal {
+
+/// VM instruction set.
+enum class Opcode : uint8_t {
+  PushInt,     ///< push Imm
+  PushBool,    ///< push A != 0
+  PushNil,     ///< push nil
+  PushPrim,    ///< push a primitive closure; A = PrimOp, B = site id
+  LoadSlot,    ///< push env[depth A][slot B]
+  MakeClosure, ///< push closure of proto A capturing the current frame
+  Call,        ///< call with A args; B pending arenas attach to the callee
+  Return,      ///< return top of stack from the current frame
+  Jump,        ///< ip += A (relative to the next instruction)
+  JumpIfFalse, ///< pop condition; jump if false
+  Prim,        ///< saturated primitive A (pops arity args); B = site id
+  EnterScope,  ///< push an env frame with A empty slots; B = 1 if letrec
+  StoreSlot,   ///< pop into slot A of the current frame
+  LeaveScope,  ///< pop the current env frame
+  BeginArena,  ///< activate a fresh arena for plan directive A
+  StashArena,  ///< deactivate the innermost arena, pending for next Call
+};
+
+/// Returns the mnemonic of \p Op.
+const char *opcodeName(Opcode Op);
+
+/// One instruction. A/B are operands; Imm carries integer literals.
+struct Instr {
+  Opcode Op;
+  int32_t A = 0;
+  uint32_t B = 0;
+  int64_t Imm = 0;
+};
+
+/// One compiled function (a whole lambda chain): binds Arity parameters
+/// at once into a fresh frame, then runs Code until Return.
+struct Proto {
+  unsigned Arity = 0;
+  std::vector<Instr> Code;
+  std::string Name; ///< for disassembly and diagnostics
+};
+
+/// A compiled program.
+struct Chunk {
+  std::vector<Proto> Protos;
+  /// Index of the entry proto (arity 0; the program body).
+  unsigned Entry = 0;
+  /// Directive table referenced by BeginArena operands.
+  std::vector<const ArgArenaDirective *> Directives;
+
+  /// Total instruction count (a size metric).
+  size_t instructionCount() const {
+    size_t N = 0;
+    for (const Proto &P : Protos)
+      N += P.Code.size();
+    return N;
+  }
+};
+
+/// Renders \p C as human-readable assembly.
+std::string disassemble(const Chunk &C);
+
+} // namespace eal
+
+#endif // EAL_VM_BYTECODE_H

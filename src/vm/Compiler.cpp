@@ -1,0 +1,272 @@
+//===- Compiler.cpp -------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include "lang/AstUtils.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace eal;
+
+namespace {
+
+class CompilerImpl {
+public:
+  CompilerImpl(const AstContext &Ast, const AllocationPlan *Plan,
+               DiagnosticEngine &Diags)
+      : Ast(Ast), Plan(Plan), Diags(Diags) {}
+
+  std::optional<Chunk> run(const Expr *Root) {
+    // The entry proto runs under one (empty) frame.
+    Out.Protos.emplace_back();
+    Out.Protos[0].Arity = 0;
+    Out.Protos[0].Name = "<entry>";
+    Out.Entry = 0;
+    Scopes.push_back({});
+    std::vector<Instr> Code;
+    if (!compileExpr(Root, Code))
+      return std::nullopt;
+    Code.push_back({Opcode::Return, 0, 0, 0});
+    Out.Protos[0].Code = std::move(Code);
+    Scopes.pop_back();
+    return std::move(Out);
+  }
+
+private:
+  //===--- Scope handling --------------------------------------------------==//
+
+  bool resolve(Symbol Name, SourceLoc Loc, int32_t &Depth, uint32_t &Slot) {
+    for (size_t D = 0; D != Scopes.size(); ++D) {
+      const std::vector<Symbol> &Scope = Scopes[Scopes.size() - 1 - D];
+      for (size_t I = 0; I != Scope.size(); ++I)
+        if (Scope[I] == Name) {
+          Depth = static_cast<int32_t>(D);
+          Slot = static_cast<uint32_t>(I);
+          return true;
+        }
+    }
+    Diags.error(Loc, "bytecode compiler: unbound identifier '" +
+                         std::string(Ast.spelling(Name)) + "'");
+    return false;
+  }
+
+  //===--- Expression compilation -------------------------------------------==//
+
+  bool compileExpr(const Expr *E, std::vector<Instr> &Code) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      Code.push_back(
+          {Opcode::PushInt, 0, 0, cast<IntLitExpr>(E)->value()});
+      return true;
+    case ExprKind::BoolLit:
+      Code.push_back(
+          {Opcode::PushBool, cast<BoolLitExpr>(E)->value() ? 1 : 0, 0, 0});
+      return true;
+    case ExprKind::NilLit:
+      Code.push_back({Opcode::PushNil, 0, 0, 0});
+      return true;
+    case ExprKind::Var: {
+      int32_t Depth = 0;
+      uint32_t Slot = 0;
+      if (!resolve(cast<VarExpr>(E)->name(), E->loc(), Depth, Slot))
+        return false;
+      Code.push_back({Opcode::LoadSlot, Depth, Slot, 0});
+      return true;
+    }
+    case ExprKind::Prim: {
+      const auto *Prim = cast<PrimExpr>(E);
+      Code.push_back({Opcode::PushPrim,
+                      static_cast<int32_t>(Prim->op()), E->id(), 0});
+      return true;
+    }
+    case ExprKind::App:
+      return compileCallSpine(cast<AppExpr>(E), Code);
+    case ExprKind::Lambda: {
+      std::optional<unsigned> ProtoIdx =
+          compileLambdaChain(E, "<lambda>");
+      if (!ProtoIdx)
+        return false;
+      Code.push_back(
+          {Opcode::MakeClosure, static_cast<int32_t>(*ProtoIdx), 0, 0});
+      return true;
+    }
+    case ExprKind::If: {
+      const auto *If = cast<IfExpr>(E);
+      if (!compileExpr(If->cond(), Code))
+        return false;
+      size_t JumpToElse = Code.size();
+      Code.push_back({Opcode::JumpIfFalse, 0, 0, 0});
+      if (!compileExpr(If->thenExpr(), Code))
+        return false;
+      size_t JumpToEnd = Code.size();
+      Code.push_back({Opcode::Jump, 0, 0, 0});
+      Code[JumpToElse].A =
+          static_cast<int32_t>(Code.size() - (JumpToElse + 1));
+      if (!compileExpr(If->elseExpr(), Code))
+        return false;
+      Code[JumpToEnd].A =
+          static_cast<int32_t>(Code.size() - (JumpToEnd + 1));
+      return true;
+    }
+    case ExprKind::Let: {
+      const auto *Let = cast<LetExpr>(E);
+      if (!compileExpr(Let->value(), Code))
+        return false;
+      Code.push_back({Opcode::EnterScope, 1, 0, 0});
+      Code.push_back({Opcode::StoreSlot, 0, 0, 0});
+      Scopes.push_back({Let->name()});
+      bool Ok = compileExpr(Let->body(), Code);
+      Scopes.pop_back();
+      if (!Ok)
+        return false;
+      Code.push_back({Opcode::LeaveScope, 0, 0, 0});
+      return true;
+    }
+    case ExprKind::Letrec: {
+      const auto *Letrec = cast<LetrecExpr>(E);
+      auto Bindings = Letrec->bindings();
+      Code.push_back({Opcode::EnterScope,
+                      static_cast<int32_t>(Bindings.size()), 1, 0});
+      std::vector<Symbol> Scope;
+      for (const LetrecBinding &B : Bindings)
+        Scope.push_back(B.Name);
+      Scopes.push_back(std::move(Scope));
+      bool Ok = true;
+      for (size_t I = 0; Ok && I != Bindings.size(); ++I) {
+        // Name function bindings' protos after the binding.
+        if (isa<LambdaExpr>(Bindings[I].Value)) {
+          std::optional<unsigned> ProtoIdx = compileLambdaChain(
+              Bindings[I].Value, std::string(Ast.spelling(Bindings[I].Name)));
+          if (!ProtoIdx) {
+            Ok = false;
+            break;
+          }
+          Code.push_back(
+              {Opcode::MakeClosure, static_cast<int32_t>(*ProtoIdx), 0, 0});
+        } else {
+          Ok = compileExpr(Bindings[I].Value, Code);
+        }
+        Code.push_back({Opcode::StoreSlot, static_cast<int32_t>(I), 0, 0});
+      }
+      Ok = Ok && compileExpr(Letrec->body(), Code);
+      Scopes.pop_back();
+      if (!Ok)
+        return false;
+      Code.push_back({Opcode::LeaveScope, 0, 0, 0});
+      return true;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return false;
+  }
+
+  bool compileCallSpine(const AppExpr *Call, std::vector<Instr> &Code) {
+    std::vector<const Expr *> Args;
+    const Expr *Callee = uncurryCall(Call, Args);
+
+    // Saturated direct primitive: one instruction, no closure.
+    if (const auto *Prim = dyn_cast<PrimExpr>(Callee)) {
+      if (Args.size() == primOpArity(Prim->op())) {
+        for (const Expr *Arg : Args)
+          if (!compileExpr(Arg, Code))
+            return false;
+        Code.push_back({Opcode::Prim, static_cast<int32_t>(Prim->op()),
+                        Call->id(), 0});
+        return true;
+      }
+    }
+
+    if (!compileExpr(Callee, Code))
+      return false;
+
+    const std::vector<const ArgArenaDirective *> *Directives = nullptr;
+    if (Plan) {
+      auto It = Plan->ByCall.find(Call->id());
+      if (It != Plan->ByCall.end())
+        Directives = &It->second;
+    }
+
+    uint32_t NumPending = 0;
+    for (size_t I = 0; I != Args.size(); ++I) {
+      const ArgArenaDirective *D = nullptr;
+      if (Directives)
+        for (const ArgArenaDirective *Cand : *Directives)
+          if (Cand->ArgIndex == I) {
+            D = Cand;
+            break;
+          }
+      if (D) {
+        Code.push_back(
+            {Opcode::BeginArena, static_cast<int32_t>(directiveIndex(D)),
+             0, 0});
+      }
+      if (!compileExpr(Args[I], Code))
+        return false;
+      if (D) {
+        Code.push_back({Opcode::StashArena, 0, 0, 0});
+        ++NumPending;
+      }
+    }
+    Code.push_back({Opcode::Call, static_cast<int32_t>(Args.size()),
+                    NumPending, 0});
+    return true;
+  }
+
+  std::optional<unsigned> compileLambdaChain(const Expr *E,
+                                             std::string Name) {
+    std::vector<Symbol> Params;
+    const Expr *Body = E;
+    while (const auto *Lambda = dyn_cast<LambdaExpr>(Body)) {
+      Params.push_back(Lambda->param());
+      Body = Lambda->body();
+    }
+    unsigned ProtoIdx = static_cast<unsigned>(Out.Protos.size());
+    Out.Protos.emplace_back();
+    Out.Protos[ProtoIdx].Arity = static_cast<unsigned>(Params.size());
+    Out.Protos[ProtoIdx].Name = std::move(Name);
+
+    Scopes.push_back(std::move(Params));
+    std::vector<Instr> Code;
+    bool Ok = compileExpr(Body, Code);
+    Scopes.pop_back();
+    if (!Ok)
+      return std::nullopt;
+    Code.push_back({Opcode::Return, 0, 0, 0});
+    Out.Protos[ProtoIdx].Code = std::move(Code);
+    return ProtoIdx;
+  }
+
+  size_t directiveIndex(const ArgArenaDirective *D) {
+    auto It = DirectiveIndices.find(D);
+    if (It != DirectiveIndices.end())
+      return It->second;
+    size_t Index = Out.Directives.size();
+    Out.Directives.push_back(D);
+    DirectiveIndices.emplace(D, Index);
+    return Index;
+  }
+
+  const AstContext &Ast;
+  const AllocationPlan *Plan;
+  DiagnosticEngine &Diags;
+  Chunk Out;
+  std::vector<std::vector<Symbol>> Scopes;
+  std::unordered_map<const ArgArenaDirective *, size_t> DirectiveIndices;
+};
+
+} // namespace
+
+std::optional<Chunk> eal::compileToBytecode(const AstContext &Ast,
+                                            const Expr *Root,
+                                            const AllocationPlan *Plan,
+                                            DiagnosticEngine &Diags) {
+  CompilerImpl Impl(Ast, Plan, Diags);
+  return Impl.run(Root);
+}

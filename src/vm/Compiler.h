@@ -1,0 +1,38 @@
+//===- Compiler.h - AST to bytecode -----------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles nml ASTs to the VM bytecode of Bytecode.h. Lambda chains
+/// become n-ary protos; variables resolve to (depth, slot) lexical
+/// addresses; saturated primitive applications compile to single Prim
+/// instructions carrying their allocation-site ids; calls with arena
+/// directives bracket the relevant argument's code with
+/// BeginArena/StashArena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_VM_COMPILER_H
+#define EAL_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+#include <optional>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Compiles \p Root into a chunk. \p Plan may be null (no arena
+/// bracketing). Returns nullopt after a diagnostic on unbound variables.
+std::optional<Chunk> compileToBytecode(const AstContext &Ast,
+                                       const Expr *Root,
+                                       const AllocationPlan *Plan,
+                                       DiagnosticEngine &Diags);
+
+} // namespace eal
+
+#endif // EAL_VM_COMPILER_H

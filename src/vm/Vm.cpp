@@ -1,0 +1,367 @@
+//===- Vm.cpp -------------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "runtime/PrimOps.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace eal;
+
+Vm::Vm(const Chunk &C, DiagnosticEngine &Diags) : Vm(C, Diags, Options()) {}
+
+Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
+    : C(C), Diags(Diags), Opts(Opts),
+      TheHeap(Stats, Heap::Options{Opts.HeapCapacity, Opts.AllowHeapGrowth,
+                                   0.2}) {
+  TheHeap.setRootScanner([this](Marker &M) {
+    ++MarkEpoch;
+    for (RtValue V : Stack)
+      M.value(V);
+    auto MarkFrameChain = [&](EnvFrame *F) {
+      for (; F && F->MarkEpoch != MarkEpoch; F = F->Parent.get()) {
+        F->MarkEpoch = MarkEpoch;
+        for (auto &Slot : F->Slots)
+          M.value(Slot.second);
+      }
+    };
+    for (CallFrame &Frame : Frames) {
+      MarkFrameChain(Frame.Env.get());
+      for (RtValue V : Frame.Pending)
+        M.value(V);
+    }
+  });
+  TheHeap.setClosureTracer([this](const RtClosure *Closure, Marker &M) {
+    for (RtValue V : Closure->Partial)
+      M.value(V);
+    for (EnvFrame *F = Closure->Env.get();
+         F && F->MarkEpoch != MarkEpoch; F = F->Parent.get()) {
+      F->MarkEpoch = MarkEpoch;
+      for (auto &Slot : F->Slots)
+        M.value(Slot.second);
+    }
+  });
+}
+
+Vm::~Vm() {
+  for (const EnvPtr &Frame : RecFrames)
+    Frame->Slots.clear();
+  for (const std::unique_ptr<RtClosure> &Closure : Closures)
+    Closure->Env.reset();
+}
+
+bool Vm::error(const std::string &Message) {
+  if (!Failed)
+    Diags.error(SourceLoc::invalid(), "vm: " + Message);
+  Failed = true;
+  return false;
+}
+
+RtClosure *Vm::newClosure() {
+  Closures.push_back(std::make_unique<RtClosure>());
+  ++Stats.ClosuresCreated;
+  return Closures.back().get();
+}
+
+ConsCell *Vm::allocateCell(uint32_t SiteId) {
+  for (auto It = ArenaStack.rbegin(); It != ArenaStack.rend(); ++It) {
+    auto SiteIt = It->Directive->Sites.find(SiteId);
+    if (SiteIt == It->Directive->Sites.end())
+      continue;
+    CellClass Class = SiteIt->second == ArenaSiteClass::Stack
+                          ? CellClass::Stack
+                          : CellClass::Region;
+    return TheHeap.allocateInArena(It->Handle, Class);
+  }
+  return TheHeap.allocateHeap();
+}
+
+bool Vm::freeArenas(std::vector<size_t> &Arenas, const RtValue *Result) {
+  if (Arenas.empty())
+    return true;
+  if (Result)
+    Stack.push_back(*Result); // root during validation
+  bool Ok = true;
+  for (size_t Handle : Arenas) {
+    if (Opts.ValidateArenaFrees && TheHeap.arenaIsReachable(Handle)) {
+      Ok = error("allocation plan error: arena cell still reachable when "
+                 "its activation returned");
+      break;
+    }
+    TheHeap.freeArena(Handle);
+  }
+  if (Result)
+    Stack.pop_back();
+  Arenas.clear();
+  return Ok;
+}
+
+bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
+                    std::vector<size_t> Arenas) {
+  // Root the in-flight values while primitive steps may allocate.
+  for (;;) {
+    if (!Callee.isClosure()) {
+      freeArenas(Arenas, nullptr);
+      return error("applied a non-function value");
+    }
+    RtClosure *Closure = Callee.closure();
+    ++Stats.Applications;
+
+    if (Closure->IsPrim) {
+      unsigned Arity = primOpArity(Closure->Op);
+      size_t Have = Closure->Partial.size();
+      if (Have + Args.size() < Arity) {
+        RtClosure *Next = newClosure();
+        Next->IsPrim = true;
+        Next->Op = Closure->Op;
+        Next->PrimNodeId = Closure->PrimNodeId;
+        Next->Partial = Closure->Partial;
+        Next->Partial.insert(Next->Partial.end(), Args.begin(), Args.end());
+        Stack.push_back(RtValue::makeClosure(Next));
+        // A partial application cannot own arenas safely; keep them to
+        // the end of the run (planner only marks saturated calls).
+        OrphanArenas.insert(OrphanArenas.end(), Arenas.begin(),
+                            Arenas.end());
+        return true;
+      }
+      size_t Need = Arity - Have;
+      std::vector<RtValue> Full = Closure->Partial;
+      Full.insert(Full.end(), Args.begin(), Args.begin() + Need);
+      // Root the leftovers across the (possibly allocating) primitive.
+      size_t Mark = Stack.size();
+      for (size_t I = Need; I != Args.size(); ++I)
+        Stack.push_back(Args[I]);
+      for (RtValue V : Full)
+        Stack.push_back(V);
+      PrimOpsHooks Hooks;
+      Hooks.AllocateCell = [this](uint32_t Site) {
+        return allocateCell(Site);
+      };
+      Hooks.Error = [this](const std::string &Message) { error(Message); };
+      Hooks.Stats = &Stats;
+      std::optional<RtValue> R =
+          evalSaturatedPrim(Closure->Op, Closure->PrimNodeId, Full, Hooks);
+      Stack.resize(Mark);
+      if (!R) {
+        freeArenas(Arenas, nullptr);
+        return false;
+      }
+      Args.erase(Args.begin(), Args.begin() + Need);
+      if (Args.empty()) {
+        if (!freeArenas(Arenas, &*R))
+          return false;
+        Stack.push_back(*R);
+        return true;
+      }
+      Callee = *R;
+      continue;
+    }
+
+    // User closure.
+    assert(Closure->ProtoIdx >= 0 && "interpreter closure inside the VM");
+    const Proto &P = C.Protos[Closure->ProtoIdx];
+    size_t Have = Closure->Partial.size();
+    if (Have + Args.size() < P.Arity) {
+      RtClosure *Next = newClosure();
+      Next->ProtoIdx = Closure->ProtoIdx;
+      Next->Env = Closure->Env;
+      Next->Partial = Closure->Partial;
+      Next->Partial.insert(Next->Partial.end(), Args.begin(), Args.end());
+      Stack.push_back(RtValue::makeClosure(Next));
+      OrphanArenas.insert(OrphanArenas.end(), Arenas.begin(), Arenas.end());
+      return true;
+    }
+
+    size_t Need = P.Arity - Have;
+    EnvPtr Frame = std::make_shared<EnvFrame>();
+    Frame->Parent = Closure->Env;
+    Frame->Slots.reserve(P.Arity);
+    for (RtValue V : Closure->Partial)
+      Frame->Slots.emplace_back(Symbol::invalid(), V);
+    for (size_t I = 0; I != Need; ++I)
+      Frame->Slots.emplace_back(Symbol::invalid(), Args[I]);
+
+    CallFrame CF;
+    CF.P = &P;
+    CF.Ip = 0;
+    CF.Env = std::move(Frame);
+    CF.StackBase = Stack.size();
+    CF.Arenas = std::move(Arenas);
+    CF.Pending.assign(Args.begin() + Need, Args.end());
+    Frames.push_back(std::move(CF));
+    return true;
+  }
+}
+
+std::optional<RtValue> Vm::run() {
+  Failed = false;
+
+  // Enter the entry proto.
+  {
+    CallFrame CF;
+    CF.P = &C.Protos[C.Entry];
+    CF.Env = std::make_shared<EnvFrame>();
+    CF.StackBase = 0;
+    Frames.push_back(std::move(CF));
+  }
+
+  uint64_t Steps = 0;
+  while (!Frames.empty()) {
+    CallFrame &Frame = Frames.back();
+    if (++Steps > Opts.MaxSteps) {
+      error("execution exceeded the step budget");
+      break;
+    }
+    assert(Frame.Ip < Frame.P->Code.size() && "fell off proto code");
+    const Instr &In = Frame.P->Code[Frame.Ip++];
+
+    switch (In.Op) {
+    case Opcode::PushInt:
+      Stack.push_back(RtValue::makeInt(In.Imm));
+      break;
+    case Opcode::PushBool:
+      Stack.push_back(RtValue::makeBool(In.A != 0));
+      break;
+    case Opcode::PushNil:
+      Stack.push_back(RtValue::makeNil());
+      break;
+    case Opcode::PushPrim: {
+      RtClosure *Closure = newClosure();
+      Closure->IsPrim = true;
+      Closure->Op = static_cast<PrimOp>(In.A);
+      Closure->PrimNodeId = In.B;
+      Stack.push_back(RtValue::makeClosure(Closure));
+      break;
+    }
+    case Opcode::LoadSlot: {
+      EnvFrame *F = Frame.Env.get();
+      for (int32_t D = 0; D != In.A; ++D)
+        F = F->Parent.get();
+      assert(F && In.B < F->Slots.size() && "bad lexical address");
+      Stack.push_back(F->Slots[In.B].second);
+      break;
+    }
+    case Opcode::MakeClosure: {
+      RtClosure *Closure = newClosure();
+      Closure->ProtoIdx = In.A;
+      Closure->Env = Frame.Env;
+      Stack.push_back(RtValue::makeClosure(Closure));
+      break;
+    }
+    case Opcode::Call: {
+      size_t N = static_cast<size_t>(In.A);
+      assert(Stack.size() >= Frame.StackBase + N + 1 && "stack underflow");
+      std::vector<RtValue> Args(Stack.end() - N, Stack.end());
+      RtValue Callee = Stack[Stack.size() - N - 1];
+      Stack.resize(Stack.size() - N - 1);
+      std::vector<size_t> Arenas;
+      for (uint32_t I = 0; I != In.B; ++I) {
+        Arenas.insert(Arenas.begin(), PendingArenas.back());
+        PendingArenas.pop_back();
+      }
+      if (!applyValue(Callee, std::move(Args), std::move(Arenas)))
+        goto done;
+      break;
+    }
+    case Opcode::Return: {
+      assert(!Stack.empty() && "return without a value");
+      RtValue Result = Stack.back();
+      CallFrame Finished = std::move(Frames.back());
+      Frames.pop_back();
+      Stack.resize(Finished.StackBase);
+      if (!freeArenas(Finished.Arenas, &Result))
+        goto done;
+      if (!Finished.Pending.empty()) {
+        if (!applyValue(Result, std::move(Finished.Pending), {}))
+          goto done;
+      } else {
+        Stack.push_back(Result);
+      }
+      break;
+    }
+    case Opcode::Jump:
+      Frame.Ip = static_cast<size_t>(
+          static_cast<int64_t>(Frame.Ip) + In.A);
+      break;
+    case Opcode::JumpIfFalse: {
+      RtValue Cond = Stack.back();
+      Stack.pop_back();
+      if (!Cond.isBool()) {
+        error("if condition is not a boolean");
+        goto done;
+      }
+      if (!Cond.boolValue())
+        Frame.Ip = static_cast<size_t>(
+            static_cast<int64_t>(Frame.Ip) + In.A);
+      break;
+    }
+    case Opcode::Prim: {
+      PrimOp Op = static_cast<PrimOp>(In.A);
+      unsigned Arity = primOpArity(Op);
+      assert(Stack.size() >= Arity && "prim stack underflow");
+      PrimOpsHooks Hooks;
+      Hooks.AllocateCell = [this](uint32_t Site) {
+        return allocateCell(Site);
+      };
+      Hooks.Error = [this](const std::string &Message) { error(Message); };
+      Hooks.Stats = &Stats;
+      std::span<const RtValue> Args(Stack.data() + Stack.size() - Arity,
+                                    Arity);
+      std::optional<RtValue> R = evalSaturatedPrim(Op, In.B, Args, Hooks);
+      if (!R)
+        goto done;
+      Stack.resize(Stack.size() - Arity);
+      Stack.push_back(*R);
+      break;
+    }
+    case Opcode::EnterScope: {
+      EnvPtr Child = std::make_shared<EnvFrame>();
+      Child->Parent = Frame.Env;
+      Child->Slots.assign(static_cast<size_t>(In.A),
+                          {Symbol::invalid(), RtValue::makeNil()});
+      if (In.B)
+        RecFrames.push_back(Child);
+      Frame.Env = std::move(Child);
+      break;
+    }
+    case Opcode::StoreSlot: {
+      assert(!Stack.empty() && "store without a value");
+      Frame.Env->Slots[static_cast<size_t>(In.A)].second = Stack.back();
+      Stack.pop_back();
+      break;
+    }
+    case Opcode::LeaveScope:
+      Frame.Env = Frame.Env->Parent;
+      break;
+    case Opcode::BeginArena: {
+      const ArgArenaDirective *D =
+          C.Directives[static_cast<size_t>(In.A)];
+      ArenaStack.push_back(ActiveArena{D, TheHeap.createArena()});
+      break;
+    }
+    case Opcode::StashArena:
+      assert(!ArenaStack.empty() && "stash without an active arena");
+      PendingArenas.push_back(ArenaStack.back().Handle);
+      ArenaStack.pop_back();
+      break;
+    }
+    Stats.Steps = Steps;
+  }
+
+done:
+  for (size_t Handle : OrphanArenas)
+    TheHeap.freeArena(Handle);
+  OrphanArenas.clear();
+  if (Failed || Stack.empty())
+    return std::nullopt;
+  RtValue Result = Stack.back();
+  Stack.clear();
+  Frames.clear();
+  return Result;
+}

@@ -1,0 +1,111 @@
+//===- Vm.h - the bytecode virtual machine ----------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An iterative stack VM over the same managed heap as the interpreter:
+/// explicit operand stack and call frames, so nml recursion depth is
+/// bounded by memory rather than the C++ stack, and GC roots are exactly
+/// the VM's own structures. Executes the same optimizations (arena
+/// directives at calls, DCONS) with the same statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_VM_VM_H
+#define EAL_VM_VM_H
+
+#include "runtime/Frame.h"
+#include "runtime/Heap.h"
+#include "runtime/RuntimeStats.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace eal {
+
+class DiagnosticEngine;
+
+/// Executes one compiled chunk.
+class Vm {
+public:
+  struct Options {
+    size_t HeapCapacity = 1 << 14;
+    bool AllowHeapGrowth = true;
+    /// Instruction budget.
+    uint64_t MaxSteps = 2'000'000'000;
+    /// Verify at every arena free that no arena cell is still reachable.
+    bool ValidateArenaFrees = false;
+  };
+
+  Vm(const Chunk &C, DiagnosticEngine &Diags);
+  Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts);
+  ~Vm();
+
+  /// Runs the chunk's entry proto. Returns nullopt after a diagnostic on
+  /// runtime errors.
+  std::optional<RtValue> run();
+
+  const RuntimeStats &stats() const { return Stats; }
+  Heap &heap() { return TheHeap; }
+
+private:
+  struct CallFrame {
+    const Proto *P = nullptr;
+    size_t Ip = 0;
+    EnvPtr Env;
+    /// Operand-stack height at entry; Return truncates back to it.
+    size_t StackBase = 0;
+    /// Arenas owned by this activation (freed at Return).
+    std::vector<size_t> Arenas;
+    /// Over-application continuation: args to apply to the result.
+    std::vector<RtValue> Pending;
+  };
+
+  /// Applies \p Callee to \p Args, either computing inline (primitives,
+  /// partial applications) and pushing the result, or pushing a call
+  /// frame. \p Arenas attach to the first full activation.
+  bool applyValue(RtValue Callee, std::vector<RtValue> Args,
+                  std::vector<size_t> Arenas);
+
+  /// Frees \p Arenas (with optional validation); \p Result is rooted
+  /// during validation when non-null.
+  bool freeArenas(std::vector<size_t> &Arenas, const RtValue *Result);
+
+  ConsCell *allocateCell(uint32_t SiteId);
+  RtClosure *newClosure();
+  bool error(const std::string &Message);
+
+  const Chunk &C;
+  DiagnosticEngine &Diags;
+  Options Opts;
+  RuntimeStats Stats;
+  Heap TheHeap;
+
+  std::vector<RtValue> Stack;
+  std::vector<CallFrame> Frames;
+
+  struct ActiveArena {
+    const ArgArenaDirective *Directive;
+    size_t Handle;
+  };
+  std::vector<ActiveArena> ArenaStack;
+  std::vector<size_t> PendingArenas;
+  /// Arenas whose owning call turned out partial; freed at the end.
+  std::vector<size_t> OrphanArenas;
+
+  std::vector<std::unique_ptr<RtClosure>> Closures;
+  /// Recursive (letrec) frames: cycles broken at destruction.
+  std::vector<EnvPtr> RecFrames;
+
+  uint64_t MarkEpoch = 0;
+  bool Failed = false;
+};
+
+} // namespace eal
+
+#endif // EAL_VM_VM_H

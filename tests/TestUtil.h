@@ -1,0 +1,104 @@
+//===- TestUtil.h - Shared test fixtures ------------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small front-end harness for tests: source text in, typed program out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_TESTS_TESTUTIL_H
+#define EAL_TESTS_TESTUTIL_H
+
+#include "lang/Ast.h"
+#include "lang/Parser.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "types/TypeInference.h"
+
+#include <optional>
+#include <string>
+
+namespace eal::test {
+
+/// Parses and (optionally) type-checks nml source for a test.
+struct Frontend {
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  AstContext Ast;
+  TypeContext Types;
+  const Expr *Root = nullptr;
+  std::optional<TypedProgram> Typed;
+
+  /// Parses \p Source; returns the root or null (diagnostics retained).
+  const Expr *parse(const std::string &Source) {
+    SM.setBuffer(Source);
+    Parser P(SM.buffer(), Ast, Diags);
+    Root = P.parseProgram();
+    return Root;
+  }
+
+  /// Parses and type-checks \p Source; true on success.
+  bool parseAndType(
+      const std::string &Source,
+      TypeInferenceMode Mode = TypeInferenceMode::Polymorphic) {
+    if (!parse(Source))
+      return false;
+    TypeInference TI(Ast, Types, Diags, Mode);
+    Typed = TI.run(Root);
+    return Typed.has_value();
+  }
+
+  /// Renders collected diagnostics (for failure messages).
+  std::string diagText() const { return Diags.render(SM); }
+};
+
+/// The partition sort program of Appendix A, written so it also runs
+/// (split recurses on cdr and the pivot is re-inserted between halves).
+inline const char *partitionSortSource() {
+  return R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h = if (null x) then cons l (cons h nil)
+                  else if (car x) <= p
+                       then split p (cdr x) (cons (car x) l) h
+                       else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (car (split (car x) (cdr x) nil nil)))
+                     (cons (car x)
+                           (ps (car (cdr (split (car x) (cdr x) nil nil)))))
+in ps [5, 2, 7, 1, 3, 4]
+)";
+}
+
+/// The §1 example: pair and map.
+inline const char *mapPairSource() {
+  return R"(
+letrec
+  pair x = if (null x) then nil
+           else cons (car x) (cons (car x) nil);
+  map f l = if (null l) then nil
+            else cons (f (car l)) (map f (cdr l))
+in map pair [[1, 2], [3, 4], [5, 6]]
+)";
+}
+
+/// Naive reverse (A.3.2).
+inline const char *reverseSource() {
+  return R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil
+          else append (rev (cdr l)) (cons (car l) nil)
+in rev [1, 2, 3, 4, 5]
+)";
+}
+
+} // namespace eal::test
+
+#endif // EAL_TESTS_TESTUTIL_H

@@ -1,0 +1,103 @@
+//===- EndToEndTest.cpp - public report content ------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Locks the user-visible report surfaces: the strings a downstream user
+// (or the CLI) sees for the paper's case study must carry the paper's
+// facts verbatim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/AstPrinter.h"
+#include "opt/AllocPlanner.h"
+#include "sharing/SharingAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+protected:
+  PipelineResult R;
+
+  void analyzeSort() {
+    PipelineOptions Options;
+    R = runPipeline(partitionSortSource(), Options);
+    ASSERT_TRUE(R.Success) << R.diagnostics();
+  }
+};
+
+TEST_F(EndToEndTest, EscapeReportCarriesTheA1Table) {
+  analyzeSort();
+  std::string Text = renderEscapeReport(*R.Ast, R.Optimized->BaseEscape);
+  for (const char *Expected :
+       {"append : int list -> int list -> int list",
+        "G(append, 1) = <1,0>", "G(append, 2) = <1,1>",
+        "G(split, 1) = <0,0>", "G(split, 2) = <1,0>",
+        "G(split, 3) = <1,1>", "G(split, 4) = <1,1>",
+        "G(ps, 1) = <1,0>",
+        "top 1 spine(s) never escape"})
+    EXPECT_NE(Text.find(Expected), std::string::npos)
+        << "missing: " << Expected << "\nin:\n" << Text;
+}
+
+TEST_F(EndToEndTest, SharingReportCarriesA2) {
+  analyzeSort();
+  std::string Text =
+      renderSharingReport(*R.Ast, *R.Typed, R.Optimized->BaseEscape);
+  EXPECT_NE(Text.find("ps: result has 1 spine(s); top 1 unshared"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("split: result has 2 spine(s); top 1 unshared"),
+            std::string::npos)
+      << Text;
+}
+
+TEST_F(EndToEndTest, ReuseReportNamesThePrimedVersions) {
+  analyzeSort();
+  std::string Text = renderReuseReport(*R.Ast, R.Optimized->Reuse);
+  for (const char *Expected :
+       {"version append': reuses parameter 1 of append",
+        "version ps': reuses parameter 1 of ps",
+        "call retarget: append -> append'"})
+    EXPECT_NE(Text.find(Expected), std::string::npos)
+        << "missing: " << Expected << "\nin:\n" << Text;
+}
+
+TEST_F(EndToEndTest, TransformedProgramPrintsThePaperShapes) {
+  analyzeSort();
+  std::string Text = printExpr(*R.Ast, R.Optimized->Root);
+  EXPECT_NE(Text.find("dcons x (car x) (append' (cdr x) y)"),
+            std::string::npos)
+      << Text;
+}
+
+TEST_F(EndToEndTest, AllocationPlanRenderedForStackConfig) {
+  PipelineOptions Options;
+  Options.Optimize.EnableReuse = false; // reuse consumes the literal
+  R = runPipeline(partitionSortSource(), Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  std::string Text = renderAllocationPlan(*R.Ast, R.Optimized->Plan);
+  EXPECT_NE(Text.find("call of ps"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("top 1 spine(s) protected"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("6 stack site(s)"), std::string::npos) << Text;
+}
+
+TEST_F(EndToEndTest, StatsRenderContainsEveryCounter) {
+  analyzeSort();
+  std::string Text = R.Stats.str();
+  for (const char *Line :
+       {"heap cells allocated", "dcons reuses", "gc runs",
+        "region bulk frees", "stack arena frees", "peak live heap cells"})
+    EXPECT_NE(Text.find(Line), std::string::npos) << Text;
+}
+
+} // namespace

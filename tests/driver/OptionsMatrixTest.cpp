@@ -1,0 +1,74 @@
+//===- OptionsMatrixTest.cpp - pipeline flag combinations --------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Sweeps engine × typing mode × analysis mode × stdlib across the paper
+// programs: every combination must succeed and agree on the value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+using Params = std::tuple<int /*engine*/, int /*typing*/, int /*analysis*/,
+                          bool /*stdlib*/>;
+
+class OptionsMatrixTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(OptionsMatrixTest, AllCombinationsAgree) {
+  auto [Engine, Typing, Analysis, Stdlib] = GetParam();
+  PipelineOptions Options;
+  Options.Engine = Engine ? ExecutionEngine::Bytecode
+                          : ExecutionEngine::TreeWalker;
+  Options.Mode = Typing ? TypeInferenceMode::Monomorphic
+                        : TypeInferenceMode::Polymorphic;
+  Options.Optimize.Analysis = Analysis ? EscapeAnalysisMode::WholeObject
+                                       : EscapeAnalysisMode::SpineAware;
+  Options.IncludeStdlib = Stdlib;
+  Options.Run.ValidateArenaFrees = true;
+
+  struct Program {
+    const char *Source;
+    const char *Expected;
+  };
+  const Program Programs[] = {
+      {partitionSortSource(), "[1, 2, 3, 4, 5, 7]"},
+      {reverseSource(), "[5, 4, 3, 2, 1]"},
+      {"let n = 6 in (n, [n - 1, n + 1])", "(6, [5, 7])"},
+  };
+  for (const Program &P : Programs) {
+    PipelineResult R = runPipeline(P.Source, Options);
+    ASSERT_TRUE(R.Success) << P.Source << "\n" << R.diagnostics();
+    EXPECT_EQ(R.RenderedValue, P.Expected);
+  }
+}
+
+std::string matrixName(const ::testing::TestParamInfo<Params> &Info) {
+  auto [Engine, Typing, Analysis, Stdlib] = Info.param;
+  std::string Name;
+  Name += Engine ? "Vm" : "Tree";
+  Name += Typing ? "Mono" : "Poly";
+  Name += Analysis ? "Whole" : "Spine";
+  Name += Stdlib ? "Std" : "Bare";
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, OptionsMatrixTest,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1),
+                                            ::testing::Bool()),
+                         matrixName);
+
+} // namespace

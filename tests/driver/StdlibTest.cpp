@@ -1,0 +1,108 @@
+//===- StdlibTest.cpp - the standard prelude ---------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Stdlib.h"
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+
+namespace {
+
+PipelineResult runWithStdlib(const std::string &Source) {
+  PipelineOptions Options;
+  Options.IncludeStdlib = true;
+  return runPipeline(Source, Options);
+}
+
+TEST(StdlibTest, PreludeItselfTypechecksAndAnalyzes) {
+  PipelineOptions Options;
+  Options.IncludeStdlib = true;
+  Options.RunProgram = false;
+  PipelineResult R = runPipeline("0", Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  // Every prelude function gets an escape report entry.
+  EXPECT_GE(R.Optimized->BaseEscape.Functions.size(), 20u);
+}
+
+TEST(StdlibTest, CoreFunctionsCompute) {
+  struct Row {
+    const char *Source;
+    const char *Expected;
+  };
+  const Row Rows[] = {
+      {"append [1, 2] [3]", "[1, 2, 3]"},
+      {"map (lambda(v). v + 1) [1, 2, 3]", "[2, 3, 4]"},
+      {"filter (lambda(v). v < 3) [1, 4, 2, 5]", "[1, 2]"},
+      {"foldr (lambda(a b). a + b) 0 [1, 2, 3, 4]", "10"},
+      {"foldl (lambda(z a). z * 10 + a) 0 [1, 2, 3]", "123"},
+      {"length [5, 5, 5]", "3"},
+      {"sum [1, 2, 3, 4, 5]", "15"},
+      {"reverse [1, 2, 3]", "[3, 2, 1]"},
+      {"take 2 [7, 8, 9]", "[7, 8]"},
+      {"drop 2 [7, 8, 9]", "[9]"},
+      {"nth 1 [7, 8, 9]", "8"},
+      {"last [7, 8, 9]", "9"},
+      {"snoc [1, 2] 3", "[1, 2, 3]"},
+      {"zip [1, 2] [10, 20, 30]", "[(1, 10), (2, 20)]"},
+      {"unzipfst (zip [1, 2] [10, 20])", "[1, 2]"},
+      {"unzipsnd (zip [1, 2] [10, 20])", "[10, 20]"},
+      {"range 2 6", "[2, 3, 4, 5]"},
+      {"repeatv 3 9", "[9, 9, 9]"},
+      {"if all (lambda(v). v < 9) [1, 2] then 1 else 0", "1"},
+      {"if any (lambda(v). v = 2) [1, 2] then 1 else 0", "1"},
+      {"if member 2 [1, 2, 3] then 1 else 0", "1"},
+      {"isort [5, 2, 7, 1, 3, 4]", "[1, 2, 3, 4, 5, 7]"},
+      {"maximum [3, 9, 4]", "9"},
+  };
+  for (const Row &Row : Rows) {
+    PipelineResult R = runWithStdlib(Row.Source);
+    ASSERT_TRUE(R.Success) << Row.Source << "\n" << R.diagnostics();
+    EXPECT_EQ(R.RenderedValue, Row.Expected) << Row.Source;
+  }
+}
+
+TEST(StdlibTest, UserBindingsShadowPrelude) {
+  // A user-defined map replaces the stdlib one (no duplicate-binding
+  // error, and the user semantics win).
+  PipelineResult R = runWithStdlib(
+      "letrec map f l = [42] in map (lambda(v). v) [1, 2, 3]");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "[42]");
+}
+
+TEST(StdlibTest, UserLetrecBodyStillWorks) {
+  PipelineResult R = runWithStdlib(
+      "letrec double l = map (lambda(v). v * 2) l in sum (double [1, 2])");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "6");
+}
+
+TEST(StdlibTest, PreludeGetsOptimizedToo) {
+  // isort's insertsorted rebuilds a prefix and shares the tail (like the
+  // assoc-map insert), but reverse/append-style spine rebuilds in the
+  // prelude are reuse targets; at minimum append' must exist when the
+  // program makes fresh arguments flow into append.
+  PipelineResult R = runWithStdlib("append (reverse [1, 2, 3]) [4]");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "[3, 2, 1, 4]");
+  EXPECT_GT(R.Stats.DconsReuses + R.Stats.HeapCellsAllocated, 0u);
+}
+
+TEST(StdlibTest, WithStdlibIsIdempotentOnNames) {
+  // Splicing twice must not create duplicate bindings.
+  std::string Once = withStdlib("sum [1]");
+  std::string Twice = withStdlib(Once);
+  PipelineOptions Options;
+  PipelineResult R = runPipeline(Twice, Options);
+  EXPECT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "1");
+}
+
+} // namespace

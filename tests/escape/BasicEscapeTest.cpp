@@ -1,0 +1,126 @@
+//===- BasicEscapeTest.cpp - B_e lattice laws (property tests) --------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// B_e is the chain <0,0> ⊑ <1,0> ⊑ ... ⊑ <1,d> (§3.2). These
+// parameterized tests sweep every element (and pair, and triple) up to a
+// bound and check the lattice laws and the sub^s (car^s) properties the
+// analysis relies on for soundness and termination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/BasicEscape.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+constexpr unsigned MaxSpines = 6;
+
+std::vector<BasicEscape> allElements() {
+  std::vector<BasicEscape> Out;
+  Out.push_back(BasicEscape::none());
+  for (unsigned I = 0; I <= MaxSpines; ++I)
+    Out.push_back(BasicEscape::contained(I));
+  return Out;
+}
+
+class BasicEscapePairTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {
+protected:
+  BasicEscape elem(unsigned Index) { return allElements()[Index]; }
+};
+
+TEST_P(BasicEscapePairTest, JoinIsCommutative) {
+  auto [I, J] = GetParam();
+  EXPECT_EQ(join(elem(I), elem(J)), join(elem(J), elem(I)));
+}
+
+TEST_P(BasicEscapePairTest, JoinIsUpperBound) {
+  auto [I, J] = GetParam();
+  BasicEscape L = join(elem(I), elem(J));
+  EXPECT_TRUE(elem(I) <= L);
+  EXPECT_TRUE(elem(J) <= L);
+}
+
+TEST_P(BasicEscapePairTest, JoinIsLeastUpperBound) {
+  auto [I, J] = GetParam();
+  BasicEscape L = join(elem(I), elem(J));
+  for (BasicEscape U : allElements())
+    if (elem(I) <= U && elem(J) <= U) {
+      EXPECT_TRUE(L <= U);
+    }
+}
+
+TEST_P(BasicEscapePairTest, OrderIsTotalOnTheChain) {
+  auto [I, J] = GetParam();
+  EXPECT_TRUE(elem(I) <= elem(J) || elem(J) <= elem(I));
+}
+
+TEST_P(BasicEscapePairTest, SubIsMonotone) {
+  auto [I, J] = GetParam();
+  if (!(elem(I) <= elem(J)))
+    return;
+  for (unsigned S = 1; S <= MaxSpines; ++S)
+    EXPECT_TRUE(elem(I).sub(S) <= elem(J).sub(S))
+        << elem(I).str() << " sub " << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, BasicEscapePairTest,
+    ::testing::Combine(::testing::Range(0u, MaxSpines + 2),
+                       ::testing::Range(0u, MaxSpines + 2)));
+
+TEST(BasicEscapeTest, JoinIsAssociativeAndIdempotent) {
+  auto Elements = allElements();
+  for (BasicEscape A : Elements) {
+    EXPECT_EQ(join(A, A), A);
+    for (BasicEscape B : Elements)
+      for (BasicEscape C : Elements)
+        EXPECT_EQ(join(join(A, B), C), join(A, join(B, C)));
+  }
+}
+
+TEST(BasicEscapeTest, BottomIsIdentity) {
+  for (BasicEscape A : allElements()) {
+    EXPECT_EQ(join(A, BasicEscape::none()), A);
+    EXPECT_TRUE(BasicEscape::none() <= A);
+  }
+}
+
+TEST(BasicEscapeTest, SubSemantics) {
+  // sub^s strips one spine exactly when the value is <1,s>.
+  EXPECT_EQ(BasicEscape::contained(2).sub(2), BasicEscape::contained(1));
+  EXPECT_EQ(BasicEscape::contained(1).sub(2), BasicEscape::contained(1));
+  EXPECT_EQ(BasicEscape::contained(0).sub(1), BasicEscape::contained(0));
+  EXPECT_EQ(BasicEscape::none().sub(3), BasicEscape::none());
+  // Chains of cars peel spines one at a time.
+  EXPECT_EQ(BasicEscape::contained(2).sub(2).sub(1),
+            BasicEscape::contained(0));
+}
+
+TEST(BasicEscapeTest, SubNeverIncreases) {
+  for (BasicEscape A : allElements())
+    for (unsigned S = 1; S <= MaxSpines; ++S)
+      EXPECT_TRUE(A.sub(S) <= A);
+}
+
+TEST(BasicEscapeTest, EncodingIsInjective) {
+  auto Elements = allElements();
+  for (size_t I = 0; I != Elements.size(); ++I)
+    for (size_t J = 0; J != Elements.size(); ++J)
+      EXPECT_EQ(Elements[I].encoding() == Elements[J].encoding(), I == J);
+}
+
+TEST(BasicEscapeTest, Rendering) {
+  EXPECT_EQ(BasicEscape::none().str(), "<0,0>");
+  EXPECT_EQ(BasicEscape::contained(0).str(), "<1,0>");
+  EXPECT_EQ(BasicEscape::contained(3).str(), "<1,3>");
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- EscapeValueTest.cpp - ValueStore invariants ---------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/EscapeValue.h"
+
+#include "types/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+
+namespace {
+
+TEST(ValueStoreTest, BottomIsCanonical) {
+  ValueStore VS;
+  EXPECT_EQ(VS.bottom(), VS.makeGround(BasicEscape::none()));
+  EXPECT_EQ(VS.ground(VS.bottom()), BasicEscape::none());
+  EXPECT_TRUE(VS.value(VS.bottom()).Fns.empty());
+}
+
+TEST(ValueStoreTest, HashConsingGivesEqualIds) {
+  ValueStore VS;
+  ValueId A = VS.makeGround(BasicEscape::contained(2));
+  ValueId B = VS.makeGround(BasicEscape::contained(2));
+  ValueId C = VS.makeGround(BasicEscape::contained(1));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(ValueStoreTest, JoinLaws) {
+  ValueStore VS;
+  ValueId G0 = VS.makeGround(BasicEscape::none());
+  ValueId G1 = VS.makeGround(BasicEscape::contained(1));
+  ValueId P1 = VS.makePrim(PrimOp::Cons);
+  ValueId P2 = VS.makePrim(PrimOp::Car, 2);
+  ValueId Values[] = {G0, G1, P1, P2, VS.joinValues(G1, P1)};
+  for (ValueId A : Values) {
+    EXPECT_EQ(VS.joinValues(A, A), A) << "idempotence";
+    EXPECT_EQ(VS.joinValues(A, VS.bottom()), A) << "bottom is identity";
+    for (ValueId B : Values) {
+      EXPECT_EQ(VS.joinValues(A, B), VS.joinValues(B, A)) << "commutativity";
+      for (ValueId C : Values)
+        EXPECT_EQ(VS.joinValues(VS.joinValues(A, B), C),
+                  VS.joinValues(A, VS.joinValues(B, C)))
+            << "associativity";
+    }
+  }
+}
+
+TEST(ValueStoreTest, JoinMergesGroundsAndAtomSets) {
+  ValueStore VS;
+  ValueId A = VS.makeGround(BasicEscape::contained(1));
+  ValueId B = VS.makePrim(PrimOp::Cons);
+  ValueId J = VS.joinValues(A, B);
+  EXPECT_EQ(VS.ground(J), BasicEscape::contained(1));
+  EXPECT_EQ(VS.value(J).Fns.size(), 1u);
+  // Joining again with either operand is absorbed.
+  EXPECT_EQ(VS.joinValues(J, A), J);
+  EXPECT_EQ(VS.joinValues(J, B), J);
+}
+
+TEST(ValueStoreTest, WithGroundKeepsAtoms) {
+  ValueStore VS;
+  ValueId P = VS.makePrim(PrimOp::Cons);
+  ValueId R = VS.withGround(P, BasicEscape::contained(2));
+  EXPECT_EQ(VS.ground(R), BasicEscape::contained(2));
+  EXPECT_EQ(VS.value(R).Fns, VS.value(P).Fns);
+  // Regrounding to the same value is the identity.
+  EXPECT_EQ(VS.withGround(P, VS.ground(P)), P);
+}
+
+TEST(ValueStoreTest, WorstIsErrForGroundTypes) {
+  ValueStore VS;
+  TypeContext TC;
+  // W^int and W^{int list} have no function component (m = 0).
+  ValueId WInt = VS.makeWorst(BasicEscape::contained(0), TC.getInt());
+  EXPECT_TRUE(VS.value(WInt).Fns.empty());
+  ValueId WList =
+      VS.makeWorst(BasicEscape::contained(1), TC.getList(TC.getInt()));
+  EXPECT_TRUE(VS.value(WList).Fns.empty());
+}
+
+TEST(ValueStoreTest, WorstStripsListsToFunctionCore) {
+  ValueStore VS;
+  TypeContext TC;
+  // W^{(int -> int) list} = W^{int -> int} (Definition 2).
+  const Type *FnTy = TC.getFun(TC.getInt(), TC.getInt());
+  ValueId A = VS.makeWorst(BasicEscape::none(), TC.getList(FnTy));
+  ValueId B = VS.makeWorst(BasicEscape::none(), FnTy);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(VS.value(A).Fns.size(), 1u);
+  EXPECT_EQ(VS.atom(VS.value(A).Fns[0]).Kind, FnAtomKind::Worst);
+}
+
+TEST(ValueStoreTest, EnvironmentsAreCanonicalAndOrdered) {
+  ValueStore VS;
+  StringInterner SI;
+  Symbol X = SI.intern("x"), Y = SI.intern("y");
+  EnvBinding BX{X, EnvBindingKind::Value, VS.bottom(), 0, 0};
+  EnvBinding BY{Y, EnvBindingKind::Value, VS.makeGround(
+                    BasicEscape::contained(1)), 0, 0};
+  // Extension order does not matter: environments are sorted by symbol.
+  EnvId E1 = VS.extend(VS.extend(VS.emptyEnv(), BX), BY);
+  EnvId E2 = VS.extend(VS.extend(VS.emptyEnv(), BY), BX);
+  EXPECT_EQ(E1, E2);
+  EXPECT_EQ(VS.lookup(E1, X)->Val, VS.bottom());
+  EXPECT_EQ(VS.lookup(E1, Y)->Val, BY.Val);
+  EXPECT_EQ(VS.lookup(E1, SI.intern("z")), nullptr);
+}
+
+TEST(ValueStoreTest, ExtensionShadows) {
+  ValueStore VS;
+  StringInterner SI;
+  Symbol X = SI.intern("x");
+  EnvBinding B1{X, EnvBindingKind::Value, VS.bottom(), 0, 0};
+  EnvBinding B2{X, EnvBindingKind::Value,
+                VS.makeGround(BasicEscape::contained(1)), 0, 0};
+  EnvId E = VS.extend(VS.extend(VS.emptyEnv(), B1), B2);
+  EXPECT_EQ(VS.lookup(E, X)->Val, B2.Val);
+  EXPECT_EQ(VS.env(E).Bindings.size(), 1u);
+}
+
+TEST(ValueStoreTest, RestrictionDropsOthers) {
+  ValueStore VS;
+  StringInterner SI;
+  Symbol X = SI.intern("x"), Y = SI.intern("y");
+  EnvId E = VS.extend(
+      VS.extend(VS.emptyEnv(),
+                EnvBinding{X, EnvBindingKind::Value, VS.bottom(), 0, 0}),
+      EnvBinding{Y, EnvBindingKind::Value, VS.bottom(), 0, 0});
+  Symbol Keep[] = {X};
+  EnvId R = VS.restrict(E, Keep);
+  EXPECT_NE(VS.lookup(R, X), nullptr);
+  EXPECT_EQ(VS.lookup(R, Y), nullptr);
+  // Restricting to nothing gives the canonical empty environment.
+  EXPECT_EQ(VS.restrict(E, std::span<const Symbol>()), VS.emptyEnv());
+}
+
+TEST(ValueStoreTest, StrRendersGroundAndMarksFunctions) {
+  ValueStore VS;
+  EXPECT_EQ(VS.str(VS.bottom()), "<0,0>");
+  EXPECT_EQ(VS.str(VS.makeGround(BasicEscape::contained(2))), "<1,2>");
+  EXPECT_EQ(VS.str(VS.makePrim(PrimOp::Cons)), "<0,0>+fn(1)");
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- LocalContextTest.cpp - the in-context local test ----------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// localEscapeInContext runs the §4.2 local test at call sites inside
+// function bodies by binding enclosing variables to worst-case values of
+// their types. These tests check soundness (never better than runtime
+// reality allows), precision (at least matches the global test where
+// comparable), and the bail-outs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/EscapeAnalyzer.h"
+
+#include "TestUtil.h"
+#include "lang/AstUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class LocalContextTest : public ::testing::Test {
+protected:
+  Frontend FE;
+  std::unique_ptr<EscapeAnalyzer> Analyzer;
+
+  bool setup(const std::string &Source) {
+    if (!FE.parseAndType(Source, TypeInferenceMode::Monomorphic))
+      return false;
+    Analyzer = std::make_unique<EscapeAnalyzer>(FE.Ast, *FE.Typed, FE.Diags);
+    return true;
+  }
+
+  /// Finds the first saturated call of \p Callee anywhere in the program.
+  const Expr *findCall(const char *Callee) {
+    Symbol Name = FE.Ast.intern(Callee);
+    const Expr *Found = nullptr;
+    forEachExpr(FE.Root, [&](const Expr *E) {
+      if (Found)
+        return;
+      std::vector<const Expr *> Args;
+      const Expr *Fn = uncurryCall(E, Args);
+      const auto *Var = dyn_cast<VarExpr>(Fn);
+      if (Var && Var->name() == Name && !Args.empty())
+        Found = E;
+    });
+    return Found;
+  }
+};
+
+TEST_F(LocalContextTest, InteriorCallWithEnclosingParam) {
+  // Inside wrapper, the call `keep (cdr x)` references the enclosing
+  // parameter x. The in-context test must still conclude that keep's
+  // argument spine does not escape keep.
+  const char *Source = R"(
+letrec
+  keep l = if (null l) then nil else cons (car l) (keep (cdr l));
+  wrapper x = keep (cdr x)
+in wrapper [1, 2, 3]
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  const Expr *Call = findCall("keep");
+  ASSERT_NE(Call, nullptr);
+  auto PE = Analyzer->localEscapeInContext(Call, 0);
+  ASSERT_TRUE(PE.has_value());
+  EXPECT_EQ(PE->Escape, BasicEscape::contained(0)) << PE->Escape.str();
+  EXPECT_EQ(PE->protectedTopSpines(), 1u);
+}
+
+TEST_F(LocalContextTest, MatchesPlainLocalTestAtTopLevel) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  auto Plain = Analyzer->localEscape(Letrec->body(), 0);
+  auto InContext = Analyzer->localEscapeInContext(Letrec->body(), 0);
+  ASSERT_TRUE(Plain && InContext);
+  EXPECT_EQ(Plain->Escape, InContext->Escape);
+}
+
+TEST_F(LocalContextTest, WorstCaseFunctionVariableStaysConservative) {
+  // h is an enclosing *function* parameter used as the callee's argument
+  // builder: the worst-case binding must let it release what it is
+  // given.
+  const char *Source = R"(
+letrec
+  keep l = if (null l) then nil else cons (car l) (keep (cdr l));
+  use h x = keep (h x)
+in use (lambda(v). v) [1, 2]
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  const Expr *Call = findCall("keep");
+  ASSERT_NE(Call, nullptr);
+  auto PE = Analyzer->localEscapeInContext(Call, 0);
+  ASSERT_TRUE(PE.has_value());
+  // keep still protects its argument's top spine regardless of h.
+  EXPECT_EQ(PE->protectedTopSpines(), 1u);
+}
+
+TEST_F(LocalContextTest, EscapingCalleeStillReportsEscape) {
+  const char *Source = R"(
+letrec
+  id l = l;
+  wrapper x = id (cdr x)
+in wrapper [1, 2, 3]
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  const Expr *Call = findCall("id");
+  ASSERT_NE(Call, nullptr);
+  auto PE = Analyzer->localEscapeInContext(Call, 0);
+  ASSERT_TRUE(PE.has_value());
+  EXPECT_EQ(PE->Escape, BasicEscape::contained(1));
+  EXPECT_EQ(PE->protectedTopSpines(), 0u);
+}
+
+TEST_F(LocalContextTest, ReboundNameInsideCallBailsOut) {
+  // The call contains a lambda rebinding the free name g; the context
+  // test gives up rather than guess the type.
+  const char *Source = R"(
+letrec
+  apply f l = f l;
+  outer g = apply (lambda(g). g) (g 1)
+in outer (lambda(n). [n])
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  const Expr *Call = findCall("apply");
+  ASSERT_NE(Call, nullptr);
+  EXPECT_FALSE(Analyzer->localEscapeInContext(Call, 1).has_value());
+}
+
+} // namespace

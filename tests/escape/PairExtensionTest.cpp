@@ -1,0 +1,235 @@
+//===- PairExtensionTest.cpp - the §1 tuple extension, end to end -----------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// The paper notes its approach "could be applied to other data
+// structures such as tuples". These tests cover the product-type
+// extension at every layer: parsing, typing, evaluation, and the
+// abstract escape semantics (with precise component projection and the
+// Definition-2 analog of worst-case functions over pairs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/AstPrinter.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class PairExtensionTest : public ::testing::Test {
+protected:
+  Frontend FE;
+  std::unique_ptr<EscapeAnalyzer> Analyzer;
+
+  bool setup(const std::string &Source,
+             TypeInferenceMode Mode = TypeInferenceMode::Monomorphic) {
+    if (!FE.parseAndType(Source, Mode))
+      return false;
+    Analyzer = std::make_unique<EscapeAnalyzer>(FE.Ast, *FE.Typed, FE.Diags);
+    return true;
+  }
+
+  BasicEscape global(const char *Fn, unsigned OneBased) {
+    auto PE = Analyzer->globalEscape(FE.Ast.intern(Fn), OneBased - 1);
+    EXPECT_TRUE(PE.has_value());
+    return PE ? PE->Escape : BasicEscape::none();
+  }
+
+  std::optional<RtValue> run() {
+    Interp = std::make_unique<Interpreter>(FE.Ast, *FE.Typed, nullptr,
+                                           FE.Diags, Interpreter::Options());
+    return Interp->run();
+  }
+
+  std::unique_ptr<Interpreter> Interp;
+};
+
+//===----------------------------------------------------------------------===//
+// Front end.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PairExtensionTest, TupleSyntaxParsesAndPrints) {
+  ASSERT_TRUE(FE.parse("(1, true)")) << FE.diagText();
+  PrintOptions PO;
+  PO.Multiline = false;
+  EXPECT_EQ(printExpr(FE.Ast, FE.Root, PO), "(1, true)");
+}
+
+TEST_F(PairExtensionTest, TriplesNestRight) {
+  ASSERT_TRUE(FE.parseAndType("fst (snd (1, (2, 3)))")) << FE.diagText();
+  EXPECT_EQ(typeName(FE.Typed->typeOf(FE.Root)), "int");
+}
+
+TEST_F(PairExtensionTest, PairTypes) {
+  ASSERT_TRUE(FE.parseAndType("(1, [true])")) << FE.diagText();
+  EXPECT_EQ(typeName(FE.Typed->typeOf(FE.Root)), "int * bool list");
+  Frontend FE2;
+  ASSERT_TRUE(FE2.parseAndType("[(1, 2)]")) << FE2.diagText();
+  EXPECT_EQ(typeName(FE2.Typed->typeOf(FE2.Root)), "(int * int) list");
+}
+
+TEST_F(PairExtensionTest, PairsAreSpineless) {
+  TypeContext TC;
+  EXPECT_EQ(spineCount(TC.getPair(TC.getList(TC.getInt()), TC.getInt())),
+            0u);
+}
+
+TEST_F(PairExtensionTest, ProjectionTypeErrorsCaught) {
+  Frontend FE2;
+  EXPECT_FALSE(FE2.parseAndType("fst [1]"));
+  EXPECT_TRUE(FE2.Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PairExtensionTest, PairsEvaluateAndRender) {
+  ASSERT_TRUE(setup("(1 + 1, [2, 3])")) << FE.diagText();
+  auto V = run();
+  ASSERT_TRUE(V.has_value()) << FE.diagText();
+  EXPECT_EQ(Interp->render(*V), "(2, [2, 3])");
+}
+
+TEST_F(PairExtensionTest, ProjectionsEvaluate) {
+  ASSERT_TRUE(setup("fst (40, 1) + snd (1, 2)")) << FE.diagText();
+  auto V = run();
+  ASSERT_TRUE(V.has_value()) << FE.diagText();
+  EXPECT_EQ(V->intValue(), 42);
+}
+
+TEST_F(PairExtensionTest, PairsAreGarbageCollected) {
+  const char *Source = R"(
+letrec churn i = if i = 0 then 0
+                 else churn (i - snd (0, 1))
+in churn 100
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  Interpreter::Options Opts;
+  Opts.HeapCapacity = 16;
+  Opts.AllowHeapGrowth = false;
+  Interp = std::make_unique<Interpreter>(FE.Ast, *FE.Typed, nullptr, FE.Diags,
+                                         Opts);
+  auto V = Interp->run();
+  ASSERT_TRUE(V.has_value()) << FE.diagText();
+  EXPECT_GE(Interp->stats().GcRuns, 1u);
+}
+
+TEST_F(PairExtensionTest, SplitWithPairsComputesCorrectly) {
+  // A natural rewrite of the paper's split: return (lo, hi) instead of a
+  // two-spine list.
+  const char *Source = R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h = if (null x) then (l, h)
+                  else if (car x) <= p
+                       then split p (cdr x) (cons (car x) l) h
+                       else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (fst (split (car x) (cdr x) nil nil)))
+                     (cons (car x)
+                           (ps (snd (split (car x) (cdr x) nil nil))))
+in ps [5, 2, 7, 1, 3, 4]
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  auto V = run();
+  ASSERT_TRUE(V.has_value()) << FE.diagText();
+  EXPECT_EQ(Interpreter::toIntVector(*V),
+            (std::vector<int64_t>{1, 2, 3, 4, 5, 7}));
+}
+
+//===----------------------------------------------------------------------===//
+// Escape semantics.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PairExtensionTest, ComponentsProjectPrecisely) {
+  // keepFst pairs x with a fresh list and takes fst: only x escapes;
+  // dropSnd does the same but keeps the fresh list: x does not escape.
+  const char *Source = R"(
+letrec
+  keepFst x = fst (x, [1]);
+  dropX x = snd (x, [1])
+in (keepFst [1], dropX [2])
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  EXPECT_EQ(global("keepFst", 1), BasicEscape::contained(1));
+  EXPECT_EQ(global("dropX", 1), BasicEscape::none());
+}
+
+TEST_F(PairExtensionTest, PairValueContainsBothComponents) {
+  // Returning the pair itself releases x (its ground is joined in).
+  ASSERT_TRUE(setup("letrec mk x = (x, 0) in mk [1]")) << FE.diagText();
+  EXPECT_EQ(global("mk", 1), BasicEscape::contained(1));
+}
+
+TEST_F(PairExtensionTest, SplitWithPairsAnalyzesLikeThePaper) {
+  const char *Source = R"(
+letrec
+  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  split p x l h = if (null x) then (l, h)
+                  else if (car x) <= p
+                       then split p (cdr x) (cons (car x) l) h
+                       else split p (cdr x) l (cons (car x) h);
+  ps x = if (null x) then nil
+         else append (ps (fst (split (car x) (cdr x) nil nil)))
+                     (cons (car x)
+                           (ps (snd (split (car x) (cdr x) nil nil))))
+in ps [5, 2, 7, 1, 3, 4]
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  // Same verdicts as the list-encoded version (A.1): the pivot does not
+  // escape split; x's top spine does not; l and h escape wholesale; and
+  // ps protects its argument's top spine.
+  EXPECT_EQ(global("split", 1), BasicEscape::none());
+  EXPECT_EQ(global("split", 2), BasicEscape::contained(0));
+  EXPECT_EQ(global("split", 3), BasicEscape::contained(1));
+  EXPECT_EQ(global("split", 4), BasicEscape::contained(1));
+  EXPECT_EQ(global("ps", 1), BasicEscape::contained(0));
+}
+
+TEST_F(PairExtensionTest, WorstCaseReachesFunctionsInsidePairs) {
+  // g returns a pair holding a closure that captures x; an unknown
+  // consumer may project and apply it, releasing x. The worst-case
+  // machinery must find the closure inside the pair.
+  const char *Source = R"(
+letrec
+  g x = (0, lambda(u). x);
+  use h = (snd (h [1])) 0
+in use g
+)";
+  ASSERT_TRUE(setup(Source)) << FE.diagText();
+  // In use, h is unknown (worst case): h's result pair may contain a
+  // function releasing its argument. use's parameter is a function: no
+  // list verdicts to check here — but g itself clearly releases x.
+  EXPECT_EQ(global("g", 1), BasicEscape::contained(1));
+}
+
+TEST_F(PairExtensionTest, PairOfListsInWorstCasePosition) {
+  // f passes its list to an unknown function returning int: the W value
+  // releases the ground. Pairs in the argument type must not confuse it.
+  const char *Source = R"(
+letrec f g x = g (x, x)
+in f (lambda(p). suml (fst p))
+     [1, 2]
+)";
+  // suml is not defined here; inline a lambda instead.
+  const char *Fixed = R"(
+letrec f g x = g (x, x)
+in f (lambda(p). if (null (fst p)) then 0 else car (fst p)) [1, 2]
+)";
+  (void)Source;
+  ASSERT_TRUE(setup(Fixed)) << FE.diagText();
+  // Worst case: g may release the pair containing x entirely.
+  EXPECT_EQ(global("f", 2), BasicEscape::contained(1));
+}
+
+} // namespace

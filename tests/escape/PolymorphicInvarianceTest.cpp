@@ -1,0 +1,134 @@
+//===- PolymorphicInvarianceTest.cpp - Theorem 1 ------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Theorem 1: for any two monomorphic instances f', f'' of a polymorphic
+// function, either both global tests yield <0,0>, or s' − k' = s'' − k''.
+// These tests instantiate library functions at element depths 1..4 (by
+// driving them with suitably nested literals under monomorphic typing)
+// and assert the invariant; the polymorphic-mode result must agree with
+// the simplest instance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "escape/EscapeAnalyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+/// A literal of list-nesting depth \p Depth (>= 1).
+std::string nested(unsigned Depth) {
+  if (Depth == 1)
+    return "[1, 2]";
+  return "[" + nested(Depth - 1) + "]";
+}
+
+struct Verdict {
+  bool Escapes = false;
+  unsigned Spines = 0;
+  unsigned Protected = 0;
+};
+
+Verdict analyzeAt(const std::string &Source, const char *Fn, unsigned Param,
+                  TypeInferenceMode Mode) {
+  Frontend FE;
+  EXPECT_TRUE(FE.parseAndType(Source, Mode)) << Source << FE.diagText();
+  EscapeAnalyzer Analyzer(FE.Ast, *FE.Typed, FE.Diags);
+  auto PE = Analyzer.globalEscape(FE.Ast.intern(Fn), Param);
+  EXPECT_TRUE(PE.has_value());
+  Verdict V;
+  if (PE) {
+    V.Escapes = PE->escapes();
+    V.Spines = PE->ParamSpines;
+    V.Protected = PE->protectedTopSpines();
+  }
+  return V;
+}
+
+struct Subject {
+  const char *Name;
+  const char *Fn;
+  unsigned Param; // 0-based
+  const char *Prelude;
+  const char *Drive; // printf-ish: %L replaced with the literal
+};
+
+std::string driveAt(const Subject &S, unsigned Depth) {
+  std::string Out = std::string("letrec ") + S.Prelude + " in ";
+  std::string Drive = S.Drive;
+  size_t Pos;
+  while ((Pos = Drive.find("%L")) != std::string::npos)
+    Drive.replace(Pos, 2, nested(Depth));
+  return Out + Drive;
+}
+
+class InvarianceTest : public ::testing::TestWithParam<Subject> {};
+
+TEST_P(InvarianceTest, ProtectedSpinesInvariantAcrossInstances) {
+  // Theorem 1, precisely: either G = <0,0> at *every* instance, or
+  // G = <1,k> at every instance with s − k constant. (For non-escaping
+  // parameters the protected count is the full s, which of course grows
+  // with the instance — the invariant clause applies to the <1,k> case.)
+  const Subject &S = GetParam();
+  std::optional<unsigned> Expected;
+  std::optional<bool> ExpectedEscapes;
+  for (unsigned Depth = 1; Depth <= 4; ++Depth) {
+    Verdict V = analyzeAt(driveAt(S, Depth), S.Fn, S.Param,
+                          TypeInferenceMode::Monomorphic);
+    if (!Expected) {
+      Expected = V.Protected;
+      ExpectedEscapes = V.Escapes;
+      continue;
+    }
+    EXPECT_EQ(V.Escapes, *ExpectedEscapes) << S.Name << " depth " << Depth;
+    if (*ExpectedEscapes)
+      EXPECT_EQ(V.Protected, *Expected)
+          << S.Name << " instance s=" << V.Spines
+          << " breaks Theorem 1's invariant";
+  }
+  // Polymorphic mode analyzes the simplest instance: same verdict class,
+  // same invariant quantity when escaping.
+  Verdict Poly = analyzeAt(driveAt(S, 1), S.Fn, S.Param,
+                           TypeInferenceMode::Polymorphic);
+  EXPECT_EQ(Poly.Escapes, *ExpectedEscapes) << S.Name;
+  if (*ExpectedEscapes)
+    EXPECT_EQ(Poly.Protected, *Expected) << S.Name << " (polymorphic mode)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, InvarianceTest,
+    ::testing::Values(
+        Subject{"AppendX", "append", 0,
+                "append x y = if (null x) then y "
+                "else cons (car x) (append (cdr x) y)",
+                "append %L %L"},
+        Subject{"AppendY", "append", 1,
+                "append x y = if (null x) then y "
+                "else cons (car x) (append (cdr x) y)",
+                "append %L %L"},
+        Subject{"Rev", "rev", 0,
+                "append x y = if (null x) then y "
+                "else cons (car x) (append (cdr x) y); "
+                "rev l = if (null l) then nil "
+                "else append (rev (cdr l)) (cons (car l) nil)",
+                "rev %L"},
+        Subject{"MapL", "map", 1,
+                "map f l = if (null l) then nil "
+                "else cons (f (car l)) (map f (cdr l))",
+                "map (lambda(e). e) %L"},
+        Subject{"Length", "len", 0,
+                "len l = if (null l) then 0 else 1 + len (cdr l)",
+                "len %L"},
+        Subject{"TailTwice", "tt", 0,
+                "tt l = if (null l) then nil "
+                "else if (null (cdr l)) then nil else cdr (cdr l)",
+                "tt %L"}),
+    [](const auto &Info) { return std::string(Info.param.Name); });
+
+} // namespace

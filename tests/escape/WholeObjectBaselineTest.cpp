@@ -1,0 +1,113 @@
+//===- WholeObjectBaselineTest.cpp - the ESOP'90 baseline mode ---------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class WholeObjectTest : public ::testing::Test {
+protected:
+  Frontend FE;
+  std::unique_ptr<EscapeAnalyzer> Analyzer;
+
+  bool setup(const std::string &Source) {
+    if (!FE.parseAndType(Source))
+      return false;
+    Analyzer = std::make_unique<EscapeAnalyzer>(
+        FE.Ast, *FE.Typed, FE.Diags, 512, EscapeAnalysisMode::WholeObject);
+    return true;
+  }
+
+  ParamEscape global(const char *Fn, unsigned OneBased) {
+    auto PE = Analyzer->globalEscape(FE.Ast.intern(Fn), OneBased - 1);
+    EXPECT_TRUE(PE.has_value());
+    return *PE;
+  }
+};
+
+TEST_F(WholeObjectTest, ElementsEscapingMeansWholeListEscapes) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  // Spine-aware: G(append,1) = <1,0>, top spine protected. Whole-object:
+  // the parameter is indivisible, so it just escapes (no protection).
+  ParamEscape X = global("append", 1);
+  EXPECT_TRUE(X.escapes());
+  EXPECT_EQ(X.protectedTopSpines(), 0u);
+  EXPECT_EQ(X.ParamSpines, 1u) << "verdict maps back to real structure";
+  EXPECT_EQ(X.escapingSpines(), 1u) << "all-or-nothing";
+  ParamEscape PS = global("ps", 1);
+  EXPECT_TRUE(PS.escapes());
+  EXPECT_EQ(PS.protectedTopSpines(), 0u);
+}
+
+TEST_F(WholeObjectTest, TrulyPrivateParametersStillDetected) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  // split's pivot never escapes under either analysis.
+  EXPECT_FALSE(global("split", 1).escapes());
+  // length-style consumers keep their list private even whole-object.
+  Frontend FE2;
+  ASSERT_TRUE(FE2.parseAndType(
+      "letrec len l = if (null l) then 0 else 1 + len (cdr l) in len [1]"));
+  EscapeAnalyzer A2(FE2.Ast, *FE2.Typed, FE2.Diags, 512,
+                    EscapeAnalysisMode::WholeObject);
+  auto PE = A2.globalEscape(FE2.Ast.intern("len"), 0);
+  ASSERT_TRUE(PE.has_value());
+  EXPECT_FALSE(PE->escapes());
+}
+
+TEST_F(WholeObjectTest, BaselineIsCoarserNeverFiner) {
+  // On every parameter of the partition sort program: whole-object
+  // "protected spines" (0 or all) never exceeds the spine-aware count.
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  EscapeAnalyzer Precise(FE.Ast, *FE.Typed, FE.Diags);
+  ProgramEscapeReport Coarse = Analyzer->analyzeProgram();
+  ProgramEscapeReport Fine = Precise.analyzeProgram();
+  for (size_t F = 0; F != Coarse.Functions.size(); ++F)
+    for (size_t P = 0; P != Coarse.Functions[F].Params.size(); ++P) {
+      const ParamEscape &CP = Coarse.Functions[F].Params[P];
+      const ParamEscape &FP = Fine.Functions[F].Params[P];
+      // If the baseline says "does not escape", the precise analysis
+      // must agree (same abstract semantics, only grading differs).
+      if (!CP.escapes()) {
+        EXPECT_FALSE(FP.escapes());
+      }
+    }
+}
+
+TEST_F(WholeObjectTest, PipelineProducesNoReuseOnSort) {
+  PipelineOptions Options;
+  Options.Optimize.Analysis = EscapeAnalysisMode::WholeObject;
+  PipelineResult R = runPipeline(partitionSortSource(), Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  // The baseline licenses no spine reuse on partition sort...
+  EXPECT_EQ(R.Stats.DconsReuses, 0u);
+  EXPECT_TRUE(R.Optimized->Reuse.Versions.empty());
+  // ...and still computes the right answer.
+  EXPECT_EQ(R.RenderedValue, "[1, 2, 3, 4, 5, 7]");
+}
+
+TEST_F(WholeObjectTest, BaselineStillLicensesFullyPrivateArgs) {
+  // A consumer that never releases its list: even the baseline can stack
+  // allocate the literal.
+  PipelineOptions Options;
+  Options.Optimize.Analysis = EscapeAnalysisMode::WholeObject;
+  PipelineResult R = runPipeline(
+      "letrec suml l = if (null l) then 0 else car l + suml (cdr l) "
+      "in suml [1, 2, 3]",
+      Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "6");
+  EXPECT_EQ(R.Stats.StackCellsAllocated, 3u);
+}
+
+} // namespace

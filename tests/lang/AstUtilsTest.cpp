@@ -1,0 +1,153 @@
+//===- AstUtilsTest.cpp - AST utility unit tests ----------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstUtils.h"
+
+#include "TestUtil.h"
+#include "lang/AstCloner.h"
+#include "lang/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class AstUtilsTest : public ::testing::Test {
+protected:
+  Frontend FE;
+
+  std::vector<std::string> freeVarNames(const std::string &Source) {
+    const Expr *Root = FE.parse(Source);
+    EXPECT_NE(Root, nullptr) << FE.diagText();
+    std::vector<std::string> Names;
+    for (Symbol S : freeVariables(Root))
+      Names.emplace_back(FE.Ast.spelling(S));
+    return Names;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Free variables (the F of the lambda escape rule, §3.4).
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstUtilsTest, LambdaBindsItsParameter) {
+  EXPECT_EQ(freeVarNames("lambda(x). x y"),
+            (std::vector<std::string>{"y"}));
+}
+
+TEST_F(AstUtilsTest, FirstOccurrenceOrderDeduplicated) {
+  EXPECT_EQ(freeVarNames("a + b + a + c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(AstUtilsTest, LetBindsOnlyItsBody) {
+  EXPECT_EQ(freeVarNames("let x = x in x"),
+            (std::vector<std::string>{"x"})); // the value's x is free
+}
+
+TEST_F(AstUtilsTest, LetrecBindsValuesAndBody) {
+  EXPECT_EQ(freeVarNames("letrec f x = f (g x) in f h"),
+            (std::vector<std::string>{"g", "h"}));
+}
+
+TEST_F(AstUtilsTest, PrimitivesAreNotVariables) {
+  EXPECT_EQ(freeVarNames("cons (car l) nil"),
+            (std::vector<std::string>{"l"}));
+}
+
+TEST_F(AstUtilsTest, ShadowingInNestedLambda) {
+  EXPECT_EQ(freeVarNames("lambda(x). (lambda(x). x) x"),
+            (std::vector<std::string>{}));
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal and call decomposition.
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstUtilsTest, CountNodesVisitsEverything) {
+  const Expr *Root = FE.parse("f (g 1) (h 2)");
+  ASSERT_NE(Root, nullptr);
+  // f, g, 1, h, 2 and 4 App nodes.
+  EXPECT_EQ(countNodes(Root), 9u);
+}
+
+TEST_F(AstUtilsTest, UncurryCallRecoversSpine) {
+  const Expr *Root = FE.parse("f a b c");
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  EXPECT_TRUE(isa<VarExpr>(Callee));
+  ASSERT_EQ(Args.size(), 3u);
+  EXPECT_TRUE(isa<VarExpr>(Args[0]));
+}
+
+TEST_F(AstUtilsTest, UncurryCallOnNonApp) {
+  const Expr *Root = FE.parse("x");
+  std::vector<const Expr *> Args;
+  EXPECT_EQ(uncurryCall(Root, Args), Root);
+  EXPECT_TRUE(Args.empty());
+}
+
+TEST_F(AstUtilsTest, LambdaArityCountsLeadingBinders) {
+  EXPECT_EQ(lambdaArity(FE.parse("lambda(a b). lambda(c). a")), 3u);
+  Frontend FE2;
+  EXPECT_EQ(lambdaArity(FE2.parse("1 + 1")), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning.
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstUtilsTest, CloneIsDeepAndFresh) {
+  const Expr *Root = FE.parse(
+      "letrec f x = if (null x) then nil else cons (car x) (f (cdr x)) "
+      "in f [1, 2]");
+  ASSERT_NE(Root, nullptr);
+  AstCloner Cloner(FE.Ast);
+  const Expr *Copy = Cloner.clone(Root);
+  EXPECT_NE(Copy, Root);
+  EXPECT_EQ(countNodes(Copy), countNodes(Root));
+  PrintOptions PO;
+  PO.Multiline = false;
+  EXPECT_EQ(printExpr(FE.Ast, Copy, PO), printExpr(FE.Ast, Root, PO));
+  // Fresh node ids: no clone node shares an id with an original node.
+  std::vector<bool> Seen(FE.Ast.numNodes(), false);
+  forEachExpr(Root, [&](const Expr *E) { Seen[E->id()] = true; });
+  forEachExpr(Copy, [&](const Expr *E) { EXPECT_FALSE(Seen[E->id()]); });
+}
+
+namespace {
+/// A cloner that renames one variable, for testing the rewrite hook.
+class RenameCloner : public AstCloner {
+public:
+  RenameCloner(AstContext &Ctx, Symbol From, Symbol To)
+      : AstCloner(Ctx), From(From), To(To) {}
+
+protected:
+  const Expr *rewrite(const Expr *E) override {
+    const auto *Var = dyn_cast<VarExpr>(E);
+    if (Var && Var->name() == From)
+      return Ctx.createVar(E->range(), To);
+    return nullptr;
+  }
+
+private:
+  Symbol From, To;
+};
+} // namespace
+
+TEST_F(AstUtilsTest, ClonerRewriteHook) {
+  const Expr *Root = FE.parse("f (f x)");
+  RenameCloner Cloner(FE.Ast, FE.Ast.intern("f"), FE.Ast.intern("g"));
+  const Expr *Copy = Cloner.clone(Root);
+  PrintOptions PO;
+  PO.Multiline = false;
+  EXPECT_EQ(printExpr(FE.Ast, Copy, PO), "g (g x)");
+}
+
+} // namespace

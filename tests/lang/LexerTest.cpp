@@ -1,0 +1,140 @@
+//===- LexerTest.cpp - nml lexer unit tests ---------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = L.next();
+    if (T.is(TokenKind::EndOfFile) || T.is(TokenKind::Error))
+      break;
+    Tokens.push_back(T);
+  }
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lexAll(Source, Diags))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kindsOf("letrec let in if then else lambda true false nil"),
+            (std::vector<TokenKind>{
+                TokenKind::KwLetrec, TokenKind::KwLet, TokenKind::KwIn,
+                TokenKind::KwIf, TokenKind::KwThen, TokenKind::KwElse,
+                TokenKind::KwLambda, TokenKind::KwTrue, TokenKind::KwFalse,
+                TokenKind::KwNil}));
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  EXPECT_EQ(kindsOf("( ) [ ] , ; . = <> < <= > >= + - * :: div mod"),
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBracket,
+                TokenKind::RBracket, TokenKind::Comma, TokenKind::Semicolon,
+                TokenKind::Dot, TokenKind::Equal, TokenKind::NotEqual,
+                TokenKind::Less, TokenKind::LessEqual, TokenKind::Greater,
+                TokenKind::GreaterEqual, TokenKind::Plus, TokenKind::Minus,
+                TokenKind::Star, TokenKind::ColonColon, TokenKind::KwDiv,
+                TokenKind::KwMod}));
+}
+
+TEST(LexerTest, IdentifiersAllowPrimesAndUnderscores) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("append' my_var x1", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Spelling, "append'");
+  EXPECT_EQ(Tokens[1].Spelling, "my_var");
+  EXPECT_EQ(Tokens[2].Spelling, "x1");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("0 42 9223372036854775807", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, INT64_MAX);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, IntegerOverflowIsAnError) {
+  DiagnosticEngine Diags;
+  Lexer L("99999999999999999999", Diags);
+  Token T = L.next();
+  EXPECT_TRUE(T.is(TokenKind::Error));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(kindsOf("1 -- this is a comment\n2"),
+            (std::vector<TokenKind>{TokenKind::IntLiteral,
+                                    TokenKind::IntLiteral}));
+}
+
+TEST(LexerTest, NestedBlockComments) {
+  EXPECT_EQ(kindsOf("1 (* outer (* inner *) still out *) 2"),
+            (std::vector<TokenKind>{TokenKind::IntLiteral,
+                                    TokenKind::IntLiteral}));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsAnError) {
+  DiagnosticEngine Diags;
+  Lexer L("1 (* never closed", Diags);
+  (void)L.next(); // the 1
+  Token T = L.next();
+  EXPECT_TRUE(T.is(TokenKind::Error));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownCharacterIsAnError) {
+  DiagnosticEngine Diags;
+  Lexer L("@", Diags);
+  EXPECT_TRUE(L.next().is(TokenKind::Error));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, SourceRangesAreAccurate) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("ab cd", Diags);
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Range.Begin.offset(), 0u);
+  EXPECT_EQ(Tokens[0].Range.End.offset(), 2u);
+  EXPECT_EQ(Tokens[1].Range.Begin.offset(), 3u);
+  EXPECT_EQ(Tokens[1].Range.End.offset(), 5u);
+}
+
+TEST(LexerTest, EofIsSticky) {
+  DiagnosticEngine Diags;
+  Lexer L("x", Diags);
+  (void)L.next();
+  EXPECT_TRUE(L.next().is(TokenKind::EndOfFile));
+  EXPECT_TRUE(L.next().is(TokenKind::EndOfFile));
+}
+
+TEST(LexerTest, MinusFollowedByDigitIsTwoTokens) {
+  // No unary minus in nml: `-1` lexes as '-' then '1'.
+  EXPECT_EQ(kindsOf("-1"), (std::vector<TokenKind>{TokenKind::Minus,
+                                                   TokenKind::IntLiteral}));
+}
+
+} // namespace

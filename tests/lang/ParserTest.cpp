@@ -1,0 +1,235 @@
+//===- ParserTest.cpp - nml parser unit tests -------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "TestUtil.h"
+#include "lang/AstPrinter.h"
+#include "lang/AstUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  Frontend FE;
+
+  const Expr *parse(const std::string &Source) { return FE.parse(Source); }
+
+  /// Parses then prints on one line (canonical form for shape checks).
+  std::string canon(const std::string &Source) {
+    const Expr *Root = parse(Source);
+    if (!Root)
+      return "<error: " + FE.diagText() + ">";
+    PrintOptions PO;
+    PO.Multiline = false;
+    return printExpr(FE.Ast, Root, PO);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions and precedence.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  EXPECT_EQ(canon("1 + 2 * 3"), "1 + 2 * 3");
+  EXPECT_EQ(canon("(1 + 2) * 3"), "(1 + 2) * 3");
+  EXPECT_EQ(canon("1 - 2 - 3"), "1 - 2 - 3"); // left assoc
+  EXPECT_EQ(canon("1 - (2 - 3)"), "1 - (2 - 3)");
+}
+
+TEST_F(ParserTest, ConsBindsLooserThanPlusTighterThanCompare) {
+  // The printer re-sugars the cons-with-nil as a list literal.
+  EXPECT_EQ(canon("1 + 2 :: nil"), "[1 + 2]");
+  const Expr *Root = parse("1 + 2 :: nil");
+  // shape: cons (1+2) nil
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  ASSERT_TRUE(isa<PrimExpr>(Callee));
+  EXPECT_EQ(cast<PrimExpr>(Callee)->op(), PrimOp::Cons);
+}
+
+TEST_F(ParserTest, ConsIsRightAssociative) {
+  const Expr *Root = parse("1 :: 2 :: nil");
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  ASSERT_EQ(cast<PrimExpr>(Callee)->op(), PrimOp::Cons);
+  ASSERT_EQ(Args.size(), 2u);
+  // the tail is itself a cons
+  std::vector<const Expr *> TailArgs;
+  const Expr *TailCallee = uncurryCall(Args[1], TailArgs);
+  EXPECT_EQ(cast<PrimExpr>(TailCallee)->op(), PrimOp::Cons);
+}
+
+TEST_F(ParserTest, ApplicationIsLeftAssociativeAndTightest) {
+  const Expr *Root = parse("f x y + 1");
+  // shape: (+ (f x y) 1)
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  ASSERT_TRUE(isa<PrimExpr>(Callee));
+  EXPECT_EQ(cast<PrimExpr>(Callee)->op(), PrimOp::Add);
+  std::vector<const Expr *> InnerArgs;
+  const Expr *F = uncurryCall(Args[0], InnerArgs);
+  EXPECT_TRUE(isa<VarExpr>(F));
+  EXPECT_EQ(InnerArgs.size(), 2u);
+}
+
+TEST_F(ParserTest, ListLiteralDesugarsToConses) {
+  const Expr *Root = parse("[1, 2]");
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  EXPECT_EQ(cast<PrimExpr>(Callee)->op(), PrimOp::Cons);
+  EXPECT_EQ(canon("[1, 2, 3]"), "[1, 2, 3]");
+  EXPECT_EQ(canon("[]"), "nil");
+}
+
+TEST_F(ParserTest, RelationalIsNonAssociative) {
+  // relational takes one optional rhs, so "1 < 2 < 3" leaves "< 3"
+  // unconsumed and the program-level parse fails.
+  EXPECT_EQ(parse("1 < 2 < 3"), nullptr);
+  EXPECT_TRUE(FE.Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Binders.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserTest, LambdaMultiParamSugar) {
+  const Expr *Root = parse("lambda(a b c). a");
+  EXPECT_EQ(lambdaArity(Root), 3u);
+}
+
+TEST_F(ParserTest, LetWithParamsSugar) {
+  const Expr *Root = parse("let f a b = a + b in f 1 2");
+  const auto *Let = dyn_cast<LetExpr>(Root);
+  ASSERT_NE(Let, nullptr);
+  EXPECT_EQ(lambdaArity(Let->value()), 2u);
+}
+
+TEST_F(ParserTest, LetrecMultipleBindings) {
+  const Expr *Root = parse(
+      "letrec even n = if n = 0 then true else odd (n - 1);"
+      "       odd n = if n = 0 then false else even (n - 1)"
+      "in even 4");
+  const auto *Letrec = dyn_cast<LetrecExpr>(Root);
+  ASSERT_NE(Letrec, nullptr);
+  EXPECT_EQ(Letrec->bindings().size(), 2u);
+  // Mutual recursion: odd is visible inside even.
+  EXPECT_NE(Letrec->findBinding(FE.Ast.intern("even")), nullptr);
+  EXPECT_NE(Letrec->findBinding(FE.Ast.intern("odd")), nullptr);
+}
+
+TEST_F(ParserTest, LetrecTrailingSemicolonAllowed) {
+  EXPECT_NE(parse("letrec f x = x; in f 1"), nullptr);
+}
+
+TEST_F(ParserTest, NestedLetrecScoping) {
+  const Expr *Root =
+      parse("letrec f x = letrec g y = y + x in g 1 in f 2");
+  ASSERT_NE(Root, nullptr) << FE.diagText();
+  const auto *Outer = cast<LetrecExpr>(Root);
+  EXPECT_EQ(Outer->bindings().size(), 1u);
+}
+
+TEST_F(ParserTest, DuplicateLetrecBindingRejected) {
+  EXPECT_EQ(parse("letrec f x = x; f y = y in f 1"), nullptr);
+  EXPECT_TRUE(FE.Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Primitive name resolution and shadowing.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserTest, PrimitiveNamesResolveWhenUnbound) {
+  const Expr *Root = parse("cons 1 nil");
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Root, Args);
+  EXPECT_TRUE(isa<PrimExpr>(Callee));
+}
+
+TEST_F(ParserTest, BoundNamesShadowPrimitives) {
+  const Expr *Root = parse("lambda(cons). cons");
+  const auto *Lambda = cast<LambdaExpr>(Root);
+  EXPECT_TRUE(isa<VarExpr>(Lambda->body()));
+}
+
+TEST_F(ParserTest, LetrecBoundNameShadowsPrimitive) {
+  const Expr *Root = parse("letrec car x = x in car 1");
+  const auto *Letrec = cast<LetrecExpr>(Root);
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Letrec->body(), Args);
+  EXPECT_TRUE(isa<VarExpr>(Callee));
+}
+
+//===----------------------------------------------------------------------===//
+// Errors.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserTest, ErrorsProduceDiagnosticsNotCrashes) {
+  const char *Bad[] = {
+      "",
+      "(",
+      "1 +",
+      "if 1 then 2",
+      "lambda(). x",
+      "lambda x. x",
+      "let = 3 in x",
+      "letrec in 1",
+      "[1, 2",
+      "1 2 )",
+      "let x = 1",
+  };
+  for (const char *Source : Bad) {
+    Frontend Fresh;
+    EXPECT_EQ(Fresh.parse(Source), nullptr) << "accepted: " << Source;
+    EXPECT_TRUE(Fresh.Diags.hasErrors()) << "no diagnostic for: " << Source;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips: print(parse(s)) re-parses to the same canonical form.
+//===----------------------------------------------------------------------===//
+
+class RoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripTest, PrintedFormReparsesCanonically) {
+  Frontend FE1;
+  const Expr *Root = FE1.parse(GetParam());
+  ASSERT_NE(Root, nullptr) << FE1.diagText();
+  PrintOptions PO;
+  PO.Multiline = false;
+  std::string Once = printExpr(FE1.Ast, Root, PO);
+
+  Frontend FE2;
+  const Expr *Again = FE2.parse(Once);
+  ASSERT_NE(Again, nullptr) << "failed to reparse: " << Once << "\n"
+                            << FE2.diagText();
+  std::string Twice = printExpr(FE2.Ast, Again, PO);
+  EXPECT_EQ(Once, Twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTripTest,
+    ::testing::Values(
+        "1 + 2 * 3 - 4",
+        "if 1 < 2 then [1] else [2]",
+        "lambda(x). lambda(y). x :: y",
+        "let f a = a in f [1, [2] = [3], true]",
+        "letrec f x = if (null x) then nil else cons (car x) (f (cdr x)) "
+        "in f [1, 2]",
+        "letrec m f l = if (null l) then nil else f (car l) :: m f (cdr l) "
+        "in m (lambda(v). v * v) [1, 2, 3]",
+        "(lambda(f). f 1) (lambda(x). x + 1)",
+        "[[1, 2], [3]]",
+        "1 :: 2 :: nil",
+        "let x = 1 in let y = 2 in x + y"));
+
+} // namespace

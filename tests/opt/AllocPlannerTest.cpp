@@ -1,0 +1,163 @@
+//===- AllocPlannerTest.cpp - A.3.1/A.3.3 planning unit tests ---------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/AllocPlanner.h"
+
+#include "TestUtil.h"
+#include "lang/AstUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class AllocPlannerTest : public ::testing::Test {
+protected:
+  Frontend FE;
+  std::unique_ptr<EscapeAnalyzer> Analyzer;
+
+  std::optional<AllocationPlan>
+  plan(const std::string &Source, AllocPlannerOptions Options = {},
+       TypeInferenceMode Mode = TypeInferenceMode::Polymorphic) {
+    if (!FE.parseAndType(Source, Mode))
+      return std::nullopt;
+    Analyzer = std::make_unique<EscapeAnalyzer>(FE.Ast, *FE.Typed, FE.Diags);
+    AllocPlanner Planner(FE.Ast, *FE.Typed, *Analyzer, Options);
+    return Planner.run();
+  }
+
+  /// Counts sites in the whole plan by class.
+  static std::pair<unsigned, unsigned> countSites(const AllocationPlan &P) {
+    unsigned Stack = 0, Region = 0;
+    for (const ArgArenaDirective &D : P.Directives)
+      for (const auto &[Id, Class] : D.Sites)
+        (Class == ArenaSiteClass::Stack ? Stack : Region) += 1;
+    return {Stack, Region};
+  }
+};
+
+TEST_F(AllocPlannerTest, LiteralArgumentGetsStackSites) {
+  auto P = plan("letrec suml l = if (null l) then 0 "
+                "else car l + suml (cdr l) in suml [1, 2, 3]");
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  ASSERT_EQ(P->Directives.size(), 1u);
+  EXPECT_EQ(P->Directives[0].ArgIndex, 0u);
+  EXPECT_EQ(P->Directives[0].ProtectedSpines, 1u);
+  auto [Stack, Region] = countSites(*P);
+  EXPECT_EQ(Stack, 3u); // the three literal conses
+  EXPECT_EQ(Region, 0u);
+}
+
+TEST_F(AllocPlannerTest, EscapingArgumentGetsNoDirective) {
+  auto P = plan("letrec id x = x in id [1, 2, 3]");
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  EXPECT_TRUE(P->Directives.empty());
+}
+
+TEST_F(AllocPlannerTest, ProducerCallGetsRegionSites) {
+  const char *Source = R"(
+letrec
+  suml l = if (null l) then 0 else car l + suml (cdr l);
+  build n = if n = 0 then nil else cons n (build (n - 1))
+in suml (build 10)
+)";
+  auto P = plan(Source);
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  ASSERT_EQ(P->Directives.size(), 1u);
+  auto [Stack, Region] = countSites(*P);
+  EXPECT_EQ(Stack, 0u);
+  EXPECT_EQ(Region, 1u); // build's single spine cons
+}
+
+TEST_F(AllocPlannerTest, RegionDisabledDropsProducerSites) {
+  const char *Source = R"(
+letrec
+  suml l = if (null l) then 0 else car l + suml (cdr l);
+  build n = if n = 0 then nil else cons n (build (n - 1))
+in suml (build 10)
+)";
+  AllocPlannerOptions Options;
+  Options.EnableRegion = false;
+  auto P = plan(Source, Options);
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  EXPECT_TRUE(P->Directives.empty());
+}
+
+TEST_F(AllocPlannerTest, StackDisabledDropsLiteralSites) {
+  AllocPlannerOptions Options;
+  Options.EnableStack = false;
+  auto P = plan("letrec suml l = if (null l) then 0 "
+                "else car l + suml (cdr l) in suml [1, 2, 3]",
+                Options);
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  EXPECT_TRUE(P->Directives.empty());
+}
+
+TEST_F(AllocPlannerTest, NestedLiteralAttributedToProtectedDepth) {
+  // suml2 consumes both spines without releasing them: protected = 2,
+  // so both the outer and inner conses are stack sites.
+  const char *Source = R"(
+letrec
+  suml l = if (null l) then 0 else car l + suml (cdr l);
+  suml2 m = if (null m) then 0 else suml (car m) + suml2 (cdr m)
+in suml2 [[1, 2], [3]]
+)";
+  auto P = plan(Source);
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  ASSERT_EQ(P->Directives.size(), 1u);
+  EXPECT_EQ(P->Directives[0].ProtectedSpines, 2u);
+  auto [Stack, Region] = countSites(*P);
+  EXPECT_EQ(Stack, 5u); // 2 outer + 3 inner literal conses
+}
+
+TEST_F(AllocPlannerTest, ShallowProtectionLimitsDepth) {
+  // heads keeps the element lists (inner spine escapes), so only the
+  // outer spine (protected = 1) may be arena-allocated. Monomorphic mode
+  // gives the body its use-instance car^2 annotation; in polymorphic mode
+  // the local test is conservative and plans nothing (also safe).
+  const char *Source = R"(
+letrec
+  heads m = if (null m) then nil else cons (car m) (heads (cdr m))
+in heads [[1, 2], [3]]
+)";
+  auto P = plan(Source, {}, TypeInferenceMode::Monomorphic);
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  ASSERT_EQ(P->Directives.size(), 1u);
+  EXPECT_EQ(P->Directives[0].ProtectedSpines, 1u);
+  auto [Stack, Region] = countSites(*P);
+  EXPECT_EQ(Stack, 2u); // only the outer spine's conses
+}
+
+TEST_F(AllocPlannerTest, ScalarArgumentsIgnored) {
+  auto P = plan("letrec f n = n + 1 in f 3");
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  EXPECT_TRUE(P->Directives.empty());
+}
+
+TEST_F(AllocPlannerTest, IndexingByCallWorks) {
+  auto P = plan("letrec suml l = if (null l) then 0 "
+                "else car l + suml (cdr l) in suml [1]");
+  ASSERT_TRUE(P.has_value()) << FE.diagText();
+  ASSERT_EQ(P->Directives.size(), 1u);
+  uint32_t Call = P->Directives[0].CallAppId;
+  ASSERT_EQ(P->ByCall.count(Call), 1u);
+  EXPECT_EQ(P->ByCall.at(Call).size(), 1u);
+  EXPECT_EQ(P->ByCall.at(Call)[0], &P->Directives[0]);
+}
+
+TEST_F(AllocPlannerTest, RenderedPlanMentionsCalleeAndCounts) {
+  auto P = plan("letrec suml l = if (null l) then 0 "
+                "else car l + suml (cdr l) in suml [1, 2]");
+  ASSERT_TRUE(P.has_value());
+  std::string Text = renderAllocationPlan(FE.Ast, *P);
+  EXPECT_NE(Text.find("call of suml"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("2 stack site(s)"), std::string::npos) << Text;
+}
+
+} // namespace

@@ -1,0 +1,334 @@
+//===- ProgramGenerator.h - Random well-typed nml programs -------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, well-typed, *terminating* nml programs for property
+/// testing. Programs have the shape
+///
+///   letrec <prelude of known list functions>; g0 ...; g1 ...; ... in e
+///
+/// where each generated gi is non-recursive and may call only the prelude
+/// and earlier gj (a DAG), so termination is structural. car/cdr are
+/// always guarded by a null test. Types are concrete (int, bool,
+/// int list, int list list): the programs are monomorphic by
+/// construction, matching the paper's base language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_TESTS_PROPERTY_PROGRAMGENERATOR_H
+#define EAL_TESTS_PROPERTY_PROGRAMGENERATOR_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace eal::test {
+
+/// The concrete types the generator uses.
+enum class GenType : uint8_t {
+  Int,
+  IntList,
+  IntListList,
+};
+
+inline unsigned genTypeSpines(GenType T) {
+  switch (T) {
+  case GenType::Int:
+    return 0;
+  case GenType::IntList:
+    return 1;
+  case GenType::IntListList:
+    return 2;
+  }
+  return 0;
+}
+
+/// One generated function's signature.
+struct GenFunction {
+  std::string Name;
+  std::vector<GenType> Params;
+  GenType Result;
+};
+
+/// A generated program plus its metadata.
+struct GenProgram {
+  std::string Source;
+  std::vector<GenFunction> Functions; ///< generated gi only (not prelude)
+
+  /// Builds a literal expression of type \p T (fresh structure).
+  static std::string literalOf(GenType T, std::mt19937 &Rng) {
+    std::uniform_int_distribution<int> Val(0, 99);
+    std::uniform_int_distribution<int> Len(0, 3);
+    switch (T) {
+    case GenType::Int:
+      return std::to_string(Val(Rng));
+    case GenType::IntList: {
+      int N = Len(Rng);
+      std::string Out = "[";
+      for (int I = 0; I != N; ++I) {
+        if (I)
+          Out += ", ";
+        Out += std::to_string(Val(Rng));
+      }
+      return Out + "]";
+    }
+    case GenType::IntListList: {
+      int N = Len(Rng);
+      std::string Out = "[";
+      for (int I = 0; I != N; ++I) {
+        if (I)
+          Out += ", ";
+        Out += literalOf(GenType::IntList, Rng);
+      }
+      return Out + "]";
+    }
+    }
+    return "0";
+  }
+};
+
+/// The generator.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint32_t Seed) : Rng(Seed) {}
+
+  GenProgram generate(unsigned NumFunctions = 3) {
+    GenProgram P;
+    std::string Source = "letrec\n";
+    Source += prelude();
+
+    for (unsigned I = 0; I != NumFunctions; ++I) {
+      GenFunction F;
+      F.Name = "g" + std::to_string(I);
+      unsigned NumParams = 1 + Rng() % 2;
+      for (unsigned J = 0; J != NumParams; ++J)
+        F.Params.push_back(randomType(/*AllowInt=*/J > 0));
+      F.Result = randomType(/*AllowInt=*/true);
+
+      Earlier = &P.Functions; // functions defined so far are callable
+      Source += ";\n  " + F.Name;
+      for (unsigned J = 0; J != NumParams; ++J)
+        Source += " p" + std::to_string(J);
+      Source += " = " + genExpr(F, F.Result, /*Depth=*/3);
+      P.Functions.push_back(F);
+    }
+    Earlier = nullptr;
+
+    // Drive with the last function applied to literals (keeps everything
+    // reachable for the type checker).
+    Source += "\nin " + P.Functions.back().Name;
+    for (GenType T : P.Functions.back().Params)
+      Source += " " + paren(GenProgram::literalOf(T, Rng));
+    Source += "\n";
+    P.Source = Source;
+    return P;
+  }
+
+  std::mt19937 &rng() { return Rng; }
+
+private:
+  static std::string paren(const std::string &S) { return "(" + S + ")"; }
+
+  static std::string prelude() {
+    return R"(  append x y = if (null x) then y
+               else cons (car x) (append (cdr x) y);
+  rev l = if (null l) then nil
+          else append (rev (cdr l)) (cons (car l) nil);
+  take n l = if n = 0 then nil else if (null l) then nil
+             else cons (car l) (take (n - 1) (cdr l));
+  suml l = if (null l) then 0 else car l + suml (cdr l))";
+  }
+
+  GenType randomType(bool AllowInt) {
+    switch (Rng() % (AllowInt ? 3 : 2)) {
+    case 0:
+      return GenType::IntList;
+    case 1:
+      return GenType::IntListList;
+    default:
+      return GenType::Int;
+    }
+  }
+
+  /// A saturated call to an earlier generated function returning \p T,
+  /// with recursively generated arguments; empty if none is available.
+  std::string callEarlier(const GenFunction &F, GenType T, unsigned Depth) {
+    if (!Earlier || Earlier->empty() || Depth == 0)
+      return "";
+    std::vector<const GenFunction *> Matches;
+    for (const GenFunction &G : *Earlier)
+      if (G.Result == T)
+        Matches.push_back(&G);
+    if (Matches.empty())
+      return "";
+    const GenFunction *G = Matches[Rng() % Matches.size()];
+    std::string Out = "(" + G->Name;
+    for (GenType PT : G->Params)
+      Out += " " + paren(genExpr(F, PT, Depth - 1));
+    return Out + ")";
+  }
+
+  /// A parameter of function \p F with type \p T, if any.
+  std::string paramOf(const GenFunction &F, GenType T) {
+    std::vector<std::string> Matches;
+    for (size_t I = 0; I != F.Params.size(); ++I)
+      if (F.Params[I] == T)
+        Matches.push_back("p" + std::to_string(I));
+    if (Matches.empty())
+      return "";
+    return Matches[Rng() % Matches.size()];
+  }
+
+  /// Generates an expression of type \p T using F's parameters, depth
+  /// bounded.
+  std::string genExpr(const GenFunction &F, GenType T, unsigned Depth) {
+    // At depth 0, only leaves.
+    if (Depth == 0) {
+      std::string P = paramOf(F, T);
+      if (!P.empty() && Rng() % 2)
+        return P;
+      return GenProgram::literalOf(T, Rng);
+    }
+    switch (T) {
+    case GenType::Int:
+      switch (Rng() % 7) {
+      case 0: {
+        std::string P = paramOf(F, GenType::Int);
+        if (!P.empty())
+          return P;
+        return GenProgram::literalOf(T, Rng);
+      }
+      case 1:
+        return paren(genExpr(F, GenType::Int, Depth - 1) + " + " +
+                     genExpr(F, GenType::Int, Depth - 1));
+      case 2: {
+        // Guarded car of a list.
+        std::string L = genExpr(F, GenType::IntList, Depth - 1);
+        return paren("if (null " + paren(L) + ") then " +
+                     genExpr(F, GenType::Int, 0) + " else car " + paren(L));
+      }
+      case 3:
+        return paren("suml " + paren(genExpr(F, GenType::IntList,
+                                             Depth - 1)));
+      case 4: {
+        // Through a pair (the tuple extension).
+        std::string A = genExpr(F, GenType::Int, Depth - 1);
+        std::string B = genExpr(F, GenType::Int, Depth - 1);
+        return paren((Rng() % 2 ? "fst " : "snd ") + paren("(" + A + ", " +
+                                                           B + ")"));
+      }
+      case 5: {
+        std::string Call = callEarlier(F, GenType::Int, Depth);
+        if (!Call.empty())
+          return Call;
+        return genExpr(F, GenType::Int, Depth - 1);
+      }
+      default:
+        return paren("if " + genBool(F, Depth - 1) + " then " +
+                     genExpr(F, GenType::Int, Depth - 1) + " else " +
+                     genExpr(F, GenType::Int, Depth - 1));
+      }
+    case GenType::IntList:
+      switch (Rng() % 9) {
+      case 0: {
+        std::string P = paramOf(F, T);
+        if (!P.empty())
+          return P;
+        return GenProgram::literalOf(T, Rng);
+      }
+      case 1:
+        return paren("cons " + paren(genExpr(F, GenType::Int, Depth - 1)) +
+                     " " + paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 2: {
+        std::string L = genExpr(F, GenType::IntList, Depth - 1);
+        return paren("if (null " + paren(L) + ") then nil else cdr " +
+                     paren(L));
+      }
+      case 3:
+        return paren("append " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)) + " " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 4:
+        return paren("rev " + paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 5: {
+        // Guarded car of a list of lists.
+        std::string L = genExpr(F, GenType::IntListList, Depth - 1);
+        return paren("if (null " + paren(L) + ") then nil else car " +
+                     paren(L));
+      }
+      case 6: {
+        // Through a pair: snd (n, list).
+        std::string A = genExpr(F, GenType::Int, Depth - 1);
+        std::string B = genExpr(F, GenType::IntList, Depth - 1);
+        return paren("snd (" + A + ", " + B + ")");
+      }
+      case 7: {
+        std::string Call = callEarlier(F, GenType::IntList, Depth);
+        if (!Call.empty())
+          return Call;
+        return genExpr(F, GenType::IntList, Depth - 1);
+      }
+      default:
+        return paren("if " + genBool(F, Depth - 1) + " then " +
+                     genExpr(F, GenType::IntList, Depth - 1) + " else " +
+                     genExpr(F, GenType::IntList, Depth - 1));
+      }
+    case GenType::IntListList:
+      switch (Rng() % 5) {
+      case 0: {
+        std::string P = paramOf(F, T);
+        if (!P.empty())
+          return P;
+        return GenProgram::literalOf(T, Rng);
+      }
+      case 1:
+        return paren("cons " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)) + " " +
+                     paren(genExpr(F, GenType::IntListList, Depth - 1)));
+      case 2: {
+        std::string L = genExpr(F, GenType::IntListList, Depth - 1);
+        return paren("if (null " + paren(L) + ") then nil else cdr " +
+                     paren(L));
+      }
+      case 3: {
+        std::string Call = callEarlier(F, GenType::IntListList, Depth);
+        if (!Call.empty())
+          return Call;
+        return genExpr(F, GenType::IntListList, Depth - 1);
+      }
+      default:
+        return paren("if " + genBool(F, Depth - 1) + " then " +
+                     genExpr(F, GenType::IntListList, Depth - 1) + " else " +
+                     genExpr(F, GenType::IntListList, Depth - 1));
+      }
+    }
+    return GenProgram::literalOf(T, Rng);
+  }
+
+  std::string genBool(const GenFunction &F, unsigned Depth) {
+    switch (Rng() % 3) {
+    case 0:
+      return paren(genExpr(F, GenType::Int, Depth) + " < " +
+                   genExpr(F, GenType::Int, Depth));
+    case 1:
+      return paren("null " + paren(genExpr(F, GenType::IntList, Depth)));
+    default:
+      return paren(genExpr(F, GenType::Int, Depth) + " = " +
+                   genExpr(F, GenType::Int, Depth));
+    }
+  }
+
+  std::mt19937 Rng;
+  /// Functions already generated (callable from later ones); null
+  /// outside generate().
+  const std::vector<GenFunction> *Earlier = nullptr;
+};
+
+} // namespace eal::test
+
+#endif // EAL_TESTS_PROPERTY_PROGRAMGENERATOR_H

@@ -1,0 +1,148 @@
+//===- FailureInjectionTest.cpp - defence against bad plans ------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Injects deliberately *wrong* optimizer outputs into the runtime and
+// checks that the safety nets catch them: an allocation plan that puts
+// escaping cells in an arena must trip ValidateArenaFrees, and a bogus
+// DCONS must fail loudly rather than corrupt memory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "lang/AstUtils.h"
+#include "opt/AllocPlanner.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+protected:
+  Frontend FE;
+};
+
+TEST_F(FailureInjectionTest, EscapingArenaCellIsDetectedAtFree) {
+  // id returns its argument: its spine ESCAPES. Force a malicious plan
+  // that nevertheless puts the literal's cells into id's activation
+  // arena. Validation must refuse at the activation's return.
+  ASSERT_TRUE(FE.parseAndType("letrec id x = x in id [1, 2, 3]"))
+      << FE.diagText();
+
+  // Find the call (the letrec body) and the literal's cons sites.
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  const Expr *Call = Letrec->body();
+  std::vector<const Expr *> Args;
+  (void)uncurryCall(Call, Args);
+  ASSERT_EQ(Args.size(), 1u);
+
+  AllocationPlan Evil;
+  ArgArenaDirective D;
+  D.CallAppId = Call->id();
+  D.ArgIndex = 0;
+  D.Callee = FE.Ast.intern("id");
+  D.ProtectedSpines = 1; // a lie
+  forEachExpr(Args[0], [&](const Expr *E) {
+    const Expr *Head = nullptr;
+    std::vector<const Expr *> CallArgs;
+    const Expr *Callee = uncurryCall(E, CallArgs);
+    const auto *Prim = dyn_cast<PrimExpr>(Callee);
+    if (Prim && Prim->op() == PrimOp::Cons && CallArgs.size() == 2)
+      D.Sites.emplace(E->id(), ArenaSiteClass::Stack);
+    (void)Head;
+  });
+  ASSERT_EQ(D.Sites.size(), 3u);
+  Evil.Directives.push_back(std::move(D));
+  Evil.index();
+
+  Interpreter::Options Opts;
+  Opts.ValidateArenaFrees = true;
+  Interpreter Interp(FE.Ast, *FE.Typed, &Evil, FE.Diags, Opts);
+  auto Result = Interp.run();
+  EXPECT_FALSE(Result.has_value());
+  EXPECT_NE(FE.Diags.render(FE.SM).find("arena cell still reachable"),
+            std::string::npos)
+      << FE.diagText();
+}
+
+TEST_F(FailureInjectionTest, SamePlanWithoutValidationStillRuns) {
+  // Sanity check of the injection harness: without validation the evil
+  // plan executes (the cells are recycled after id returns, which is the
+  // unsoundness the validator exists to catch; nothing reuses them here,
+  // so the value is still intact when rendered).
+  ASSERT_TRUE(FE.parseAndType("letrec id x = x in id [1, 2, 3]"))
+      << FE.diagText();
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  const Expr *Call = Letrec->body();
+  std::vector<const Expr *> Args;
+  (void)uncurryCall(Call, Args);
+
+  AllocationPlan Evil;
+  ArgArenaDirective D;
+  D.CallAppId = Call->id();
+  D.ArgIndex = 0;
+  D.Callee = FE.Ast.intern("id");
+  D.ProtectedSpines = 1;
+  forEachExpr(Args[0], [&](const Expr *E) {
+    std::vector<const Expr *> CallArgs;
+    const Expr *Callee = uncurryCall(E, CallArgs);
+    const auto *Prim = dyn_cast<PrimExpr>(Callee);
+    if (Prim && Prim->op() == PrimOp::Cons && CallArgs.size() == 2)
+      D.Sites.emplace(E->id(), ArenaSiteClass::Stack);
+  });
+  Evil.Directives.push_back(std::move(D));
+  Evil.index();
+
+  Interpreter Interp(FE.Ast, *FE.Typed, &Evil, FE.Diags,
+                     Interpreter::Options());
+  auto Result = Interp.run();
+  ASSERT_TRUE(Result.has_value()) << FE.diagText();
+  EXPECT_EQ(Interp.stats().StackCellsAllocated, 3u);
+}
+
+TEST_F(FailureInjectionTest, TheRealPlannerNeverArenasEscapingArgs) {
+  // The honest planner must produce NO directive for id's argument.
+  ASSERT_TRUE(FE.parseAndType("letrec id x = x in id [1, 2, 3]"))
+      << FE.diagText();
+  EscapeAnalyzer Analyzer(FE.Ast, *FE.Typed, FE.Diags);
+  AllocPlanner Planner(FE.Ast, *FE.Typed, Analyzer);
+  AllocationPlan Plan = Planner.run();
+  EXPECT_TRUE(Plan.Directives.empty());
+}
+
+TEST_F(FailureInjectionTest, HandConstructedDconsOnSharedCellIsVisible) {
+  // A manually written dcons on a *shared* list silently mutates the
+  // sharer — exactly why the transformation needs the sharing analysis.
+  // This documents the hazard the analysis prevents.
+  const char *Source = R"(
+letrec
+  suml l = if (null l) then 0 else car l + suml (cdr l);
+  f x = dcons x 99 nil
+in let shared = [1, 2, 3] in (suml (f shared)) + suml shared
+)";
+  ASSERT_TRUE(FE.parseAndType(Source)) << FE.diagText();
+  Interpreter Interp(FE.Ast, *FE.Typed, nullptr, FE.Diags,
+                     Interpreter::Options());
+  auto Result = Interp.run();
+  ASSERT_TRUE(Result.has_value()) << FE.diagText();
+  // f destroys shared's head: suml (f shared) = 99 and suml shared now
+  // sees [99] instead of [1,2,3] — the mutation is observable.
+  EXPECT_EQ(Result->intValue(), 99 + 99);
+}
+
+TEST_F(FailureInjectionTest, AnalyzerIterationBudgetIsEnforced) {
+  ASSERT_TRUE(FE.parseAndType(partitionSortSource())) << FE.diagText();
+  // An absurdly small budget trips the limit and reports it.
+  EscapeAnalyzer Analyzer(FE.Ast, *FE.Typed, FE.Diags, /*MaxRounds=*/1);
+  auto PE = Analyzer.globalEscape(FE.Ast.intern("ps"), 0);
+  (void)PE;
+  EXPECT_TRUE(Analyzer.hitIterationLimit());
+  EXPECT_TRUE(FE.Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- HeapTest.cpp - heap, GC, and arena unit tests -------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+class HeapTest : public ::testing::Test {
+protected:
+  RuntimeStats Stats;
+  std::vector<RtValue> Roots;
+
+  Heap makeHeap(size_t Capacity, bool AllowGrowth) {
+    Heap H(Stats, Heap::Options{Capacity, AllowGrowth, 0.2});
+    H.setRootScanner([this](Marker &M) {
+      for (RtValue V : Roots)
+        M.value(V);
+    });
+    return H;
+  }
+};
+
+TEST_F(HeapTest, AllocationInitializesCells) {
+  Heap H = makeHeap(16, false);
+  ConsCell *C = H.allocateHeap();
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(C->Car.isNil());
+  EXPECT_TRUE(C->Cdr.isNil());
+  EXPECT_EQ(C->Class, CellClass::Heap);
+  EXPECT_EQ(C->State, CellState::Live);
+  EXPECT_EQ(Stats.HeapCellsAllocated, 1u);
+  EXPECT_EQ(H.liveHeapCells(), 1u);
+}
+
+TEST_F(HeapTest, CollectionFreesUnreachableOnly) {
+  Heap H = makeHeap(16, false);
+  ConsCell *Kept = H.allocateHeap();
+  Roots.push_back(RtValue::makeCons(Kept));
+  for (int I = 0; I != 8; ++I)
+    (void)H.allocateHeap(); // garbage
+  H.collect();
+  EXPECT_EQ(Stats.CellsSwept, 8u);
+  EXPECT_EQ(H.liveHeapCells(), 1u);
+  EXPECT_EQ(Kept->State, CellState::Live);
+}
+
+TEST_F(HeapTest, CollectionTracesThroughChains) {
+  Heap H = makeHeap(16, false);
+  ConsCell *A = H.allocateHeap();
+  ConsCell *B = H.allocateHeap();
+  A->Cdr = RtValue::makeCons(B);
+  Roots.push_back(RtValue::makeCons(A));
+  H.collect();
+  EXPECT_EQ(H.liveHeapCells(), 2u);
+  EXPECT_GE(Stats.CellsMarked, 2u);
+}
+
+TEST_F(HeapTest, ExhaustionTriggersCollection) {
+  Heap H = makeHeap(8, false);
+  // Allocate-and-drop forever: GC keeps it alive.
+  for (int I = 0; I != 100; ++I)
+    ASSERT_NE(H.allocateHeap(), nullptr) << "iteration " << I;
+  EXPECT_GE(Stats.GcRuns, 1u);
+  EXPECT_EQ(H.capacity(), 8u) << "no growth expected";
+}
+
+TEST_F(HeapTest, ExhaustionWithLiveDataFailsWithoutGrowth) {
+  Heap H = makeHeap(8, false);
+  std::vector<ConsCell *> Cells;
+  for (int I = 0; I != 8; ++I) {
+    ConsCell *C = H.allocateHeap();
+    Roots.push_back(RtValue::makeCons(C));
+    Cells.push_back(C);
+  }
+  EXPECT_EQ(H.allocateHeap(), nullptr);
+}
+
+TEST_F(HeapTest, GrowthDoublesCapacity) {
+  Heap H = makeHeap(8, true);
+  for (int I = 0; I != 9; ++I)
+    Roots.push_back(RtValue::makeCons(H.allocateHeap()));
+  EXPECT_GT(H.capacity(), 8u);
+  EXPECT_GE(Stats.HeapGrowths, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arenas.
+//===----------------------------------------------------------------------===//
+
+TEST_F(HeapTest, ArenaCellsAreNotSwept) {
+  Heap H = makeHeap(16, false);
+  size_t Arena = H.createArena();
+  ConsCell *C = H.allocateInArena(Arena, CellClass::Stack);
+  ASSERT_NE(C, nullptr);
+  H.collect(); // C has no roots, but arena cells are not collected
+  EXPECT_EQ(C->State, CellState::Live);
+  EXPECT_EQ(Stats.CellsSwept, 0u);
+  H.freeArena(Arena);
+}
+
+TEST_F(HeapTest, ArenaContentsKeepHeapCellsAlive) {
+  Heap H = makeHeap(16, false);
+  size_t Arena = H.createArena();
+  ConsCell *InArena = H.allocateInArena(Arena, CellClass::Region);
+  ConsCell *OnHeap = H.allocateHeap();
+  InArena->Car = RtValue::makeCons(OnHeap);
+  H.collect();
+  EXPECT_EQ(OnHeap->State, CellState::Live) << "reachable via arena cell";
+  EXPECT_EQ(H.liveHeapCells(), 1u);
+  H.freeArena(Arena);
+}
+
+TEST_F(HeapTest, FreeArenaRecyclesCells) {
+  Heap H = makeHeap(4, false);
+  size_t Arena = H.createArena();
+  for (int I = 0; I != 4; ++I)
+    ASSERT_NE(H.allocateInArena(Arena, CellClass::Stack), nullptr);
+  // Pool exhausted; nothing heap-collectable.
+  EXPECT_EQ(H.allocateHeap(), nullptr);
+  H.freeArena(Arena);
+  EXPECT_EQ(Stats.StackArenaFrees, 1u);
+  EXPECT_EQ(Stats.StackCellsFreed, 4u);
+  // The spliced cells are allocatable again.
+  EXPECT_NE(H.allocateHeap(), nullptr);
+}
+
+TEST_F(HeapTest, ArenaStatsSeparateStackAndRegion) {
+  Heap H = makeHeap(16, false);
+  size_t Arena = H.createArena();
+  (void)H.allocateInArena(Arena, CellClass::Stack);
+  (void)H.allocateInArena(Arena, CellClass::Region);
+  (void)H.allocateInArena(Arena, CellClass::Region);
+  H.freeArena(Arena);
+  EXPECT_EQ(Stats.StackCellsFreed, 1u);
+  EXPECT_EQ(Stats.RegionCellsFreed, 2u);
+  EXPECT_EQ(Stats.RegionBulkFrees, 1u);
+}
+
+TEST_F(HeapTest, ArenaHandlesAreRecycled) {
+  Heap H = makeHeap(16, false);
+  size_t A = H.createArena();
+  H.freeArena(A);
+  size_t B = H.createArena();
+  EXPECT_EQ(A, B);
+  H.freeArena(B);
+}
+
+TEST_F(HeapTest, ArenaReachabilityDetection) {
+  Heap H = makeHeap(16, false);
+  size_t Arena = H.createArena();
+  ConsCell *C = H.allocateInArena(Arena, CellClass::Stack);
+  EXPECT_FALSE(H.arenaIsReachable(Arena));
+  Roots.push_back(RtValue::makeCons(C));
+  EXPECT_TRUE(H.arenaIsReachable(Arena));
+  Roots.clear();
+  EXPECT_FALSE(H.arenaIsReachable(Arena));
+  // Reachable through a heap chain rooted elsewhere.
+  ConsCell *Chain = H.allocateHeap();
+  Chain->Cdr = RtValue::makeCons(C);
+  Roots.push_back(RtValue::makeCons(Chain));
+  EXPECT_TRUE(H.arenaIsReachable(Arena));
+  H.freeArena(Arena);
+}
+
+TEST_F(HeapTest, ArenaReachableThroughAnotherArena) {
+  Heap H = makeHeap(16, false);
+  size_t Inner = H.createArena();
+  size_t Outer = H.createArena();
+  ConsCell *InnerCell = H.allocateInArena(Inner, CellClass::Stack);
+  ConsCell *OuterCell = H.allocateInArena(Outer, CellClass::Stack);
+  OuterCell->Car = RtValue::makeCons(InnerCell);
+  // Freeing Inner while Outer still points at it must be detected.
+  EXPECT_TRUE(H.arenaIsReachable(Inner));
+  EXPECT_FALSE(H.arenaIsReachable(Outer));
+  H.freeArena(Outer);
+  EXPECT_FALSE(H.arenaIsReachable(Inner));
+  H.freeArena(Inner);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- ValuePrinterTest.cpp - value rendering edge cases ----------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ValuePrinter.h"
+
+#include "runtime/Frame.h"
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+
+namespace {
+
+class ValuePrinterTest : public ::testing::Test {
+protected:
+  RuntimeStats Stats;
+  Heap TheHeap{Stats, Heap::Options{256, false, 0.2}};
+
+  RtValue list(std::initializer_list<int64_t> Xs) {
+    RtValue Tail = RtValue::makeNil();
+    std::vector<int64_t> V(Xs);
+    for (auto It = V.rbegin(); It != V.rend(); ++It) {
+      ConsCell *C = TheHeap.allocateHeap();
+      C->Car = RtValue::makeInt(*It);
+      C->Cdr = Tail;
+      Tail = RtValue::makeCons(C);
+    }
+    return Tail;
+  }
+};
+
+TEST_F(ValuePrinterTest, Scalars) {
+  EXPECT_EQ(renderValue(RtValue::makeInt(-7)), "-7");
+  EXPECT_EQ(renderValue(RtValue::makeBool(true)), "true");
+  EXPECT_EQ(renderValue(RtValue::makeBool(false)), "false");
+  EXPECT_EQ(renderValue(RtValue::makeNil()), "[]");
+}
+
+TEST_F(ValuePrinterTest, ListsAndNesting) {
+  EXPECT_EQ(renderValue(list({1, 2, 3})), "[1, 2, 3]");
+  ConsCell *Outer = TheHeap.allocateHeap();
+  Outer->Car = list({1, 2});
+  Outer->Cdr = RtValue::makeNil();
+  EXPECT_EQ(renderValue(RtValue::makeCons(Outer)), "[[1, 2]]");
+}
+
+TEST_F(ValuePrinterTest, PairsRender) {
+  ConsCell *P = TheHeap.allocateHeap();
+  P->Car = RtValue::makeInt(1);
+  P->Cdr = list({2, 3});
+  EXPECT_EQ(renderValue(RtValue::makePair(P)), "(1, [2, 3])");
+}
+
+TEST_F(ValuePrinterTest, ImproperListRendersDotted) {
+  ConsCell *C = TheHeap.allocateHeap();
+  C->Car = RtValue::makeInt(1);
+  C->Cdr = RtValue::makeInt(2); // not a list tail
+  EXPECT_EQ(renderValue(RtValue::makeCons(C)), "[1 . 2]");
+}
+
+TEST_F(ValuePrinterTest, TruncationCapsLongOrCyclicLists) {
+  RtValue L = list({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(renderValue(L, 3), "[1, 2, 3, ...]");
+  // A cyclic spine must terminate through the element cap, not hang.
+  ConsCell *A = TheHeap.allocateHeap();
+  A->Car = RtValue::makeInt(9);
+  A->Cdr = RtValue::makeCons(A);
+  std::string Text = renderValue(RtValue::makeCons(A), 5);
+  EXPECT_NE(Text.find("..."), std::string::npos);
+}
+
+TEST_F(ValuePrinterTest, ClosuresAreOpaque) {
+  RtClosure C;
+  EXPECT_EQ(renderValue(RtValue::makeClosure(&C)), "<fun>");
+}
+
+TEST_F(ValuePrinterTest, IntVectorConversion) {
+  EXPECT_EQ(valueToIntVector(list({4, 5})), (std::vector<int64_t>{4, 5}));
+  EXPECT_TRUE(valueToIntVector(RtValue::makeNil()).empty());
+  // Non-int elements: mismatch reported as empty.
+  ConsCell *C = TheHeap.allocateHeap();
+  C->Car = RtValue::makeBool(true);
+  C->Cdr = RtValue::makeNil();
+  EXPECT_TRUE(valueToIntVector(RtValue::makeCons(C)).empty());
+}
+
+} // namespace

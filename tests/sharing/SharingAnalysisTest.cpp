@@ -1,0 +1,144 @@
+//===- SharingAnalysisTest.cpp - Theorem 2 and Appendix A.2 ----------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sharing/SharingAnalysis.h"
+
+#include "TestUtil.h"
+#include "lang/AstUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class SharingTest : public ::testing::Test {
+protected:
+  Frontend FE;
+  std::optional<ProgramEscapeReport> Report;
+  std::unique_ptr<EscapeAnalyzer> Analyzer;
+
+  bool setup(const char *Source) {
+    if (!FE.parseAndType(Source))
+      return false;
+    Analyzer = std::make_unique<EscapeAnalyzer>(FE.Ast, *FE.Typed, FE.Diags);
+    Report = Analyzer->analyzeProgram();
+    return true;
+  }
+
+  SharingAnalysis sharing() {
+    return SharingAnalysis(FE.Ast, *FE.Typed, *Report);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Appendix A.2: PS and SPLIT result sharing.
+//===----------------------------------------------------------------------===//
+
+TEST_F(SharingTest, PartitionSortResultTopSpineUnshared) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // "For (PS e), the top spine of the result list is not shared."
+  auto SR = SA.resultSharing(FE.Ast.intern("ps"));
+  ASSERT_TRUE(SR.has_value());
+  EXPECT_EQ(SR->ResultSpines, 1u);
+  EXPECT_EQ(SR->UnsharedTopSpines, 1u);
+}
+
+TEST_F(SharingTest, SplitResultTopSpineUnshared) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // "For (SPLIT e1 e2 e3 e4), the top spine of the result is not shared"
+  // — d_f = 2, max{esc} = 1 (l and h escape entirely), so top 1 unshared.
+  auto SR = SA.resultSharing(FE.Ast.intern("split"));
+  ASSERT_TRUE(SR.has_value());
+  EXPECT_EQ(SR->ResultSpines, 2u);
+  EXPECT_EQ(SR->UnsharedTopSpines, 1u);
+}
+
+TEST_F(SharingTest, AppendResultSharingWorstCase) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // append: esc = {0 (x's spine stripped), 1 (all of y)}; d_f = 1, so
+  // clause 2 gives 0 unshared top spines (y may be shared and escapes).
+  auto SR = SA.resultSharing(FE.Ast.intern("append"));
+  ASSERT_TRUE(SR.has_value());
+  EXPECT_EQ(SR->UnsharedTopSpines, 0u);
+}
+
+TEST_F(SharingTest, AppendResultSharingWithUnsharedArgs) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // Clause 1: if both arguments are fully unshared (u = 1 each),
+  // min{esc_i, d_i − u_i} = 0 for both, so the whole result is unshared.
+  unsigned ArgU[] = {1, 1};
+  auto SR = SA.resultSharing(FE.Ast.intern("append"), ArgU);
+  ASSERT_TRUE(SR.has_value());
+  EXPECT_EQ(SR->UnsharedTopSpines, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural u inference.
+//===----------------------------------------------------------------------===//
+
+TEST_F(SharingTest, ListLiteralsAreFullyUnshared) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // The program body is ps [5,2,7,1,3,4]; the literal argument is fresh.
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(Letrec->body(), Args);
+  ASSERT_TRUE(isa<VarExpr>(Callee));
+  ASSERT_EQ(Args.size(), 1u);
+  EXPECT_EQ(SA.unsharedTopSpines(Args[0]), 1u);
+}
+
+TEST_F(SharingTest, NestedLiteralFullyUnshared) {
+  ASSERT_TRUE(setup(mapPairSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  std::vector<const Expr *> Args;
+  (void)uncurryCall(Letrec->body(), Args);
+  ASSERT_EQ(Args.size(), 2u);
+  // [[1,2],[3,4],[5,6]] has two spines, both fresh.
+  EXPECT_EQ(SA.unsharedTopSpines(Args[1]), 2u);
+}
+
+TEST_F(SharingTest, VariablesHaveUnknownSharing) {
+  ASSERT_TRUE(setup("letrec id x = x in id [1, 2]")) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  const auto *Id = cast<LambdaExpr>(Letrec->bindings()[0].Value);
+  EXPECT_EQ(SA.unsharedTopSpines(Id->body()), 0u);
+}
+
+TEST_F(SharingTest, CallResultSharingPropagates) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  // u(ps [..]) = 1 via clause 1: the call's result is fresh on top.
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  EXPECT_EQ(SA.unsharedTopSpines(Letrec->body()), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reuse budgets (§6).
+//===----------------------------------------------------------------------===//
+
+TEST_F(SharingTest, ReuseBudgetForAppendFirstArg) {
+  ASSERT_TRUE(setup(partitionSortSource())) << FE.diagText();
+  SharingAnalysis SA = sharing();
+  const auto *Letrec = cast<LetrecExpr>(FE.Root);
+  const Expr *Body = Letrec->body(); // ps [...] — unshared result
+  // append could reuse min{u, d − esc} = min{1, 1−0} = 1 top spine of a
+  // (ps ...) argument in parameter 1.
+  EXPECT_EQ(SA.reusableTopSpines(FE.Ast.intern("append"), 0, Body), 1u);
+  // ...but 0 spines of parameter 2 (y escapes entirely).
+  EXPECT_EQ(SA.reusableTopSpines(FE.Ast.intern("append"), 1, Body), 0u);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- TypeInferenceTest.cpp - type system unit tests -----------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeInference.h"
+
+#include "TestUtil.h"
+#include "lang/AstUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class TypeInferenceTest : public ::testing::Test {
+protected:
+  Frontend FE;
+
+  /// Infers and returns the root type's name, or "<error>".
+  std::string typeOf(const std::string &Source,
+                     TypeInferenceMode Mode = TypeInferenceMode::Polymorphic) {
+    if (!FE.parseAndType(Source, Mode))
+      return "<error>";
+    return typeName(FE.Typed->typeOf(FE.Root));
+  }
+
+  /// Type of a top-level letrec binding.
+  std::string bindingType(const char *Name) {
+    const auto *Letrec = cast<LetrecExpr>(FE.Root);
+    const LetrecBinding *B = Letrec->findBinding(FE.Ast.intern(Name));
+    return typeName(FE.Typed->typeOf(B->Value));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Hash-consed types and spine counts.
+//===----------------------------------------------------------------------===//
+
+TEST(TypeTest, HashConsing) {
+  TypeContext TC;
+  EXPECT_EQ(TC.getList(TC.getInt()), TC.getList(TC.getInt()));
+  EXPECT_EQ(TC.getFun(TC.getInt(), TC.getBool()),
+            TC.getFun(TC.getInt(), TC.getBool()));
+  EXPECT_NE(TC.getFun(TC.getInt(), TC.getBool()),
+            TC.getFun(TC.getBool(), TC.getInt()));
+}
+
+TEST(TypeTest, SpineCounts) {
+  TypeContext TC;
+  const Type *Int = TC.getInt();
+  EXPECT_EQ(spineCount(Int), 0u);
+  EXPECT_EQ(spineCount(TC.getList(Int)), 1u);
+  EXPECT_EQ(spineCount(TC.getList(TC.getList(Int))), 2u);
+  EXPECT_EQ(spineCount(TC.getFun(Int, TC.getList(Int))), 0u);
+  // A list of functions has one spine.
+  EXPECT_EQ(spineCount(TC.getList(TC.getFun(Int, Int))), 1u);
+}
+
+TEST(TypeTest, TypeNames) {
+  TypeContext TC;
+  const Type *Int = TC.getInt();
+  EXPECT_EQ(typeName(TC.getList(TC.getList(Int))), "int list list");
+  EXPECT_EQ(typeName(TC.getFun(Int, TC.getFun(Int, TC.getBool()))),
+            "int -> int -> bool");
+  EXPECT_EQ(typeName(TC.getFun(TC.getFun(Int, Int), Int)),
+            "(int -> int) -> int");
+  EXPECT_EQ(typeName(TC.getList(TC.getFun(Int, Int))), "(int -> int) list");
+}
+
+//===----------------------------------------------------------------------===//
+// Inference of core forms.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeInferenceTest, Literals) {
+  EXPECT_EQ(typeOf("42"), "int");
+  EXPECT_EQ(typeOf("true"), "bool");
+  EXPECT_EQ(typeOf("[1, 2]"), "int list");
+  EXPECT_EQ(typeOf("[[1], [2]]"), "int list list");
+}
+
+TEST_F(TypeInferenceTest, NilDefaultsToIntList) {
+  // Residual type variables default to int (simplest instance).
+  EXPECT_EQ(typeOf("nil"), "int list");
+}
+
+TEST_F(TypeInferenceTest, LambdasAndApplication) {
+  EXPECT_EQ(typeOf("lambda(x). x + 1"), "int -> int");
+  EXPECT_EQ(typeOf("(lambda(x). x) true"), "bool");
+  EXPECT_EQ(typeOf("lambda(f). f 1"), "(int -> int) -> int");
+}
+
+TEST_F(TypeInferenceTest, PrimTypes) {
+  EXPECT_EQ(typeOf("cons"), "int -> int list -> int list");
+  EXPECT_EQ(typeOf("car [true]"), "bool");
+  EXPECT_EQ(typeOf("cdr [[1]]"), "int list list");
+  EXPECT_EQ(typeOf("null [1]"), "bool");
+  EXPECT_EQ(typeOf("not true"), "bool");
+}
+
+TEST_F(TypeInferenceTest, LetPolymorphism) {
+  // id is used at int and bool: requires generalization at let.
+  EXPECT_EQ(typeOf("let id = lambda(x). x in if id true then id 1 else 2"),
+            "int");
+}
+
+TEST_F(TypeInferenceTest, MonomorphicModeRejectsPolyUse) {
+  EXPECT_EQ(typeOf("let id = lambda(x). x in if id true then id 1 else 2",
+                   TypeInferenceMode::Monomorphic),
+            "<error>");
+  EXPECT_TRUE(FE.Diags.hasErrors());
+}
+
+TEST_F(TypeInferenceTest, LetrecRecursionAndGeneralization) {
+  ASSERT_EQ(typeOf("letrec len l = if (null l) then 0 "
+                   "else 1 + len (cdr l) in len [true] + len [1]"),
+            "int");
+}
+
+TEST_F(TypeInferenceTest, MutualRecursion) {
+  EXPECT_EQ(typeOf("letrec even n = if n = 0 then true else odd (n - 1);"
+                   "       odd n = if n = 0 then false else even (n - 1) "
+                   "in even 10"),
+            "bool");
+}
+
+TEST_F(TypeInferenceTest, BindingTypesResolved) {
+  ASSERT_NE(typeOf(partitionSortSource()), "<error>");
+  EXPECT_EQ(bindingType("append"), "int list -> int list -> int list");
+  EXPECT_EQ(bindingType("split"),
+            "int -> int list -> int list -> int list -> int list list");
+  EXPECT_EQ(bindingType("ps"), "int list -> int list");
+}
+
+//===----------------------------------------------------------------------===//
+// car^s annotations and the spine bound.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeInferenceTest, CarSpineAnnotations) {
+  ASSERT_NE(typeOf("car [[1, 2], [3]]"), "<error>");
+  unsigned Found = 0;
+  forEachExpr(FE.Root, [&](const Expr *E) {
+    const auto *Prim = dyn_cast<PrimExpr>(E);
+    if (Prim && Prim->op() == PrimOp::Car) {
+      EXPECT_EQ(FE.Typed->carSpine(E), 2u);
+      ++Found;
+    }
+  });
+  EXPECT_EQ(Found, 1u);
+}
+
+TEST_F(TypeInferenceTest, CarAnnotationsDifferPerOccurrence) {
+  ASSERT_NE(typeOf("car (car [[1], [2]])"), "<error>");
+  std::vector<unsigned> Spines;
+  forEachExpr(FE.Root, [&](const Expr *E) {
+    const auto *Prim = dyn_cast<PrimExpr>(E);
+    if (Prim && Prim->op() == PrimOp::Car)
+      Spines.push_back(FE.Typed->carSpine(E));
+  });
+  std::sort(Spines.begin(), Spines.end());
+  EXPECT_EQ(Spines, (std::vector<unsigned>{1, 2}));
+}
+
+TEST_F(TypeInferenceTest, SpineBoundCoversFunctionComponents) {
+  ASSERT_NE(typeOf("lambda(x). if null x then 1 else 2"), "<error>");
+  // x : t list defaults to int list; the bound must see it inside the
+  // function type even though no expression has a 2-spine type.
+  EXPECT_GE(FE.Typed->spineBound(), 1u);
+  Frontend FE2;
+  ASSERT_TRUE(FE2.parseAndType("car [[1, 2], [3]]"));
+  EXPECT_EQ(FE2.Typed->spineBound(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Errors.
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypeInferenceTest, MismatchesRejected) {
+  const char *Bad[] = {
+      "1 + true",
+      "if 1 then 2 else 3",
+      "if true then 1 else nil",
+      "car 5",
+      "cons 1 [true]",
+      "(lambda(x). x + 1) true",
+      "unbound_name",
+      "letrec f x = f in f 1",           // infinite type
+      "let g = lambda(x). x x in g g",   // occurs check
+  };
+  for (const char *Source : Bad) {
+    Frontend Fresh;
+    EXPECT_FALSE(Fresh.parseAndType(Source)) << "accepted: " << Source;
+    EXPECT_TRUE(Fresh.Diags.hasErrors());
+  }
+}
+
+TEST_F(TypeInferenceTest, HeterogeneousListRejected) {
+  EXPECT_EQ(typeOf("[1, true]"), "<error>");
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- CompilerTest.cpp - bytecode compiler unit tests -----------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Targeted lexical-addressing and shape tests; end-to-end behaviour is
+// covered by VmTest and the engine-differential seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include "TestUtil.h"
+#include "driver/Pipeline.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+class CompilerTest : public ::testing::Test {
+protected:
+  Frontend FE;
+
+  std::optional<Chunk> compile(const std::string &Source) {
+    if (!FE.parseAndType(Source))
+      return std::nullopt;
+    return compileToBytecode(FE.Ast, FE.Root, nullptr, FE.Diags);
+  }
+
+  /// Compiles and runs, returning the rendered value.
+  std::string evalVm(const std::string &Source) {
+    PipelineOptions Options;
+    Options.Engine = ExecutionEngine::Bytecode;
+    PipelineResult R = runPipeline(Source, Options);
+    if (!R.Success)
+      return "<error: " + R.diagnostics() + ">";
+    return R.RenderedValue;
+  }
+
+  /// Counts instructions with opcode \p Op across all protos.
+  static size_t countOps(const Chunk &C, Opcode Op) {
+    size_t N = 0;
+    for (const Proto &P : C.Protos)
+      for (const Instr &I : P.Code)
+        if (I.Op == Op)
+          ++N;
+    return N;
+  }
+};
+
+TEST_F(CompilerTest, LambdaChainsBecomeOneProto) {
+  auto C = compile("lambda(a b c). a + b + c");
+  ASSERT_TRUE(C.has_value()) << FE.diagText();
+  ASSERT_EQ(C->Protos.size(), 2u); // entry + the chain
+  EXPECT_EQ(C->Protos[1].Arity, 3u);
+}
+
+TEST_F(CompilerTest, SaturatedPrimsCompileToPrimInstr) {
+  auto C = compile("cons 1 (cons 2 nil)");
+  ASSERT_TRUE(C.has_value()) << FE.diagText();
+  EXPECT_EQ(countOps(*C, Opcode::Prim), 2u);
+  EXPECT_EQ(countOps(*C, Opcode::Call), 0u);
+  EXPECT_EQ(countOps(*C, Opcode::PushPrim), 0u);
+}
+
+TEST_F(CompilerTest, UnsaturatedPrimBecomesValue) {
+  auto C = compile("let inc = (lambda(f). f) cons in inc 1 nil");
+  ASSERT_TRUE(C.has_value()) << FE.diagText();
+  EXPECT_GE(countOps(*C, Opcode::PushPrim), 1u);
+}
+
+TEST_F(CompilerTest, ShadowingResolvesToInnermost) {
+  EXPECT_EQ(evalVm("let x = 1 in let x = 2 in x"), "2");
+  EXPECT_EQ(evalVm("let x = 1 in (lambda(x). x) 9"), "9");
+  EXPECT_EQ(evalVm("let x = 1 in (lambda(x). x + x) 9 + x"), "19");
+}
+
+TEST_F(CompilerTest, DeepLexicalAddressing) {
+  // Four frames deep: proto params, two lets, and a letrec scope.
+  EXPECT_EQ(evalVm(R"(
+let a = 100 in
+let b = 10 in
+letrec f c = a + b + c in
+(lambda(d). f d + a) 1
+)"),
+            "211");
+}
+
+TEST_F(CompilerTest, LetInsideLetrecBindingBody) {
+  EXPECT_EQ(evalVm(R"(
+letrec f x = let y = x * 2 in
+             letrec g z = z + y in g x
+in f 5
+)"),
+            "15");
+}
+
+TEST_F(CompilerTest, ClosuresCaptureTheDefiningFrame) {
+  // The closure must see the let frame as it was at creation.
+  EXPECT_EQ(evalVm(R"(
+let mk = lambda(v). lambda(u). v + u in
+let f1 = mk 10 in
+let f2 = mk 20 in
+f1 1 + f2 2
+)"),
+            "33");
+}
+
+TEST_F(CompilerTest, LetrecSelfReferenceThroughSlots) {
+  // Mutual recursion across slots, including a non-lambda binding
+  // evaluated after the functions it references.
+  EXPECT_EQ(evalVm(R"(
+letrec
+  f n = if n = 0 then 0 else g (n - 1);
+  g n = if n = 0 then 1 else f (n - 1);
+  seed = f 4
+in seed
+)"),
+            "0");
+}
+
+TEST_F(CompilerTest, JumpOffsetsAreConsistent) {
+  // Deeply nested conditionals exercise patching.
+  std::string Source = "if 1 < 2 then (if 2 < 3 then (if 3 < 4 then 7 "
+                       "else 0) else 1) else 2";
+  EXPECT_EQ(evalVm(Source), "7");
+  auto C = compile(Source);
+  ASSERT_TRUE(C.has_value());
+  // Every jump target must land inside the proto.
+  for (const Proto &P : C->Protos)
+    for (size_t I = 0; I != P.Code.size(); ++I)
+      if (P.Code[I].Op == Opcode::Jump ||
+          P.Code[I].Op == Opcode::JumpIfFalse) {
+        int64_t Target = static_cast<int64_t>(I) + 1 + P.Code[I].A;
+        EXPECT_GE(Target, 0);
+        EXPECT_LT(Target, static_cast<int64_t>(P.Code.size()));
+      }
+}
+
+TEST_F(CompilerTest, ProtosNamedAfterBindings) {
+  auto C = compile(partitionSortSource());
+  ASSERT_TRUE(C.has_value()) << FE.diagText();
+  bool SawPs = false, SawSplit = false;
+  for (const Proto &P : C->Protos) {
+    SawPs = SawPs || P.Name == "ps";
+    SawSplit = SawSplit || P.Name == "split";
+  }
+  EXPECT_TRUE(SawPs && SawSplit);
+}
+
+TEST_F(CompilerTest, EveryProtoEndsInReturn) {
+  auto C = compile(partitionSortSource());
+  ASSERT_TRUE(C.has_value());
+  for (const Proto &P : C->Protos) {
+    ASSERT_FALSE(P.Code.empty());
+    EXPECT_EQ(P.Code.back().Op, Opcode::Return) << P.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- eal.cpp - command-line driver ----------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Usage:
+//   eal analyze  <file>   escape (G) and sharing (Theorem 2) reports
+//   eal optimize <file>   DCONS-transformed program and allocation plan
+//   eal run      <file>   execute, printing the value and storage counters
+//   eal report   <file>   all of the above
+//
+// Common flags:
+//   --mono            monomorphic typing (the paper's base language, §3.1)
+//   --stdlib          splice the standard prelude into the program
+//   --vm              execute on the bytecode VM instead of the interpreter
+//   --no-reuse / --no-stack / --no-region
+//                     disable individual optimizations
+//   --heap N          initial heap capacity in cells (default 16384)
+//   --validate        verify every arena free (debugging plans)
+//   -                 read the program from stdin
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "escape/EscapeAnalyzer.h"
+#include "lang/AstPrinter.h"
+#include "sharing/SharingAnalysis.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace eal;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: eal <analyze|optimize|run|report> <file|-> [options]\n"
+         "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
+         "--no-region "
+         "--heap N --validate\n";
+  return 2;
+}
+
+bool readSource(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Out = SS.str();
+    return true;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "eal: error: cannot open '" << Path << "'\n";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+void printAnalysis(const PipelineResult &R) {
+  std::cout << "== escape analysis (G, section 4.1) ==\n"
+            << renderEscapeReport(*R.Ast, R.Optimized->BaseEscape)
+            << "\n== sharing (Theorem 2, clause 2) ==\n"
+            << renderSharingReport(*R.Ast, *R.Typed,
+                                   R.Optimized->BaseEscape);
+}
+
+void printOptimization(const PipelineResult &R) {
+  std::cout << "== transformed program ==\n"
+            << printExpr(*R.Ast, R.Optimized->Root) << "\n\n"
+            << "== in-place reuse record ==\n"
+            << renderReuseReport(*R.Ast, R.Optimized->Reuse)
+            << "\n== allocation plan ==\n"
+            << renderAllocationPlan(*R.Ast, R.Optimized->Plan);
+}
+
+void printRun(const PipelineResult &R) {
+  std::cout << "value: " << R.RenderedValue << "\n\n"
+            << "== storage counters ==\n"
+            << R.Stats.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Command = argv[1];
+  std::string Path = argv[2];
+  if (Command != "analyze" && Command != "optimize" && Command != "run" &&
+      Command != "report")
+    return usage();
+
+  PipelineOptions Options;
+  Options.RunProgram = Command == "run" || Command == "report";
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--mono")
+      Options.Mode = TypeInferenceMode::Monomorphic;
+    else if (Arg == "--stdlib")
+      Options.IncludeStdlib = true;
+    else if (Arg == "--vm")
+      Options.Engine = ExecutionEngine::Bytecode;
+    else if (Arg == "--whole-object")
+      Options.Optimize.Analysis = EscapeAnalysisMode::WholeObject;
+    else if (Arg == "--no-reuse")
+      Options.Optimize.EnableReuse = false;
+    else if (Arg == "--no-stack")
+      Options.Optimize.EnableStack = false;
+    else if (Arg == "--no-region")
+      Options.Optimize.EnableRegion = false;
+    else if (Arg == "--validate")
+      Options.Run.ValidateArenaFrees = true;
+    else if (Arg == "--heap" && I + 1 < argc)
+      Options.Run.HeapCapacity = std::strtoul(argv[++I], nullptr, 10);
+    else
+      return usage();
+  }
+
+  std::string Source;
+  if (!readSource(Path, Source))
+    return 1;
+
+  PipelineResult R = runPipeline(Source, Options);
+  if (!R.Success) {
+    std::cerr << R.diagnostics();
+    return 1;
+  }
+
+  if (Command == "analyze" || Command == "report")
+    printAnalysis(R);
+  if (Command == "optimize" || Command == "report") {
+    if (Command == "report")
+      std::cout << '\n';
+    printOptimization(R);
+  }
+  if (Command == "run" || Command == "report") {
+    if (Command == "report")
+      std::cout << '\n';
+    printRun(R);
+  }
+  return 0;
+}
