@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_escape_table.dir/bench_a1_escape_table.cpp.o"
+  "CMakeFiles/bench_a1_escape_table.dir/bench_a1_escape_table.cpp.o.d"
+  "bench_a1_escape_table"
+  "bench_a1_escape_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_escape_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_fixpoint_iterations.dir/bench_a1_fixpoint_iterations.cpp.o"
+  "CMakeFiles/bench_a1_fixpoint_iterations.dir/bench_a1_fixpoint_iterations.cpp.o.d"
+  "bench_a1_fixpoint_iterations"
+  "bench_a1_fixpoint_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_fixpoint_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

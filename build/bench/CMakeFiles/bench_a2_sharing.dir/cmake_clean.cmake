@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_sharing.dir/bench_a2_sharing.cpp.o"
+  "CMakeFiles/bench_a2_sharing.dir/bench_a2_sharing.cpp.o.d"
+  "bench_a2_sharing"
+  "bench_a2_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

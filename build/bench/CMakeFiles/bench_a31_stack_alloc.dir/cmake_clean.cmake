@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a31_stack_alloc.dir/bench_a31_stack_alloc.cpp.o"
+  "CMakeFiles/bench_a31_stack_alloc.dir/bench_a31_stack_alloc.cpp.o.d"
+  "bench_a31_stack_alloc"
+  "bench_a31_stack_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a31_stack_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a31_stack_alloc.
+# This may be replaced when dependencies are built.

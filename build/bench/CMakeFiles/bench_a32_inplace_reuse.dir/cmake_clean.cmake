@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a32_inplace_reuse.dir/bench_a32_inplace_reuse.cpp.o"
+  "CMakeFiles/bench_a32_inplace_reuse.dir/bench_a32_inplace_reuse.cpp.o.d"
+  "bench_a32_inplace_reuse"
+  "bench_a32_inplace_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a32_inplace_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

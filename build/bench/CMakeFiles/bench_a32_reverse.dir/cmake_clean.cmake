@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a32_reverse.dir/bench_a32_reverse.cpp.o"
+  "CMakeFiles/bench_a32_reverse.dir/bench_a32_reverse.cpp.o.d"
+  "bench_a32_reverse"
+  "bench_a32_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a32_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

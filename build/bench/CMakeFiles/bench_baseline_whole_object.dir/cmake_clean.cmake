@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_whole_object.dir/bench_baseline_whole_object.cpp.o"
+  "CMakeFiles/bench_baseline_whole_object.dir/bench_baseline_whole_object.cpp.o.d"
+  "bench_baseline_whole_object"
+  "bench_baseline_whole_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_whole_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_spines.dir/bench_fig1_spines.cpp.o"
+  "CMakeFiles/bench_fig1_spines.dir/bench_fig1_spines.cpp.o.d"
+  "bench_fig1_spines"
+  "bench_fig1_spines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_spines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

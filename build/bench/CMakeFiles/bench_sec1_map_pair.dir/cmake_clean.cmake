@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec1_map_pair.dir/bench_sec1_map_pair.cpp.o"
+  "CMakeFiles/bench_sec1_map_pair.dir/bench_sec1_map_pair.cpp.o.d"
+  "bench_sec1_map_pair"
+  "bench_sec1_map_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1_map_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

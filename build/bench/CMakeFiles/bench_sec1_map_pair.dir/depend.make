@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec1_map_pair.
+# This may be replaced when dependencies are built.

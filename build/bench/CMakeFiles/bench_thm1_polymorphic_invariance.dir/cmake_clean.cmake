@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_polymorphic_invariance.dir/bench_thm1_polymorphic_invariance.cpp.o"
+  "CMakeFiles/bench_thm1_polymorphic_invariance.dir/bench_thm1_polymorphic_invariance.cpp.o.d"
+  "bench_thm1_polymorphic_invariance"
+  "bench_thm1_polymorphic_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_polymorphic_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_map.dir/assoc_map.cpp.o"
+  "CMakeFiles/assoc_map.dir/assoc_map.cpp.o.d"
+  "assoc_map"
+  "assoc_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_library.dir/list_library.cpp.o"
+  "CMakeFiles/list_library.dir/list_library.cpp.o.d"
+  "list_library"
+  "list_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

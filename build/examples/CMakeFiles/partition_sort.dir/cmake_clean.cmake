@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_sort.dir/partition_sort.cpp.o"
+  "CMakeFiles/partition_sort.dir/partition_sort.cpp.o.d"
+  "partition_sort"
+  "partition_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

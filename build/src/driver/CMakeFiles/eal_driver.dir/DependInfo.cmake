@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/Pipeline.cpp" "src/driver/CMakeFiles/eal_driver.dir/Pipeline.cpp.o" "gcc" "src/driver/CMakeFiles/eal_driver.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/driver/Stdlib.cpp" "src/driver/CMakeFiles/eal_driver.dir/Stdlib.cpp.o" "gcc" "src/driver/CMakeFiles/eal_driver.dir/Stdlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/eal_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/eal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/eal_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharing/CMakeFiles/eal_sharing.dir/DependInfo.cmake"
+  "/root/repo/build/src/escape/CMakeFiles/eal_escape.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eal_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eal_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/eal_driver.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/eal_driver.dir/Stdlib.cpp.o"
+  "CMakeFiles/eal_driver.dir/Stdlib.cpp.o.d"
+  "libeal_driver.a"
+  "libeal_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

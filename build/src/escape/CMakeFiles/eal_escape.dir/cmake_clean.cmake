@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_escape.dir/EscapeAnalyzer.cpp.o"
+  "CMakeFiles/eal_escape.dir/EscapeAnalyzer.cpp.o.d"
+  "CMakeFiles/eal_escape.dir/EscapeValue.cpp.o"
+  "CMakeFiles/eal_escape.dir/EscapeValue.cpp.o.d"
+  "libeal_escape.a"
+  "libeal_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_lang.dir/Ast.cpp.o"
+  "CMakeFiles/eal_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/eal_lang.dir/AstCloner.cpp.o"
+  "CMakeFiles/eal_lang.dir/AstCloner.cpp.o.d"
+  "CMakeFiles/eal_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/eal_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/eal_lang.dir/AstUtils.cpp.o"
+  "CMakeFiles/eal_lang.dir/AstUtils.cpp.o.d"
+  "CMakeFiles/eal_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/eal_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/eal_lang.dir/Parser.cpp.o"
+  "CMakeFiles/eal_lang.dir/Parser.cpp.o.d"
+  "libeal_lang.a"
+  "libeal_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_opt.dir/AllocPlanner.cpp.o"
+  "CMakeFiles/eal_opt.dir/AllocPlanner.cpp.o.d"
+  "CMakeFiles/eal_opt.dir/Optimizer.cpp.o"
+  "CMakeFiles/eal_opt.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/eal_opt.dir/ReuseTransform.cpp.o"
+  "CMakeFiles/eal_opt.dir/ReuseTransform.cpp.o.d"
+  "libeal_opt.a"
+  "libeal_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

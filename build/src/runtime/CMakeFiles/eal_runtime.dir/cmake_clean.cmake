@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/eal_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/eal_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/eal_runtime.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/eal_runtime.dir/PrimOps.cpp.o"
+  "CMakeFiles/eal_runtime.dir/PrimOps.cpp.o.d"
+  "CMakeFiles/eal_runtime.dir/ValuePrinter.cpp.o"
+  "CMakeFiles/eal_runtime.dir/ValuePrinter.cpp.o.d"
+  "libeal_runtime.a"
+  "libeal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_sharing.dir/SharingAnalysis.cpp.o"
+  "CMakeFiles/eal_sharing.dir/SharingAnalysis.cpp.o.d"
+  "libeal_sharing.a"
+  "libeal_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

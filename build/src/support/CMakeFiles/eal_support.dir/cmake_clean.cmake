@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/eal_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/eal_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/eal_support.dir/SourceManager.cpp.o.d"
+  "libeal_support.a"
+  "libeal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

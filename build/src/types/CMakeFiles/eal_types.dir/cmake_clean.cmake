@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_types.dir/Type.cpp.o"
+  "CMakeFiles/eal_types.dir/Type.cpp.o.d"
+  "CMakeFiles/eal_types.dir/TypeInference.cpp.o"
+  "CMakeFiles/eal_types.dir/TypeInference.cpp.o.d"
+  "libeal_types.a"
+  "libeal_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

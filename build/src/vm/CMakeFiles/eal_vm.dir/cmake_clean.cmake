@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal_vm.dir/Bytecode.cpp.o"
+  "CMakeFiles/eal_vm.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/eal_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/eal_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/eal_vm.dir/Vm.cpp.o"
+  "CMakeFiles/eal_vm.dir/Vm.cpp.o.d"
+  "libeal_vm.a"
+  "libeal_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_tests.dir/driver/EndToEndTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/EndToEndTest.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/driver/OptionsMatrixTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/OptionsMatrixTest.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/driver/PipelineTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/PipelineTest.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/driver/StdlibTest.cpp.o"
+  "CMakeFiles/driver_tests.dir/driver/StdlibTest.cpp.o.d"
+  "driver_tests"
+  "driver_tests.pdb"
+  "driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_analyzer_tests.dir/escape/EscapeAnalyzerTest.cpp.o"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/EscapeAnalyzerTest.cpp.o.d"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/LocalContextTest.cpp.o"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/LocalContextTest.cpp.o.d"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/PairExtensionTest.cpp.o"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/PairExtensionTest.cpp.o.d"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/WholeObjectBaselineTest.cpp.o"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/WholeObjectBaselineTest.cpp.o.d"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/WorstCaseTest.cpp.o"
+  "CMakeFiles/escape_analyzer_tests.dir/escape/WorstCaseTest.cpp.o.d"
+  "escape_analyzer_tests"
+  "escape_analyzer_tests.pdb"
+  "escape_analyzer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_analyzer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

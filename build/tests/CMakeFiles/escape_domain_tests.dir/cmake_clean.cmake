@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_domain_tests.dir/escape/BasicEscapeTest.cpp.o"
+  "CMakeFiles/escape_domain_tests.dir/escape/BasicEscapeTest.cpp.o.d"
+  "CMakeFiles/escape_domain_tests.dir/escape/EscapeValueTest.cpp.o"
+  "CMakeFiles/escape_domain_tests.dir/escape/EscapeValueTest.cpp.o.d"
+  "escape_domain_tests"
+  "escape_domain_tests.pdb"
+  "escape_domain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_domain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

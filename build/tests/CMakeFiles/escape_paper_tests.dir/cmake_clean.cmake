@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escape_paper_tests.dir/escape/PaperExamplesTest.cpp.o"
+  "CMakeFiles/escape_paper_tests.dir/escape/PaperExamplesTest.cpp.o.d"
+  "CMakeFiles/escape_paper_tests.dir/escape/PolymorphicInvarianceTest.cpp.o"
+  "CMakeFiles/escape_paper_tests.dir/escape/PolymorphicInvarianceTest.cpp.o.d"
+  "escape_paper_tests"
+  "escape_paper_tests.pdb"
+  "escape_paper_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escape_paper_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

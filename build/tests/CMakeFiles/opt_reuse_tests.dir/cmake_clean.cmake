@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_reuse_tests.dir/opt/AllocPlannerTest.cpp.o"
+  "CMakeFiles/opt_reuse_tests.dir/opt/AllocPlannerTest.cpp.o.d"
+  "CMakeFiles/opt_reuse_tests.dir/opt/ReuseTransformTest.cpp.o"
+  "CMakeFiles/opt_reuse_tests.dir/opt/ReuseTransformTest.cpp.o.d"
+  "opt_reuse_tests"
+  "opt_reuse_tests.pdb"
+  "opt_reuse_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_reuse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_tests.dir/sharing/SharingAnalysisTest.cpp.o"
+  "CMakeFiles/sharing_tests.dir/sharing/SharingAnalysisTest.cpp.o.d"
+  "sharing_tests"
+  "sharing_tests.pdb"
+  "sharing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/escape_paper_tests[1]_include.cmake")
+include("/root/repo/build/tests/sharing_tests[1]_include.cmake")
+include("/root/repo/build/tests/opt_reuse_tests[1]_include.cmake")
+include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/driver_tests[1]_include.cmake")
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/types_tests[1]_include.cmake")
+include("/root/repo/build/tests/escape_domain_tests[1]_include.cmake")
+include("/root/repo/build/tests/escape_analyzer_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/vm_tests[1]_include.cmake")
+add_test(cli_report_reverse "/root/repo/build/tools/eal" "report" "/root/repo/examples/nml/reverse.nml")
+set_tests_properties(cli_report_reverse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_sort_vm "/root/repo/build/tools/eal" "run" "/root/repo/examples/nml/partition_sort.nml" "--vm" "--validate")
+set_tests_properties(cli_run_sort_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_stdlib "/root/repo/build/tools/eal" "run" "/root/repo/examples/nml/stats.nml" "--stdlib")
+set_tests_properties(cli_run_stdlib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_analyze_mono "/root/repo/build/tools/eal" "analyze" "/root/repo/examples/nml/reverse.nml" "--mono")
+set_tests_properties(cli_analyze_mono PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_whole_object_baseline "/root/repo/build/tools/eal" "run" "/root/repo/examples/nml/partition_sort.nml" "--whole-object")
+set_tests_properties(cli_whole_object_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

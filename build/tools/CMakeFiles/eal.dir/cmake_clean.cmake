@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eal.dir/eal.cpp.o"
+  "CMakeFiles/eal.dir/eal.cpp.o.d"
+  "eal"
+  "eal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
