@@ -17,7 +17,11 @@
 
 #include "driver/Pipeline.h"
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
 namespace eal::bench {
 
@@ -92,6 +96,72 @@ inline PipelineOptions config(bool Reuse, bool Stack, bool Region,
   Options.Optimize.EnableRegion = Region;
   Options.Run.HeapCapacity = HeapCapacity;
   return Options;
+}
+
+//===----------------------------------------------------------------------===//
+// BENCH_<name>.json: the machine-readable perf trajectory
+//===----------------------------------------------------------------------===//
+
+/// One measured configuration in a bench's JSON report (schema
+/// eal-bench-v1, validated by tools/check_bench_json.py).
+struct BenchRecord {
+  /// Configuration label, e.g. "sort_literal/n=64/stack=on".
+  std::string Name;
+  /// Problem size.
+  uint64_t N = 0;
+  /// Wall time of the whole pipeline run, in seconds.
+  double WallSeconds = 0;
+  /// Storage counters of the run.
+  RuntimeStats Stats;
+};
+
+/// Runs the pipeline over \p Source under \p Options, timing it, and
+/// appends a record to \p Records. Returns the result so sweeps can keep
+/// printing their tables from it; failures are reported and recorded
+/// with whatever counters accumulated.
+inline PipelineResult timedRun(std::vector<BenchRecord> &Records,
+                               std::string Name, uint64_t N,
+                               const std::string &Source,
+                               const PipelineOptions &Options) {
+  auto Start = std::chrono::steady_clock::now();
+  PipelineResult R = runPipeline(Source, Options);
+  auto End = std::chrono::steady_clock::now();
+  BenchRecord Rec;
+  Rec.Name = std::move(Name);
+  Rec.N = N;
+  Rec.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  Rec.Stats = R.Stats;
+  Records.push_back(std::move(Rec));
+  return R;
+}
+
+/// Writes BENCH_<bench>.json into the working directory: the bench's
+/// counters + wall times in the schema the perf trajectory expects
+/// (docs/OBSERVABILITY.md). Returns false (with a message) on I/O error.
+inline bool writeBenchJson(const std::string &Bench,
+                           const std::vector<BenchRecord> &Records) {
+  std::string Path = "BENCH_" + Bench + ".json";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "bench: cannot write " << Path << "\n";
+    return false;
+  }
+  Out << "{\n  \"schema\": \"eal-bench-v1\",\n  \"bench\": \"" << Bench
+      << "\",\n  \"records\": [";
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const BenchRecord &Rec = Records[I];
+    Out << (I ? "," : "") << "\n    {\n      \"name\": \"" << Rec.Name
+        << "\",\n      \"n\": " << Rec.N << ",\n      \"wall_seconds\": "
+        << Rec.WallSeconds << ",\n      \"counters\": "
+        << Rec.Stats.toJson(6) << "\n    }";
+  }
+  Out << "\n  ]\n}\n";
+  if (!Out) {
+    std::cerr << "bench: write failed for " << Path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << Path << " (" << Records.size() << " records)\n";
+  return true;
 }
 
 } // namespace eal::bench

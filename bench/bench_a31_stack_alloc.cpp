@@ -33,10 +33,15 @@ void printSweep() {
             << "heap(base)" << std::setw(12) << "heap(opt)" << std::setw(12)
             << "stack(opt)" << std::setw(10) << "GC(base)" << std::setw(10)
             << "GC(opt)" << std::setw(8) << "same?\n";
+  std::vector<BenchRecord> Records;
   for (unsigned N : {16u, 64u, 256u, 1024u}) {
     std::string Source = sortLiteralSource(N);
-    PipelineResult Base = runPipeline(Source, config(false, false, false));
-    PipelineResult Opt = runPipeline(Source, config(false, true, false));
+    PipelineResult Base =
+        timedRun(Records, "sort_literal/n=" + std::to_string(N) + "/base", N,
+                 Source, config(false, false, false));
+    PipelineResult Opt =
+        timedRun(Records, "sort_literal/n=" + std::to_string(N) + "/stack",
+                 N, Source, config(false, true, false));
     if (!Base.Success || !Opt.Success) {
       std::cerr << Base.diagnostics() << Opt.diagnostics();
       return;
@@ -51,6 +56,7 @@ void printSweep() {
               << '\n';
   }
   std::cout << "(expected: stack(opt) = n; heap(opt) = heap(base) - n)\n\n";
+  writeBenchJson("a31_stack_alloc", Records);
 }
 
 void BM_SortLiteral(benchmark::State &State) {

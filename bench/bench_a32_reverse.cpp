@@ -32,10 +32,15 @@ void printSweep() {
             << "heap(base)" << std::setw(12) << "heap(opt)" << std::setw(12)
             << "dcons" << std::setw(10) << "GC(base)" << std::setw(10)
             << "GC(opt)" << std::setw(8) << "same?\n";
+  std::vector<BenchRecord> Records;
   for (unsigned N : {16u, 64u, 256u, 512u}) {
     std::string Source = reverseSource(N);
-    PipelineResult Base = runPipeline(Source, config(false, false, false));
-    PipelineResult Opt = runPipeline(Source, config(true, false, false));
+    PipelineResult Base =
+        timedRun(Records, "reverse/n=" + std::to_string(N) + "/base", N,
+                 Source, config(false, false, false));
+    PipelineResult Opt =
+        timedRun(Records, "reverse/n=" + std::to_string(N) + "/reuse", N,
+                 Source, config(true, false, false));
     if (!Base.Success || !Opt.Success) {
       std::cerr << Base.diagnostics() << Opt.diagnostics();
       return;
@@ -50,6 +55,7 @@ void printSweep() {
   }
   std::cout << "(expected: heap(base) ~ n^2/2, heap(opt) ~ 2n, the\n"
             << " quadratic part becomes dcons reuses)\n\n";
+  writeBenchJson("a32_reverse", Records);
 }
 
 void BM_Reverse(benchmark::State &State) {

@@ -33,13 +33,16 @@ void printSweep() {
             << "region" << std::setw(12) << "bulkfrees" << std::setw(12)
             << "mark(base)" << std::setw(12) << "mark(opt)" << std::setw(8)
             << "same?\n";
+  std::vector<BenchRecord> Records;
   for (unsigned N : {16u, 64u, 256u, 1024u}) {
     std::string Source = sortProducerSource(N);
     // A small heap keeps the collector honest at every size.
     PipelineResult Base =
-        runPipeline(Source, config(false, false, false, 2048));
+        timedRun(Records, "sort_producer/n=" + std::to_string(N) + "/base",
+                 N, Source, config(false, false, false, 2048));
     PipelineResult Opt =
-        runPipeline(Source, config(false, false, true, 2048));
+        timedRun(Records, "sort_producer/n=" + std::to_string(N) + "/region",
+                 N, Source, config(false, false, true, 2048));
     if (!Base.Success || !Opt.Success) {
       std::cerr << Base.diagnostics() << Opt.diagnostics();
       return;
@@ -56,6 +59,7 @@ void printSweep() {
   }
   std::cout << "(expected: region >= n, bulk frees reclaim them without\n"
             << " traversal, mark work drops)\n\n";
+  writeBenchJson("a33_block_alloc", Records);
 }
 
 void BM_SortProducer(benchmark::State &State) {

@@ -53,16 +53,22 @@ void printComparison() {
             << "same dcons?" << '\n';
   struct Row {
     const char *Name;
+    unsigned N;
     std::string Source;
   };
   const Row Rows[] = {
-      {"sort n=256", sortLiteralSource(256)},
-      {"reverse n=128", reverseSource(128)},
-      {"sort producer n=256", sortProducerSource(256)},
+      {"sort/n=256", 256, sortLiteralSource(256)},
+      {"reverse/n=128", 128, reverseSource(128)},
+      {"sort_producer/n=256", 256, sortProducerSource(256)},
   };
+  std::vector<BenchRecord> Records;
   for (const Row &Row : Rows) {
-    PipelineResult Tree = runPipeline(Row.Source, engineConfig(false, true));
-    PipelineResult Byte = runPipeline(Row.Source, engineConfig(true, true));
+    PipelineResult Tree =
+        timedRun(Records, std::string(Row.Name) + "/tree", Row.N,
+                 Row.Source, engineConfig(false, true));
+    PipelineResult Byte =
+        timedRun(Records, std::string(Row.Name) + "/vm", Row.N, Row.Source,
+                 engineConfig(true, true));
     std::cout << std::left << std::setw(26) << Row.Name << std::right
               << std::setw(14)
               << (Tree.RenderedValue == Byte.RenderedValue ? "yes" : "NO")
@@ -72,6 +78,7 @@ void printComparison() {
               << '\n';
   }
   std::cout << '\n';
+  writeBenchJson("engines", Records);
 }
 
 void BM_Engine(benchmark::State &State) {

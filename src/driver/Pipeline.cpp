@@ -8,6 +8,7 @@
 #include "driver/Pipeline.h"
 
 #include "driver/Stdlib.h"
+#include "lang/Lexer.h"
 #include "lang/Parser.h"
 #include "runtime/ValuePrinter.h"
 
@@ -22,20 +23,45 @@ PipelineResult eal::runPipeline(const std::string &Source,
   R.Types = std::make_unique<TypeContext>();
 
   R.SM->setBuffer(Options.IncludeStdlib ? withStdlib(Source) : Source);
-  Parser P(R.SM->buffer(), *R.Ast, *R.Diags);
-  R.ParsedRoot = P.parseProgram();
+
+  // The parser lexes on the fly, so a standalone lex phase is redundant
+  // work; run a counting pre-pass only when a trace is being recorded,
+  // where a complete per-phase picture is worth one extra scan.
+  if (obs::tracingEnabled()) {
+    obs::PhaseTimer T(&R.PhaseMicros, "lex");
+    DiagnosticEngine ScratchDiags;
+    Lexer L(R.SM->buffer(), ScratchDiags);
+    uint64_t Tokens = 0;
+    while (L.next().Kind != TokenKind::EndOfFile)
+      ++Tokens;
+    T.span().arg("tokens", Tokens);
+    T.span().arg("bytes", static_cast<uint64_t>(R.SM->buffer().size()));
+  }
+
+  {
+    obs::PhaseTimer T(&R.PhaseMicros, "parse");
+    Parser P(R.SM->buffer(), *R.Ast, *R.Diags);
+    R.ParsedRoot = P.parseProgram();
+    T.span().arg("nodes", static_cast<uint64_t>(R.Ast->numNodes()));
+  }
   if (!R.ParsedRoot)
     return R;
 
-  TypeInference TI(*R.Ast, *R.Types, *R.Diags, Options.Mode);
-  R.Typed = TI.run(R.ParsedRoot);
+  {
+    obs::PhaseTimer T(&R.PhaseMicros, "type-inference");
+    TypeInference TI(*R.Ast, *R.Types, *R.Diags, Options.Mode);
+    R.Typed = TI.run(R.ParsedRoot);
+  }
   if (!R.Typed)
     return R;
 
-  OptimizerConfig OptConfig = Options.Optimize;
-  OptConfig.Mode = Options.Mode;
-  R.Optimized =
-      optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags, OptConfig);
+  {
+    obs::PhaseTimer T(&R.PhaseMicros, "optimize");
+    OptimizerConfig OptConfig = Options.Optimize;
+    OptConfig.Mode = Options.Mode;
+    R.Optimized = optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags,
+                                  OptConfig, &R.PhaseMicros);
+  }
   if (!R.Optimized)
     return R;
 
@@ -44,27 +70,35 @@ PipelineResult eal::runPipeline(const std::string &Source,
     return R;
   }
 
-  if (Options.Engine == ExecutionEngine::Bytecode) {
-    R.Code = compileToBytecode(*R.Ast, R.Optimized->Root, &R.Optimized->Plan,
-                               *R.Diags);
-    if (!R.Code)
-      return R;
-    Vm::Options VO;
-    VO.HeapCapacity = Options.Run.HeapCapacity;
-    VO.AllowHeapGrowth = Options.Run.AllowHeapGrowth;
-    VO.MaxSteps = Options.Run.MaxSteps;
-    VO.ValidateArenaFrees = Options.Run.ValidateArenaFrees;
-    R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
-    R.Value = R.TheVm->run();
-    R.Stats = R.TheVm->stats();
-  } else {
-    R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
-                                             &R.Optimized->Plan, *R.Diags,
-                                             Options.Run);
-    R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
-                                    : R.Interp->run();
-    R.Stats = R.Interp->stats();
+  {
+    obs::PhaseTimer T(&R.PhaseMicros, "execute");
+    if (Options.Engine == ExecutionEngine::Bytecode) {
+      T.span().arg("engine", "bytecode");
+      R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
+                                 &R.Optimized->Plan, *R.Diags);
+      if (!R.Code)
+        return R;
+      Vm::Options VO;
+      VO.HeapCapacity = Options.Run.HeapCapacity;
+      VO.AllowHeapGrowth = Options.Run.AllowHeapGrowth;
+      VO.MaxSteps = Options.Run.MaxSteps;
+      VO.ValidateArenaFrees = Options.Run.ValidateArenaFrees;
+      R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
+      R.Value = R.TheVm->run();
+      R.Stats = R.TheVm->stats();
+    } else {
+      T.span().arg("engine", "tree-walker");
+      R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
+                                               &R.Optimized->Plan, *R.Diags,
+                                               Options.Run);
+      R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
+                                      : R.Interp->run();
+      R.Stats = R.Interp->stats();
+    }
+    T.span().arg("steps", R.Stats.Steps);
   }
+  if (obs::metricsEnabled())
+    R.Stats.exportTo(obs::globalMetrics());
   if (!R.Value)
     return R;
   R.RenderedValue = renderValue(*R.Value);

@@ -29,6 +29,7 @@
 #include "vm/Vm.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <optional>
@@ -87,6 +88,12 @@ struct PipelineResult {
   std::optional<RtValue> Value;
   std::string RenderedValue;
   RuntimeStats Stats;
+
+  /// Wall time of each pipeline phase in run order, as {name, µs}. The
+  /// "lex" entry appears only when tracing is enabled (a counting
+  /// pre-pass; parsing lexes on the fly); "escape"/"sharing"/"plan"
+  /// entries come from inside the "optimize" phase and overlap it.
+  obs::PhaseTimer::PhaseTimes PhaseMicros;
 
   /// Rendered diagnostics (empty when clean).
   std::string diagnostics() const {

@@ -9,6 +9,8 @@
 
 #include "lang/AstUtils.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <sstream>
@@ -20,7 +22,12 @@ EscapeAnalyzer::EscapeAnalyzer(const AstContext &Ast,
                                DiagnosticEngine &Diags, unsigned MaxRounds,
                                EscapeAnalysisMode Mode)
     : Ast(Ast), Program(Program), Diags(Diags), MaxRounds(MaxRounds),
-      Mode(Mode) {}
+      Mode(Mode) {
+  // When a trace is being recorded, the per-binding iterates (the
+  // append^(k) tables of Appendix A.1) are part of what it should show.
+  if (obs::tracingEnabled())
+    Tracing = true;
+}
 
 unsigned EscapeAnalyzer::modeSpineCount(const Type *T) const {
   return Mode == EscapeAnalysisMode::WholeObject ? 0 : spineCount(T);
@@ -46,6 +53,11 @@ ValueId EscapeAnalyzer::runToFixpoint(const std::function<ValueId()> &Root) {
     }
     Result = Root();
   } while (Changed);
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry &Reg = obs::globalMetrics();
+    Reg.counter("escape.queries").add(1);
+    Reg.histogram("escape.fixpoint.rounds_per_query").record(LastRounds);
+  }
   return Result;
 }
 
@@ -97,6 +109,13 @@ ValueId EscapeAnalyzer::materializeBinding(LetrecInstId Inst, uint32_t Index) {
     TE.Round = LastRounds;
     TE.Value = Store.str(Entry.Val);
     TE.Changed = BindingChanged;
+    if (obs::tracingEnabled())
+      obs::instant("fixpoint.iterate", "fixpoint",
+                   {{"binding",
+                     obs::jsonQuote(Ast.spelling(TE.Binding))},
+                    {"round", std::to_string(TE.Round)},
+                    {"value", obs::jsonQuote(TE.Value)},
+                    {"changed", TE.Changed ? "true" : "false"}});
     Trace.push_back(std::move(TE));
   }
   return Entry.Val;
@@ -542,6 +561,7 @@ EscapeAnalyzer::localEscapeUnder(const Expr *CallSite, unsigned ParamIndex,
 }
 
 ProgramEscapeReport EscapeAnalyzer::analyzeProgram() {
+  obs::Span ProgramSpan("escape.analyzeProgram", "escape");
   ProgramEscapeReport Report;
   const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
   if (!Letrec)
@@ -551,6 +571,8 @@ ProgramEscapeReport EscapeAnalyzer::analyzeProgram() {
     unsigned Arity = lambdaArity(Binding.Value);
     if (Arity == 0)
       continue; // not a function binding
+    obs::Span FnSpan("escape.function", "escape");
+    size_t TraceBase = Trace.size();
     FunctionEscape FE;
     FE.Name = Binding.Name;
     FE.FunctionType = Program.typeOf(Binding.Value);
@@ -559,17 +581,44 @@ ProgramEscapeReport EscapeAnalyzer::analyzeProgram() {
     for (unsigned I = 0; I != Arity; ++I)
       ResultType = cast<FunType>(ResultType)->result();
     FE.ResultSpines = spineCount(ResultType);
+    unsigned FnRounds = 0;
     for (unsigned I = 0; I != Arity; ++I) {
       std::optional<ParamEscape> PE = globalEscape(Binding.Name, I);
       assert(PE && "binding disappeared mid-analysis");
       FE.Params.push_back(*PE);
       TotalRounds += LastRounds;
+      FnRounds += LastRounds;
+    }
+    if (FnSpan.active()) {
+      // The change set is the number of binding iterates that actually
+      // moved up the lattice while this function's queries ran.
+      uint64_t ChangedIterates = 0;
+      for (size_t I = TraceBase; I != Trace.size(); ++I)
+        if (Trace[I].Changed)
+          ++ChangedIterates;
+      FnSpan.arg("function", Ast.spelling(Binding.Name));
+      FnSpan.arg("rounds", static_cast<uint64_t>(FnRounds));
+      FnSpan.arg("changed_iterates", ChangedIterates);
+      FnSpan.arg("apply_cache_entries",
+                 static_cast<uint64_t>(ApplyCache.size()));
+      FnSpan.arg("distinct_values",
+                 static_cast<uint64_t>(Store.numValues()));
     }
     Report.Functions.push_back(std::move(FE));
   }
   Report.FixpointRounds = TotalRounds;
   Report.ApplyCacheEntries = ApplyCache.size();
   Report.DistinctValues = Store.numValues();
+  if (ProgramSpan.active()) {
+    ProgramSpan.arg("functions",
+                    static_cast<uint64_t>(Report.Functions.size()));
+    ProgramSpan.arg("fixpoint_rounds",
+                    static_cast<uint64_t>(Report.FixpointRounds));
+    ProgramSpan.arg("apply_cache_entries",
+                    static_cast<uint64_t>(Report.ApplyCacheEntries));
+    ProgramSpan.arg("distinct_values",
+                    static_cast<uint64_t>(Report.DistinctValues));
+  }
   return Report;
 }
 

@@ -8,53 +8,127 @@
 #include "opt/Optimizer.h"
 
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
 
 using namespace eal;
+
+namespace {
+
+/// Publishes the optimizer's decision counts: how many reuse versions /
+/// DCONS sites the transformation produced and how many arena directives
+/// (with their stack/region site split) the planner emitted.
+void recordDecisions(const OptimizedProgram &Out) {
+  uint64_t DconsSites = 0;
+  for (const ReuseVersion &V : Out.Reuse.Versions)
+    DconsSites += V.DconsSites.size();
+  uint64_t StackSites = 0, RegionSites = 0;
+  for (const ArgArenaDirective &D : Out.Plan.Directives)
+    for (const auto &[Id, Class] : D.Sites)
+      (Class == ArenaSiteClass::Stack ? StackSites : RegionSites) += 1;
+
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry &Reg = obs::globalMetrics();
+    Reg.counter("opt.reuse.versions").add(Out.Reuse.Versions.size());
+    Reg.counter("opt.reuse.dcons_sites").add(DconsSites);
+    Reg.counter("opt.reuse.retargets").add(Out.Reuse.Retargets.size());
+    Reg.counter("opt.plan.directives").add(Out.Plan.Directives.size());
+    Reg.counter("opt.plan.stack_sites").add(StackSites);
+    Reg.counter("opt.plan.region_sites").add(RegionSites);
+    Reg.counter("escape.fixpoint_rounds").add(Out.BaseEscape.FixpointRounds);
+    Reg.counter("escape.apply_cache_entries")
+        .max(Out.BaseEscape.ApplyCacheEntries);
+    Reg.counter("escape.distinct_values").max(Out.BaseEscape.DistinctValues);
+  }
+  if (obs::tracingEnabled())
+    obs::instant("opt.decisions", "opt",
+                 {{"reuse_versions",
+                   std::to_string(Out.Reuse.Versions.size())},
+                  {"dcons_sites", std::to_string(DconsSites)},
+                  {"retargets", std::to_string(Out.Reuse.Retargets.size())},
+                  {"plan_directives",
+                   std::to_string(Out.Plan.Directives.size())},
+                  {"stack_sites", std::to_string(StackSites)},
+                  {"region_sites", std::to_string(RegionSites)}});
+}
+
+} // namespace
 
 std::optional<OptimizedProgram>
 eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
                      const TypedProgram &Program, DiagnosticEngine &Diags,
-                     const OptimizerConfig &Config) {
+                     const OptimizerConfig &Config,
+                     obs::PhaseTimer::PhaseTimes *PhaseMicrosOut) {
   OptimizedProgram Out;
 
   // Phase 1: analyze the original program.
-  EscapeAnalyzer BaseAnalyzer(Ast, Program, Diags, 512, Config.Analysis);
-  Out.BaseEscape = BaseAnalyzer.analyzeProgram();
+  {
+    obs::PhaseTimer T(PhaseMicrosOut, "escape");
+    EscapeAnalyzer BaseAnalyzer(Ast, Program, Diags, 512, Config.Analysis);
+    Out.BaseEscape = BaseAnalyzer.analyzeProgram();
+    T.span().arg("functions",
+                 static_cast<uint64_t>(Out.BaseEscape.Functions.size()));
+    T.span().arg("fixpoint_rounds",
+                 static_cast<uint64_t>(Out.BaseEscape.FixpointRounds));
+  }
 
-  // Phase 2: in-place reuse.
+  // Phase 2: in-place reuse (sharing analysis feeds the transformation).
   const Expr *FinalRoot = Program.root();
   if (Config.EnableReuse) {
+    obs::PhaseTimer T(PhaseMicrosOut, "sharing");
     SharingAnalysis Sharing(Ast, Program, Out.BaseEscape);
     ReuseTransform Transform(Ast, Program, Out.BaseEscape, Sharing);
     if (auto Result = Transform.run()) {
       Out.Reuse = std::move(*Result);
       FinalRoot = Out.Reuse.NewRoot;
     }
+    T.span().arg("reuse_versions",
+                 static_cast<uint64_t>(Out.Reuse.Versions.size()));
+  } else if (obs::tracingEnabled()) {
+    // With reuse off nothing consumes sharing facts, but a traced run
+    // still reports the phase: derive the clause-2 facts the transform
+    // would have used (same convention as the pipeline's lex span).
+    obs::PhaseTimer T(PhaseMicrosOut, "sharing");
+    SharingAnalysis Sharing(Ast, Program, Out.BaseEscape);
+    uint64_t Facts = 0;
+    for (const FunctionEscape &F : Out.BaseEscape.Functions)
+      if (Sharing.resultSharing(F.Name))
+        ++Facts;
+    T.span().arg("facts", Facts);
+    T.span().arg("reuse", std::string_view("off"));
   }
 
   // Phase 3: re-type and re-analyze the final program. (When reuse did
   // nothing the AST is unchanged, but re-inference is cheap and keeps the
   // invariant that Out.Typed covers Out.Root.)
   Out.Root = FinalRoot;
-  TypeInference TI(Ast, Types, Diags, Config.Mode);
-  std::optional<TypedProgram> Retyped = TI.run(FinalRoot);
-  if (!Retyped) {
-    Diags.error(SourceLoc::invalid(),
-                "internal error: transformed program failed to typecheck");
-    return std::nullopt;
+  {
+    obs::PhaseTimer T(PhaseMicrosOut, "retype");
+    TypeInference TI(Ast, Types, Diags, Config.Mode);
+    std::optional<TypedProgram> Retyped = TI.run(FinalRoot);
+    if (!Retyped) {
+      Diags.error(SourceLoc::invalid(),
+                  "internal error: transformed program failed to typecheck");
+      return std::nullopt;
+    }
+    Out.Typed = std::move(*Retyped);
   }
-  Out.Typed = std::move(*Retyped);
 
   EscapeAnalyzer FinalAnalyzer(Ast, Out.Typed, Diags, 512, Config.Analysis);
   Out.FinalEscape = FinalAnalyzer.analyzeProgram();
 
   // Phase 4: allocation planning on the final program.
   if (Config.EnableStack || Config.EnableRegion) {
+    obs::PhaseTimer T(PhaseMicrosOut, "plan");
     AllocPlannerOptions PO;
     PO.EnableStack = Config.EnableStack;
     PO.EnableRegion = Config.EnableRegion;
     AllocPlanner Planner(Ast, Out.Typed, FinalAnalyzer, PO);
     Out.Plan = Planner.run();
+    T.span().arg("directives",
+                 static_cast<uint64_t>(Out.Plan.Directives.size()));
   }
+
+  if (obs::enabled())
+    recordDecisions(Out);
   return Out;
 }

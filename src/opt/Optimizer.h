@@ -25,6 +25,7 @@
 
 #include "opt/AllocPlanner.h"
 #include "opt/ReuseTransform.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <optional>
@@ -64,10 +65,13 @@ struct OptimizedProgram {
 
 /// Runs the pipeline. Returns nullopt after reporting diagnostics if the
 /// transformed program fails to re-typecheck (an internal error).
+/// \p PhaseMicrosOut, when non-null, receives {phase, µs} wall times for
+/// the internal phases (escape, sharing, retype, plan).
 std::optional<OptimizedProgram>
 optimizeProgram(AstContext &Ast, TypeContext &Types,
                 const TypedProgram &Program, DiagnosticEngine &Diags,
-                const OptimizerConfig &Config = OptimizerConfig());
+                const OptimizerConfig &Config = OptimizerConfig(),
+                obs::PhaseTimer::PhaseTimes *PhaseMicrosOut = nullptr);
 
 } // namespace eal
 

@@ -7,6 +7,9 @@
 
 #include "runtime/Heap.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace eal;
@@ -182,6 +185,25 @@ void Heap::freeArena(size_t Handle) {
     ++Stats.RegionBulkFrees;
     Stats.RegionCellsFreed += A.RegionCells;
   }
+  if (obs::enabled()) [[unlikely]] {
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry &Reg = obs::globalMetrics();
+      if (A.StackCells)
+        Reg.histogram("heap.arena.stack_cells_per_free")
+            .record(A.StackCells);
+      if (A.RegionCells)
+        Reg.histogram("heap.arena.region_cells_per_free")
+            .record(A.RegionCells);
+    }
+    if (obs::streamEnabled()) {
+      if (A.StackCells)
+        obs::instant("stack.arena_free", "arena",
+                     {{"cells", std::to_string(A.StackCells)}});
+      if (A.RegionCells)
+        obs::instant("region.bulk_free", "arena",
+                     {{"cells", std::to_string(A.RegionCells)}});
+    }
+  }
   A = CellArena();
   FreeArenaSlots.push_back(Handle);
 }
@@ -239,6 +261,12 @@ void Heap::clearMarks() {
 
 void Heap::collect() {
   ++Stats.GcRuns;
+  // Capture before-counters so the GC event can report this run's work.
+  const bool Obs = obs::enabled();
+  const uint64_t MarkedBefore = Obs ? Stats.CellsMarked : 0;
+  const uint64_t SweptBefore = Obs ? Stats.CellsSwept : 0;
+  const int64_t StartUs = Obs ? obs::nowMicros() : 0;
+
   markPhase(/*IncludeArenas=*/true, /*ExcludeHandle=*/SIZE_MAX);
   // Sweep: only heap-class cells are individually reclaimed.
   for (size_t S = 0; S != Slabs.size(); ++S) {
@@ -257,6 +285,31 @@ void Heap::collect() {
         --LiveHeap;
       }
       Cell.Mark = false;
+    }
+  }
+
+  if (Obs) [[unlikely]] {
+    const int64_t PauseUs = obs::nowMicros() - StartUs;
+    const uint64_t Marked = Stats.CellsMarked - MarkedBefore;
+    const uint64_t Swept = Stats.CellsSwept - SweptBefore;
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry &Reg = obs::globalMetrics();
+      Reg.histogram("heap.gc.pause_us")
+          .record(static_cast<uint64_t>(PauseUs));
+      Reg.histogram("heap.gc.swept_cells_per_run").record(Swept);
+    }
+    if (obs::streamEnabled()) {
+      obs::TraceEvent E;
+      E.Name = "gc.collect";
+      E.Category = "gc";
+      E.Phase = 'X';
+      E.TimestampUs = StartUs;
+      E.DurationUs = PauseUs;
+      E.Args = {{"marked", std::to_string(Marked)},
+                {"swept", std::to_string(Swept)},
+                {"live", std::to_string(LiveHeap)},
+                {"capacity", std::to_string(Capacity)}};
+      obs::record(std::move(E));
     }
   }
 }

@@ -11,12 +11,22 @@
 /// (stack allocation), cells recycled with no allocation at all (DCONS),
 /// and whole blocks reclaimed without traversing the list (regions).
 ///
+/// This struct is the typed hot-path view of the runtime's metrics: the
+/// heap and engines bump plain fields with no indirection, and the
+/// counters flow into the obs::MetricsRegistry (support/Metrics.h) at
+/// phase boundaries via exportTo(). forEachField() is the single source
+/// of truth for names, so str(), toJson(), and exportTo() can never
+/// disagree about what exists.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EAL_RUNTIME_RUNTIMESTATS_H
 #define EAL_RUNTIME_RUNTIMESTATS_H
 
+#include "support/Metrics.h"
+
 #include <cstdint>
+#include <iomanip>
 #include <sstream>
 #include <string>
 
@@ -61,27 +71,64 @@ struct RuntimeStats {
     return HeapCellsAllocated + StackCellsAllocated + RegionCellsAllocated;
   }
 
-  /// Renders all counters, one "name = value" per line.
+  /// Invokes \p Fn(JsonKey, HumanLabel, Value) for every counter,
+  /// including the derived total. The one place the field list lives.
+  template <class FnT> void forEachField(FnT &&Fn) const {
+    Fn("heap_cells_allocated", "heap cells allocated", HeapCellsAllocated);
+    Fn("stack_cells_allocated", "stack cells allocated", StackCellsAllocated);
+    Fn("region_cells_allocated", "region cells allocated",
+       RegionCellsAllocated);
+    Fn("total_cells_allocated", "total cells allocated",
+       totalCellsAllocated());
+    Fn("dcons_reuses", "dcons reuses", DconsReuses);
+    Fn("gc_runs", "gc runs", GcRuns);
+    Fn("cells_marked", "cells marked (gc work)", CellsMarked);
+    Fn("cells_swept", "cells swept", CellsSwept);
+    Fn("sweep_scan_work", "sweep scan work", CellsScannedBySweep);
+    Fn("heap_growths", "heap growths", HeapGrowths);
+    Fn("stack_arena_frees", "stack arena frees", StackArenaFrees);
+    Fn("stack_cells_freed", "stack cells freed", StackCellsFreed);
+    Fn("region_bulk_frees", "region bulk frees", RegionBulkFrees);
+    Fn("region_cells_freed", "region cells freed", RegionCellsFreed);
+    Fn("peak_live_heap_cells", "peak live heap cells", PeakLiveHeapCells);
+    Fn("steps", "steps", Steps);
+    Fn("applications", "applications", Applications);
+    Fn("closures_created", "closures created", ClosuresCreated);
+  }
+
+  /// Renders all counters, one "name = value" per line. Includes the
+  /// derived total so human-readable dumps match what benches compare.
   std::string str() const {
     std::ostringstream OS;
-    OS << "heap cells allocated    = " << HeapCellsAllocated << '\n'
-       << "stack cells allocated   = " << StackCellsAllocated << '\n'
-       << "region cells allocated  = " << RegionCellsAllocated << '\n'
-       << "dcons reuses            = " << DconsReuses << '\n'
-       << "gc runs                 = " << GcRuns << '\n'
-       << "cells marked (gc work)  = " << CellsMarked << '\n'
-       << "cells swept             = " << CellsSwept << '\n'
-       << "sweep scan work         = " << CellsScannedBySweep << '\n'
-       << "heap growths            = " << HeapGrowths << '\n'
-       << "stack arena frees       = " << StackArenaFrees << '\n'
-       << "stack cells freed       = " << StackCellsFreed << '\n'
-       << "region bulk frees       = " << RegionBulkFrees << '\n'
-       << "region cells freed      = " << RegionCellsFreed << '\n'
-       << "peak live heap cells    = " << PeakLiveHeapCells << '\n'
-       << "steps                   = " << Steps << '\n'
-       << "applications            = " << Applications << '\n'
-       << "closures created        = " << ClosuresCreated << '\n';
+    forEachField([&OS](const char *, const char *Label, uint64_t Value) {
+      OS << std::left << std::setw(24) << Label << "= " << Value << '\n';
+    });
     return OS.str();
+  }
+
+  /// Renders all counters as a flat JSON object (snake_case keys), used
+  /// by `eal --stats-json` and the BENCH_*.json records.
+  std::string toJson(unsigned Indent = 0) const {
+    std::string Pad(Indent, ' ');
+    std::string Pad2(Indent + 2, ' ');
+    std::ostringstream OS;
+    OS << "{";
+    bool First = true;
+    forEachField([&](const char *Key, const char *, uint64_t Value) {
+      OS << (First ? "\n" : ",\n") << Pad2 << '"' << Key << "\": " << Value;
+      First = false;
+    });
+    OS << '\n' << Pad << '}';
+    return OS.str();
+  }
+
+  /// Exports every counter into \p Reg under \p Prefix (the registry
+  /// view that absorbs this struct).
+  void exportTo(obs::MetricsRegistry &Reg,
+                const std::string &Prefix = "runtime.") const {
+    forEachField([&](const char *Key, const char *, uint64_t Value) {
+      Reg.counter(Prefix + Key).set(Value);
+    });
   }
 };
 

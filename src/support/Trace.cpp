@@ -1,0 +1,313 @@
+//===- Trace.cpp ----------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+using namespace eal;
+using namespace eal::obs;
+
+//===----------------------------------------------------------------------===//
+// Clock and thread ids
+//===----------------------------------------------------------------------===//
+
+int64_t obs::nowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               Epoch)
+      .count();
+}
+
+namespace {
+
+uint32_t threadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+thread_local unsigned SpanDepth = 0;
+
+//===----------------------------------------------------------------------===//
+// Global state
+//===----------------------------------------------------------------------===//
+
+struct TraceState {
+  std::mutex M;
+  std::vector<TraceEvent> Events;
+  std::vector<EventSink *> Sinks;
+};
+
+TraceState &state() {
+  static TraceState S;
+  return S;
+}
+
+} // namespace
+
+bool obs::detail::Enabled = false;
+bool obs::detail::RecorderOn = false;
+bool obs::detail::StreamOn = false;
+
+namespace {
+
+/// Recomputes the derived flags; caller holds the lock.
+void refreshEnabled() {
+  obs::detail::StreamOn =
+      obs::detail::RecorderOn || !state().Sinks.empty();
+  obs::detail::Enabled = obs::detail::StreamOn || obs::detail::MetricsOn;
+}
+
+} // namespace
+
+void obs::detail::refreshMaster() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  refreshEnabled();
+}
+
+void obs::enableTracing() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  detail::RecorderOn = true;
+  refreshEnabled();
+}
+
+void obs::disableTracing() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  detail::RecorderOn = false;
+  refreshEnabled();
+}
+
+void obs::addSink(EventSink *S) {
+  std::lock_guard<std::mutex> Lock(state().M);
+  state().Sinks.push_back(S);
+  refreshEnabled();
+}
+
+void obs::removeSink(EventSink *S) {
+  std::lock_guard<std::mutex> Lock(state().M);
+  auto &Sinks = state().Sinks;
+  Sinks.erase(std::remove(Sinks.begin(), Sinks.end(), S), Sinks.end());
+  refreshEnabled();
+}
+
+std::vector<TraceEvent> obs::snapshot() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  return state().Events;
+}
+
+size_t obs::eventCount() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  return state().Events.size();
+}
+
+void obs::clearTrace() {
+  std::lock_guard<std::mutex> Lock(state().M);
+  state().Events.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+void obs::record(TraceEvent E) {
+  if (E.TimestampUs < 0)
+    E.TimestampUs = nowMicros();
+  E.ThreadId = threadId();
+  std::lock_guard<std::mutex> Lock(state().M);
+  for (EventSink *S : state().Sinks)
+    S->onEvent(E);
+  if (detail::RecorderOn)
+    state().Events.push_back(std::move(E));
+}
+
+void obs::instant(std::string Name, std::string Category,
+                  std::vector<std::pair<std::string, std::string>> Args) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.Phase = 'i';
+  E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+void obs::counter(std::string Name, int64_t Value) {
+  TraceEvent E;
+  E.Category = "counter";
+  E.Phase = 'C';
+  E.Args.emplace_back(Name, std::to_string(Value));
+  E.Name = std::move(Name);
+  record(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export
+//===----------------------------------------------------------------------===//
+
+std::string obs::jsonQuote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+namespace {
+
+void renderEvent(std::ostringstream &OS, const TraceEvent &E) {
+  OS << "{\"name\":" << jsonQuote(E.Name)
+     << ",\"cat\":" << jsonQuote(E.Category) << ",\"ph\":\"" << E.Phase
+     << "\",\"ts\":" << E.TimestampUs;
+  if (E.Phase == 'X')
+    OS << ",\"dur\":" << E.DurationUs;
+  OS << ",\"pid\":1,\"tid\":" << E.ThreadId;
+  // Chrome instant events want a scope; thread scope is the natural one.
+  if (E.Phase == 'i')
+    OS << ",\"s\":\"t\"";
+  if (!E.Args.empty() || E.Depth != 0) {
+    OS << ",\"args\":{";
+    bool First = true;
+    if (E.Depth != 0) {
+      OS << "\"depth\":" << E.Depth;
+      First = false;
+    }
+    for (const auto &[Key, Value] : E.Args) {
+      if (!First)
+        OS << ',';
+      First = false;
+      OS << jsonQuote(Key) << ':' << Value;
+    }
+    OS << '}';
+  }
+  OS << '}';
+}
+
+} // namespace
+
+std::string obs::toChromeTraceJson() {
+  std::vector<TraceEvent> Events = snapshot();
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TimestampUs < B.TimestampUs;
+                   });
+  std::ostringstream OS;
+  OS << "[\n";
+  for (size_t I = 0; I != Events.size(); ++I) {
+    renderEvent(OS, Events[I]);
+    if (I + 1 != Events.size())
+      OS << ',';
+    OS << '\n';
+  }
+  OS << "]\n";
+  return OS.str();
+}
+
+bool obs::writeChromeTrace(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << toChromeTraceJson();
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+obs::Span::Span(const char *Name, const char *Category) {
+  if (!streamEnabled())
+    return;
+  Active = true;
+  StartUs = nowMicros();
+  Ev.Name = Name;
+  Ev.Category = Category;
+  Ev.Phase = 'X';
+  Ev.TimestampUs = StartUs;
+  Ev.Depth = ++SpanDepth;
+}
+
+obs::Span::~Span() {
+  if (!Active)
+    return;
+  --SpanDepth;
+  Ev.DurationUs = nowMicros() - StartUs;
+  record(std::move(Ev));
+}
+
+void obs::Span::arg(std::string Key, uint64_t Value) {
+  if (Active)
+    Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
+}
+
+void obs::Span::arg(std::string Key, int64_t Value) {
+  if (Active)
+    Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
+}
+
+void obs::Span::arg(std::string Key, std::string_view Value) {
+  if (Active)
+    Ev.Args.emplace_back(std::move(Key), jsonQuote(Value));
+}
+
+unsigned obs::Span::currentDepth() { return SpanDepth; }
+
+//===----------------------------------------------------------------------===//
+// PhaseTimer
+//===----------------------------------------------------------------------===//
+
+obs::PhaseTimer::PhaseTimer(PhaseTimes *Out, const char *Name,
+                            const char *Category)
+    : Out(Out), Name(Name), S(Name, Category), StartUs(nowMicros()) {}
+
+obs::PhaseTimer::~PhaseTimer() {
+  int64_t Micros = nowMicros() - StartUs;
+  if (Out)
+    Out->emplace_back(Name, Micros);
+  if (metricsEnabled()) {
+    MetricsRegistry &Reg = globalMetrics();
+    Reg.counter(std::string("phase.") + Name + ".micros")
+        .add(static_cast<uint64_t>(Micros));
+    Reg.counter(std::string("phase.") + Name + ".runs").add(1);
+  }
+}

@@ -1,0 +1,181 @@
+//===- Trace.h - Structured tracing: spans, events, Chrome export -*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the `eal::obs` observability subsystem (the other
+/// half, the counter/histogram registry, is Metrics.h). It provides:
+///
+///  * RAII phase timers (Span) that nest and record Chrome
+///    `trace_event`-format complete events ('X');
+///  * instant ('i') and counter ('C') events for point-in-time facts
+///    (GC runs, arena frees, fixpoint iterates);
+///  * an event-stream hook (EventSink) that external consumers attach to
+///    receive every event as it is recorded;
+///  * a JSON exporter producing files loadable by `chrome://tracing` and
+///    Perfetto (see docs/OBSERVABILITY.md).
+///
+/// Cost model: every producer site is guarded by `obs::enabled()` — a
+/// single inlined load of one global bool, no virtual dispatch, no
+/// allocation. With no recorder and no sinks attached the flag is false
+/// and the hot paths fall straight through; all strings, locks, and
+/// clock reads happen only behind an enabled check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_SUPPORT_TRACE_H
+#define EAL_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eal::obs {
+
+/// Microseconds on the process-wide steady trace clock. Zero is the
+/// first use in the process, so trace timestamps are small and stable.
+int64_t nowMicros();
+
+/// One recorded event, Chrome trace_event flavored.
+struct TraceEvent {
+  std::string Name;
+  /// Grouping key ("pipeline", "gc", "arena", "fixpoint", ...).
+  std::string Category;
+  /// 'X' complete (has DurationUs), 'i' instant, 'C' counter.
+  char Phase = 'i';
+  /// Negative means "not stamped yet"; record() fills it in. (Zero is a
+  /// real time: the trace clock's epoch is its first use.)
+  int64_t TimestampUs = -1;
+  int64_t DurationUs = 0;
+  /// Small sequential id of the recording thread (not the OS tid).
+  uint32_t ThreadId = 0;
+  /// Span nesting depth on the recording thread (1 = outermost span);
+  /// 0 for non-span events.
+  uint32_t Depth = 0;
+  /// Key -> already-rendered JSON value: numbers unquoted, strings
+  /// quoted and escaped (use jsonQuote).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Receives every event as it is recorded — the runtime event stream.
+/// Sinks run under the trace lock; keep callbacks short.
+class EventSink {
+public:
+  virtual ~EventSink() = default;
+  virtual void onEvent(const TraceEvent &E) = 0;
+};
+
+namespace detail {
+/// True iff any consumer is attached: the recorder, a sink, or the
+/// metrics registry (Metrics.h).
+extern bool Enabled;
+extern bool RecorderOn;
+/// True iff events have somewhere to go: recorder or at least one sink.
+extern bool StreamOn;
+/// Recomputes the derived flags; called by every enable/disable entry.
+void refreshMaster();
+} // namespace detail
+
+/// The master guard every producer site checks first.
+inline bool enabled() { return detail::Enabled; }
+/// True when events are being kept for later export.
+inline bool tracingEnabled() { return detail::RecorderOn; }
+/// True when emitting an event reaches a consumer (recorder or sink);
+/// gate event construction on this, metrics on metricsEnabled().
+inline bool streamEnabled() { return detail::StreamOn; }
+
+/// Turns the in-memory recorder on/off. Enabling does not clear
+/// previously recorded events; use clearTrace() for a fresh run.
+void enableTracing();
+void disableTracing();
+
+/// Attaches/detaches an event-stream sink (not owned).
+void addSink(EventSink *S);
+void removeSink(EventSink *S);
+
+/// Copy of everything recorded so far (thread-safe).
+std::vector<TraceEvent> snapshot();
+size_t eventCount();
+void clearTrace();
+
+/// Renders recorded events as a Chrome trace_event JSON array, oldest
+/// first. Loadable by chrome://tracing and Perfetto.
+std::string toChromeTraceJson();
+/// Writes toChromeTraceJson() to \p Path; false on I/O failure.
+bool writeChromeTrace(const std::string &Path);
+
+/// Quotes and escapes \p S as a JSON string literal (with the quotes).
+std::string jsonQuote(std::string_view S);
+
+/// Records \p E (stamping timestamp/thread if unset) into the recorder
+/// and all sinks. Call only behind enabled().
+void record(TraceEvent E);
+
+/// Records an instant event.
+void instant(std::string Name, std::string Category,
+             std::vector<std::pair<std::string, std::string>> Args = {});
+
+/// Records a counter event (renders in tracing UIs as a value series).
+void counter(std::string Name, int64_t Value);
+
+/// RAII phase timer. While alive it contributes one level of nesting on
+/// its thread; at destruction it records a complete ('X') event covering
+/// its lifetime. Inactive (and free apart from one flag test) when the
+/// subsystem is disabled at construction time.
+class Span {
+public:
+  explicit Span(const char *Name, const char *Category = "pipeline");
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches an argument to the event emitted at destruction.
+  void arg(std::string Key, uint64_t Value);
+  void arg(std::string Key, int64_t Value);
+  void arg(std::string Key, std::string_view Value); ///< quoted for JSON
+
+  bool active() const { return Active; }
+  /// Wall time since construction (valid whether or not active).
+  int64_t elapsedMicros() const { return nowMicros() - StartUs; }
+
+  /// Number of active spans on the calling thread (testing aid).
+  static unsigned currentDepth();
+
+private:
+  bool Active = false;
+  int64_t StartUs = 0;
+  TraceEvent Ev;
+};
+
+/// RAII phase timer for pipeline stages: always measures wall time
+/// (independent of tracing) and appends {Name, micros} to \p Out at
+/// destruction; additionally emits a Span event when tracing is enabled
+/// and per-phase counters into the global metrics registry when metrics
+/// are enabled (see Metrics.h).
+class PhaseTimer {
+public:
+  using PhaseTimes = std::vector<std::pair<std::string, int64_t>>;
+
+  PhaseTimer(PhaseTimes *Out, const char *Name,
+             const char *Category = "pipeline");
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  Span &span() { return S; }
+
+private:
+  PhaseTimes *Out;
+  const char *Name;
+  Span S;
+  int64_t StartUs;
+};
+
+} // namespace eal::obs
+
+#endif // EAL_SUPPORT_TRACE_H

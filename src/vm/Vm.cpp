@@ -9,6 +9,7 @@
 
 #include "runtime/PrimOps.h"
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -200,6 +201,7 @@ bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
 }
 
 std::optional<RtValue> Vm::run() {
+  obs::Span S("vm.run", "runtime");
   Failed = false;
 
   // Enter the entry proto.
@@ -358,6 +360,10 @@ done:
   for (size_t Handle : OrphanArenas)
     TheHeap.freeArena(Handle);
   OrphanArenas.clear();
+  if (S.active()) {
+    S.arg("steps", Stats.Steps);
+    S.arg("heap_cells", Stats.HeapCellsAllocated);
+  }
   if (Failed || Stack.empty())
     return std::nullopt;
   RtValue Result = Stack.back();

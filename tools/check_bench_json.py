@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the eal-bench-v1 schema.
+
+The bench binaries (bench/) write one BENCH_<name>.json per run with
+their wall times and storage counters -- the machine-readable perf
+trajectory described in docs/OBSERVABILITY.md.  This checker is the
+schema's executable definition; it is wired into ctest (tier2) so a
+bench that drifts from the schema fails the build's test suite, not a
+downstream dashboard.
+
+Usage:
+  check_bench_json.py FILE [FILE...]     validate existing report files
+  check_bench_json.py --run BINARY       run a bench binary (benchmarks
+                                         filtered out, sweep only) in a
+                                         scratch dir, then validate every
+                                         BENCH_*.json it wrote
+  check_bench_json.py --self-test        exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "eal-bench-v1"
+
+# Counters every record must carry: the RuntimeStats fields serialized by
+# RuntimeStats::toJson() (src/runtime/RuntimeStats.h).  total_cells_allocated
+# is derived and must equal the sum of the three allocation classes.
+REQUIRED_COUNTERS = [
+    "heap_cells_allocated",
+    "stack_cells_allocated",
+    "region_cells_allocated",
+    "total_cells_allocated",
+    "dcons_reuses",
+    "gc_runs",
+    "cells_marked",
+    "cells_swept",
+]
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def check_counters(errors, path, label, counters):
+    if not isinstance(counters, dict):
+        fail(errors, path, "%s: 'counters' is not an object" % label)
+        return
+    for key in REQUIRED_COUNTERS:
+        value = counters.get(key)
+        if value is None:
+            fail(errors, path, "%s: missing counter '%s'" % (label, key))
+        elif not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(errors, path,
+                 "%s: counter '%s' is not a non-negative integer: %r"
+                 % (label, key, value))
+    expected_total = sum(
+        counters.get(k, 0)
+        for k in ("heap_cells_allocated", "stack_cells_allocated",
+                  "region_cells_allocated")
+        if isinstance(counters.get(k), int))
+    total = counters.get("total_cells_allocated")
+    if isinstance(total, int) and total != expected_total:
+        fail(errors, path,
+             "%s: total_cells_allocated=%d but heap+stack+region=%d"
+             % (label, total, expected_total))
+
+
+def check_record(errors, path, index, record):
+    label = "records[%d]" % index
+    if not isinstance(record, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        fail(errors, path, "%s: 'name' is not a non-empty string" % label)
+    else:
+        label = "records[%d] (%s)" % (index, name)
+    n = record.get("n")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        fail(errors, path, "%s: 'n' is not a non-negative integer" % label)
+    wall = record.get("wall_seconds")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+        fail(errors, path, "%s: 'wall_seconds' is not a number" % label)
+    elif wall < 0:
+        fail(errors, path, "%s: 'wall_seconds' is negative" % label)
+    if "counters" not in record:
+        fail(errors, path, "%s: missing 'counters'" % label)
+    else:
+        check_counters(errors, path, label, record["counters"])
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(errors, path, "'bench' is not a non-empty string")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        fail(errors, path, "'records' is not an array")
+        return errors
+    if not records:
+        fail(errors, path, "'records' is empty")
+    names = set()
+    for i, record in enumerate(records):
+        check_record(errors, path, i, record)
+        if isinstance(record, dict) and isinstance(record.get("name"), str):
+            if record["name"] in names:
+                fail(errors, path,
+                     "duplicate record name %r" % record["name"])
+            names.add(record["name"])
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def run_and_validate(binary):
+    binary = os.path.abspath(binary)
+    with tempfile.TemporaryDirectory(prefix="eal-bench-json-") as workdir:
+        # The sweep (which writes the JSON) always runs; the filter keeps
+        # the google-benchmark timing loops out of the test's budget.
+        proc = subprocess.run(
+            [binary, "--benchmark_filter=__none__"],
+            cwd=workdir, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        sys.stdout.buffer.write(proc.stdout)
+        if proc.returncode != 0:
+            print("FAIL %s: exit status %d" % (binary, proc.returncode))
+            return 1
+        reports = sorted(
+            os.path.join(workdir, f) for f in os.listdir(workdir)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+        if not reports:
+            print("FAIL %s: wrote no BENCH_*.json" % binary)
+            return 1
+        return validate(reports)
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "bench": "demo",
+        "records": [{
+            "name": "demo/n=4/base",
+            "n": 4,
+            "wall_seconds": 0.25,
+            "counters": {
+                "heap_cells_allocated": 10,
+                "stack_cells_allocated": 4,
+                "region_cells_allocated": 0,
+                "total_cells_allocated": 14,
+                "dcons_reuses": 0,
+                "gc_runs": 1,
+                "cells_marked": 3,
+                "cells_swept": 7,
+            },
+        }],
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid document", good, True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("empty records",
+         broken(lambda d: d.update(records=[])), False),
+        ("negative wall time",
+         broken(lambda d: d["records"][0].update(wall_seconds=-1)), False),
+        ("missing counter",
+         broken(lambda d: d["records"][0]["counters"].pop("gc_runs")),
+         False),
+        ("inconsistent total",
+         broken(lambda d: d["records"][0]["counters"].update(
+             total_cells_allocated=999)), False),
+        ("boolean n",
+         broken(lambda d: d["records"][0].update(n=True)), False),
+        ("duplicate names",
+         broken(lambda d: d["records"].append(d["records"][0])), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-bench-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "BENCH_case.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "BENCH_bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) >= 2 and argv[1] == "--run":
+        if len(argv) != 3:
+            print(__doc__)
+            return 2
+        return run_and_validate(argv[2])
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

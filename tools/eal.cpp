@@ -19,15 +19,25 @@
 //   --validate        verify every arena free (debugging plans)
 //   -                 read the program from stdin
 //
+// Observability flags (docs/OBSERVABILITY.md):
+//   --trace=FILE      record phase spans, fixpoint iterates, GC and arena
+//                     events; write a Chrome trace_event JSON file
+//                     loadable by chrome://tracing / Perfetto
+//   --stats-json=FILE write runtime counters + metrics registry as JSON
+//   --time-phases     print per-phase wall times after the run
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
 #include "escape/EscapeAnalyzer.h"
 #include "lang/AstPrinter.h"
 #include "sharing/SharingAnalysis.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
@@ -40,7 +50,8 @@ int usage() {
       << "usage: eal <analyze|optimize|run|report> <file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
-         "--heap N --validate\n";
+         "--heap N --validate\n"
+         "         --trace=FILE --stats-json=FILE --time-phases\n";
   return 2;
 }
 
@@ -85,6 +96,36 @@ void printRun(const PipelineResult &R) {
             << R.Stats.str();
 }
 
+void printPhaseTimes(const PipelineResult &R) {
+  std::cout << "== phase times ==\n";
+  for (const auto &[Name, Micros] : R.PhaseMicros)
+    std::cout << std::left << std::setw(16) << Name << "= " << std::right
+              << std::setw(10) << Micros << " us\n";
+}
+
+bool writeStatsJson(const std::string &Path, const std::string &Command,
+                    const PipelineResult &R) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::cerr << "eal: error: cannot write '" << Path << "'\n";
+    return false;
+  }
+  Out << "{\n"
+      << "  \"schema\": \"eal-stats-v1\",\n"
+      << "  \"command\": " << obs::jsonQuote(Command) << ",\n"
+      << "  \"success\": " << (R.Success ? "true" : "false") << ",\n"
+      << "  \"value\": " << obs::jsonQuote(R.RenderedValue) << ",\n"
+      << "  \"phases_us\": {";
+  for (size_t I = 0; I != R.PhaseMicros.size(); ++I)
+    Out << (I ? ", " : "") << obs::jsonQuote(R.PhaseMicros[I].first) << ": "
+        << R.PhaseMicros[I].second;
+  Out << "},\n"
+      << "  \"counters\": " << R.Stats.toJson(2) << ",\n"
+      << "  \"metrics\": " << obs::globalMetrics().toJson(2) << "\n"
+      << "}\n";
+  return static_cast<bool>(Out);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -98,6 +139,8 @@ int main(int argc, char **argv) {
 
   PipelineOptions Options;
   Options.RunProgram = Command == "run" || Command == "report";
+  std::string TracePath, StatsJsonPath;
+  bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--mono")
@@ -118,15 +161,36 @@ int main(int argc, char **argv) {
       Options.Run.ValidateArenaFrees = true;
     else if (Arg == "--heap" && I + 1 < argc)
       Options.Run.HeapCapacity = std::strtoul(argv[++I], nullptr, 10);
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(std::strlen("--trace="));
+    else if (Arg.rfind("--stats-json=", 0) == 0)
+      StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
+    else if (Arg == "--time-phases")
+      TimePhases = true;
     else
       return usage();
   }
+  if (!TracePath.empty())
+    obs::enableTracing();
+  if (!StatsJsonPath.empty())
+    obs::enableMetrics();
 
   std::string Source;
   if (!readSource(Path, Source))
     return 1;
 
   PipelineResult R = runPipeline(Source, Options);
+  // Exports happen even on failure: a trace of a failed run is exactly
+  // what one wants for debugging it.
+  bool ExportOk = true;
+  if (!TracePath.empty() && !obs::writeChromeTrace(TracePath)) {
+    std::cerr << "eal: error: cannot write '" << TracePath << "'\n";
+    ExportOk = false;
+  }
+  if (!StatsJsonPath.empty() &&
+      !writeStatsJson(StatsJsonPath, Command, R))
+    ExportOk = false;
+
   if (!R.Success) {
     std::cerr << R.diagnostics();
     return 1;
@@ -144,5 +208,9 @@ int main(int argc, char **argv) {
       std::cout << '\n';
     printRun(R);
   }
-  return 0;
+  if (TimePhases) {
+    std::cout << '\n';
+    printPhaseTimes(R);
+  }
+  return ExportOk ? 0 : 1;
 }
