@@ -35,8 +35,12 @@ std::string generatedProgram(unsigned NumFns, unsigned Depth) {
   Source += "  f0 l = if (null l) then nil\n"
             "         else cons (car l) (f0 (cdr l));\n";
   for (unsigned I = 1; I != NumFns; ++I) {
-    std::string Prev = "f" + std::to_string(I - 1);
-    std::string Name = "f" + std::to_string(I);
+    // Built by += rather than operator+ chains: GCC 12's -Wrestrict
+    // misfires on the temporaries at -O2.
+    std::string Prev = "f";
+    Prev += std::to_string(I - 1);
+    std::string Name = "f";
+    Name += std::to_string(I);
     Source += "  " + Name + " l = if (null l) then nil\n";
     Source += "     else append (" + Prev + " l) (cons (car l) (" + Name +
               " (cdr l)));\n";

@@ -32,7 +32,12 @@ namespace {
 std::string nested(unsigned Depth) {
   if (Depth == 1)
     return "[1, 2]";
-  return "[" + nested(Depth - 1) + "]";
+  // Built by += rather than operator+ chains: GCC 12's -Wrestrict
+  // misfires on the temporaries at -O2.
+  std::string S = "[";
+  S += nested(Depth - 1);
+  S += "]";
+  return S;
 }
 
 struct InstanceResult {

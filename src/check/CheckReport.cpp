@@ -1,0 +1,149 @@
+//===- CheckReport.cpp ----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/CheckReport.h"
+
+#include "support/Metrics.h"
+#include "support/SourceManager.h"
+#include "support/Trace.h"
+
+#include <sstream>
+
+using namespace eal;
+using namespace eal::check;
+
+const char *eal::check::severityName(FindingSeverity S) {
+  switch (S) {
+  case FindingSeverity::Note:
+    return "note";
+  case FindingSeverity::Warning:
+    return "warning";
+  case FindingSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void OracleReport::exportTo(obs::MetricsRegistry &Reg) const {
+  Reg.counter("check.oracle.activations").add(Activations);
+  Reg.counter("check.oracle.claims_checked").add(ClaimsChecked);
+  Reg.counter("check.oracle.cells_tracked").add(CellsTracked);
+  Reg.counter("check.oracle.heap_cells_escaped").add(HeapCellsEscaped);
+  Reg.counter("check.oracle.heap_cells_unescaped").add(HeapCellsUnescaped);
+  Reg.counter("check.oracle.imprecise_claims").add(ImpreciseClaims);
+  Reg.counter("check.oracle.violations").add(Violations.size());
+}
+
+size_t CheckReport::count(FindingSeverity S) const {
+  size_t N = 0;
+  for (const Finding &F : Findings)
+    N += F.Severity == S;
+  return N;
+}
+
+namespace {
+
+void renderLoc(std::ostringstream &OS, const SourceManager &SM,
+               SourceLoc Loc) {
+  LineColumn LC = SM.lineColumn(Loc);
+  OS << SM.name() << ':' << LC.Line << ':' << LC.Column;
+}
+
+std::string violationMessage(const OracleViolation &V, const SourceManager &SM,
+                             bool WithLocs) {
+  std::ostringstream OS;
+  OS << "soundness violation (" << V.Kind << "): cell allocated at ";
+  if (WithLocs && V.AllocLoc.isValid()) {
+    LineColumn LC = SM.lineColumn(V.AllocLoc);
+    OS << LC.Line << ':' << LC.Column << " (site " << V.AllocSiteId << ")";
+  } else {
+    OS << "site " << V.AllocSiteId;
+  }
+  OS << " sits on spine level " << V.SpineLevel << " of argument "
+     << (V.ArgIndex + 1) << " of '" << V.Function << "' — claimed top "
+     << V.ProtectedSpines
+     << " spine(s) protected — yet escaped through the activation's result";
+  return OS.str();
+}
+
+} // namespace
+
+std::string CheckReport::render(const SourceManager &SM) const {
+  std::ostringstream OS;
+  for (const Finding &F : Findings) {
+    renderLoc(OS, SM, F.Loc);
+    OS << ": " << severityName(F.Severity) << ": [" << F.Code << "] "
+       << F.Message << '\n';
+  }
+  OS << Findings.size() << " finding(s): " << count(FindingSeverity::Error)
+     << " error(s), " << count(FindingSeverity::Warning) << " warning(s), "
+     << count(FindingSeverity::Note) << " note(s)\n";
+  if (Oracle) {
+    OS << "oracle: " << Oracle->Activations << " activation(s), "
+       << Oracle->ClaimsChecked << " claim(s) checked, "
+       << Oracle->CellsTracked << " cell(s) tracked; escaped/unescaped heap "
+       << "cells " << Oracle->HeapCellsEscaped << '/'
+       << Oracle->HeapCellsUnescaped << "; imprecise claims "
+       << Oracle->ImpreciseClaims << "; violations "
+       << Oracle->Violations.size() << '\n';
+    for (const OracleViolation &V : Oracle->Violations) {
+      renderLoc(OS, SM, V.CallLoc);
+      OS << ": error: " << violationMessage(V, SM, true) << '\n';
+    }
+  }
+  return OS.str();
+}
+
+std::string CheckReport::toJson(const SourceManager &SM,
+                                const std::string &Command,
+                                bool Success) const {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"schema\": \"eal-check-v1\",\n"
+     << "  \"command\": " << obs::jsonQuote(Command) << ",\n"
+     << "  \"file\": " << obs::jsonQuote(SM.name()) << ",\n"
+     << "  \"success\": " << (Success ? "true" : "false") << ",\n"
+     << "  \"findings\": [";
+  for (size_t I = 0; I != Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    LineColumn LC = SM.lineColumn(F.Loc);
+    OS << (I ? "," : "") << "\n    {\"code\": " << obs::jsonQuote(F.Code)
+       << ", \"severity\": " << obs::jsonQuote(severityName(F.Severity))
+       << ", \"line\": " << LC.Line << ", \"col\": " << LC.Column
+       << ", \"message\": " << obs::jsonQuote(F.Message) << "}";
+  }
+  OS << (Findings.empty() ? "]" : "\n  ]");
+  if (Oracle) {
+    OS << ",\n  \"oracle\": {\n"
+       << "    \"activations\": " << Oracle->Activations << ",\n"
+       << "    \"claims_checked\": " << Oracle->ClaimsChecked << ",\n"
+       << "    \"cells_tracked\": " << Oracle->CellsTracked << ",\n"
+       << "    \"heap_cells_escaped\": " << Oracle->HeapCellsEscaped << ",\n"
+       << "    \"heap_cells_unescaped\": " << Oracle->HeapCellsUnescaped
+       << ",\n"
+       << "    \"imprecise_claims\": " << Oracle->ImpreciseClaims << ",\n"
+       << "    \"violations\": [";
+    for (size_t I = 0; I != Oracle->Violations.size(); ++I) {
+      const OracleViolation &V = Oracle->Violations[I];
+      LineColumn Call = SM.lineColumn(V.CallLoc);
+      LineColumn Alloc = SM.lineColumn(V.AllocLoc);
+      OS << (I ? "," : "") << "\n      {\"kind\": " << obs::jsonQuote(V.Kind)
+         << ", \"function\": " << obs::jsonQuote(V.Function)
+         << ", \"arg_index\": " << V.ArgIndex
+         << ", \"protected_spines\": " << V.ProtectedSpines
+         << ", \"spine_level\": " << V.SpineLevel
+         << ", \"call_line\": " << Call.Line << ", \"call_col\": " << Call.Column
+         << ", \"alloc_site\": " << V.AllocSiteId
+         << ", \"alloc_line\": " << Alloc.Line
+         << ", \"alloc_col\": " << Alloc.Column << ", \"message\": "
+         << obs::jsonQuote(violationMessage(V, SM, true)) << "}";
+    }
+    OS << (Oracle->Violations.empty() ? "]" : "\n    ]") << "\n  }";
+  }
+  OS << "\n}\n";
+  return OS.str();
+}

@@ -1,0 +1,557 @@
+//===- Linter.cpp ---------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Linter.h"
+
+#include "lang/AstUtils.h"
+#include "types/Type.h"
+
+#include <sstream>
+#include <unordered_set>
+
+using namespace eal;
+using namespace eal::check;
+
+//===----------------------------------------------------------------------===//
+// Source lints (EAL-L001..L004)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Matches a saturated `cons e1 e2` / pair construction; fills operands.
+bool isAllocApp(const Expr *E, PrimOp &Op, const Expr *&Head,
+                const Expr *&Tail) {
+  std::vector<const Expr *> Args;
+  const Expr *Callee = uncurryCall(E, Args);
+  const auto *Prim = dyn_cast<PrimExpr>(Callee);
+  if (!Prim || Args.size() != 2 ||
+      (Prim->op() != PrimOp::Cons && Prim->op() != PrimOp::MkPair))
+    return false;
+  Op = Prim->op();
+  Head = Args[0];
+  Tail = Args[1];
+  return true;
+}
+
+/// True when \p E can never evaluate to a function value (used to turn a
+/// syntactic over-application into a lint before type inference even
+/// runs).
+bool resultNeverFunction(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NilLit:
+    return true;
+  case ExprKind::If: {
+    const auto *If = cast<IfExpr>(E);
+    return resultNeverFunction(If->thenExpr()) &&
+           resultNeverFunction(If->elseExpr());
+  }
+  case ExprKind::Let:
+    return resultNeverFunction(cast<LetExpr>(E)->body());
+  case ExprKind::Letrec:
+    return resultNeverFunction(cast<LetrecExpr>(E)->body());
+  case ExprKind::App: {
+    std::vector<const Expr *> Args;
+    const Expr *Callee = uncurryCall(E, Args);
+    const auto *Prim = dyn_cast<PrimExpr>(Callee);
+    if (!Prim || Args.size() != primOpArity(Prim->op()))
+      return false;
+    switch (Prim->op()) {
+    case PrimOp::Car:
+    case PrimOp::Cdr:
+    case PrimOp::Fst:
+    case PrimOp::Snd:
+    case PrimOp::DCons:
+      return false; // may extract/return a function
+    default:
+      return true; // arithmetic, comparisons, cons, mkpair, null, not
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+class SourceLinter {
+public:
+  SourceLinter(const AstContext &Ast, const LintOptions &Options,
+               CheckReport &Out)
+      : Ast(Ast), Out(Out) {
+    for (const std::string &Name : Options.ExemptTopLevel)
+      Exempt.insert(Name);
+  }
+
+  void run(const Expr *Root) {
+    TopLevel = Root;
+    walk(Root);
+  }
+
+private:
+  struct Binder {
+    Symbol Name;
+    SourceLoc Loc;
+    const char *Kind; // "parameter" / "let binding" / "letrec binding"
+    bool Used = false;
+    bool IsExempt = false;
+    unsigned Arity = 0;          ///< letrec fn binders: syntactic arity
+    const Expr *Value = nullptr; ///< letrec binding value
+    /// Letrec binders only: index of the binding whose value is being
+    /// walked may equal this binder's own slot — a self-reference, which
+    /// does not count as a use.
+    size_t SelfMark = ~size_t(0);
+  };
+
+  void finding(const char *Code, FindingSeverity Sev, SourceLoc Loc,
+               std::string Message) {
+    Out.Findings.push_back({Code, Sev, Loc, std::move(Message)});
+  }
+
+  Binder *lookup(Symbol Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It)
+      if (It->Name == Name)
+        return &*It;
+    return nullptr;
+  }
+
+  void pushBinder(Binder B, size_t SameScopeFrom) {
+    std::string Name(Ast.spelling(B.Name));
+    for (size_t I = Scopes.size(); I-- > 0;) {
+      if (!(Scopes[I].Name == B.Name))
+        continue;
+      if (Scopes[I].IsExempt || B.IsExempt)
+        break; // rebinding a prelude name is the documented idiom
+      if (I >= SameScopeFrom)
+        finding("EAL-L002", FindingSeverity::Warning, B.Loc,
+                "duplicate " + std::string(B.Kind) + " '" + Name +
+                    "' in the same scope (the first binding wins)");
+      else
+        finding("EAL-L002", FindingSeverity::Warning, B.Loc,
+                std::string(B.Kind) + " '" + Name +
+                    "' shadows an enclosing " + Scopes[I].Kind);
+      break;
+    }
+    Scopes.push_back(std::move(B));
+  }
+
+  void popBinder() {
+    const Binder &B = Scopes.back();
+    if (!B.Used && !B.IsExempt)
+      finding("EAL-L001", FindingSeverity::Warning, B.Loc,
+              "unused " + std::string(B.Kind) + " '" +
+                  std::string(Ast.spelling(B.Name)) + "'");
+    Scopes.pop_back();
+  }
+
+  void checkArity(const Expr *Spine, const Expr *Callee,
+                  const std::vector<const Expr *> &Args) {
+    const auto *Var = dyn_cast<VarExpr>(Callee);
+    if (!Var)
+      return;
+    Binder *B = lookup(Var->name());
+    if (!B || B->Arity == 0 || Args.size() <= B->Arity || !B->Value)
+      return;
+    const Expr *Body = B->Value;
+    for (unsigned I = 0; I != B->Arity; ++I)
+      Body = cast<LambdaExpr>(Body)->body();
+    if (!resultNeverFunction(Body))
+      return;
+    std::ostringstream OS;
+    OS << "call supplies " << Args.size() << " argument(s) but '"
+       << Ast.spelling(Var->name()) << "' has arity " << B->Arity
+       << " and returns a non-function value";
+    finding("EAL-L004", FindingSeverity::Warning, Spine->loc(), OS.str());
+  }
+
+  void walk(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::NilLit:
+    case ExprKind::Prim:
+      return;
+    case ExprKind::Var: {
+      Binder *B = lookup(cast<VarExpr>(E)->name());
+      if (B && !(B->SelfMark != ~size_t(0) && B->SelfMark == CurrentBinding))
+        B->Used = true;
+      return;
+    }
+    case ExprKind::App: {
+      // Treat the whole spine at once; interior App nodes are structure.
+      std::vector<const Expr *> Args;
+      const Expr *Callee = uncurryCall(E, Args);
+      checkArity(E, Callee, Args);
+      walk(Callee);
+      for (const Expr *Arg : Args)
+        walk(Arg);
+      return;
+    }
+    case ExprKind::Lambda: {
+      const auto *L = cast<LambdaExpr>(E);
+      pushBinder({L->param(), L->loc(), "parameter", false, false, 0, nullptr,
+                  ~size_t(0)},
+                 Scopes.size());
+      walk(L->body());
+      popBinder();
+      return;
+    }
+    case ExprKind::If: {
+      const auto *If = cast<IfExpr>(E);
+      if (const auto *B = dyn_cast<BoolLitExpr>(If->cond()))
+        finding("EAL-L003", FindingSeverity::Warning, If->cond()->loc(),
+                B->value()
+                    ? "'if' condition is always true; the else branch is "
+                      "unreachable"
+                    : "'if' condition is always false; the then branch is "
+                      "unreachable");
+      walk(If->cond());
+      walk(If->thenExpr());
+      walk(If->elseExpr());
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *Let = cast<LetExpr>(E);
+      walk(Let->value());
+      pushBinder({Let->name(), Let->loc(), "let binding", false, false, 0,
+                  nullptr, ~size_t(0)},
+                 Scopes.size());
+      walk(Let->body());
+      popBinder();
+      return;
+    }
+    case ExprKind::Letrec: {
+      const auto *Letrec = cast<LetrecExpr>(E);
+      bool IsTop = E == TopLevel;
+      size_t ScopeStart = Scopes.size();
+      auto Bindings = Letrec->bindings();
+      for (size_t I = 0; I != Bindings.size(); ++I) {
+        const LetrecBinding &B = Bindings[I];
+        Binder Entry{B.Name,
+                     B.Value->loc(),
+                     "letrec binding",
+                     false,
+                     IsTop && Exempt.count(std::string(Ast.spelling(B.Name))) >
+                                  0,
+                     lambdaArity(B.Value),
+                     B.Value,
+                     I};
+        pushBinder(std::move(Entry), ScopeStart);
+      }
+      for (size_t I = 0; I != Bindings.size(); ++I) {
+        size_t Saved = CurrentBinding;
+        CurrentBinding = I;
+        walk(Bindings[I].Value);
+        CurrentBinding = Saved;
+      }
+      walk(Letrec->body());
+      for (size_t I = Bindings.size(); I-- > 0;)
+        popBinder();
+      return;
+    }
+    }
+  }
+
+  const AstContext &Ast;
+  CheckReport &Out;
+  std::unordered_set<std::string> Exempt;
+  std::vector<Binder> Scopes;
+  const Expr *TopLevel = nullptr;
+  /// Index (within the letrec being walked) of the binding whose value
+  /// is under the cursor; ~0 outside letrec binding values.
+  size_t CurrentBinding = ~size_t(0);
+};
+
+} // namespace
+
+void eal::check::lintSource(const AstContext &Ast, const Expr *Root,
+                            const LintOptions &Options, CheckReport &Out) {
+  if (Root)
+    SourceLinter(Ast, Options, Out).run(Root);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization-blocked explanations (EAL-O001..O006)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BlockedAllocExplainer {
+public:
+  BlockedAllocExplainer(const AstContext &Ast, const TypedProgram &Program,
+                        EscapeAnalyzer &Analyzer, const AllocationPlan &Plan,
+                        CheckReport &Out)
+      : Ast(Ast), Program(Program), Analyzer(Analyzer), Out(Out) {
+    for (const ArgArenaDirective &D : Plan.Directives)
+      for (const auto &[Id, Class] : D.Sites) {
+        (void)Class;
+        Planned.insert(Id);
+      }
+    const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
+    if (!Letrec)
+      return;
+    TopLetrec = Letrec;
+    for (const LetrecBinding &B : Letrec->bindings())
+      if (unsigned Arity = lambdaArity(B.Value))
+        FnArities[B.Name.id()] = Arity;
+  }
+
+  void run() {
+    const auto *Letrec = TopLetrec;
+    if (!Letrec) {
+      walk(Program.root(), Context());
+      return;
+    }
+    for (const LetrecBinding &B : Letrec->bindings())
+      walk(B.Value, Context());
+    walk(Letrec->body(), Context());
+  }
+
+private:
+  /// Why the cells under the cursor would (not) be protected.
+  struct Context {
+    enum KindT {
+      None,          ///< result/let/program position: nothing protects
+      Protected,     ///< argument with a positive protected prefix
+      EscapesResult, ///< argument the verdict says escapes
+      UnknownCallee, ///< argument of a call the local test cannot see
+    } Kind = None;
+    Symbol Callee;
+    unsigned ArgIndex = 0;
+    unsigned ProtectedSpines = 0;
+    unsigned EscapingSpines = 0;
+    unsigned Level = 1;    ///< spine level within the argument
+    bool Detached = false; ///< left the spine (element position etc.)
+  };
+
+  void note(const Expr *Site, const char *Code, std::string Message) {
+    // Desugared list literals produce many cons sites with one source
+    // location and identical stories; one note carries the same weight.
+    std::string Key = std::string(Code) + '@' +
+                      std::to_string(Site->loc().offset()) + ':' + Message;
+    if (!Emitted.insert(std::move(Key)).second)
+      return;
+    Out.Findings.push_back(
+        {Code, FindingSeverity::Note, Site->loc(), std::move(Message)});
+  }
+
+  void explainSite(const Expr *Site, PrimOp Op, const Context &Ctx) {
+    const char *What = Op == PrimOp::MkPair ? "pair cell" : "cons cell";
+    std::ostringstream OS;
+    switch (Ctx.Kind) {
+    case Context::EscapesResult:
+      OS << What << " stays on the GC heap: argument " << (Ctx.ArgIndex + 1)
+         << " of '" << Ast.spelling(Ctx.Callee)
+         << "' may escape via the callee's result (" << Ctx.EscapingSpines
+         << " escaping spine(s), 0 protected)";
+      note(Site, "EAL-O001", OS.str());
+      return;
+    case Context::UnknownCallee:
+      OS << What << " stays on the GC heap: the surrounding call's callee "
+         << "is unknown or unsaturated, so the local escape test cannot "
+         << "protect the argument";
+      note(Site, "EAL-O003", OS.str());
+      return;
+    case Context::Protected:
+      if (Ctx.Detached)
+        OS << What << " stays on the GC heap: it is in element position "
+           << "(not on a spine the analysis grades) of argument "
+           << (Ctx.ArgIndex + 1) << " of '" << Ast.spelling(Ctx.Callee)
+           << "'";
+      else if (Ctx.Level > Ctx.ProtectedSpines)
+        OS << What << " stays on the GC heap: it builds spine level "
+           << Ctx.Level << " of argument " << (Ctx.ArgIndex + 1) << " of '"
+           << Ast.spelling(Ctx.Callee) << "', below the protected prefix "
+           << "(top " << Ctx.ProtectedSpines << " spine(s))";
+      else
+        OS << What << " is within the protected prefix of argument "
+           << (Ctx.ArgIndex + 1) << " of '" << Ast.spelling(Ctx.Callee)
+           << "' but no directive covers it (stack/region allocation "
+           << "disabled?)";
+      note(Site, "EAL-O002", OS.str());
+      return;
+    case Context::None:
+      OS << What << " stays on the GC heap: no protecting call site — it "
+         << "builds a result or a locally let-bound value, so only a "
+         << "caller-side region could place it";
+      note(Site, "EAL-O004", OS.str());
+      return;
+    }
+  }
+
+  void walk(const Expr *E, Context Ctx) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::NilLit:
+    case ExprKind::Var:
+    case ExprKind::Prim:
+      return;
+    case ExprKind::Lambda: {
+      Context Inner;
+      walk(cast<LambdaExpr>(E)->body(), Inner);
+      return;
+    }
+    case ExprKind::If: {
+      const auto *If = cast<IfExpr>(E);
+      walk(If->cond(), Context());
+      walk(If->thenExpr(), Ctx);
+      walk(If->elseExpr(), Ctx);
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *Let = cast<LetExpr>(E);
+      walk(Let->value(), Context());
+      walk(Let->body(), Ctx);
+      return;
+    }
+    case ExprKind::Letrec: {
+      const auto *Letrec = cast<LetrecExpr>(E);
+      for (const LetrecBinding &B : Letrec->bindings())
+        walk(B.Value, Context());
+      walk(Letrec->body(), Ctx);
+      return;
+    }
+    case ExprKind::App: {
+      PrimOp Op;
+      const Expr *Head = nullptr, *Tail = nullptr;
+      if (isAllocApp(E, Op, Head, Tail)) {
+        if (!Planned.count(E->id()))
+          explainSite(E, Op, Ctx);
+        Context HeadCtx = Ctx;
+        if (Op == PrimOp::Cons && Ctx.Kind == Context::Protected &&
+            !Ctx.Detached)
+          ++HeadCtx.Level;
+        else
+          HeadCtx.Detached = Ctx.Kind == Context::Protected;
+        walk(Head, HeadCtx);
+        walk(Tail, Ctx);
+        return;
+      }
+      std::vector<const Expr *> Args;
+      const Expr *Callee = uncurryCall(E, Args);
+      if (const auto *Prim = dyn_cast<PrimExpr>(Callee)) {
+        // cdr shares its operand's spines at the same levels; car (and
+        // the pair projections) extract elements — off the spine.
+        if (Prim->op() == PrimOp::Cdr && Args.size() == 1) {
+          walk(Args[0], Ctx);
+          return;
+        }
+        Context Inner = Ctx;
+        Inner.Detached = Ctx.Kind == Context::Protected;
+        for (const Expr *Arg : Args)
+          walk(Arg, Inner.Detached ? Inner : Context());
+        return;
+      }
+      walk(Callee, Context());
+      const auto *Var = dyn_cast<VarExpr>(Callee);
+      auto ArityIt = Var ? FnArities.find(Var->name().id()) : FnArities.end();
+      bool KnownSaturated =
+          ArityIt != FnArities.end() && ArityIt->second == Args.size();
+      for (unsigned I = 0; I != Args.size(); ++I) {
+        Context ArgCtx;
+        if (spineCount(Program.typeOf(Args[I])) > 0) {
+          if (KnownSaturated) {
+            auto Local = topLevelClosed(E) ? Analyzer.localEscape(E, I)
+                                           : Analyzer.localEscapeInContext(E, I);
+            if (!Local)
+              Local = Analyzer.globalEscape(Var->name(), I);
+            ArgCtx.Callee = Var->name();
+            ArgCtx.ArgIndex = I;
+            if (Local && Local->protectedTopSpines() > 0) {
+              ArgCtx.Kind = Context::Protected;
+              ArgCtx.ProtectedSpines = Local->protectedTopSpines();
+            } else {
+              ArgCtx.Kind = Context::EscapesResult;
+              ArgCtx.EscapingSpines = Local ? Local->escapingSpines() : 0;
+            }
+          } else {
+            ArgCtx.Kind = Context::UnknownCallee;
+          }
+        }
+        walk(Args[I], ArgCtx);
+      }
+      return;
+    }
+    }
+  }
+
+  bool topLevelClosed(const Expr *Call) {
+    if (!TopLetrec)
+      return false;
+    for (Symbol Free : freeVariables(Call))
+      if (!TopLetrec->findBinding(Free))
+        return false;
+    return true;
+  }
+
+  const AstContext &Ast;
+  const TypedProgram &Program;
+  EscapeAnalyzer &Analyzer;
+  CheckReport &Out;
+  const LetrecExpr *TopLetrec = nullptr;
+  std::unordered_set<uint32_t> Planned;
+  std::unordered_map<uint32_t, unsigned> FnArities;
+  std::unordered_set<std::string> Emitted;
+};
+
+} // namespace
+
+void eal::check::explainBlockedAllocations(
+    const AstContext &Ast, const TypedProgram &Program,
+    EscapeAnalyzer &Analyzer, const AllocationPlan &Plan,
+    const ReuseTransformResult &Reuse, const ProgramEscapeReport &Escape,
+    CheckReport &Out) {
+  BlockedAllocExplainer(Ast, Program, Analyzer, Plan, Out).run();
+
+  // Reuse-side explanations: protected parameters that earned no DCONS
+  // version, and versions no call site could be retargeted to.
+  const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
+  auto BindingLoc = [&](Symbol Fn) {
+    if (Letrec)
+      if (const LetrecBinding *B = Letrec->findBinding(Fn))
+        return B->Value->loc();
+    return SourceLoc::invalid();
+  };
+  std::unordered_set<uint32_t> Primed;
+  for (const ReuseVersion &V : Reuse.Versions)
+    Primed.insert(V.Primed.id());
+  for (const FunctionEscape &F : Escape.Functions) {
+    if (Primed.count(F.Name.id()))
+      continue; // f' itself: its DCONS parameter escapes by design
+    for (const ParamEscape &P : F.Params) {
+      if (P.ParamSpines == 0 || P.protectedTopSpines() == 0)
+        continue;
+      bool HasVersion = false;
+      for (const ReuseVersion &V : Reuse.Versions)
+        HasVersion |= V.Original == F.Name && V.ParamIndex == P.ParamIndex;
+      if (HasVersion)
+        continue;
+      std::ostringstream OS;
+      OS << "in-place reuse: argument " << (P.ParamIndex + 1) << " of '"
+         << Ast.spelling(F.Name) << "' has " << P.protectedTopSpines()
+         << " protected top spine(s) but no DCONS version was generated "
+         << "(reuse disabled, no qualifying cons site, or the argument is "
+         << "used after it)";
+      Out.Findings.push_back({"EAL-O005", FindingSeverity::Note,
+                              BindingLoc(F.Name), OS.str()});
+    }
+  }
+  for (const ReuseVersion &V : Reuse.Versions) {
+    bool Retargeted = false;
+    for (const CallRetarget &R : Reuse.Retargets)
+      Retargeted |= R.To == V.Primed;
+    if (Retargeted)
+      continue;
+    std::ostringstream OS;
+    OS << "in-place reuse: '" << Ast.spelling(V.Primed)
+       << "' was generated but no call of '" << Ast.spelling(V.Original)
+       << "' was retargeted — Theorem 2 could not prove any actual "
+       << "argument's top spine unshared (shared spine)";
+    Out.Findings.push_back({"EAL-O006", FindingSeverity::Note,
+                            BindingLoc(V.Original), OS.str()});
+  }
+}

@@ -1,0 +1,69 @@
+//===- Linter.h - Static lints over nml ASTs --------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two static passes feeding a CheckReport (codes in docs/CHECKING.md):
+///
+/// Source lints (on the parsed program, before any transformation):
+///   EAL-L001  unused binding (letrec binding, let binding, or parameter)
+///   EAL-L002  binding shadows an enclosing binding of the same name
+///   EAL-L003  `if` condition is a boolean literal: one branch unreachable
+///   EAL-L004  call supplies more arguments than the callee can consume
+///
+/// Optimization-blocked explanations (on the final program + plan): for
+/// every cons/pair site left on the GC heap, a structured reason —
+///   EAL-O001  the surrounding argument escapes via the callee's result
+///   EAL-O002  the cell lies below the argument's protected spine prefix
+///   EAL-O003  the surrounding call's callee is unknown (no local test)
+///   EAL-O004  no protecting call site (result position / program body)
+///   EAL-O005  in-place reuse blocked: protected argument, no DCONS site
+///   EAL-O006  reuse version generated but every call's argument may
+///             share its spine (no retarget)
+///
+/// These make the A.3 case studies auditable: `eal check` on
+/// partition_sort.nml names, for each allocation, exactly which test
+/// failed instead of leaving the reader to eyeball the plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_CHECK_LINTER_H
+#define EAL_CHECK_LINTER_H
+
+#include "check/CheckReport.h"
+#include "escape/EscapeAnalyzer.h"
+#include "opt/AllocPlanner.h"
+#include "opt/ReuseTransform.h"
+
+#include <string>
+#include <vector>
+
+namespace eal::check {
+
+struct LintOptions {
+  /// Top-level binding names exempt from unused/shadow lints (the
+  /// spliced stdlib prelude; programs rarely use all of it).
+  std::vector<std::string> ExemptTopLevel;
+};
+
+/// Runs the source lints over the parsed (untransformed) program.
+void lintSource(const AstContext &Ast, const Expr *Root,
+                const LintOptions &Options, CheckReport &Out);
+
+/// Emits one EAL-O* note per unplanned allocation site of the *final*
+/// program. \p Analyzer must be built over \p Program (the final typed
+/// program); \p Plan and \p Reuse are the optimizer's decisions.
+void explainBlockedAllocations(const AstContext &Ast,
+                               const TypedProgram &Program,
+                               EscapeAnalyzer &Analyzer,
+                               const AllocationPlan &Plan,
+                               const ReuseTransformResult &Reuse,
+                               const ProgramEscapeReport &Escape,
+                               CheckReport &Out);
+
+} // namespace eal::check
+
+#endif // EAL_CHECK_LINTER_H

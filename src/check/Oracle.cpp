@@ -1,0 +1,291 @@
+//===- Oracle.cpp ---------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Oracle.h"
+
+#include "lang/AstUtils.h"
+#include "runtime/Frame.h"
+#include "types/Type.h"
+
+#include <sstream>
+
+using namespace eal;
+using namespace eal::check;
+
+//===----------------------------------------------------------------------===//
+// Claim derivation
+//===----------------------------------------------------------------------===//
+
+ClaimTable eal::check::buildClaimTable(const AstContext &Ast,
+                                       const TypedProgram &Program,
+                                       EscapeAnalyzer &Analyzer) {
+  (void)Ast;
+  ClaimTable Table;
+  forEachExpr(Program.root(), [&](const Expr *E) {
+    Table.NodeLocs.emplace(E->id(), E->loc());
+  });
+
+  const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
+  if (!Letrec)
+    return Table;
+
+  std::unordered_map<uint32_t, unsigned> FnArities;
+  std::unordered_map<uint32_t, const LambdaExpr *> FnLambdas;
+  for (const LetrecBinding &B : Letrec->bindings()) {
+    unsigned Arity = lambdaArity(B.Value);
+    if (Arity == 0)
+      continue;
+    FnArities[B.Name.id()] = Arity;
+    FnLambdas[B.Name.id()] = cast<LambdaExpr>(B.Value);
+  }
+
+  // Same discipline as AllocPlanner::run: only top-level-closed calls may
+  // use the plain local test; interior calls get the worst-case-context
+  // variant, with the global test as the fallback for both.
+  auto IsTopLevelClosed = [&](const Expr *Call) {
+    for (Symbol Free : freeVariables(Call))
+      if (!Letrec->findBinding(Free))
+        return false;
+    return true;
+  };
+
+  auto VisitCalls = [&](const Expr *Root) {
+    forEachExpr(Root, [&](const Expr *Node) {
+      std::vector<const Expr *> Args;
+      const Expr *Callee = uncurryCall(Node, Args);
+      const auto *Var = dyn_cast<VarExpr>(Callee);
+      if (!Var || Args.empty())
+        return;
+      auto ArityIt = FnArities.find(Var->name().id());
+      if (ArityIt == FnArities.end() || ArityIt->second != Args.size())
+        return;
+      bool UseLocal = IsTopLevelClosed(Node);
+      for (unsigned I = 0; I != Args.size(); ++I) {
+        if (spineCount(Program.typeOf(Args[I])) == 0)
+          continue;
+        auto Local = UseLocal ? Analyzer.localEscape(Node, I)
+                              : Analyzer.localEscapeInContext(Node, I);
+        if (!Local)
+          Local = Analyzer.globalEscape(Var->name(), I);
+        if (!Local || Local->protectedTopSpines() == 0)
+          continue;
+        CallClaim C;
+        C.CallAppId = Node->id();
+        C.ArgIndex = I;
+        C.ProtectedSpines = Local->protectedTopSpines();
+        C.ParamSpines = Local->ParamSpines;
+        C.Callee = Var->name();
+        C.CalleeLambda = FnLambdas[Var->name().id()];
+        C.CallLoc = Node->loc();
+        Table.add(std::move(C));
+      }
+    });
+  };
+  for (const LetrecBinding &B : Letrec->bindings())
+    VisitCalls(B.Value);
+  VisitCalls(Letrec->body());
+
+  return Table;
+}
+
+//===----------------------------------------------------------------------===//
+// The oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything reachable from \p V through cons/pair cells and closure
+/// environments. Iterative: result spines can be thousands of cells.
+void collectReachable(RtValue V, std::unordered_set<const ConsCell *> &Cells) {
+  std::vector<RtValue> Work = {V};
+  std::unordered_set<const EnvFrame *> Frames;
+  while (!Work.empty()) {
+    RtValue Cur = Work.back();
+    Work.pop_back();
+    switch (Cur.kind()) {
+    case RtValueKind::Int:
+    case RtValueKind::Bool:
+    case RtValueKind::Nil:
+      break;
+    case RtValueKind::Cons:
+    case RtValueKind::Pair: {
+      const ConsCell *Cell = Cur.cell();
+      if (Cells.insert(Cell).second) {
+        Work.push_back(Cell->Car);
+        Work.push_back(Cell->Cdr);
+      }
+      break;
+    }
+    case RtValueKind::Closure: {
+      const RtClosure *C = Cur.closure();
+      for (RtValue P : C->Partial)
+        Work.push_back(P);
+      for (const EnvFrame *F = C->Env.get(); F; F = F->Parent.get()) {
+        if (!Frames.insert(F).second)
+          break;
+        for (const auto &Slot : F->Slots)
+          Work.push_back(Slot.second);
+      }
+      break;
+    }
+    }
+  }
+}
+
+} // namespace
+
+EscapeOracle::EscapeOracle(const AstContext &Ast, ClaimTable Table)
+    : Ast(Ast), Table(std::move(Table)) {
+  Stack.emplace_back(); // the top-level pseudo-activation
+}
+
+void EscapeOracle::injectClaim(CallClaim C) { Table.add(std::move(C)); }
+
+void EscapeOracle::cellAllocated(const ConsCell *Cell, uint32_t SiteId) {
+  ++Report.CellsTracked;
+  LastAllocSite[Cell] = {Cell->AllocSeq, SiteId};
+  Stack.back().Cells.push_back({Cell, Cell->AllocSeq, 0});
+}
+
+void EscapeOracle::snapshotSpines(RtValue Arg, unsigned MaxLevel,
+                                  ClaimCheck &Out) {
+  // Spine levels as in Definition 1: level L's cells are the cdr-chains
+  // hanging off the cars of level L−1 (pairs are not spines; a conservative
+  // cut matching the analysis' list grading).
+  std::vector<RtValue> Level = {Arg};
+  for (unsigned L = 1; L <= MaxLevel && !Level.empty(); ++L) {
+    std::vector<RtValue> Next;
+    for (RtValue Head : Level)
+      for (RtValue Cur = Head; Cur.isCons(); Cur = Cur.cell()->Cdr) {
+        Out.Cells.push_back({Cur.cell(), Cur.cell()->AllocSeq, L});
+        if (Cur.cell()->Car.isCons())
+          Next.push_back(Cur.cell()->Car);
+      }
+    Level = std::move(Next);
+  }
+}
+
+void EscapeOracle::activationEntered(const LambdaExpr *Fn,
+                                     const AppExpr *CallSite,
+                                     std::span<const RtValue> Args) {
+  Stack.emplace_back();
+  if (!CallSite)
+    return;
+  auto It = Table.ByCall.find(CallSite->id());
+  if (It == Table.ByCall.end())
+    return;
+  Activation &A = Stack.back();
+  for (const CallClaim &Claim : It->second) {
+    if (Claim.CalleeLambda && Claim.CalleeLambda != Fn)
+      continue; // a different function value answered this call
+    if (Claim.ArgIndex >= Args.size())
+      continue;
+    ClaimCheck CC;
+    CC.Claim = &Claim;
+    // One level past the protected prefix probes the claim's precision:
+    // if even level s−k+1 stays local, the analysis was conservative.
+    unsigned Probe = Claim.ParamSpines > Claim.ProtectedSpines ? 1 : 0;
+    snapshotSpines(Args[Claim.ArgIndex], Claim.ProtectedSpines + Probe, CC);
+    CC.HasProbeLevel = false;
+    for (const PinnedCell &P : CC.Cells)
+      CC.HasProbeLevel |= P.Level > Claim.ProtectedSpines;
+    A.Claims.push_back(std::move(CC));
+  }
+}
+
+void EscapeOracle::recordViolation(const ClaimCheck &CC,
+                                   const PinnedCell &Cell) {
+  OracleViolation V;
+  V.Kind = CC.Claim->CalleeLambda ? "protected-spine-escaped"
+                                  : "injected-claim";
+  V.Function = CC.Claim->Callee.isValid()
+                   ? std::string(Ast.spelling(CC.Claim->Callee))
+                   : std::string("<unknown>");
+  V.ArgIndex = CC.Claim->ArgIndex;
+  V.ProtectedSpines = CC.Claim->ProtectedSpines;
+  V.SpineLevel = Cell.Level;
+  V.CallLoc = CC.Claim->CallLoc;
+  auto It = LastAllocSite.find(Cell.Cell);
+  if (It != LastAllocSite.end() && It->second.first == Cell.Seq) {
+    V.AllocSiteId = It->second.second;
+    auto LocIt = Table.NodeLocs.find(V.AllocSiteId);
+    if (LocIt != Table.NodeLocs.end())
+      V.AllocLoc = LocIt->second;
+  }
+  Report.Violations.push_back(std::move(V));
+}
+
+void EscapeOracle::classifyCells(
+    const Activation &A, const std::unordered_set<const ConsCell *> &Reach) {
+  for (const PinnedCell &P : A.Cells) {
+    if (P.Cell->Class != CellClass::Heap)
+      continue; // arena cells: ValidateArenaFrees checks those frees
+    bool Alive =
+        P.Cell->State == CellState::Live && P.Cell->AllocSeq == P.Seq;
+    if (Alive && Reach.count(P.Cell))
+      ++Report.HeapCellsEscaped;
+    else
+      ++Report.HeapCellsUnescaped;
+  }
+}
+
+bool EscapeOracle::activationExited(const RtValue *Result) {
+  Activation A = std::move(Stack.back());
+  Stack.pop_back();
+  ++Report.Activations;
+  if (!Result)
+    return true; // unwinding on an error; nothing to classify
+
+  std::unordered_set<const ConsCell *> Reach;
+  collectReachable(*Result, Reach);
+
+  bool Violated = false;
+  for (const ClaimCheck &CC : A.Claims) {
+    ++Report.ClaimsChecked;
+    bool ProbeEscaped = false;
+    for (const PinnedCell &P : CC.Cells) {
+      bool Alive =
+          P.Cell->State == CellState::Live && P.Cell->AllocSeq == P.Seq;
+      if (!Alive || !Reach.count(P.Cell))
+        continue;
+      if (P.Level <= CC.Claim->ProtectedSpines) {
+        recordViolation(CC, P);
+        Violated = true;
+      } else {
+        ProbeEscaped = true;
+      }
+    }
+    if (CC.HasProbeLevel && !ProbeEscaped)
+      ++Report.ImpreciseClaims;
+  }
+  classifyCells(A, Reach);
+  return !Violated;
+}
+
+void EscapeOracle::finalize(const RtValue *ProgramResult) {
+  // The top-level pseudo-activation never exits; classify its cells
+  // against the program result. (Claims never attach to it.)
+  if (Stack.empty())
+    return;
+  std::unordered_set<const ConsCell *> Reach;
+  if (ProgramResult)
+    collectReachable(*ProgramResult, Reach);
+  classifyCells(Stack.front(), Reach);
+  Stack.front().Cells.clear();
+}
+
+std::string EscapeOracle::abortReason() const {
+  if (Report.Violations.empty())
+    return ExecutionObserver::abortReason();
+  const OracleViolation &V = Report.Violations.back();
+  std::ostringstream OS;
+  OS << "escape oracle: cell from allocation site " << V.AllocSiteId
+     << " escapes through the result of '" << V.Function << "' (argument "
+     << (V.ArgIndex + 1) << ", spine level " << V.SpineLevel
+     << ", claimed top " << V.ProtectedSpines << " spine(s) protected)";
+  return OS.str();
+}

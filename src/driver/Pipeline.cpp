@@ -47,6 +47,18 @@ PipelineResult eal::runPipeline(const std::string &Source,
   if (!R.ParsedRoot)
     return R;
 
+  if (Options.RunLint || Options.RunOracle)
+    R.Check.emplace();
+  if (Options.RunLint) {
+    obs::PhaseTimer T(&R.PhaseMicros, "lint");
+    check::LintOptions LO;
+    if (Options.IncludeStdlib)
+      for (std::string_view Name : stdlibBindingNames())
+        LO.ExemptTopLevel.emplace_back(Name);
+    check::lintSource(*R.Ast, R.ParsedRoot, LO, *R.Check);
+    T.span().arg("findings", static_cast<uint64_t>(R.Check->Findings.size()));
+  }
+
   {
     obs::PhaseTimer T(&R.PhaseMicros, "type-inference");
     TypeInference TI(*R.Ast, *R.Types, *R.Diags, Options.Mode);
@@ -55,34 +67,61 @@ PipelineResult eal::runPipeline(const std::string &Source,
   if (!R.Typed)
     return R;
 
+  OptimizerConfig OptConfig = Options.Optimize;
+  OptConfig.Mode = Options.Mode;
   {
     obs::PhaseTimer T(&R.PhaseMicros, "optimize");
-    OptimizerConfig OptConfig = Options.Optimize;
-    OptConfig.Mode = Options.Mode;
     R.Optimized = optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags,
                                   OptConfig, &R.PhaseMicros);
   }
   if (!R.Optimized)
     return R;
 
-  if (!Options.RunProgram) {
+  if (Options.RunLint) {
+    // The blocked-allocation explanations grade the *final* program: the
+    // analyzer must agree with the one the planner consulted.
+    obs::PhaseTimer T(&R.PhaseMicros, "explain");
+    EscapeAnalyzer Analyzer(*R.Ast, R.Optimized->Typed, *R.Diags, 512,
+                            OptConfig.Analysis);
+    check::explainBlockedAllocations(*R.Ast, R.Optimized->Typed, Analyzer,
+                                     R.Optimized->Plan, R.Optimized->Reuse,
+                                     R.Optimized->FinalEscape, *R.Check);
+  }
+
+  if (!Options.RunProgram && !Options.RunOracle) {
     R.Success = !R.Diags->hasErrors();
     return R;
   }
 
+  ExecutionEngine Engine = Options.Engine;
+  Interpreter::Options RunOpts = Options.Run;
+  if (Options.RunOracle) {
+    obs::PhaseTimer T(&R.PhaseMicros, "claims");
+    // The observer hooks live in the tree-walker, and a sound plan must
+    // also survive cell-by-cell arena-free validation.
+    Engine = ExecutionEngine::TreeWalker;
+    RunOpts.ValidateArenaFrees = true;
+    EscapeAnalyzer Analyzer(*R.Ast, R.Optimized->Typed, *R.Diags, 512,
+                            OptConfig.Analysis);
+    R.Oracle = std::make_unique<check::EscapeOracle>(
+        *R.Ast, check::buildClaimTable(*R.Ast, R.Optimized->Typed, Analyzer));
+    RunOpts.Observer = R.Oracle.get();
+    T.span().arg("claims", static_cast<uint64_t>(R.Oracle->claimCount()));
+  }
+
   {
     obs::PhaseTimer T(&R.PhaseMicros, "execute");
-    if (Options.Engine == ExecutionEngine::Bytecode) {
+    if (Engine == ExecutionEngine::Bytecode) {
       T.span().arg("engine", "bytecode");
       R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
                                  &R.Optimized->Plan, *R.Diags);
       if (!R.Code)
         return R;
       Vm::Options VO;
-      VO.HeapCapacity = Options.Run.HeapCapacity;
-      VO.AllowHeapGrowth = Options.Run.AllowHeapGrowth;
-      VO.MaxSteps = Options.Run.MaxSteps;
-      VO.ValidateArenaFrees = Options.Run.ValidateArenaFrees;
+      VO.HeapCapacity = RunOpts.HeapCapacity;
+      VO.AllowHeapGrowth = RunOpts.AllowHeapGrowth;
+      VO.MaxSteps = RunOpts.MaxSteps;
+      VO.ValidateArenaFrees = RunOpts.ValidateArenaFrees;
       R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
       R.Value = R.TheVm->run();
       R.Stats = R.TheVm->stats();
@@ -90,7 +129,7 @@ PipelineResult eal::runPipeline(const std::string &Source,
       T.span().arg("engine", "tree-walker");
       R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
                                                &R.Optimized->Plan, *R.Diags,
-                                               Options.Run);
+                                               RunOpts);
       R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
                                       : R.Interp->run();
       R.Stats = R.Interp->stats();
@@ -99,6 +138,12 @@ PipelineResult eal::runPipeline(const std::string &Source,
   }
   if (obs::metricsEnabled())
     R.Stats.exportTo(obs::globalMetrics());
+  if (R.Oracle) {
+    R.Oracle->finalize(R.Value ? &*R.Value : nullptr);
+    R.Check->Oracle = R.Oracle->report();
+    if (obs::metricsEnabled())
+      R.Oracle->report().exportTo(obs::globalMetrics());
+  }
   if (!R.Value)
     return R;
   R.RenderedValue = renderValue(*R.Value);

@@ -23,6 +23,8 @@
 #ifndef EAL_DRIVER_PIPELINE_H
 #define EAL_DRIVER_PIPELINE_H
 
+#include "check/Linter.h"
+#include "check/Oracle.h"
 #include "opt/Optimizer.h"
 #include "runtime/Interpreter.h"
 #include "vm/Compiler.h"
@@ -61,6 +63,15 @@ struct PipelineOptions {
   Interpreter::Options Run;
   /// Execute on a dedicated big-stack thread (deep recursion needs it).
   bool UseLargeStack = true;
+  /// Run the static lints and, once optimization finishes, the
+  /// per-allocation "why is this still on the GC heap" explanations.
+  /// Findings land in PipelineResult::Check.
+  bool RunLint = false;
+  /// Cross-check every static escape claim against the concrete run
+  /// (eal::check dynamic oracle). Forces the tree-walker engine (the
+  /// observer hooks live there) and arena-free validation; implies the
+  /// program is executed. A refuted claim aborts the run with an error.
+  bool RunOracle = false;
 };
 
 /// Everything one pipeline run produces. Owns all contexts, so reports,
@@ -88,6 +99,13 @@ struct PipelineResult {
   std::optional<RtValue> Value;
   std::string RenderedValue;
   RuntimeStats Stats;
+
+  /// Lint findings and/or the oracle cross-check report (present iff
+  /// RunLint or RunOracle was set).
+  std::optional<check::CheckReport> Check;
+  /// The live oracle (kept so tests can inspect it; its report is also
+  /// copied into Check->Oracle).
+  std::unique_ptr<check::EscapeOracle> Oracle;
 
   /// Wall time of each pipeline phase in run order, as {name, µs}. The
   /// "lex" entry appears only when tracing is enabled (a counting

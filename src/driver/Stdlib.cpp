@@ -129,6 +129,13 @@ const char *eal::stdlibBindings() {
   return Joined.c_str();
 }
 
+std::vector<std::string_view> eal::stdlibBindingNames() {
+  std::vector<std::string_view> Names;
+  for (const StdBinding &B : Bindings)
+    Names.emplace_back(B.Name);
+  return Names;
+}
+
 std::string eal::withStdlib(const std::string &UserSource) {
   bool StartsWithLetrec = false;
   size_t LetrecEnd = 0;

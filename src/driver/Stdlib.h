@@ -19,12 +19,19 @@
 #define EAL_DRIVER_STDLIB_H
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace eal {
 
 /// Returns the prelude's letrec bindings (no `letrec`/`in`, ends without
 /// a trailing semicolon) so they can be spliced ahead of user bindings.
 const char *stdlibBindings();
+
+/// The names the prelude binds, in splice order. The linter exempts them
+/// from unused-binding diagnostics (a program rarely uses the whole
+/// prelude) when the pipeline splices the stdlib.
+std::vector<std::string_view> stdlibBindingNames();
 
 /// Wraps \p UserSource with the prelude: if the user program is
 /// `letrec B in e`, produces `letrec <stdlib>; B in e`; otherwise

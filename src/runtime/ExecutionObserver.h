@@ -1,0 +1,81 @@
+//===- ExecutionObserver.h - Interpreter instrumentation hooks --*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Callbacks the tree-walking interpreter exposes to dynamic checkers.
+/// The interface lives in the runtime (not in eal::check) so the
+/// interpreter never depends on a particular checker; the dynamic escape
+/// oracle (src/check/Oracle.h) is the one production implementation.
+///
+/// The interpreter guarantees strict bracketing: every activationEntered
+/// is matched by exactly one activationExited (with a null result when
+/// the body's evaluation failed), in LIFO order. Both hooks fire while
+/// the activation's frame is still a GC root, so values passed to the
+/// observer cannot be swept during the callback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_RUNTIME_EXECUTIONOBSERVER_H
+#define EAL_RUNTIME_EXECUTIONOBSERVER_H
+
+#include "runtime/RtValue.h"
+
+#include <span>
+#include <string>
+
+namespace eal {
+
+class AppExpr;
+class LambdaExpr;
+
+/// Observes allocations and user-closure activations during one
+/// Interpreter run. All hooks default to no-ops.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver() = default;
+
+  /// \p Cell just came off the free list for static cons site \p SiteId
+  /// (the AppExpr id of the cons/pair application, or the PrimExpr id
+  /// when a primitive *value* allocated it). The cell's Class and
+  /// AllocSeq fields are already final.
+  virtual void cellAllocated(const ConsCell *Cell, uint32_t SiteId) {
+    (void)Cell;
+    (void)SiteId;
+  }
+
+  /// A user-closure body is about to be evaluated. \p CallSite is the
+  /// outermost AppExpr of the originating call spine when \p Fn was the
+  /// spine's direct callee (the case static per-call verdicts attach
+  /// to), null for activations reached through returned closures or
+  /// partial applications. \p Args are the argument values this
+  /// activation consumed, in parameter order.
+  virtual void activationEntered(const LambdaExpr *Fn, const AppExpr *CallSite,
+                                 std::span<const RtValue> Args) {
+    (void)Fn;
+    (void)CallSite;
+    (void)Args;
+  }
+
+  /// The matching activation finished. \p Result is its value, or null
+  /// when the body's evaluation failed and the interpreter is
+  /// unwinding. Fires *before* the activation's arenas are reclaimed,
+  /// so arena-class cells are still inspectable. Returning false aborts
+  /// evaluation; the interpreter reports abortReason() as a diagnostic.
+  virtual bool activationExited(const RtValue *Result) {
+    (void)Result;
+    return true;
+  }
+
+  /// The diagnostic message used when activationExited returns false.
+  virtual std::string abortReason() const {
+    return "execution observer aborted evaluation";
+  }
+};
+
+} // namespace eal
+
+#endif // EAL_RUNTIME_EXECUTIONOBSERVER_H

@@ -76,6 +76,7 @@ ConsCell *Heap::popFree(CellClass Class) {
   Cell->Car = RtValue::makeNil();
   Cell->Cdr = RtValue::makeNil();
   Cell->Next = nullptr;
+  Cell->AllocSeq = ++NextAllocSeq;
   Cell->Class = Class;
   Cell->State = CellState::Live;
   Cell->Mark = false;
@@ -299,16 +300,19 @@ void Heap::collect() {
       Reg.histogram("heap.gc.swept_cells_per_run").record(Swept);
     }
     if (obs::streamEnabled()) {
-      obs::TraceEvent E;
-      E.Name = "gc.collect";
-      E.Category = "gc";
-      E.Phase = 'X';
-      E.TimestampUs = StartUs;
-      E.DurationUs = PauseUs;
-      E.Args = {{"marked", std::to_string(Marked)},
-                {"swept", std::to_string(Swept)},
-                {"live", std::to_string(LiveHeap)},
-                {"capacity", std::to_string(Capacity)}};
+      // Aggregate-initialized in place: GCC 12's -Wmaybe-uninitialized
+      // misfires on member-by-member assignment at -O2.
+      obs::TraceEvent E{"gc.collect",
+                        "gc",
+                        'X',
+                        StartUs,
+                        PauseUs,
+                        0,
+                        0,
+                        {{"marked", std::to_string(Marked)},
+                         {"swept", std::to_string(Swept)},
+                         {"live", std::to_string(LiveHeap)},
+                         {"capacity", std::to_string(Capacity)}}};
       obs::record(std::move(E));
     }
   }

@@ -141,6 +141,8 @@ private:
   ConsCell *FreeList = nullptr;
   size_t Capacity = 0;
   size_t LiveHeap = 0;
+  /// Source of ConsCell::AllocSeq stamps (see RtValue.h).
+  uint64_t NextAllocSeq = 0;
 
   std::vector<CellArena> Arenas;
   std::vector<size_t> FreeArenaSlots;

@@ -7,6 +7,7 @@
 
 #include "runtime/Interpreter.h"
 
+#include "runtime/ExecutionObserver.h"
 #include "runtime/PrimOps.h"
 #include "runtime/ValuePrinter.h"
 
@@ -117,6 +118,11 @@ RtClosure *Interpreter::newClosure() {
 //===----------------------------------------------------------------------===//
 
 ConsCell *Interpreter::allocateConsCell(uint32_t SiteId) {
+  auto Observed = [&](ConsCell *Cell) {
+    if (Cell && Opts.Observer)
+      Opts.Observer->cellAllocated(Cell, SiteId);
+    return Cell;
+  };
   // Innermost active arena claiming this site wins (tightest lifetime).
   for (auto It = ArenaStack.rbegin(); It != ArenaStack.rend(); ++It) {
     auto SiteIt = It->Directive->Sites.find(SiteId);
@@ -125,9 +131,9 @@ ConsCell *Interpreter::allocateConsCell(uint32_t SiteId) {
     CellClass Class = SiteIt->second == ArenaSiteClass::Stack
                           ? CellClass::Stack
                           : CellClass::Region;
-    return TheHeap.allocateInArena(It->Handle, Class);
+    return Observed(TheHeap.allocateInArena(It->Handle, Class));
   }
-  return TheHeap.allocateHeap();
+  return Observed(TheHeap.allocateHeap());
 }
 
 //===----------------------------------------------------------------------===//
@@ -180,7 +186,7 @@ Interpreter::applyPrim(RtClosure &Prim, const std::vector<RtValue> &Args,
 
 std::optional<RtValue>
 Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
-                         std::vector<size_t> &&Arenas) {
+                         std::vector<size_t> &&Arenas, const AppExpr *Call) {
   // Rooting discipline: slot Base holds the current callee/result; slot
   // Base+1+i holds argument i until it is consumed. A consumed argument's
   // slot is cleared — it is then reachable only through the activation
@@ -215,6 +221,9 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
 
   RtValue Current = Callee;
   size_t Idx = 0;
+  // The observer's per-call claims attach only to the activation of the
+  // spine's direct callee, i.e. the first applied closure.
+  bool DirectCallee = true;
   while (Idx < Args.size()) {
     if (!Current.isClosure()) {
       FreeArenas(nullptr);
@@ -235,6 +244,7 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
       Current = *R;
       ShadowStack[Base] = Current;
       ClearConsumed(Idx);
+      DirectCallee = false;
       continue;
     }
 
@@ -242,6 +252,7 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
     EnvPtr Frame = std::make_shared<EnvFrame>();
     Frame->Parent = C->Env;
     const Expr *Body = C->Lambda;
+    size_t FirstArg = Idx;
     while (const auto *L = dyn_cast<LambdaExpr>(Body)) {
       if (Idx == Args.size())
         break;
@@ -256,6 +267,7 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
       Current = RtValue::makeClosure(Partial);
       ShadowStack[Base] = Current;
       ClearConsumed(Idx);
+      DirectCallee = false;
       continue;
     }
 
@@ -264,10 +276,21 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
     // the frame.
     ClearConsumed(Idx);
     ShadowStack[Base] = RtValue::makeNil(); // callee consumed too
+    ExecutionObserver *Obs = Opts.Observer;
     std::optional<RtValue> R;
     {
       FrameGuard Active(ActiveFrames, Frame.get());
+      if (Obs)
+        Obs->activationEntered(C->Lambda, DirectCallee ? Call : nullptr,
+                               std::span<const RtValue>(Args).subspan(
+                                   FirstArg, Idx - FirstArg));
       R = eval(Body, Frame);
+      // The exit hook runs before FreeArenas so arena cells are still
+      // inspectable, and inside the FrameGuard so the frame roots them.
+      if (Obs && !Obs->activationExited(R ? &*R : nullptr) && R) {
+        error(Call ? Call->loc() : SourceLoc::invalid(), Obs->abortReason());
+        R = std::nullopt;
+      }
     }
     if (!R) {
       FreeArenas(nullptr);
@@ -277,6 +300,7 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
       return std::nullopt;
     Current = *R;
     ShadowStack[Base] = Current;
+    DirectCallee = false;
   }
   if (!FreeArenas(&Current))
     return std::nullopt;
@@ -355,7 +379,7 @@ std::optional<RtValue> Interpreter::evalCallSpine(const AppExpr *Call,
   // immediately and releases each as it is consumed). Nothing can
   // allocate between this resize and the re-rooting.
   ShadowStack.resize(ShadowMark);
-  return applyValues(*CalleeVal, Args, std::move(Arenas));
+  return applyValues(*CalleeVal, Args, std::move(Arenas), Call);
 }
 
 //===----------------------------------------------------------------------===//
@@ -506,7 +530,7 @@ Interpreter::callBinding(Symbol Fn, std::span<const Expr *const> Args,
   if (ArgValues)
     *ArgValues = Values;
   std::optional<RtValue> Result =
-      applyValues(*FnSlot, Values, std::vector<size_t>());
+      applyValues(*FnSlot, Values, std::vector<size_t>(), nullptr);
   if (Failed)
     return std::nullopt;
   return Result;
@@ -527,7 +551,21 @@ void *runTrampoline(void *Arg) {
 
 } // namespace
 
+#if defined(__SANITIZE_ADDRESS__)
+#define EAL_UNDER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EAL_UNDER_ASAN 1
+#endif
+#endif
+
 std::optional<RtValue> Interpreter::runOnLargeStack(size_t StackBytes) {
+#ifdef EAL_UNDER_ASAN
+  // ASan redzones inflate the recursive eval frames severalfold; the
+  // stack budget has to grow with them or deep-recursion workloads that
+  // fit comfortably in an uninstrumented build overflow here.
+  StackBytes *= 4;
+#endif
   pthread_attr_t Attr;
   if (pthread_attr_init(&Attr) != 0)
     return run();

@@ -38,6 +38,7 @@
 namespace eal {
 
 class DiagnosticEngine;
+class ExecutionObserver;
 
 /// Evaluates one typed program.
 class Interpreter {
@@ -51,6 +52,9 @@ public:
     /// Verify at every arena free that no arena cell is still reachable
     /// (catches unsafe allocation plans; expensive).
     bool ValidateArenaFrees = false;
+    /// Instrumentation hooks (allocation + activation events), not
+    /// owned; see runtime/ExecutionObserver.h. Null disables them.
+    ExecutionObserver *Observer = nullptr;
   };
 
   /// \p Plan may be null (everything heap-allocated, no reuse semantics
@@ -94,9 +98,12 @@ private:
   std::optional<RtValue> eval(const Expr *E, const EnvPtr &Env);
   std::optional<RtValue> evalCallSpine(const AppExpr *Call,
                                        const EnvPtr &Env);
+  /// \p Call is the originating call spine (for the observer's per-call
+  /// hooks), null when the application has no source call site.
   std::optional<RtValue> applyValues(RtValue Callee,
                                      const std::vector<RtValue> &Args,
-                                     std::vector<size_t> &&Arenas);
+                                     std::vector<size_t> &&Arenas,
+                                     const AppExpr *Call);
   std::optional<RtValue> applyPrim(RtClosure &Prim,
                                    const std::vector<RtValue> &Args,
                                    size_t First, size_t &Consumed);

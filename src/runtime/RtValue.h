@@ -137,6 +137,13 @@ struct ConsCell {
   /// Next cell in the free list or in an arena chain (a cell is on at
   /// most one of those at a time).
   ConsCell *Next = nullptr;
+  /// Monotone allocation stamp, rewritten each time the cell comes off
+  /// the free list. A (pointer, stamp) pair therefore identifies one
+  /// *allocation*, not one slot: a recorded pair whose stamp no longer
+  /// matches means the cell died and the slot was recycled. The dynamic
+  /// escape oracle (eal::check) relies on this to classify cells after
+  /// GC or arena reclamation has reused them.
+  uint64_t AllocSeq = 0;
   CellClass Class = CellClass::Heap;
   CellState State = CellState::Free;
   bool Mark = false;

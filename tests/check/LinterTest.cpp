@@ -1,0 +1,188 @@
+//===- LinterTest.cpp - eal::check lints and explanations ------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace eal;
+
+namespace {
+
+PipelineResult lint(const std::string &Source, bool Stdlib = false,
+                    OptimizerConfig Opt = OptimizerConfig()) {
+  PipelineOptions Options;
+  Options.RunLint = true;
+  Options.RunProgram = false;
+  Options.IncludeStdlib = Stdlib;
+  Options.Optimize = Opt;
+  return runPipeline(Source, Options);
+}
+
+std::vector<std::string> codes(const PipelineResult &R) {
+  std::vector<std::string> Out;
+  if (R.Check)
+    for (const check::Finding &F : R.Check->Findings)
+      Out.push_back(F.Code);
+  return Out;
+}
+
+size_t countCode(const PipelineResult &R, const std::string &Code) {
+  auto Cs = codes(R);
+  return std::count(Cs.begin(), Cs.end(), Code);
+}
+
+TEST(Linter, UnusedBindings) {
+  PipelineResult R = lint("letrec\n"
+                          "  f x = let y = 3 in x;\n"
+                          "  g z = z\n"
+                          "in f 1");
+  ASSERT_TRUE(R.Check.has_value());
+  EXPECT_EQ(countCode(R, "EAL-L001"), 2u) << R.Check->render(*R.SM);
+  // The unused let binding y and the unused letrec binding g; the used
+  // parameter x draws no finding.
+  EXPECT_EQ(R.Check->count(check::FindingSeverity::Error), 0u);
+}
+
+TEST(Linter, SelfRecursiveOnlyBindingIsUnused) {
+  PipelineResult R = lint("letrec\n"
+                          "  loop x = loop x;\n"
+                          "  f y = y\n"
+                          "in f 1");
+  EXPECT_EQ(countCode(R, "EAL-L001"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Linter, ShadowedBinding) {
+  PipelineResult R = lint("letrec\n"
+                          "  f x = let x = 3 in x\n"
+                          "in f 1");
+  EXPECT_EQ(countCode(R, "EAL-L002"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Linter, BooleanLiteralCondition) {
+  PipelineResult R = lint("letrec f x = if true then x else 0 - x\n"
+                          "in if false then 1 else f 2");
+  EXPECT_EQ(countCode(R, "EAL-L003"), 2u) << R.Check->render(*R.SM);
+}
+
+TEST(Linter, OverApplication) {
+  PipelineResult R = lint("letrec add a b = a + b in add 1 2 3");
+  EXPECT_EQ(countCode(R, "EAL-L004"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Linter, CleanProgramHasNoSourceLints) {
+  PipelineResult R = lint("letrec f x = if (null x) then 0 else car x\n"
+                          "in f [1, 2]");
+  EXPECT_EQ(countCode(R, "EAL-L001"), 0u) << R.Check->render(*R.SM);
+  EXPECT_EQ(countCode(R, "EAL-L002"), 0u);
+  EXPECT_EQ(countCode(R, "EAL-L003"), 0u);
+  EXPECT_EQ(countCode(R, "EAL-L004"), 0u);
+}
+
+TEST(Linter, StdlibBindingsExemptFromUnused) {
+  // The prelude splices ~24 bindings; using just one of them must not
+  // flag the other 23 (or allow user shadowing warnings against them).
+  PipelineResult R = lint("sum [1, 2, 3]", /*Stdlib=*/true);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(countCode(R, "EAL-L001"), 0u) << R.Check->render(*R.SM);
+  EXPECT_EQ(countCode(R, "EAL-L002"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimization-blocked explanations
+//===----------------------------------------------------------------------===//
+
+TEST(Explain, ArgumentEscapesViaResult) {
+  // append's second argument escapes into the result, so the [9] literal
+  // feeding it has to stay on the GC heap.
+  PipelineResult R = lint("letrec\n"
+                          "  append x y = if (null x) then y\n"
+                          "               else cons (car x) (append (cdr x) y)\n"
+                          "in append [1, 2] [9]");
+  EXPECT_GE(countCode(R, "EAL-O001"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, ProtectedButNoDirective) {
+  // length's argument is fully protected, but with stack and region
+  // allocation disabled no directive spends the protection: the cells
+  // stay on the GC heap and the explanation must say why.
+  OptimizerConfig Opt;
+  Opt.EnableStack = false;
+  Opt.EnableRegion = false;
+  PipelineResult R = lint("letrec\n"
+                          "  length x = if (null x) then 0\n"
+                          "             else 1 + length (cdr x)\n"
+                          "in length [1, 2, 3]",
+                          /*Stdlib=*/false, Opt);
+  EXPECT_GE(countCode(R, "EAL-O002"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, ElementPositionOffTheSpine) {
+  // The inner cons sits under a car inside a protected argument: it is
+  // an element, not spine, so the analysis never grades it.
+  PipelineResult R = lint("letrec\n"
+                          "  length x = if (null x) then 0\n"
+                          "             else 1 + length (cdr x)\n"
+                          "in length (cons (car (cons 9 nil)) nil)");
+  EXPECT_GE(countCode(R, "EAL-O002"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, UnknownCallee) {
+  PipelineResult R = lint("(lambda(x). 0) (cons 1 nil)");
+  EXPECT_GE(countCode(R, "EAL-O003"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, NoProtectingCallSite) {
+  PipelineResult R = lint("cons 1 nil");
+  EXPECT_EQ(countCode(R, "EAL-O004"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, ReuseBlockedNoDconsSite) {
+  // length's parameter is fully protected but its body never conses, so
+  // no DCONS version exists to spend the protection on.
+  PipelineResult R = lint("letrec\n"
+                          "  length x = if (null x) then 0\n"
+                          "             else 1 + length (cdr x)\n"
+                          "in length [1, 2, 3]");
+  EXPECT_GE(countCode(R, "EAL-O005"), 1u) << R.Check->render(*R.SM);
+}
+
+TEST(Explain, PlannedSitesDrawNoNotes) {
+  // With default optimizations the argument literal of a protecting call
+  // is stack-allocated (planned), so it must NOT be explained away.
+  PipelineResult R = lint("letrec\n"
+                          "  length x = if (null x) then 0\n"
+                          "             else 1 + length (cdr x)\n"
+                          "in length [1, 2, 3]");
+  ASSERT_TRUE(R.Check.has_value());
+  for (const check::Finding &F : R.Check->Findings)
+    EXPECT_NE(F.Code, std::string("EAL-O002")) << R.Check->render(*R.SM);
+}
+
+//===----------------------------------------------------------------------===//
+// Report plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(CheckReport, JsonCarriesSchemaAndFindings) {
+  PipelineResult R = lint("letrec f x = let y = 1 in x in f 2");
+  ASSERT_TRUE(R.Check.has_value());
+  std::string Json = R.Check->toJson(*R.SM, "check", R.Success);
+  EXPECT_NE(Json.find("\"schema\": \"eal-check-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("EAL-L001"), std::string::npos);
+  EXPECT_NE(Json.find("\"severity\": \"warning\""), std::string::npos);
+}
+
+TEST(CheckReport, RenderCountsBySeverity) {
+  PipelineResult R = lint("letrec f x = let y = 1 in x in f 2");
+  ASSERT_TRUE(R.Check.has_value());
+  std::string Text = R.Check->render(*R.SM);
+  EXPECT_NE(Text.find("1 warning(s)"), std::string::npos) << Text;
+}
+
+} // namespace

@@ -26,7 +26,12 @@ namespace {
 std::string nested(unsigned Depth) {
   if (Depth == 1)
     return "[1, 2]";
-  return "[" + nested(Depth - 1) + "]";
+  // Built by += rather than operator+ chains: GCC 12's -Wrestrict
+  // misfires on the temporaries at -O2.
+  std::string S = "[";
+  S += nested(Depth - 1);
+  S += "]";
+  return S;
 }
 
 struct Verdict {
@@ -87,18 +92,20 @@ TEST_P(InvarianceTest, ProtectedSpinesInvariantAcrossInstances) {
       continue;
     }
     EXPECT_EQ(V.Escapes, *ExpectedEscapes) << S.Name << " depth " << Depth;
-    if (*ExpectedEscapes)
+    if (*ExpectedEscapes) {
       EXPECT_EQ(V.Protected, *Expected)
           << S.Name << " instance s=" << V.Spines
           << " breaks Theorem 1's invariant";
+    }
   }
   // Polymorphic mode analyzes the simplest instance: same verdict class,
   // same invariant quantity when escaping.
   Verdict Poly = analyzeAt(driveAt(S, 1), S.Fn, S.Param,
                            TypeInferenceMode::Polymorphic);
   EXPECT_EQ(Poly.Escapes, *ExpectedEscapes) << S.Name;
-  if (*ExpectedEscapes)
+  if (*ExpectedEscapes) {
     EXPECT_EQ(Poly.Protected, *Expected) << S.Name << " (polymorphic mode)";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,76 @@
+//===- ExamplesParityTest.cpp - engines × optimizations agree --------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Every shipped example must compute the same value on the tree-walking
+// interpreter and the bytecode VM, with the optimizer fully on and fully
+// off: the storage optimizations are allowed to move cells between
+// allocation classes, never to change the program's meaning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace eal;
+
+namespace {
+
+std::vector<std::filesystem::path> exampleFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           EAL_SOURCE_DIR "/examples/nml"))
+    if (Entry.path().extension() == ".nml")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string slurp(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(ExamplesParity, EnginesAndOptimizationsAgreeOnEveryExample) {
+  auto Files = exampleFiles();
+  ASSERT_FALSE(Files.empty());
+  for (const auto &Path : Files) {
+    std::string Source = slurp(Path);
+    // stats.nml documents itself as a prelude program in its header.
+    bool Stdlib = Source.find("--stdlib") != std::string::npos;
+
+    std::string Expected;
+    for (ExecutionEngine Engine :
+         {ExecutionEngine::TreeWalker, ExecutionEngine::Bytecode}) {
+      for (bool Optimize : {true, false}) {
+        PipelineOptions Options;
+        Options.IncludeStdlib = Stdlib;
+        Options.Engine = Engine;
+        Options.Optimize.EnableReuse = Optimize;
+        Options.Optimize.EnableStack = Optimize;
+        Options.Optimize.EnableRegion = Optimize;
+        PipelineResult R = runPipeline(Source, Options);
+        std::string Label =
+            Path.filename().string() +
+            (Engine == ExecutionEngine::Bytecode ? " [vm" : " [interp") +
+            (Optimize ? ", opt]" : ", no-opt]");
+        ASSERT_TRUE(R.Success) << Label << ": " << R.diagnostics();
+        ASSERT_FALSE(R.RenderedValue.empty()) << Label;
+        if (Expected.empty())
+          Expected = R.RenderedValue;
+        else
+          EXPECT_EQ(R.RenderedValue, Expected) << Label;
+      }
+    }
+  }
+}
+
+} // namespace

@@ -244,7 +244,14 @@ TEST_F(InterpreterTest, DivisionByZeroFails) {
 TEST_F(InterpreterTest, FuelLimitStopsDivergence) {
   Interpreter::Options Opts;
   Opts.MaxSteps = 10000;
-  auto V = evalSource("letrec loop x = loop x in loop 1", Opts);
+  // The diverging loop recurses natively until the fuel runs out, which
+  // needs more than a default test-thread stack under sanitizers; run it
+  // the way the CLI does, on the big-stack thread.
+  ASSERT_TRUE(FE.parseAndType("letrec loop x = loop x in loop 1"))
+      << FE.diagText();
+  Interp = std::make_unique<Interpreter>(FE.Ast, *FE.Typed, nullptr, FE.Diags,
+                                         Opts);
+  auto V = Interp->runOnLargeStack();
   EXPECT_FALSE(V.has_value());
   EXPECT_TRUE(FE.Diags.hasErrors());
 }

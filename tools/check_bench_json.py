@@ -9,12 +9,17 @@ bench that drifts from the schema fails the build's test suite, not a
 downstream dashboard.
 
 Usage:
-  check_bench_json.py FILE [FILE...]     validate existing report files
-  check_bench_json.py --run BINARY       run a bench binary (benchmarks
-                                         filtered out, sweep only) in a
-                                         scratch dir, then validate every
-                                         BENCH_*.json it wrote
-  check_bench_json.py --self-test        exercise the validator itself
+  check_bench_json.py FILE [FILE...]       validate existing report files
+  check_bench_json.py --run BIN [BIN...]   run each bench binary
+                                           (benchmarks filtered out, sweep
+                                           only) in a scratch dir, then
+                                           validate every BENCH_*.json the
+                                           batch wrote -- every JSON-writing
+                                           bench belongs on this list, so a
+                                           report that drifts from the
+                                           schema cannot hide behind a
+                                           hard-coded file list
+  check_bench_json.py --self-test          exercise the validator itself
 
 Exit status: 0 if everything validates, 1 otherwise.
 
@@ -144,25 +149,34 @@ def validate(paths):
     return 0 if ok else 1
 
 
-def run_and_validate(binary):
-    binary = os.path.abspath(binary)
+def run_and_validate(binaries):
+    binaries = [os.path.abspath(b) for b in binaries]
+    ok = True
     with tempfile.TemporaryDirectory(prefix="eal-bench-json-") as workdir:
-        # The sweep (which writes the JSON) always runs; the filter keeps
-        # the google-benchmark timing loops out of the test's budget.
-        proc = subprocess.run(
-            [binary, "--benchmark_filter=__none__"],
-            cwd=workdir, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
-        sys.stdout.buffer.write(proc.stdout)
-        if proc.returncode != 0:
-            print("FAIL %s: exit status %d" % (binary, proc.returncode))
-            return 1
+        for binary in binaries:
+            # The sweep (which writes the JSON) always runs; the filter
+            # keeps the google-benchmark timing loops out of the test's
+            # budget.
+            before = set(os.listdir(workdir))
+            proc = subprocess.run(
+                [binary, "--benchmark_filter=__none__"],
+                cwd=workdir, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT)
+            sys.stdout.buffer.write(proc.stdout)
+            if proc.returncode != 0:
+                print("FAIL %s: exit status %d" % (binary, proc.returncode))
+                ok = False
+            elif not any(
+                    f.startswith("BENCH_") and f.endswith(".json")
+                    for f in set(os.listdir(workdir)) - before):
+                print("FAIL %s: wrote no BENCH_*.json" % binary)
+                ok = False
         reports = sorted(
             os.path.join(workdir, f) for f in os.listdir(workdir)
             if f.startswith("BENCH_") and f.endswith(".json"))
-        if not reports:
-            print("FAIL %s: wrote no BENCH_*.json" % binary)
-            return 1
-        return validate(reports)
+        if reports and validate(reports) != 0:
+            ok = False
+    return 0 if ok else 1
 
 
 def self_test():
@@ -237,10 +251,10 @@ def main(argv):
     if len(argv) >= 2 and argv[1] == "--self-test":
         return self_test()
     if len(argv) >= 2 and argv[1] == "--run":
-        if len(argv) != 3:
+        if len(argv) < 3:
             print(__doc__)
             return 2
-        return run_and_validate(argv[2])
+        return run_and_validate(argv[2:])
     if len(argv) < 2:
         print(__doc__)
         return 2

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Validate eal --check-json output against the eal-check-v1 schema.
+
+`eal check FILE --check-json=OUT.json` (and any other command given
+--check-json) writes the lint findings, the optimization-blocked
+explanations, and -- when --oracle ran -- the dynamic escape oracle's
+counters and violations as one JSON document (docs/CHECKING.md).  This
+checker is the schema's executable definition; ctest runs it over real
+CLI output so a drift fails the test suite, not a downstream consumer.
+
+Usage:
+  check_findings_json.py FILE [FILE...]   validate existing report files
+  check_findings_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import re
+import sys
+import tempfile
+import os
+
+SCHEMA = "eal-check-v1"
+
+CODE_RE = re.compile(r"^EAL-[A-Z]\d{3}$")
+SEVERITIES = ("note", "warning", "error")
+
+ORACLE_COUNTERS = [
+    "activations",
+    "claims_checked",
+    "cells_tracked",
+    "heap_cells_escaped",
+    "heap_cells_unescaped",
+    "imprecise_claims",
+]
+
+VIOLATION_INTS = [
+    "arg_index",
+    "protected_spines",
+    "spine_level",
+    "call_line",
+    "call_col",
+    "alloc_site",
+    "alloc_line",
+    "alloc_col",
+]
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_finding(errors, path, index, finding):
+    label = "findings[%d]" % index
+    if not isinstance(finding, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    code = finding.get("code")
+    if not isinstance(code, str) or not CODE_RE.match(code):
+        fail(errors, path, "%s: 'code' %r does not match EAL-Xnnn"
+             % (label, code))
+    if finding.get("severity") not in SEVERITIES:
+        fail(errors, path, "%s: 'severity' %r not in %r"
+             % (label, finding.get("severity"), SEVERITIES))
+    for key in ("line", "col"):
+        if not is_count(finding.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+    message = finding.get("message")
+    if not isinstance(message, str) or not message:
+        fail(errors, path, "%s: 'message' is not a non-empty string" % label)
+
+
+def check_violation(errors, path, index, violation):
+    label = "oracle.violations[%d]" % index
+    if not isinstance(violation, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    for key in ("kind", "function", "message"):
+        value = violation.get(key)
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "%s: '%s' is not a non-empty string"
+                 % (label, key))
+    for key in VIOLATION_INTS:
+        if not is_count(violation.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+
+
+def check_oracle(errors, path, oracle):
+    if not isinstance(oracle, dict):
+        fail(errors, path, "'oracle' is not an object")
+        return
+    for key in ORACLE_COUNTERS:
+        if not is_count(oracle.get(key)):
+            fail(errors, path,
+                 "oracle: '%s' is not a non-negative integer" % key)
+    violations = oracle.get("violations")
+    if not isinstance(violations, list):
+        fail(errors, path, "oracle: 'violations' is not an array")
+        return
+    for i, violation in enumerate(violations):
+        check_violation(errors, path, i, violation)
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    for key in ("command", "file"):
+        value = doc.get(key)
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "'%s' is not a non-empty string" % key)
+    if not isinstance(doc.get("success"), bool):
+        fail(errors, path, "'success' is not a boolean")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        fail(errors, path, "'findings' is not an array")
+    else:
+        for i, finding in enumerate(findings):
+            check_finding(errors, path, i, finding)
+    if "oracle" in doc:
+        check_oracle(errors, path, doc["oracle"])
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "command": "check",
+        "file": "<input>",
+        "success": True,
+        "findings": [{
+            "code": "EAL-L001",
+            "severity": "warning",
+            "line": 2,
+            "col": 9,
+            "message": "unused let binding 'y'",
+        }],
+        "oracle": {
+            "activations": 59,
+            "claims_checked": 16,
+            "cells_tracked": 40,
+            "heap_cells_escaped": 36,
+            "heap_cells_unescaped": 4,
+            "imprecise_claims": 0,
+            "violations": [{
+                "kind": "injected-claim",
+                "function": "append",
+                "arg_index": 1,
+                "protected_spines": 1,
+                "spine_level": 1,
+                "call_line": 3,
+                "call_col": 4,
+                "alloc_site": 17,
+                "alloc_line": 2,
+                "alloc_col": 20,
+                "message": "soundness violation",
+            }],
+        },
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid document", good, True),
+        ("no oracle section",
+         broken(lambda d: d.pop("oracle")), True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("missing success",
+         broken(lambda d: d.pop("success")), False),
+        ("bad finding code",
+         broken(lambda d: d["findings"][0].update(code="L001")), False),
+        ("bad severity",
+         broken(lambda d: d["findings"][0].update(severity="fatal")), False),
+        ("negative line",
+         broken(lambda d: d["findings"][0].update(line=-1)), False),
+        ("boolean col",
+         broken(lambda d: d["findings"][0].update(col=True)), False),
+        ("empty message",
+         broken(lambda d: d["findings"][0].update(message="")), False),
+        ("missing oracle counter",
+         broken(lambda d: d["oracle"].pop("claims_checked")), False),
+        ("violations not a list",
+         broken(lambda d: d["oracle"].update(violations={})), False),
+        ("violation missing kind",
+         broken(lambda d: d["oracle"]["violations"][0].pop("kind")), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-check-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "check.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

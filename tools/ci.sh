@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI driver: build + tier-1 test the three configurations that keep the
+# codebase honest (docs/CHECKING.md):
+#
+#   release   Release, -Werror         the configuration users build
+#   asan      AddressSanitizer        heap bugs the GC could be hiding
+#   ubsan     UndefinedBehaviorSanitizer, -fno-sanitize-recover=all
+#
+# Each configuration builds into build-ci-<name>/ at the repo root and
+# runs the tier-1 ctest suite (tier2 benches/sweeps are excluded: they
+# measure, they don't gate). Usage:
+#
+#   tools/ci.sh            all three configurations
+#   tools/ci.sh asan       just one
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_flags() {
+  case "$1" in
+  release) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON" ;;
+  asan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_ASAN=ON" ;;
+  ubsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_UBSAN=ON" ;;
+  *)
+    echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan)" >&2
+    exit 2
+    ;;
+  esac
+}
+
+run_config() {
+  local name="$1"
+  local dir="$REPO/build-ci-$name"
+  echo "=== [$name] configure"
+  # shellcheck disable=SC2046
+  cmake -B "$dir" -S "$REPO" $(configure_flags "$name")
+  echo "=== [$name] build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] tier-1 ctest"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" -LE tier2)
+  echo "=== [$name] OK"
+}
+
+if [ "$#" -gt 0 ]; then
+  for config in "$@"; do
+    run_config "$config"
+  done
+else
+  for config in release asan ubsan; do
+    run_config "$config"
+  done
+fi
+echo "=== all configurations passed"

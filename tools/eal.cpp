@@ -8,6 +8,9 @@
 //   eal optimize <file>   DCONS-transformed program and allocation plan
 //   eal run      <file>   execute, printing the value and storage counters
 //   eal report   <file>   all of the above
+//   eal check    <file>   lint + per-allocation optimization explanations
+//                         (docs/CHECKING.md); add --oracle to also execute
+//                         under the dynamic escape oracle
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -25,6 +28,14 @@
 //                     loadable by chrome://tracing / Perfetto
 //   --stats-json=FILE write runtime counters + metrics registry as JSON
 //   --time-phases     print per-phase wall times after the run
+//
+// Checking flags (docs/CHECKING.md):
+//   --check           run the lints alongside any command
+//   --oracle          execute under the dynamic escape oracle: every
+//                     static "does not escape" claim is verified against
+//                     the concrete heap; a refuted claim aborts the run
+//   --check-json=FILE write findings + oracle counters as JSON
+//                     (schema eal-check-v1, tools/check_findings_json.py)
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,11 +58,12 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: eal <analyze|optimize|run|report> <file|-> [options]\n"
+      << "usage: eal <analyze|optimize|run|report|check> <file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
-         "         --trace=FILE --stats-json=FILE --time-phases\n";
+         "         --trace=FILE --stats-json=FILE --time-phases\n"
+         "         --check --oracle --check-json=FILE\n";
   return 2;
 }
 
@@ -134,12 +146,13 @@ int main(int argc, char **argv) {
   std::string Command = argv[1];
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
-      Command != "report")
+      Command != "report" && Command != "check")
     return usage();
 
   PipelineOptions Options;
   Options.RunProgram = Command == "run" || Command == "report";
-  std::string TracePath, StatsJsonPath;
+  Options.RunLint = Command == "check";
+  std::string TracePath, StatsJsonPath, CheckJsonPath;
   bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -167,7 +180,14 @@ int main(int argc, char **argv) {
       StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
     else if (Arg == "--time-phases")
       TimePhases = true;
-    else
+    else if (Arg == "--check")
+      Options.RunLint = true;
+    else if (Arg == "--oracle")
+      Options.RunOracle = true;
+    else if (Arg.rfind("--check-json=", 0) == 0) {
+      CheckJsonPath = Arg.substr(std::strlen("--check-json="));
+      Options.RunLint = true;
+    } else
       return usage();
   }
   if (!TracePath.empty())
@@ -190,8 +210,19 @@ int main(int argc, char **argv) {
   if (!StatsJsonPath.empty() &&
       !writeStatsJson(StatsJsonPath, Command, R))
     ExportOk = false;
+  if (!CheckJsonPath.empty()) {
+    std::ofstream Out(CheckJsonPath);
+    if (Out && R.Check)
+      Out << R.Check->toJson(*R.SM, Command, R.Success);
+    if (!Out || !R.Check) {
+      std::cerr << "eal: error: cannot write '" << CheckJsonPath << "'\n";
+      ExportOk = false;
+    }
+  }
 
   if (!R.Success) {
+    if (R.Check)
+      std::cerr << R.Check->render(*R.SM);
     std::cerr << R.diagnostics();
     return 1;
   }
@@ -208,9 +239,17 @@ int main(int argc, char **argv) {
       std::cout << '\n';
     printRun(R);
   }
+  if (R.Check) {
+    if (Command != "check")
+      std::cout << '\n';
+    std::cout << R.Check->render(*R.SM);
+  }
   if (TimePhases) {
     std::cout << '\n';
     printPhaseTimes(R);
   }
+  if (R.Check && (R.Check->count(check::FindingSeverity::Error) > 0 ||
+                  R.Check->hasViolations()))
+    return 1;
   return ExportOk ? 0 : 1;
 }
