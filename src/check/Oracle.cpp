@@ -179,6 +179,17 @@ void EscapeOracle::activationEntered(const LambdaExpr *Fn,
   if (It == Table.ByCall.end())
     return;
   Activation &A = Stack.back();
+  // Claims are per-argument-*role*. When aliasing routes one value into
+  // several roles of the same call (e.g. `append x x`), a cell can
+  // legitimately escape through a role whose claim permits it; charging
+  // that against another role's protected prefix would be a false
+  // refutation. Per claim, exempt cells that some other argument exposes
+  // beyond its own protected prefix.
+  std::vector<unsigned> RoleProtected(Args.size(), 0);
+  for (const CallClaim &Claim : It->second)
+    if (!(Claim.CalleeLambda && Claim.CalleeLambda != Fn) &&
+        Claim.ArgIndex < Args.size())
+      RoleProtected[Claim.ArgIndex] = Claim.ProtectedSpines;
   for (const CallClaim &Claim : It->second) {
     if (Claim.CalleeLambda && Claim.CalleeLambda != Fn)
       continue; // a different function value answered this call
@@ -193,6 +204,28 @@ void EscapeOracle::activationEntered(const LambdaExpr *Fn,
     CC.HasProbeLevel = false;
     for (const PinnedCell &P : CC.Cells)
       CC.HasProbeLevel |= P.Level > Claim.ProtectedSpines;
+    if (Args.size() > 1 && !CC.Cells.empty()) {
+      std::unordered_set<const ConsCell *> OtherRoles;
+      for (size_t J = 0; J != Args.size(); ++J) {
+        if (J == Claim.ArgIndex)
+          continue;
+        std::unordered_set<const ConsCell *> Exposed;
+        collectReachable(Args[J], Exposed);
+        if (RoleProtected[J]) {
+          // That role's own protected prefix may not escape either, so
+          // it exempts nothing.
+          ClaimCheck Prot;
+          snapshotSpines(Args[J], RoleProtected[J], Prot);
+          for (const PinnedCell &P : Prot.Cells)
+            Exposed.erase(P.Cell);
+        }
+        OtherRoles.merge(Exposed);
+      }
+      if (!OtherRoles.empty())
+        std::erase_if(CC.Cells, [&](const PinnedCell &P) {
+          return OtherRoles.count(P.Cell) != 0;
+        });
+    }
     A.Claims.push_back(std::move(CC));
   }
 }

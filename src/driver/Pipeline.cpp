@@ -89,6 +89,13 @@ PipelineResult eal::runPipeline(const std::string &Source,
   }
 
   if (!Options.RunProgram && !Options.RunOracle) {
+    if (Options.CompileBytecode) {
+      obs::PhaseTimer T(&R.PhaseMicros, "compile");
+      R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
+                                 &R.Optimized->Plan, *R.Diags);
+      if (!R.Code)
+        return R;
+    }
     R.Success = !R.Diags->hasErrors();
     return R;
   }

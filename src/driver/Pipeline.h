@@ -57,6 +57,10 @@ struct PipelineOptions {
   OptimizerConfig Optimize;
   /// Whether to execute the final program.
   bool RunProgram = true;
+  /// Compile the optimized program to bytecode even when it is not run
+  /// on the Bytecode engine (so `eal disasm` and tools can inspect
+  /// PipelineResult::Code without executing).
+  bool CompileBytecode = false;
   /// Which engine runs it.
   ExecutionEngine Engine = ExecutionEngine::TreeWalker;
   /// Interpreter knobs (heap size, fuel, arena validation).

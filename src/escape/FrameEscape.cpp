@@ -1,0 +1,131 @@
+//===- FrameEscape.cpp ----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/FrameEscape.h"
+
+using namespace eal;
+
+namespace {
+
+/// One visible binding with the binder that owns it and the lambda
+/// nesting depth at which the binder's scope opened. A reference from a
+/// strictly deeper lambda level crosses a closure boundary.
+struct Binding {
+  Symbol Name;
+  const Expr *Owner;
+  unsigned LambdaLevel;
+};
+
+class Walker {
+public:
+  explicit Walker(FrameEscapeInfo &Info) : Info(Info) {}
+
+  void visit(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::NilLit:
+    case ExprKind::Prim:
+      return;
+    case ExprKind::Var: {
+      Symbol Name = cast<VarExpr>(E)->name();
+      for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+        if (It->Name == Name) {
+          if (It->LambdaLevel < Level)
+            mark(It->Owner);
+          return;
+        }
+      // Unbound: the bytecode compiler diagnoses it.
+      return;
+    }
+    case ExprKind::App: {
+      const auto *App = cast<AppExpr>(E);
+      visit(App->fn());
+      visit(App->arg());
+      return;
+    }
+    case ExprKind::Lambda:
+      visitChain(E);
+      return;
+    case ExprKind::If: {
+      const auto *If = cast<IfExpr>(E);
+      visit(If->cond());
+      visit(If->thenExpr());
+      visit(If->elseExpr());
+      return;
+    }
+    case ExprKind::Let: {
+      const auto *Let = cast<LetExpr>(E);
+      visit(Let->value());
+      Env.push_back({Let->name(), E, Level});
+      visit(Let->body());
+      Env.pop_back();
+      finishBinder(E);
+      return;
+    }
+    case ExprKind::Letrec: {
+      const auto *Letrec = cast<LetrecExpr>(E);
+      size_t Mark = Env.size();
+      for (const LetrecBinding &B : Letrec->bindings())
+        Env.push_back({B.Name, E, Level});
+      for (const LetrecBinding &B : Letrec->bindings())
+        visit(B.Value);
+      visit(Letrec->body());
+      Env.resize(Mark);
+      finishBinder(E);
+      return;
+    }
+    }
+  }
+
+private:
+  /// Consumes a whole lambda chain at once, mirroring the compiler's
+  /// n-ary protos: all chain parameters share one scope owned by the
+  /// chain head, and the chain opens exactly one lambda level.
+  void visitChain(const Expr *E) {
+    size_t Mark = Env.size();
+    ++Level;
+    const Expr *Body = E;
+    while (const auto *Lambda = dyn_cast<LambdaExpr>(Body)) {
+      Env.push_back({Lambda->param(), E, Level});
+      Body = Lambda->body();
+    }
+    visit(Body);
+    Env.resize(Mark);
+    --Level;
+    finishBinder(E);
+  }
+
+  void mark(const Expr *Owner) {
+    uint32_t Id = Owner->id();
+    if (Id >= Info.Captured.size())
+      Info.Captured.resize(Id + 1, false);
+    Info.Captured[Id] = true;
+  }
+
+  void finishBinder(const Expr *Owner) {
+    if (Info.frameEscapes(Owner))
+      ++Info.CapturedScopes;
+    else
+      ++Info.FlattenableScopes;
+  }
+
+  FrameEscapeInfo &Info;
+  std::vector<Binding> Env;
+  unsigned Level = 0;
+};
+
+} // namespace
+
+FrameEscapeInfo eal::analyzeFrameEscapes(const AstContext &Ast,
+                                         const Expr *Root) {
+  FrameEscapeInfo Info;
+  Info.Captured.resize(Ast.numNodes(), false);
+  Walker W(Info);
+  W.visit(Root);
+  return Info;
+}

@@ -1,0 +1,60 @@
+//===- FrameEscape.h - Do environment frames escape? ------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second runtime consumer of escape information, in the spirit of the
+/// paper's allocation optimizations: instead of asking whether *list
+/// cells* outlive an activation, this pass asks whether an activation's
+/// *environment frame* does. A binder's frame escapes exactly when some
+/// binding it introduces is referenced from inside a closure created
+/// within its scope — then the frame must live on the heap, chained for
+/// the captured reference. When no binding is captured, the bytecode
+/// compiler flattens the scope onto the VM's value stack and the
+/// activation allocates no `EnvFrame` at all.
+///
+/// The test is purely syntactic (a free-variable check graded by lambda
+/// nesting depth) and exact up to shadowing: a variable reference that
+/// crosses at least one lambda boundary on its way to its binder marks
+/// that binder captured. Everything else is flattenable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_ESCAPE_FRAMEESCAPE_H
+#define EAL_ESCAPE_FRAMEESCAPE_H
+
+#include "lang/Ast.h"
+
+#include <vector>
+
+namespace eal {
+
+/// Frame-escape facts for every binder in one program.
+struct FrameEscapeInfo {
+  /// Indexed by binder node id — the head `LambdaExpr` of a lambda
+  /// chain, a `LetExpr`, or a `LetrecExpr`. True if a nested closure
+  /// captures one of the binder's bindings, so the activation's frame
+  /// must outlive it on the heap.
+  std::vector<bool> Captured;
+
+  /// Binders whose scope can live on the value stack.
+  unsigned FlattenableScopes = 0;
+  /// Binders whose frame is captured and stays heap-allocated.
+  unsigned CapturedScopes = 0;
+
+  /// Does \p Binder's environment frame escape its activation?
+  bool frameEscapes(const Expr *Binder) const {
+    return Binder->id() < Captured.size() && Captured[Binder->id()];
+  }
+};
+
+/// Computes frame-escape facts for \p Root (the final program the
+/// bytecode compiler sees, after any reuse transformation).
+FrameEscapeInfo analyzeFrameEscapes(const AstContext &Ast, const Expr *Root);
+
+} // namespace eal
+
+#endif // EAL_ESCAPE_FRAMEESCAPE_H

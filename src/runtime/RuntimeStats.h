@@ -66,6 +66,9 @@ struct RuntimeStats {
   uint64_t Applications = 0;
   uint64_t ClosuresCreated = 0;
   uint64_t PeakLiveHeapCells = 0;
+  /// VM only: high-water mark of the call-frame stack. Tail calls reuse
+  /// the caller's frame, so deep tail recursion keeps this flat.
+  uint64_t PeakCallFrames = 0;
 
   uint64_t totalCellsAllocated() const {
     return HeapCellsAllocated + StackCellsAllocated + RegionCellsAllocated;
@@ -94,6 +97,7 @@ struct RuntimeStats {
     Fn("steps", "steps", Steps);
     Fn("applications", "applications", Applications);
     Fn("closures_created", "closures created", ClosuresCreated);
+    Fn("peak_call_frames", "peak call frames", PeakCallFrames);
   }
 
   /// Renders all counters, one "name = value" per line. Includes the

@@ -45,6 +45,18 @@ const char *eal::opcodeName(Opcode Op) {
     return "arena.begin";
   case Opcode::StashArena:
     return "arena.stash";
+  case Opcode::LoadLocal:
+    return "load.l";
+  case Opcode::Slide:
+    return "slide";
+  case Opcode::TailCall:
+    return "call.tail";
+  case Opcode::PushIntPrim:
+    return "prim.i";
+  case Opcode::LocalPrim:
+    return "prim.l";
+  case Opcode::LocalLocalPrim:
+    return "prim.ll";
   }
   return "???";
 }
@@ -54,6 +66,7 @@ std::string eal::disassemble(const Chunk &C) {
   for (size_t PI = 0; PI != C.Protos.size(); ++PI) {
     const Proto &P = C.Protos[PI];
     OS << "proto " << PI << " '" << P.Name << "' arity " << P.Arity
+       << (P.FlatFrame ? " flat" : "")
        << (PI == C.Entry ? " (entry)" : "") << ":\n";
     for (size_t I = 0; I != P.Code.size(); ++I) {
       const Instr &In = P.Code[I];
@@ -65,19 +78,51 @@ std::string eal::disassemble(const Chunk &C) {
       case Opcode::PushBool:
         OS << ' ' << (In.A ? "true" : "false");
         break;
-      case Opcode::PushPrim:
+      case Opcode::PushPrim: {
+        const Chunk::PrimRef &Ref = C.PrimRefs[static_cast<size_t>(In.A)];
+        OS << ' ' << primOpName(Ref.Op);
+        if (Ref.Site)
+          OS << " @site" << Ref.Site;
+        OS << " (#" << In.A << ')';
+        break;
+      }
       case Opcode::Prim:
         OS << ' ' << primOpName(static_cast<PrimOp>(In.A));
+        if (In.B)
+          OS << " @site" << In.B;
+        break;
+      case Opcode::PushIntPrim:
+        OS << ' ' << primOpName(static_cast<PrimOp>(In.A))
+           << " imm=" << In.Imm;
+        if (In.B)
+          OS << " @site" << In.B;
+        break;
+      case Opcode::LocalPrim:
+        OS << ' ' << primOpName(static_cast<PrimOp>(In.Imm))
+           << " slot=" << In.A;
+        if (In.B)
+          OS << " @site" << In.B;
+        break;
+      case Opcode::LocalLocalPrim:
+        OS << ' ' << primOpName(static_cast<PrimOp>(In.Imm))
+           << " slots=" << (In.A >> 16) << ',' << (In.A & 0xFFFF);
         if (In.B)
           OS << " @site" << In.B;
         break;
       case Opcode::LoadSlot:
         OS << " depth=" << In.A << " slot=" << In.B;
         break;
+      case Opcode::LoadLocal:
+        OS << " slot=" << In.A;
+        break;
+      case Opcode::Slide:
+        OS << " n=" << In.A;
+        break;
       case Opcode::MakeClosure:
         OS << " proto=" << In.A;
         break;
       case Opcode::Call:
+      case Opcode::TailCall:
         OS << " nargs=" << In.A;
         if (In.B)
           OS << " arenas=" << In.B;

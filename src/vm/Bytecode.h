@@ -36,7 +36,7 @@ enum class Opcode : uint8_t {
   PushInt,     ///< push Imm
   PushBool,    ///< push A != 0
   PushNil,     ///< push nil
-  PushPrim,    ///< push a primitive closure; A = PrimOp, B = site id
+  PushPrim,    ///< push the interned primitive closure PrimRefs[A]
   LoadSlot,    ///< push env[depth A][slot B]
   MakeClosure, ///< push closure of proto A capturing the current frame
   Call,        ///< call with A args; B pending arenas attach to the callee
@@ -49,7 +49,22 @@ enum class Opcode : uint8_t {
   LeaveScope,  ///< pop the current env frame
   BeginArena,  ///< activate a fresh arena for plan directive A
   StashArena,  ///< deactivate the innermost arena, pending for next Call
+
+  // Escape-directed frame flattening: bindings the frame-escape
+  // analysis proves uncaptured live as value-stack slots.
+  LoadLocal, ///< push stack[frame base + A] (a flattened binding)
+  Slide,     ///< pop the result, drop A values beneath it, push it back
+  TailCall,  ///< like Call with A args / B arenas, but replaces the frame
+
+  // Peephole superinstructions (hot shapes; see Compiler.cpp).
+  PushIntPrim,    ///< push Imm, then saturated prim A; B = site id
+  LocalPrim,      ///< push local A, then saturated prim Imm; B = site id
+  LocalLocalPrim, ///< push locals A>>16 and A&0xffff, then prim Imm @ B
 };
+
+/// One past the last opcode (size of dispatch tables).
+constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::LocalLocalPrim) + 1;
 
 /// Returns the mnemonic of \p Op.
 const char *opcodeName(Opcode Op);
@@ -63,11 +78,15 @@ struct Instr {
 };
 
 /// One compiled function (a whole lambda chain): binds Arity parameters
-/// at once into a fresh frame, then runs Code until Return.
+/// at once, then runs Code until Return.
 struct Proto {
   unsigned Arity = 0;
   std::vector<Instr> Code;
   std::string Name; ///< for disassembly and diagnostics
+  /// Frame flattening: the frame-escape analysis proved no binding of
+  /// this proto is captured by a nested closure, so parameters live as
+  /// value-stack slots (LoadLocal) and calls allocate no EnvFrame.
+  bool FlatFrame = false;
 };
 
 /// A compiled program.
@@ -77,6 +96,13 @@ struct Chunk {
   unsigned Entry = 0;
   /// Directive table referenced by BeginArena operands.
   std::vector<const ArgArenaDirective *> Directives;
+  /// One entry per distinct primitive-as-value site; PushPrim pushes the
+  /// VM's interned closure for PrimRefs[A] instead of allocating one.
+  struct PrimRef {
+    PrimOp Op;
+    uint32_t Site;
+  };
+  std::vector<PrimRef> PrimRefs;
 
   /// Total instruction count (a size metric).
   size_t instructionCount() const {

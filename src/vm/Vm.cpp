@@ -4,16 +4,37 @@
 // (Park & Goldberg, PLDI 1992).
 //
 //===----------------------------------------------------------------------===//
+//
+// The dispatch loop is direct-threaded when the toolchain supports
+// computed goto (GCC/Clang label addresses) and EAL_COMPUTED_GOTO is on;
+// otherwise it falls back to a portable switch. Both variants share the
+// same handler bodies through the VM_OP/VM_NEXT macros, so there is one
+// semantics and two dispatch mechanisms.
+//
+// Calls have a fast path for the common shape (user closure, no partial
+// application, exact arity): flat-frame protos bind their parameters in
+// place on the operand stack — the callee slot is squeezed out and no
+// EnvFrame is allocated — and TailCall additionally reuses the caller's
+// CallFrame, transferring its arenas so frees happen at exactly the
+// execution point the unfused Call+Return would have freed them.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/Vm.h"
 
-#include "runtime/PrimOps.h"
 #include "support/Diagnostics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace eal;
+
+#if defined(EAL_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define EAL_VM_THREADED 1
+#else
+#define EAL_VM_THREADED 0
+#endif
 
 Vm::Vm(const Chunk &C, DiagnosticEngine &Diags) : Vm(C, Diags, Options()) {}
 
@@ -48,6 +69,19 @@ Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
         M.value(Slot.second);
     }
   });
+  Hooks.AllocateCell = [this](uint32_t Site) { return allocateCell(Site); };
+  Hooks.Error = [this](const std::string &Message) { error(Message); };
+  Hooks.Stats = &Stats;
+  // Intern one closure per primitive-as-value site up front; PushPrim
+  // is then a plain push, never an allocation.
+  InternedPrims.reserve(C.PrimRefs.size());
+  for (const Chunk::PrimRef &Ref : C.PrimRefs) {
+    RtClosure *Closure = newClosure();
+    Closure->IsPrim = true;
+    Closure->Op = Ref.Op;
+    Closure->PrimNodeId = Ref.Site;
+    InternedPrims.push_back(Closure);
+  }
 }
 
 Vm::~Vm() {
@@ -103,6 +137,13 @@ bool Vm::freeArenas(std::vector<size_t> &Arenas, const RtValue *Result) {
   return Ok;
 }
 
+void Vm::takePendingArenas(uint32_t N, std::vector<size_t> &Arenas) {
+  if (!N)
+    return;
+  Arenas.assign(PendingArenas.end() - N, PendingArenas.end());
+  PendingArenas.resize(PendingArenas.size() - N);
+}
+
 bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
                     std::vector<size_t> Arenas) {
   // Root the in-flight values while primitive steps may allocate.
@@ -140,12 +181,6 @@ bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
         Stack.push_back(Args[I]);
       for (RtValue V : Full)
         Stack.push_back(V);
-      PrimOpsHooks Hooks;
-      Hooks.AllocateCell = [this](uint32_t Site) {
-        return allocateCell(Site);
-      };
-      Hooks.Error = [this](const std::string &Message) { error(Message); };
-      Hooks.Stats = &Stats;
       std::optional<RtValue> R =
           evalSaturatedPrim(Closure->Op, Closure->PrimNodeId, Full, Hooks);
       Stack.resize(Mark);
@@ -180,24 +215,269 @@ bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
     }
 
     size_t Need = P.Arity - Have;
-    EnvPtr Frame = std::make_shared<EnvFrame>();
-    Frame->Parent = Closure->Env;
-    Frame->Slots.reserve(P.Arity);
-    for (RtValue V : Closure->Partial)
-      Frame->Slots.emplace_back(Symbol::invalid(), V);
-    for (size_t I = 0; I != Need; ++I)
-      Frame->Slots.emplace_back(Symbol::invalid(), Args[I]);
-
     CallFrame CF;
     CF.P = &P;
     CF.Ip = 0;
-    CF.Env = std::move(Frame);
-    CF.StackBase = Stack.size();
     CF.Arenas = std::move(Arenas);
     CF.Pending.assign(Args.begin() + Need, Args.end());
+    if (P.FlatFrame) {
+      // Parameters live on the operand stack from the frame base.
+      CF.StackBase = Stack.size();
+      for (RtValue V : Closure->Partial)
+        Stack.push_back(V);
+      for (size_t I = 0; I != Need; ++I)
+        Stack.push_back(Args[I]);
+      CF.Env = Closure->Env;
+    } else {
+      EnvPtr Frame = std::make_shared<EnvFrame>();
+      Frame->Parent = Closure->Env;
+      Frame->Slots.reserve(P.Arity);
+      for (RtValue V : Closure->Partial)
+        Frame->Slots.emplace_back(Symbol::invalid(), V);
+      for (size_t I = 0; I != Need; ++I)
+        Frame->Slots.emplace_back(Symbol::invalid(), Args[I]);
+      CF.Env = std::move(Frame);
+      CF.StackBase = Stack.size();
+    }
     Frames.push_back(std::move(CF));
+    if (Frames.size() > Stats.PeakCallFrames)
+      Stats.PeakCallFrames = Frames.size();
     return true;
   }
+}
+
+bool Vm::doPrim(PrimOp Op, uint32_t Site) {
+  // Fast paths for the common shapes, operating on the stack in place.
+  // Anything unusual (runtime type errors, division by zero) falls
+  // through to the shared evaluator so diagnostics match the
+  // interpreter's exactly.
+  size_t Size = Stack.size();
+  switch (Op) {
+  case PrimOp::Add:
+  case PrimOp::Sub:
+  case PrimOp::Mul: {
+    RtValue &A = Stack[Size - 2], &B = Stack[Size - 1];
+    if (A.isInt() && B.isInt()) {
+      int64_t X = A.intValue(), Y = B.intValue();
+      A = RtValue::makeInt(Op == PrimOp::Add   ? X + Y
+                           : Op == PrimOp::Sub ? X - Y
+                                               : X * Y);
+      Stack.pop_back();
+      return true;
+    }
+    break;
+  }
+  case PrimOp::Eq:
+  case PrimOp::Ne:
+  case PrimOp::Lt:
+  case PrimOp::Le:
+  case PrimOp::Gt:
+  case PrimOp::Ge: {
+    RtValue &A = Stack[Size - 2], &B = Stack[Size - 1];
+    if (A.isInt() && B.isInt()) {
+      int64_t X = A.intValue(), Y = B.intValue();
+      bool R = false;
+      switch (Op) {
+      case PrimOp::Eq: R = X == Y; break;
+      case PrimOp::Ne: R = X != Y; break;
+      case PrimOp::Lt: R = X < Y; break;
+      case PrimOp::Le: R = X <= Y; break;
+      case PrimOp::Gt: R = X > Y; break;
+      default: R = X >= Y; break;
+      }
+      A = RtValue::makeBool(R);
+      Stack.pop_back();
+      return true;
+    }
+    break;
+  }
+  case PrimOp::Null: {
+    RtValue &A = Stack[Size - 1];
+    if (A.isNil()) {
+      A = RtValue::makeBool(true);
+      return true;
+    }
+    if (A.isCons()) {
+      A = RtValue::makeBool(false);
+      return true;
+    }
+    break;
+  }
+  case PrimOp::Car:
+  case PrimOp::Cdr: {
+    RtValue &A = Stack[Size - 1];
+    if (A.isCons()) {
+      A = Op == PrimOp::Car ? A.cell()->Car : A.cell()->Cdr;
+      return true;
+    }
+    break;
+  }
+  case PrimOp::Fst:
+  case PrimOp::Snd: {
+    RtValue &A = Stack[Size - 1];
+    if (A.isPair()) {
+      A = Op == PrimOp::Fst ? A.cell()->Car : A.cell()->Cdr;
+      return true;
+    }
+    break;
+  }
+  case PrimOp::Cons:
+  case PrimOp::MkPair: {
+    // The arguments stay rooted on the stack across a possible GC.
+    ConsCell *Cell = allocateCell(Site);
+    if (!Cell)
+      return error("out of heap cells");
+    Cell->Car = Stack[Size - 2];
+    Cell->Cdr = Stack[Size - 1];
+    Stack[Size - 2] = Op == PrimOp::Cons ? RtValue::makeCons(Cell)
+                                         : RtValue::makePair(Cell);
+    Stack.pop_back();
+    return true;
+  }
+  case PrimOp::DCons: {
+    RtValue &P = Stack[Size - 3];
+    if (P.isCons()) {
+      ConsCell *Cell = P.cell();
+      Cell->Car = Stack[Size - 2];
+      Cell->Cdr = Stack[Size - 1];
+      P = RtValue::makeCons(Cell);
+      ++Stats.DconsReuses;
+      Stack.resize(Size - 2);
+      return true;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+
+  unsigned Arity = primOpArity(Op);
+  assert(Size >= Arity && "prim stack underflow");
+  std::span<const RtValue> Args(Stack.data() + Size - Arity, Arity);
+  std::optional<RtValue> R = evalSaturatedPrim(Op, Site, Args, Hooks);
+  if (!R)
+    return false;
+  Stack.resize(Size - Arity);
+  Stack.push_back(*R);
+  return true;
+}
+
+bool Vm::doCall(size_t N, uint32_t NumPending) {
+  assert(Stack.size() >= Frames.back().StackBase + N + 1 &&
+         "stack underflow");
+  RtValue Callee = Stack[Stack.size() - N - 1];
+  std::vector<size_t> Arenas;
+  takePendingArenas(NumPending, Arenas);
+
+  if (Callee.isClosure()) {
+    RtClosure *Closure = Callee.closure();
+    if (!Closure->IsPrim && Closure->Partial.empty()) {
+      assert(Closure->ProtoIdx >= 0 && "interpreter closure inside the VM");
+      const Proto &P = C.Protos[Closure->ProtoIdx];
+      if (P.Arity == N) {
+        ++Stats.Applications;
+        CallFrame CF;
+        CF.P = &P;
+        CF.Ip = 0;
+        CF.Arenas = std::move(Arenas);
+        if (P.FlatFrame) {
+          // Squeeze the callee out from under its arguments: the args
+          // become the new frame's base slots in place.
+          std::move(Stack.end() - N, Stack.end(), Stack.end() - N - 1);
+          Stack.pop_back();
+          CF.StackBase = Stack.size() - N;
+          CF.Env = Closure->Env;
+        } else {
+          EnvPtr Frame = std::make_shared<EnvFrame>();
+          Frame->Parent = Closure->Env;
+          Frame->Slots.reserve(N);
+          for (size_t I = Stack.size() - N; I != Stack.size(); ++I)
+            Frame->Slots.emplace_back(Symbol::invalid(), Stack[I]);
+          Stack.resize(Stack.size() - N - 1);
+          CF.Env = std::move(Frame);
+          CF.StackBase = Stack.size();
+        }
+        Frames.push_back(std::move(CF));
+        if (Frames.size() > Stats.PeakCallFrames)
+          Stats.PeakCallFrames = Frames.size();
+        return true;
+      }
+    }
+  }
+
+  std::vector<RtValue> Args(Stack.end() - N, Stack.end());
+  Stack.resize(Stack.size() - N - 1);
+  return applyValue(Callee, std::move(Args), std::move(Arenas));
+}
+
+bool Vm::doTailCall(size_t N, uint32_t NumPending) {
+  CallFrame &Frame = Frames.back();
+  // An over-application continuation is pinned to this frame; the code
+  // after the TailCall (cleanup + Return) is exactly the unfused
+  // sequence, so behave like a plain call.
+  if (!Frame.Pending.empty())
+    return doCall(N, NumPending);
+
+  assert(Stack.size() >= Frame.StackBase + N + 1 && "stack underflow");
+  std::vector<size_t> Arenas;
+  takePendingArenas(NumPending, Arenas);
+  // The replaced frame's arenas transfer to the callee: they are freed
+  // when it returns — the same execution point at which the unfused
+  // Call+Return pair would have freed them.
+  Arenas.insert(Arenas.end(), Frame.Arenas.begin(), Frame.Arenas.end());
+  Frame.Arenas.clear();
+
+  RtValue Callee = Stack[Stack.size() - N - 1];
+  size_t Base = Frame.StackBase;
+
+  if (Callee.isClosure()) {
+    RtClosure *Closure = Callee.closure();
+    if (!Closure->IsPrim && Closure->Partial.empty()) {
+      assert(Closure->ProtoIdx >= 0 && "interpreter closure inside the VM");
+      const Proto &P = C.Protos[Closure->ProtoIdx];
+      if (P.Arity == N) {
+        // Reuse the frame in place: deep tail recursion runs in O(1)
+        // call frames.
+        ++Stats.Applications;
+        if (P.FlatFrame) {
+          std::move(Stack.end() - N, Stack.end(), Stack.begin() + Base);
+          Stack.resize(Base + N);
+          Frame.Env = Closure->Env;
+        } else {
+          EnvPtr NewEnv = std::make_shared<EnvFrame>();
+          NewEnv->Parent = Closure->Env;
+          NewEnv->Slots.reserve(N);
+          for (size_t I = Stack.size() - N; I != Stack.size(); ++I)
+            NewEnv->Slots.emplace_back(Symbol::invalid(), Stack[I]);
+          Stack.resize(Base);
+          Frame.Env = std::move(NewEnv);
+        }
+        Frame.P = &P;
+        Frame.Ip = 0;
+        Frame.Arenas = std::move(Arenas);
+        return true;
+      }
+    }
+  }
+
+  std::vector<RtValue> Args(Stack.end() - N, Stack.end());
+  Frames.pop_back();
+  Stack.resize(Base);
+  return applyValue(Callee, std::move(Args), std::move(Arenas));
+}
+
+bool Vm::doReturn() {
+  assert(!Stack.empty() && "return without a value");
+  RtValue Result = Stack.back();
+  CallFrame Finished = std::move(Frames.back());
+  Frames.pop_back();
+  Stack.resize(Finished.StackBase);
+  if (!freeArenas(Finished.Arenas, &Result))
+    return false;
+  if (!Finished.Pending.empty())
+    return applyValue(Result, std::move(Finished.Pending), {});
+  Stack.push_back(Result);
+  return true;
 }
 
 std::optional<RtValue> Vm::run() {
@@ -211,152 +491,237 @@ std::optional<RtValue> Vm::run() {
     CF.Env = std::make_shared<EnvFrame>();
     CF.StackBase = 0;
     Frames.push_back(std::move(CF));
+    Stats.PeakCallFrames = std::max<uint64_t>(Stats.PeakCallFrames, 1);
   }
+  Frames.reserve(64);
+  Stack.reserve(256);
 
   uint64_t Steps = 0;
-  while (!Frames.empty()) {
-    CallFrame &Frame = Frames.back();
+  CallFrame *F = nullptr;
+  const Instr *CodeBase = nullptr; // current proto's code
+  const Instr *IP = nullptr;       // next instruction
+  const Instr *In = nullptr;
+
+  // One handler body per opcode, two dispatch mechanisms. The hot state
+  // (frame pointer, instruction pointer) lives in locals: handlers that
+  // cannot touch the frame stack re-dispatch with VM_NEXT_FAST, while
+  // Call/TailCall/Return write the suspended ip back (VM_SAVE) and
+  // reload everything (VM_NEXT) because the frame vector may have
+  // grown, shrunk, or reallocated.
+#define VM_RELOAD()                                                          \
+  do {                                                                       \
+    F = &Frames.back();                                                      \
+    CodeBase = F->P->Code.data();                                            \
+    IP = CodeBase + F->Ip;                                                   \
+  } while (0)
+#define VM_SAVE() (F->Ip = static_cast<size_t>(IP - CodeBase))
+
+#if EAL_VM_THREADED
+  static const void *Targets[NumOpcodes] = {
+      &&op_PushInt,     &&op_PushBool,    &&op_PushNil,
+      &&op_PushPrim,    &&op_LoadSlot,    &&op_MakeClosure,
+      &&op_Call,        &&op_Return,      &&op_Jump,
+      &&op_JumpIfFalse, &&op_Prim,        &&op_EnterScope,
+      &&op_StoreSlot,   &&op_LeaveScope,  &&op_BeginArena,
+      &&op_StashArena,  &&op_LoadLocal,   &&op_Slide,
+      &&op_TailCall,    &&op_PushIntPrim, &&op_LocalPrim,
+      &&op_LocalLocalPrim};
+#define VM_OP(name) op_##name:
+#define VM_NEXT_FAST()                                                       \
+  do {                                                                       \
+    if (++Steps > Opts.MaxSteps) {                                           \
+      error("execution exceeded the step budget");                           \
+      goto run_done;                                                         \
+    }                                                                        \
+    In = IP++;                                                               \
+    goto *Targets[static_cast<uint8_t>(In->Op)];                             \
+  } while (0)
+#define VM_NEXT()                                                            \
+  do {                                                                       \
+    if (Frames.empty())                                                      \
+      goto run_done;                                                         \
+    VM_RELOAD();                                                             \
+    VM_NEXT_FAST();                                                          \
+  } while (0)
+#define VM_FAIL() goto run_done
+
+  VM_NEXT();
+#else
+#define VM_OP(name) case Opcode::name:
+#define VM_NEXT_FAST() continue
+// Not do{}while(0): `continue` must re-enter the dispatch loop, and
+// inside a do-while it would bind to that statement instead, falling
+// through into the next case label.
+#define VM_NEXT()                                                            \
+  {                                                                          \
+    if (Frames.empty())                                                      \
+      goto run_done;                                                         \
+    VM_RELOAD();                                                             \
+    continue;                                                                \
+  }
+#define VM_FAIL() goto run_done
+
+  VM_RELOAD();
+  for (;;) {
     if (++Steps > Opts.MaxSteps) {
       error("execution exceeded the step budget");
       break;
     }
-    assert(Frame.Ip < Frame.P->Code.size() && "fell off proto code");
-    const Instr &In = Frame.P->Code[Frame.Ip++];
+    In = IP++;
+    switch (In->Op) {
+#endif
 
-    switch (In.Op) {
-    case Opcode::PushInt:
-      Stack.push_back(RtValue::makeInt(In.Imm));
-      break;
-    case Opcode::PushBool:
-      Stack.push_back(RtValue::makeBool(In.A != 0));
-      break;
-    case Opcode::PushNil:
-      Stack.push_back(RtValue::makeNil());
-      break;
-    case Opcode::PushPrim: {
-      RtClosure *Closure = newClosure();
-      Closure->IsPrim = true;
-      Closure->Op = static_cast<PrimOp>(In.A);
-      Closure->PrimNodeId = In.B;
-      Stack.push_back(RtValue::makeClosure(Closure));
-      break;
+  VM_OP(PushInt) {
+    Stack.push_back(RtValue::makeInt(In->Imm));
+    VM_NEXT_FAST();
+  }
+  VM_OP(PushBool) {
+    Stack.push_back(RtValue::makeBool(In->A != 0));
+    VM_NEXT_FAST();
+  }
+  VM_OP(PushNil) {
+    Stack.push_back(RtValue::makeNil());
+    VM_NEXT_FAST();
+  }
+  VM_OP(PushPrim) {
+    Stack.push_back(
+        RtValue::makeClosure(InternedPrims[static_cast<size_t>(In->A)]));
+    VM_NEXT_FAST();
+  }
+  VM_OP(LoadSlot) {
+    EnvFrame *Env = F->Env.get();
+    for (int32_t D = 0; D != In->A; ++D)
+      Env = Env->Parent.get();
+    assert(Env && In->B < Env->Slots.size() && "bad lexical address");
+    Stack.push_back(Env->Slots[In->B].second);
+    VM_NEXT_FAST();
+  }
+  VM_OP(LoadLocal) {
+    assert(F->StackBase + static_cast<size_t>(In->A) < Stack.size() &&
+           "bad local slot");
+    Stack.push_back(Stack[F->StackBase + static_cast<size_t>(In->A)]);
+    VM_NEXT_FAST();
+  }
+  VM_OP(MakeClosure) {
+    RtClosure *Closure = newClosure();
+    Closure->ProtoIdx = In->A;
+    Closure->Env = F->Env;
+    Stack.push_back(RtValue::makeClosure(Closure));
+    VM_NEXT_FAST();
+  }
+  VM_OP(Call) {
+    VM_SAVE(); // the callee's Return resumes the caller here
+    if (!doCall(static_cast<size_t>(In->A), In->B))
+      VM_FAIL();
+    VM_NEXT();
+  }
+  VM_OP(TailCall) {
+    VM_SAVE(); // doTailCall falls back to a plain call when pendings exist
+    if (!doTailCall(static_cast<size_t>(In->A), In->B))
+      VM_FAIL();
+    VM_NEXT();
+  }
+  VM_OP(Return) {
+    if (!doReturn())
+      VM_FAIL();
+    VM_NEXT();
+  }
+  VM_OP(Jump) {
+    IP += In->A;
+    VM_NEXT_FAST();
+  }
+  VM_OP(JumpIfFalse) {
+    RtValue Cond = Stack.back();
+    Stack.pop_back();
+    if (!Cond.isBool()) {
+      error("if condition is not a boolean");
+      VM_FAIL();
     }
-    case Opcode::LoadSlot: {
-      EnvFrame *F = Frame.Env.get();
-      for (int32_t D = 0; D != In.A; ++D)
-        F = F->Parent.get();
-      assert(F && In.B < F->Slots.size() && "bad lexical address");
-      Stack.push_back(F->Slots[In.B].second);
-      break;
-    }
-    case Opcode::MakeClosure: {
-      RtClosure *Closure = newClosure();
-      Closure->ProtoIdx = In.A;
-      Closure->Env = Frame.Env;
-      Stack.push_back(RtValue::makeClosure(Closure));
-      break;
-    }
-    case Opcode::Call: {
-      size_t N = static_cast<size_t>(In.A);
-      assert(Stack.size() >= Frame.StackBase + N + 1 && "stack underflow");
-      std::vector<RtValue> Args(Stack.end() - N, Stack.end());
-      RtValue Callee = Stack[Stack.size() - N - 1];
-      Stack.resize(Stack.size() - N - 1);
-      std::vector<size_t> Arenas;
-      for (uint32_t I = 0; I != In.B; ++I) {
-        Arenas.insert(Arenas.begin(), PendingArenas.back());
-        PendingArenas.pop_back();
-      }
-      if (!applyValue(Callee, std::move(Args), std::move(Arenas)))
-        goto done;
-      break;
-    }
-    case Opcode::Return: {
-      assert(!Stack.empty() && "return without a value");
-      RtValue Result = Stack.back();
-      CallFrame Finished = std::move(Frames.back());
-      Frames.pop_back();
-      Stack.resize(Finished.StackBase);
-      if (!freeArenas(Finished.Arenas, &Result))
-        goto done;
-      if (!Finished.Pending.empty()) {
-        if (!applyValue(Result, std::move(Finished.Pending), {}))
-          goto done;
-      } else {
-        Stack.push_back(Result);
-      }
-      break;
-    }
-    case Opcode::Jump:
-      Frame.Ip = static_cast<size_t>(
-          static_cast<int64_t>(Frame.Ip) + In.A);
-      break;
-    case Opcode::JumpIfFalse: {
-      RtValue Cond = Stack.back();
-      Stack.pop_back();
-      if (!Cond.isBool()) {
-        error("if condition is not a boolean");
-        goto done;
-      }
-      if (!Cond.boolValue())
-        Frame.Ip = static_cast<size_t>(
-            static_cast<int64_t>(Frame.Ip) + In.A);
-      break;
-    }
-    case Opcode::Prim: {
-      PrimOp Op = static_cast<PrimOp>(In.A);
-      unsigned Arity = primOpArity(Op);
-      assert(Stack.size() >= Arity && "prim stack underflow");
-      PrimOpsHooks Hooks;
-      Hooks.AllocateCell = [this](uint32_t Site) {
-        return allocateCell(Site);
-      };
-      Hooks.Error = [this](const std::string &Message) { error(Message); };
-      Hooks.Stats = &Stats;
-      std::span<const RtValue> Args(Stack.data() + Stack.size() - Arity,
-                                    Arity);
-      std::optional<RtValue> R = evalSaturatedPrim(Op, In.B, Args, Hooks);
-      if (!R)
-        goto done;
-      Stack.resize(Stack.size() - Arity);
-      Stack.push_back(*R);
-      break;
-    }
-    case Opcode::EnterScope: {
-      EnvPtr Child = std::make_shared<EnvFrame>();
-      Child->Parent = Frame.Env;
-      Child->Slots.assign(static_cast<size_t>(In.A),
-                          {Symbol::invalid(), RtValue::makeNil()});
-      if (In.B)
-        RecFrames.push_back(Child);
-      Frame.Env = std::move(Child);
-      break;
-    }
-    case Opcode::StoreSlot: {
-      assert(!Stack.empty() && "store without a value");
-      Frame.Env->Slots[static_cast<size_t>(In.A)].second = Stack.back();
-      Stack.pop_back();
-      break;
-    }
-    case Opcode::LeaveScope:
-      Frame.Env = Frame.Env->Parent;
-      break;
-    case Opcode::BeginArena: {
-      const ArgArenaDirective *D =
-          C.Directives[static_cast<size_t>(In.A)];
-      ArenaStack.push_back(ActiveArena{D, TheHeap.createArena()});
-      break;
-    }
-    case Opcode::StashArena:
-      assert(!ArenaStack.empty() && "stash without an active arena");
-      PendingArenas.push_back(ArenaStack.back().Handle);
-      ArenaStack.pop_back();
-      break;
-    }
-    Stats.Steps = Steps;
+    if (!Cond.boolValue())
+      IP += In->A;
+    VM_NEXT_FAST();
+  }
+  VM_OP(Prim) {
+    if (!doPrim(static_cast<PrimOp>(In->A), In->B))
+      VM_FAIL();
+    VM_NEXT_FAST();
+  }
+  VM_OP(PushIntPrim) {
+    Stack.push_back(RtValue::makeInt(In->Imm));
+    if (!doPrim(static_cast<PrimOp>(In->A), In->B))
+      VM_FAIL();
+    VM_NEXT_FAST();
+  }
+  VM_OP(LocalPrim) {
+    assert(F->StackBase + static_cast<size_t>(In->A) < Stack.size() &&
+           "bad local slot");
+    Stack.push_back(Stack[F->StackBase + static_cast<size_t>(In->A)]);
+    if (!doPrim(static_cast<PrimOp>(In->Imm), In->B))
+      VM_FAIL();
+    VM_NEXT_FAST();
+  }
+  VM_OP(LocalLocalPrim) {
+    size_t Base = F->StackBase;
+    assert(Base + static_cast<size_t>(In->A >> 16) < Stack.size() &&
+           Base + static_cast<size_t>(In->A & 0xFFFF) < Stack.size() &&
+           "bad local slot");
+    Stack.push_back(Stack[Base + static_cast<size_t>(In->A >> 16)]);
+    Stack.push_back(Stack[Base + static_cast<size_t>(In->A & 0xFFFF)]);
+    if (!doPrim(static_cast<PrimOp>(In->Imm), In->B))
+      VM_FAIL();
+    VM_NEXT_FAST();
+  }
+  VM_OP(EnterScope) {
+    EnvPtr Child = std::make_shared<EnvFrame>();
+    Child->Parent = F->Env;
+    Child->Slots.assign(static_cast<size_t>(In->A),
+                        {Symbol::invalid(), RtValue::makeNil()});
+    if (In->B)
+      RecFrames.push_back(Child);
+    F->Env = std::move(Child);
+    VM_NEXT_FAST();
+  }
+  VM_OP(StoreSlot) {
+    assert(!Stack.empty() && "store without a value");
+    F->Env->Slots[static_cast<size_t>(In->A)].second = Stack.back();
+    Stack.pop_back();
+    VM_NEXT_FAST();
+  }
+  VM_OP(LeaveScope) {
+    F->Env = F->Env->Parent;
+    VM_NEXT_FAST();
+  }
+  VM_OP(Slide) {
+    size_t NewTop = Stack.size() - 1 - static_cast<size_t>(In->A);
+    Stack[NewTop] = Stack.back();
+    Stack.resize(NewTop + 1);
+    VM_NEXT_FAST();
+  }
+  VM_OP(BeginArena) {
+    const ArgArenaDirective *D = C.Directives[static_cast<size_t>(In->A)];
+    ArenaStack.push_back(ActiveArena{D, TheHeap.createArena()});
+    VM_NEXT_FAST();
+  }
+  VM_OP(StashArena) {
+    assert(!ArenaStack.empty() && "stash without an active arena");
+    PendingArenas.push_back(ArenaStack.back().Handle);
+    ArenaStack.pop_back();
+    VM_NEXT_FAST();
   }
 
-done:
+#if !EAL_VM_THREADED
+    } // switch: every handler re-enters the loop via VM_NEXT
+  }
+#endif
+#undef VM_OP
+#undef VM_NEXT
+#undef VM_NEXT_FAST
+#undef VM_SAVE
+#undef VM_RELOAD
+#undef VM_FAIL
+
+run_done:
+  Stats.Steps = Steps;
   for (size_t Handle : OrphanArenas)
     TheHeap.freeArena(Handle);
   OrphanArenas.clear();

@@ -19,6 +19,7 @@
 
 #include "runtime/Frame.h"
 #include "runtime/Heap.h"
+#include "runtime/PrimOps.h"
 #include "runtime/RuntimeStats.h"
 #include "vm/Bytecode.h"
 
@@ -72,6 +73,21 @@ private:
   bool applyValue(RtValue Callee, std::vector<RtValue> Args,
                   std::vector<size_t> Arenas);
 
+  /// Call with \p N stack arguments below the callee; fast-paths exact-
+  /// arity user closures (flat frames bind in place, no EnvFrame).
+  bool doCall(size_t N, uint32_t NumPending);
+  /// TailCall: like doCall but replaces the current frame, inheriting
+  /// its arenas (freed at the same execution point as the unfused
+  /// Call+Return). Falls back to a plain call when the frame still has
+  /// an over-application continuation pending.
+  bool doTailCall(size_t N, uint32_t NumPending);
+  /// Return: pops the frame, frees its arenas, resumes the caller.
+  bool doReturn();
+  /// Runs saturated primitive \p Op over the stack top in place.
+  bool doPrim(PrimOp Op, uint32_t Site);
+  /// Moves the innermost \p N stashed arenas into \p Arenas.
+  void takePendingArenas(uint32_t N, std::vector<size_t> &Arenas);
+
   /// Frees \p Arenas (with optional validation); \p Result is rooted
   /// during validation when non-null.
   bool freeArenas(std::vector<size_t> &Arenas, const RtValue *Result);
@@ -99,8 +115,14 @@ private:
   std::vector<size_t> OrphanArenas;
 
   std::vector<std::unique_ptr<RtClosure>> Closures;
+  /// One closure per Chunk::PrimRefs entry, created once at
+  /// construction; PushPrim pushes these instead of allocating.
+  std::vector<RtClosure *> InternedPrims;
   /// Recursive (letrec) frames: cycles broken at destruction.
   std::vector<EnvPtr> RecFrames;
+
+  /// Primitive-evaluation hooks, built once (not per instruction).
+  PrimOpsHooks Hooks;
 
   uint64_t MarkEpoch = 0;
   bool Failed = false;

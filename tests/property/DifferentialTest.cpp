@@ -3,10 +3,17 @@
 // Part of eal, a reproduction of "Escape Analysis on Lists"
 // (Park & Goldberg, PLDI 1992).
 //
-// For randomly generated programs, every optimization configuration must
-// compute exactly the value the unoptimized program computes, with
-// arena-free validation enabled (so an unsafe allocation plan fails the
-// run instead of silently corrupting it).
+// For randomly generated programs, every optimization configuration ×
+// every execution engine must compute exactly the value the unoptimized
+// tree-walker computes, with arena-free validation enabled (so an unsafe
+// allocation plan fails the run instead of silently corrupting it). The
+// engines share the heap machinery, so their storage counters must also
+// agree configuration by configuration. A final run cross-checks the
+// static escape claims against the dynamic oracle.
+//
+// The Seeds instantiation is the fixed tier-1 sweep. The Fuzz
+// instantiation reads EAL_FUZZ_SEEDS (default 1): CI's fuzz-smoke step
+// widens it without recompiling (tools/ci.sh).
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +21,7 @@
 
 #include "driver/Pipeline.h"
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 using namespace eal;
@@ -23,13 +31,14 @@ namespace {
 
 class DifferentialTest : public ::testing::TestWithParam<uint32_t> {};
 
-TEST_P(DifferentialTest, AllConfigsAgreeWithBaseline) {
+TEST_P(DifferentialTest, AllConfigsAndEnginesAgreeWithBaseline) {
   ProgramGenerator Gen(GetParam());
   GenProgram Prog = Gen.generate(3);
 
-  auto Run = [&](bool Reuse, bool Stack, bool Region) {
+  auto Run = [&](bool Reuse, bool Stack, bool Region, ExecutionEngine E) {
     PipelineOptions Options;
     Options.Mode = TypeInferenceMode::Monomorphic;
+    Options.Engine = E;
     Options.Optimize.EnableReuse = Reuse;
     Options.Optimize.EnableStack = Stack;
     Options.Optimize.EnableRegion = Region;
@@ -37,25 +46,74 @@ TEST_P(DifferentialTest, AllConfigsAgreeWithBaseline) {
     return runPipeline(Prog.Source, Options);
   };
 
-  PipelineResult Base = Run(false, false, false);
+  PipelineResult Base = Run(false, false, false, ExecutionEngine::TreeWalker);
   ASSERT_TRUE(Base.Success) << "baseline failed (seed " << GetParam()
                             << "):\n"
                             << Prog.Source << Base.diagnostics();
   for (bool Reuse : {false, true})
     for (bool Stack : {false, true})
       for (bool Region : {false, true}) {
-        PipelineResult Opt = Run(Reuse, Stack, Region);
-        ASSERT_TRUE(Opt.Success)
+        PipelineResult Tree =
+            Run(Reuse, Stack, Region, ExecutionEngine::TreeWalker);
+        ASSERT_TRUE(Tree.Success)
             << "config " << Reuse << Stack << Region << " failed (seed "
             << GetParam() << "):\n"
-            << Prog.Source << Opt.diagnostics();
-        EXPECT_EQ(Opt.RenderedValue, Base.RenderedValue)
+            << Prog.Source << Tree.diagnostics();
+        EXPECT_EQ(Tree.RenderedValue, Base.RenderedValue)
             << "MISCOMPILE by config reuse=" << Reuse << " stack=" << Stack
             << " region=" << Region << " (seed " << GetParam() << "):\n"
             << Prog.Source;
+
+        PipelineResult Byte =
+            Run(Reuse, Stack, Region, ExecutionEngine::Bytecode);
+        ASSERT_TRUE(Byte.Success)
+            << "VM config " << Reuse << Stack << Region << " failed (seed "
+            << GetParam() << "):\n"
+            << Prog.Source << Byte.diagnostics();
+        EXPECT_EQ(Byte.RenderedValue, Base.RenderedValue)
+            << "ENGINE DIVERGENCE under config reuse=" << Reuse
+            << " stack=" << Stack << " region=" << Region << " (seed "
+            << GetParam() << "):\n"
+            << Prog.Source;
+        // Identical storage behaviour engine-to-engine, per config.
+        EXPECT_EQ(Byte.Stats.DconsReuses, Tree.Stats.DconsReuses)
+            << Prog.Source;
+        EXPECT_EQ(Byte.Stats.StackCellsAllocated,
+                  Tree.Stats.StackCellsAllocated)
+            << Prog.Source;
+        EXPECT_EQ(Byte.Stats.RegionCellsAllocated,
+                  Tree.Stats.RegionCellsAllocated)
+            << Prog.Source;
       }
+
+  // Dynamic escape oracle over the fully optimized program: every static
+  // claim the optimizer acted on must hold on this run.
+  PipelineOptions Oracle;
+  Oracle.Mode = TypeInferenceMode::Monomorphic;
+  Oracle.Optimize.EnableReuse = true;
+  Oracle.Optimize.EnableStack = true;
+  Oracle.Optimize.EnableRegion = true;
+  Oracle.Run.ValidateArenaFrees = true;
+  Oracle.RunOracle = true;
+  PipelineResult Checked = runPipeline(Prog.Source, Oracle);
+  ASSERT_TRUE(Checked.Success)
+      << "ORACLE REFUTED a claim (seed " << GetParam() << "):\n"
+      << Prog.Source << Checked.diagnostics();
+  EXPECT_EQ(Checked.RenderedValue, Base.RenderedValue) << Prog.Source;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1u, 61u));
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1u, 257u));
+
+// Extra seeds for CI fuzz-smoke runs: EAL_FUZZ_SEEDS widens the sweep
+// without a recompile; the default keeps one fresh seed in tier 1.
+unsigned fuzzSeedCount() {
+  const char *Env = std::getenv("EAL_FUZZ_SEEDS");
+  int N = Env ? std::atoi(Env) : 0;
+  return N > 0 ? static_cast<unsigned>(N) : 1u;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, DifferentialTest,
+                         ::testing::Range(900000u,
+                                          900000u + fuzzSeedCount()));
 
 } // namespace

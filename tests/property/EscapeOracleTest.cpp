@@ -89,6 +89,11 @@ class EscapeOracleTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(EscapeOracleTest, AnalysisOverapproximatesRuntimeEscape) {
   ProgramGenerator Gen(GetParam());
+  // callBinding below runs the tree-walker on this thread's stack (no
+  // big-stack thread), and ASan's redzones inflate the recursive eval
+  // frames: keep generated tail loops shallow enough for both.
+  Gen.TailLoopBase = 50;
+  Gen.TailLoopSpread = 100;
   GenProgram Prog = Gen.generate(3);
 
   Frontend FE;

@@ -34,11 +34,15 @@ enum class GenType : uint8_t {
   Int,
   IntList,
   IntListList,
+  IntPair, ///< (int, int)
+  IntFun,  ///< int -> int (first-class function values)
 };
 
 inline unsigned genTypeSpines(GenType T) {
   switch (T) {
   case GenType::Int:
+  case GenType::IntPair:
+  case GenType::IntFun:
     return 0;
   case GenType::IntList:
     return 1;
@@ -87,6 +91,12 @@ struct GenProgram {
       }
       return Out + "]";
     }
+    case GenType::IntPair:
+      return "(" + std::to_string(Val(Rng)) + ", " +
+             std::to_string(Val(Rng)) + ")";
+    case GenType::IntFun:
+      // A fresh closure literal; 'w' cannot collide with p<i> params.
+      return "lambda(w). w + " + std::to_string(Val(Rng));
     }
     return "0";
   }
@@ -97,6 +107,14 @@ class ProgramGenerator {
 public:
   explicit ProgramGenerator(uint32_t Seed) : Rng(Seed) {}
 
+  /// Depth of generated `count` tail loops: TailLoopBase plus up to
+  /// TailLoopSpread more. Harnesses that run the tree-walker on the
+  /// plain test thread (no big-stack thread, e.g. the escape oracle's
+  /// direct Interpreter calls) should lower these: its non-eliminated
+  /// tail calls need C++ stack, and ASan redzones inflate each frame.
+  unsigned TailLoopBase = 200;
+  unsigned TailLoopSpread = 800;
+
   GenProgram generate(unsigned NumFunctions = 3) {
     GenProgram P;
     std::string Source = "letrec\n";
@@ -104,26 +122,36 @@ public:
 
     for (unsigned I = 0; I != NumFunctions; ++I) {
       GenFunction F;
-      F.Name = "g" + std::to_string(I);
+      // Built by += rather than operator+ chains: GCC 12's -Wrestrict
+      // misfires on the temporaries at -O2.
+      F.Name = "g";
+      F.Name += std::to_string(I);
       unsigned NumParams = 1 + Rng() % 2;
       for (unsigned J = 0; J != NumParams; ++J)
-        F.Params.push_back(randomType(/*AllowInt=*/J > 0));
-      F.Result = randomType(/*AllowInt=*/true);
+        F.Params.push_back(randomParamType(/*AllowInt=*/J > 0));
+      F.Result = randomResultType();
 
       Earlier = &P.Functions; // functions defined so far are callable
-      Source += ";\n  " + F.Name;
-      for (unsigned J = 0; J != NumParams; ++J)
-        Source += " p" + std::to_string(J);
-      Source += " = " + genExpr(F, F.Result, /*Depth=*/3);
+      Source += ";\n  ";
+      Source += F.Name;
+      for (unsigned J = 0; J != NumParams; ++J) {
+        Source += " p";
+        Source += std::to_string(J);
+      }
+      Source += " = ";
+      Source += genBody(F);
       P.Functions.push_back(F);
     }
     Earlier = nullptr;
 
     // Drive with the last function applied to literals (keeps everything
     // reachable for the type checker).
-    Source += "\nin " + P.Functions.back().Name;
-    for (GenType T : P.Functions.back().Params)
-      Source += " " + paren(GenProgram::literalOf(T, Rng));
+    Source += "\nin ";
+    Source += P.Functions.back().Name;
+    for (GenType T : P.Functions.back().Params) {
+      Source += " ";
+      Source += paren(GenProgram::literalOf(T, Rng));
+    }
     Source += "\n";
     P.Source = Source;
     return P;
@@ -141,18 +169,77 @@ private:
           else append (rev (cdr l)) (cons (car l) nil);
   take n l = if n = 0 then nil else if (null l) then nil
              else cons (car l) (take (n - 1) (cdr l));
-  suml l = if (null l) then 0 else car l + suml (cdr l))";
+  suml l = if (null l) then 0 else car l + suml (cdr l);
+  inc n = n + 1;
+  mapi f l = if (null l) then nil
+             else cons (f (car l)) (mapi f (cdr l));
+  compose f g = lambda(x). f (g x);
+  count n acc = if n = 0 then acc else count (n - 1) (acc + 1);
+  sumt l acc = if (null l) then acc else sumt (cdr l) (acc + car l))";
   }
 
-  GenType randomType(bool AllowInt) {
-    switch (Rng() % (AllowInt ? 3 : 2)) {
+  /// Parameter types: the three data types, plus first-class functions
+  /// (exercises higher-order calls and captured environments).
+  GenType randomParamType(bool AllowInt) {
+    switch (Rng() % (AllowInt ? 5 : 4)) {
     case 0:
       return GenType::IntList;
     case 1:
       return GenType::IntListList;
+    case 2:
+      return GenType::IntPair;
+    case 3:
+      return GenType::IntFun;
     default:
       return GenType::Int;
     }
+  }
+
+  /// Result types: anything printable (no bare closures, whose rendering
+  /// is not part of the engines' contract).
+  GenType randomResultType() {
+    switch (Rng() % 4) {
+    case 0:
+      return GenType::IntList;
+    case 1:
+      return GenType::IntListList;
+    case 2:
+      return GenType::IntPair;
+    default:
+      return GenType::Int;
+    }
+  }
+
+  /// The body of one generated function: either a plain expression or a
+  /// structurally recursive one (recurses on `cdr p0`, so termination is
+  /// still guaranteed).
+  std::string genBody(const GenFunction &F) {
+    bool CanSelfRec =
+        F.Params[0] == GenType::IntList &&
+        (F.Result == GenType::Int || F.Result == GenType::IntList ||
+         F.Result == GenType::IntListList);
+    if (!CanSelfRec || Rng() % 2)
+      return genExpr(F, F.Result, /*Depth=*/3);
+
+    std::string Rec = "(" + F.Name + " (cdr p0)";
+    for (size_t J = 1; J != F.Params.size(); ++J)
+      Rec += " " + paren(genExpr(F, F.Params[J], 1));
+    Rec += ")";
+    std::string Base = paren(genExpr(F, F.Result, 2));
+    std::string Step;
+    switch (F.Result) {
+    case GenType::Int:
+      Step = "(car p0 + " + Rec + ")";
+      break;
+    case GenType::IntList:
+      Step = Rng() % 2 ? "(cons (car p0) " + Rec + ")"
+                       : "(append " + Rec + " (cons (car p0) nil))";
+      break;
+    default: // IntListList
+      Step = "(cons (cons (car p0) nil) " + Rec + ")";
+      break;
+    }
+    return "if (null p0) then " + Base + " else " + Step;
   }
 
   /// A saturated call to an earlier generated function returning \p T,
@@ -167,18 +254,25 @@ private:
     if (Matches.empty())
       return "";
     const GenFunction *G = Matches[Rng() % Matches.size()];
-    std::string Out = "(" + G->Name;
-    for (GenType PT : G->Params)
-      Out += " " + paren(genExpr(F, PT, Depth - 1));
-    return Out + ")";
+    std::string Out = "(";
+    Out += G->Name;
+    for (GenType PT : G->Params) {
+      Out += " ";
+      Out += paren(genExpr(F, PT, Depth - 1));
+    }
+    Out += ")";
+    return Out;
   }
 
   /// A parameter of function \p F with type \p T, if any.
   std::string paramOf(const GenFunction &F, GenType T) {
     std::vector<std::string> Matches;
     for (size_t I = 0; I != F.Params.size(); ++I)
-      if (F.Params[I] == T)
-        Matches.push_back("p" + std::to_string(I));
+      if (F.Params[I] == T) {
+        std::string P = "p";
+        P += std::to_string(I);
+        Matches.push_back(std::move(P));
+      }
     if (Matches.empty())
       return "";
     return Matches[Rng() % Matches.size()];
@@ -196,7 +290,7 @@ private:
     }
     switch (T) {
     case GenType::Int:
-      switch (Rng() % 7) {
+      switch (Rng() % 10) {
       case 0: {
         std::string P = paramOf(F, GenType::Int);
         if (!P.empty())
@@ -228,13 +322,31 @@ private:
           return Call;
         return genExpr(F, GenType::Int, Depth - 1);
       }
+      case 6:
+        // Apply a first-class function value.
+        return paren(paren(genExpr(F, GenType::IntFun, Depth - 1)) + " " +
+                     paren(genExpr(F, GenType::Int, Depth - 1)));
+      case 7: {
+        std::string P = genExpr(F, GenType::IntPair, Depth - 1);
+        return paren((Rng() % 2 ? "fst " : "snd ") + paren(P));
+      }
+      case 8:
+        // Deep tail recursion (count) or a tail-recursive fold (sumt):
+        // the engines must agree at depths where naive frames would blow
+        // up a fixed stack.
+        if (Rng() % 2)
+          return paren("count " +
+                       std::to_string(TailLoopBase + Rng() % TailLoopSpread) +
+                       " " + paren(genExpr(F, GenType::Int, 0)));
+        return paren("sumt " + paren(genExpr(F, GenType::IntList,
+                                             Depth - 1)) + " 0");
       default:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::Int, Depth - 1) + " else " +
                      genExpr(F, GenType::Int, Depth - 1));
       }
     case GenType::IntList:
-      switch (Rng() % 9) {
+      switch (Rng() % 10) {
       case 0: {
         std::string P = paramOf(F, T);
         if (!P.empty())
@@ -273,6 +385,10 @@ private:
           return Call;
         return genExpr(F, GenType::IntList, Depth - 1);
       }
+      case 8:
+        return paren("mapi " + paren(genExpr(F, GenType::IntFun,
+                                             Depth - 1)) +
+                     " " + paren(genExpr(F, GenType::IntList, Depth - 1)));
       default:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::IntList, Depth - 1) + " else " +
@@ -305,6 +421,48 @@ private:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::IntListList, Depth - 1) + " else " +
                      genExpr(F, GenType::IntListList, Depth - 1));
+      }
+    case GenType::IntPair:
+      switch (Rng() % 4) {
+      case 0: {
+        std::string P = paramOf(F, T);
+        if (!P.empty())
+          return P;
+        return GenProgram::literalOf(T, Rng);
+      }
+      case 1:
+        return "(" + genExpr(F, GenType::Int, Depth - 1) + ", " +
+               genExpr(F, GenType::Int, Depth - 1) + ")";
+      case 2: {
+        std::string Call = callEarlier(F, GenType::IntPair, Depth);
+        if (!Call.empty())
+          return Call;
+        return genExpr(F, GenType::IntPair, Depth - 1);
+      }
+      default:
+        return paren("if " + genBool(F, Depth - 1) + " then " +
+                     genExpr(F, GenType::IntPair, Depth - 1) + " else " +
+                     genExpr(F, GenType::IntPair, Depth - 1));
+      }
+    case GenType::IntFun:
+      switch (Rng() % 4) {
+      case 0: {
+        std::string P = paramOf(F, T);
+        if (!P.empty())
+          return P;
+        return "inc";
+      }
+      case 1:
+        // A closure literal that may capture this function's int params
+        // (an escaping environment when the closure is returned onward).
+        return paren("lambda(w). w + " +
+                     paren(genExpr(F, GenType::Int, 0)));
+      case 2:
+        return paren("compose " +
+                     paren(genExpr(F, GenType::IntFun, Depth - 1)) + " " +
+                     paren(genExpr(F, GenType::IntFun, Depth - 1)));
+      default:
+        return "inc";
       }
     }
     return GenProgram::literalOf(T, Rng);

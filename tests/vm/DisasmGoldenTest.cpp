@@ -1,0 +1,69 @@
+//===- DisasmGoldenTest.cpp - bytecode disassembly snapshots ----------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Golden snapshots of the disassembly of the Appendix A / §1 programs.
+// The compiler's output format — flat-frame markers, superinstruction
+// fusion, tail calls, interned prim references — is load-bearing for
+// anyone reading dumps, so a change to it must be a conscious one:
+// regenerate with
+//
+//   EAL_UPDATE_GOLDEN=1 ./vm_tests --gtest_filter='DisasmGolden*'
+//
+// and review the diff like any other source change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "vm/Compiler.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(EAL_SOURCE_DIR) + "/tests/vm/golden/" + Name +
+         ".disasm";
+}
+
+void checkGolden(const std::string &Name, const char *Source) {
+  Frontend FE;
+  ASSERT_TRUE(FE.parseAndType(Source)) << FE.diagText();
+  auto Chunk = compileToBytecode(FE.Ast, FE.Root, nullptr, FE.Diags);
+  ASSERT_TRUE(Chunk.has_value()) << FE.diagText();
+  std::string Actual = disassemble(*Chunk);
+
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("EAL_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "updated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with EAL_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Actual, Buf.str())
+      << "disassembly drifted from " << Path
+      << "; if intentional, regenerate with EAL_UPDATE_GOLDEN=1";
+}
+
+TEST(DisasmGoldenTest, PartitionSort) {
+  checkGolden("partition_sort", partitionSortSource());
+}
+
+TEST(DisasmGoldenTest, MapPair) { checkGolden("map_pair", mapPairSource()); }
+
+TEST(DisasmGoldenTest, Reverse) { checkGolden("reverse", reverseSource()); }
+
+} // namespace

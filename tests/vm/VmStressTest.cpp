@@ -1,0 +1,88 @@
+//===- VmStressTest.cpp - deep-recursion regression tests -------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Stress regressions for the VM's frame machinery: million-step runs
+// through both the non-tail path (frames pile up on the heap-allocated
+// frame vector) and the fused tail-call path (frames are reused in
+// place, so the high-water mark must stay flat no matter the depth).
+// tools/ci.sh runs these under ASan and UBSan, which is where frame
+// reuse or stack-slot bugs actually surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal;
+
+namespace {
+
+PipelineResult runVm(const std::string &Source) {
+  PipelineOptions Options;
+  Options.Engine = ExecutionEngine::Bytecode;
+  Options.Run.ValidateArenaFrees = true;
+  return runPipeline(Source, Options);
+}
+
+TEST(VmStressTest, MillionStepTailLoop) {
+  // ~3M steps of self tail recursion. TailCall reuses the caller's
+  // frame, so the frame high-water mark stays O(1) at any depth.
+  PipelineResult R = runVm(
+      "letrec loop i acc = if i = 0 then acc else loop (i - 1) (acc + i) "
+      "in loop 400000 0");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "80000200000");
+  EXPECT_GE(R.Stats.Steps, 1'000'000u);
+  EXPECT_LE(R.Stats.PeakCallFrames, 4u)
+      << "tail calls stopped reusing frames";
+}
+
+TEST(VmStressTest, MutualTailRecursionStaysFlat) {
+  PipelineResult R = runVm(
+      "letrec even n = if n = 0 then true else odd (n - 1);"
+      "       odd n = if n = 0 then false else even (n - 1) "
+      "in if even 300000 then 1 else 0");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "1");
+  EXPECT_GE(R.Stats.Steps, 1'000'000u);
+  EXPECT_LE(R.Stats.PeakCallFrames, 4u);
+}
+
+TEST(VmStressTest, DeepNonTailRecursion) {
+  // 150k-deep non-tail recursion: every call needs its own live frame,
+  // and the peak must reflect that depth (no C++ stack involved).
+  PipelineResult R = runVm(
+      "letrec build n = if n = 0 then nil else cons n (build (n - 1));"
+      "       suml l = if (null l) then 0 else car l + suml (cdr l) "
+      "in suml (build 150000)");
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_EQ(R.RenderedValue, "11250075000");
+  EXPECT_GE(R.Stats.Steps, 1'000'000u);
+  EXPECT_GE(R.Stats.PeakCallFrames, 150'000u);
+}
+
+TEST(VmStressTest, TailCallTransfersArenas) {
+  // Tail recursion under the full optimizer: arenas the caller owed are
+  // inherited by the reused frame and freed at the same point a plain
+  // call/return pair would have freed them.
+  PipelineOptions Options;
+  Options.Engine = ExecutionEngine::Bytecode;
+  Options.Optimize.EnableReuse = true;
+  Options.Optimize.EnableStack = true;
+  Options.Optimize.EnableRegion = true;
+  Options.Run.ValidateArenaFrees = true;
+  PipelineResult R = runPipeline(
+      "letrec buildt n acc = if n = 0 then acc "
+      "       else buildt (n - 1) (cons n acc);"
+      "       rot l acc n = if n = 0 then acc "
+      "       else rot (cdr l) (cons (car l) acc) (n - 1) "
+      "in rot (buildt 50000 nil) nil 50000",
+      Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  EXPECT_LE(R.Stats.PeakCallFrames, 4u);
+}
+
+} // namespace

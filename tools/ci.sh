@@ -1,29 +1,35 @@
 #!/usr/bin/env bash
-# CI driver: build + tier-1 test the three configurations that keep the
+# CI driver: build + tier-1 test the four configurations that keep the
 # codebase honest (docs/CHECKING.md):
 #
 #   release   Release, -Werror         the configuration users build
 #   asan      AddressSanitizer        heap bugs the GC could be hiding
 #   ubsan     UndefinedBehaviorSanitizer, -fno-sanitize-recover=all
+#   portable  Release with -DEAL_COMPUTED_GOTO=OFF: the VM's switch
+#             dispatch loop, which non-GNU compilers get
 #
 # Each configuration builds into build-ci-<name>/ at the repo root and
 # runs the tier-1 ctest suite (tier2 benches/sweeps are excluded: they
-# measure, they don't gate). Usage:
+# measure, they don't gate). The release configuration then runs a fuzz
+# smoke: the property suite's Fuzz instantiation widened to fresh seeds
+# via EAL_FUZZ_SEEDS (see tests/property/DifferentialTest.cpp). Usage:
 #
-#   tools/ci.sh            all three configurations
+#   tools/ci.sh            all four configurations
 #   tools/ci.sh asan       just one
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+FUZZ_SEEDS="${EAL_FUZZ_SEEDS:-48}"
 
 configure_flags() {
   case "$1" in
   release) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON" ;;
   asan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_ASAN=ON" ;;
   ubsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_UBSAN=ON" ;;
+  portable) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON -DEAL_COMPUTED_GOTO=OFF" ;;
   *)
-    echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan)" >&2
+    echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan|portable)" >&2
     exit 2
     ;;
   esac
@@ -39,6 +45,11 @@ run_config() {
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] tier-1 ctest"
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" -LE tier2)
+  if [ "$name" = release ]; then
+    echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
+    (cd "$dir" && EAL_FUZZ_SEEDS="$FUZZ_SEEDS" \
+        ./tests/property_tests --gtest_filter='Fuzz/*')
+  fi
   echo "=== [$name] OK"
 }
 
@@ -47,7 +58,7 @@ if [ "$#" -gt 0 ]; then
     run_config "$config"
   done
 else
-  for config in release asan ubsan; do
+  for config in release asan ubsan portable; do
     run_config "$config"
   done
 fi

@@ -7,6 +7,8 @@
 //   eal analyze  <file>   escape (G) and sharing (Theorem 2) reports
 //   eal optimize <file>   DCONS-transformed program and allocation plan
 //   eal run      <file>   execute, printing the value and storage counters
+//   eal disasm   <file>   compile to bytecode and print the disassembly
+//                         (flat frames, superinstructions, tail calls)
 //   eal report   <file>   all of the above
 //   eal check    <file>   lint + per-allocation optimization explanations
 //                         (docs/CHECKING.md); add --oracle to also execute
@@ -58,7 +60,8 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: eal <analyze|optimize|run|report|check> <file|-> [options]\n"
+      << "usage: eal <analyze|optimize|run|disasm|report|check> <file|-> "
+         "[options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
@@ -146,11 +149,12 @@ int main(int argc, char **argv) {
   std::string Command = argv[1];
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
-      Command != "report" && Command != "check")
+      Command != "disasm" && Command != "report" && Command != "check")
     return usage();
 
   PipelineOptions Options;
   Options.RunProgram = Command == "run" || Command == "report";
+  Options.CompileBytecode = Command == "disasm";
   Options.RunLint = Command == "check";
   std::string TracePath, StatsJsonPath, CheckJsonPath;
   bool TimePhases = false;
@@ -229,6 +233,8 @@ int main(int argc, char **argv) {
 
   if (Command == "analyze" || Command == "report")
     printAnalysis(R);
+  if (Command == "disasm")
+    std::cout << disassemble(*R.Code);
   if (Command == "optimize" || Command == "report") {
     if (Command == "report")
       std::cout << '\n';
