@@ -158,6 +158,31 @@ inline PipelineResult timedRun(std::vector<BenchRecord> &Records,
   return R;
 }
 
+/// Execute-phase µs of one finished run (-1 when the phase is absent).
+inline int64_t executeMicros(const PipelineResult &R) {
+  for (const auto &[Name, Micros] : R.PhaseMicros)
+    if (Name == "execute")
+      return Micros;
+  return -1;
+}
+
+/// Runs \p Source under \p Options Reps times and returns the best
+/// execute-phase time in seconds. Timer noise in this container is
+/// large, so min-of-K is the stable statistic; it is also the number
+/// tools/bench_diff.py prefers when gating regressions.
+inline double bestExecuteSeconds(const std::string &Source,
+                                 const PipelineOptions &Options,
+                                 unsigned Reps) {
+  int64_t Best = -1;
+  for (unsigned I = 0; I != Reps; ++I) {
+    PipelineResult R = runPipeline(Source, Options);
+    int64_t Us = executeMicros(R);
+    if (Us >= 0 && (Best < 0 || Us < Best))
+      Best = Us;
+  }
+  return Best < 0 ? -1.0 : static_cast<double>(Best) / 1e6;
+}
+
 /// Writes BENCH_<bench>.json into the working directory: the bench's
 /// counters + wall times in the schema the perf trajectory expects
 /// (docs/OBSERVABILITY.md). Returns false (with a message) on I/O error.

@@ -40,28 +40,8 @@ PipelineOptions engineConfig(bool UseVm, bool Optimized) {
   return Options;
 }
 
-/// Execute-phase µs of one finished run (-1 when the phase is absent).
-int64_t executeMicros(const PipelineResult &R) {
-  for (const auto &[Name, Micros] : R.PhaseMicros)
-    if (Name == "execute")
-      return Micros;
-  return -1;
-}
-
-/// Runs \p Source under \p Options Reps times and returns the best
-/// execute-phase time in seconds. Timer noise in this container is
-/// large, so min-of-K is the stable statistic.
-double bestExecuteSeconds(const std::string &Source,
-                          const PipelineOptions &Options, unsigned Reps) {
-  int64_t Best = -1;
-  for (unsigned I = 0; I != Reps; ++I) {
-    PipelineResult R = runPipeline(Source, Options);
-    int64_t Us = executeMicros(R);
-    if (Us >= 0 && (Best < 0 || Us < Best))
-      Best = Us;
-  }
-  return Best < 0 ? -1.0 : static_cast<double>(Best) / 1e6;
-}
+// executeMicros/bestExecuteSeconds moved to BenchUtil.h so other benches
+// (bench_a31_stack_alloc) report the same best-of-K statistic.
 
 void printComparison() {
   std::cout << "=== ENGINES: interpreter vs bytecode VM ===\n";

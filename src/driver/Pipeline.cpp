@@ -11,18 +11,46 @@
 #include "lang/Lexer.h"
 #include "lang/Parser.h"
 #include "runtime/ValuePrinter.h"
+#include "support/Metrics.h"
+
+#include <fstream>
 
 using namespace eal;
 
-PipelineResult eal::runPipeline(const std::string &Source,
-                                const PipelineOptions &Options) {
-  PipelineResult R;
+namespace {
+
+/// The eal-stats-v1 document (tools/check_stats_json.py-compatible shape;
+/// see docs/OBSERVABILITY.md).
+bool writeStatsJson(const std::string &Path, const std::string &Command,
+                    const PipelineResult &R) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "{\n"
+      << "  \"schema\": \"eal-stats-v1\",\n"
+      << "  \"command\": " << obs::jsonQuote(Command) << ",\n"
+      << "  \"success\": " << (R.Success ? "true" : "false") << ",\n"
+      << "  \"value\": " << obs::jsonQuote(R.RenderedValue) << ",\n"
+      << "  \"phases_us\": {";
+  for (size_t I = 0; I != R.PhaseMicros.size(); ++I)
+    Out << (I ? ", " : "") << obs::jsonQuote(R.PhaseMicros[I].first) << ": "
+        << R.PhaseMicros[I].second;
+  Out << "},\n"
+      << "  \"counters\": " << R.Stats.toJson(2) << ",\n"
+      << "  \"metrics\": " << obs::globalMetrics().toJson(2) << "\n"
+      << "}\n";
+  return static_cast<bool>(Out);
+}
+
+void runPipelineImpl(const std::string &Source,
+                     const PipelineOptions &Options, PipelineResult &R) {
   R.SM = std::make_unique<SourceManager>();
   R.Diags = std::make_unique<DiagnosticEngine>();
   R.Ast = std::make_unique<AstContext>();
   R.Types = std::make_unique<TypeContext>();
 
-  R.SM->setBuffer(Options.IncludeStdlib ? withStdlib(Source) : Source);
+  R.SM->setBuffer(Options.IncludeStdlib ? withStdlib(Source) : Source,
+                  Options.SourceName);
 
   // The parser lexes on the fly, so a standalone lex phase is redundant
   // work; run a counting pre-pass only when a trace is being recorded,
@@ -45,7 +73,7 @@ PipelineResult eal::runPipeline(const std::string &Source,
     T.span().arg("nodes", static_cast<uint64_t>(R.Ast->numNodes()));
   }
   if (!R.ParsedRoot)
-    return R;
+    return;
 
   if (Options.RunLint || Options.RunOracle)
     R.Check.emplace();
@@ -65,7 +93,7 @@ PipelineResult eal::runPipeline(const std::string &Source,
     R.Typed = TI.run(R.ParsedRoot);
   }
   if (!R.Typed)
-    return R;
+    return;
 
   OptimizerConfig OptConfig = Options.Optimize;
   OptConfig.Mode = Options.Mode;
@@ -75,7 +103,7 @@ PipelineResult eal::runPipeline(const std::string &Source,
                                   OptConfig, &R.PhaseMicros);
   }
   if (!R.Optimized)
-    return R;
+    return;
 
   if (Options.RunLint) {
     // The blocked-allocation explanations grade the *final* program: the
@@ -94,14 +122,15 @@ PipelineResult eal::runPipeline(const std::string &Source,
       R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
                                  &R.Optimized->Plan, *R.Diags);
       if (!R.Code)
-        return R;
+        return;
     }
     R.Success = !R.Diags->hasErrors();
-    return R;
+    return;
   }
 
   ExecutionEngine Engine = Options.Engine;
   Interpreter::Options RunOpts = Options.Run;
+  RunOpts.Profiler = Options.Obs.Profile;
   if (Options.RunOracle) {
     obs::PhaseTimer T(&R.PhaseMicros, "claims");
     // The observer hooks live in the tree-walker, and a sound plan must
@@ -123,12 +152,13 @@ PipelineResult eal::runPipeline(const std::string &Source,
       R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
                                  &R.Optimized->Plan, *R.Diags);
       if (!R.Code)
-        return R;
+        return;
       Vm::Options VO;
       VO.HeapCapacity = RunOpts.HeapCapacity;
       VO.AllowHeapGrowth = RunOpts.AllowHeapGrowth;
       VO.MaxSteps = RunOpts.MaxSteps;
       VO.ValidateArenaFrees = RunOpts.ValidateArenaFrees;
+      VO.Profiler = RunOpts.Profiler;
       R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
       R.Value = R.TheVm->run();
       R.Stats = R.TheVm->stats();
@@ -152,8 +182,30 @@ PipelineResult eal::runPipeline(const std::string &Source,
       R.Oracle->report().exportTo(obs::globalMetrics());
   }
   if (!R.Value)
-    return R;
+    return;
   R.RenderedValue = renderValue(*R.Value);
   R.Success = !R.Diags->hasErrors();
+}
+
+} // namespace
+
+PipelineResult eal::runPipeline(const std::string &Source,
+                                const PipelineOptions &Options) {
+  const ObservabilityOptions &Obs = Options.Obs;
+  if (!Obs.TracePath.empty())
+    obs::enableTracing();
+  if (!Obs.StatsJsonPath.empty())
+    obs::enableMetrics();
+
+  PipelineResult R;
+  runPipelineImpl(Source, Options, R);
+
+  // Exports happen even on failure: a trace of a failed run is exactly
+  // what one wants for debugging it.
+  if (!Obs.TracePath.empty() && !obs::writeChromeTrace(Obs.TracePath))
+    R.ObsExportErrors.push_back("cannot write '" + Obs.TracePath + "'");
+  if (!Obs.StatsJsonPath.empty() &&
+      !writeStatsJson(Obs.StatsJsonPath, Obs.Command, R))
+    R.ObsExportErrors.push_back("cannot write '" + Obs.StatsJsonPath + "'");
   return R;
 }

@@ -36,8 +36,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace eal {
+
+namespace prof {
+class Profiler;
+}
 
 /// Which engine executes the final program.
 enum class ExecutionEngine {
@@ -47,10 +52,34 @@ enum class ExecutionEngine {
   Bytecode,
 };
 
+/// Observability routing (docs/OBSERVABILITY.md), honored uniformly by
+/// every pipeline entry regardless of which subcommand drives it. The
+/// pipeline enables the corresponding obs:: subsystems up front and
+/// exports on the way out — including on early-failure paths, since a
+/// trace of a failed run is exactly what one wants for debugging it.
+/// Export failures land in PipelineResult::ObsExportErrors rather than
+/// flipping Success (the run itself may have been fine).
+struct ObservabilityOptions {
+  /// Record phase spans, fixpoint iterates, GC and arena events, and
+  /// write a Chrome trace_event JSON file here. Empty disables tracing.
+  std::string TracePath;
+  /// Write runtime counters + the metrics registry as an eal-stats-v1
+  /// JSON document here. Empty disables metrics.
+  std::string StatsJsonPath;
+  /// Command name embedded in exported documents ("run", "check", ...).
+  std::string Command = "pipeline";
+  /// Allocation-site & hot-path profiler (docs/PROFILING.md), not
+  /// owned; routed into whichever engine executes the program. Null
+  /// disables profiling.
+  prof::Profiler *Profile = nullptr;
+};
+
 /// Pipeline configuration.
 struct PipelineOptions {
   /// Type discipline (§3.1 monomorphic vs §5 polymorphic).
   TypeInferenceMode Mode = TypeInferenceMode::Polymorphic;
+  /// Display name of the source buffer (diagnostics, exported reports).
+  std::string SourceName = "<input>";
   /// Splice the standard prelude (src/driver/Stdlib.h) into the program.
   bool IncludeStdlib = false;
   /// Which optimizations to apply.
@@ -76,6 +105,8 @@ struct PipelineOptions {
   /// observer hooks live there) and arena-free validation; implies the
   /// program is executed. A refuted claim aborts the run with an error.
   bool RunOracle = false;
+  /// Tracing / stats export / profiler routing.
+  ObservabilityOptions Obs;
 };
 
 /// Everything one pipeline run produces. Owns all contexts, so reports,
@@ -116,6 +147,10 @@ struct PipelineResult {
   /// pre-pass; parsing lexes on the fly); "escape"/"sharing"/"plan"
   /// entries come from inside the "optimize" phase and overlap it.
   obs::PhaseTimer::PhaseTimes PhaseMicros;
+
+  /// Failures of the ObservabilityOptions exports ("cannot write
+  /// 'x.json'"); does not affect Success.
+  std::vector<std::string> ObsExportErrors;
 
   /// Rendered diagnostics (empty when clean).
   std::string diagnostics() const {

@@ -1,0 +1,135 @@
+//===- Profiler.cpp - Allocation-site & hot-path profiler ------- C++ -*-===//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/Profiler.h"
+
+#include <cassert>
+
+namespace eal::prof {
+
+const char *storageName(Storage S) {
+  switch (S) {
+  case Storage::Heap:
+    return "heap";
+  case Storage::Stack:
+    return "stack";
+  case Storage::Region:
+    return "region";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// StackTree
+//===----------------------------------------------------------------------===//
+
+StackTree::StackTree() {
+  Nodes.push_back(Node{RootKey, 0, 0, {}});
+}
+
+uint32_t StackTree::childOf(uint32_t NodeIdx, uint32_t Key) {
+  auto It = Nodes[NodeIdx].Children.find(Key);
+  if (It != Nodes[NodeIdx].Children.end())
+    return It->second;
+  uint32_t New = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(Node{Key, NodeIdx, 0, {}});
+  Nodes[NodeIdx].Children.emplace(Key, New);
+  return New;
+}
+
+void StackTree::push(uint32_t Key) { Cur = childOf(Cur, Key); }
+
+void StackTree::replace(uint32_t Key) {
+  // Replacing the root would corrupt the tree; a tail call with an empty
+  // activation stack cannot happen in either engine, but stay safe.
+  if (Cur == 0) {
+    push(Key);
+    return;
+  }
+  Cur = childOf(Nodes[Cur].Parent, Key);
+}
+
+void StackTree::pop() {
+  if (Cur != 0)
+    Cur = Nodes[Cur].Parent;
+}
+
+void StackTree::attribute(uint64_t Now) {
+  if (Now > Last) {
+    Nodes[Cur].Self += Now - Last;
+    Last = Now;
+  }
+}
+
+void StackTree::finish(uint64_t Now) {
+  attribute(Now);
+  Cur = 0;
+}
+
+size_t StackTree::depth() const {
+  size_t D = 0;
+  for (uint32_t N = Cur; N != 0; N = Nodes[N].Parent)
+    ++D;
+  return D;
+}
+
+uint64_t StackTree::totalWeight() const {
+  uint64_t W = 0;
+  for (const Node &N : Nodes)
+    W += N.Self;
+  return W;
+}
+
+uint64_t StackTree::selfWeight(uint32_t Key) const {
+  uint64_t W = 0;
+  for (const Node &N : Nodes)
+    if (N.Key == Key)
+      W += N.Self;
+  return W;
+}
+
+std::string
+StackTree::folded(const std::function<std::string(uint32_t)> &Resolve,
+                  const std::string &Prefix) const {
+  // Build each node's frame path root-to-leaf; emit one line per node
+  // with self weight. Deterministic order: node index (creation order).
+  std::string Out;
+  std::vector<std::string> Paths(Nodes.size());
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    if (I == 0) {
+      Paths[I] = Prefix;
+    } else {
+      Paths[I] = Paths[N.Parent];
+      Paths[I] += ';';
+      Paths[I] += Resolve(N.Key);
+    }
+    if (N.Self != 0) {
+      Out += Paths[I];
+      Out += ' ';
+      Out += std::to_string(N.Self);
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler
+//===----------------------------------------------------------------------===//
+
+const SiteCounters *Profiler::site(uint32_t Id) const {
+  auto It = Sites.find(Id);
+  return It == Sites.end() ? nullptr : &It->second;
+}
+
+void Profiler::beginVm(size_t NumProtos, size_t NumOpcodes) {
+  OpcodeCounts.assign(NumOpcodes, 0);
+  ProtoInstrs.assign(NumProtos, 0);
+}
+
+} // namespace eal::prof

@@ -1,0 +1,238 @@
+//===- Profiler.h - Allocation-site & hot-path profiler ---------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `eal::prof` profiler: the evidence layer behind the optimizer's
+/// claims. Two views of one run:
+///
+///  * **Allocation sites.** Every cons cell carries the node id of its
+///    static allocation site (ConsCell::SiteId); the heap reports each
+///    birth with its storage class and each death — GC sweep, arena
+///    free, or DCONS overwrite — with its lifetime measured in
+///    allocation-sequence distance. Per site the profiler keeps counts
+///    bucketed by storage class plus a lifetime histogram, so a report
+///    can say *which source cons* produced the garbage and whether the
+///    planner's stack/region/reuse claims actually fired.
+///
+///  * **Hot path.** An exact (not sampled) calling-context tree for
+///    either engine, weighted by interpreter steps / VM instructions,
+///    exportable as collapsed stacks (the `folded` flamegraph format);
+///    for the VM additionally exact per-opcode and per-proto dispatch
+///    counters.
+///
+/// The profiler is deliberately ignorant of the runtime and the AST:
+/// keys are plain uint32 ids (AST node ids in the tree-walker, proto
+/// indices in the VM) and callers resolve them to names at export time.
+/// That keeps the dependency arrow pointing the right way — the heap and
+/// both engines link against this, the report builder links against the
+/// world.
+///
+/// Cost discipline (same as eal::obs): every producer site is guarded by
+/// one profiler-pointer null check, so runs without a profiler attached
+/// pay one predictable branch.
+///
+/// One caveat worth stating once: a DCONS overwrite re-tags the cell
+/// with the dcons site but does *not* restamp ConsCell::AllocSeq (the
+/// dynamic escape oracle uses the stamp as allocation identity), so the
+/// lifetime recorded at the cell's final death spans from the original
+/// allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_PROF_PROFILER_H
+#define EAL_PROF_PROFILER_H
+
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eal::prof {
+
+/// Storage class of one allocation, as the profiler buckets it. Mirrors
+/// the runtime's CellClass (same order, same values); kept separate so
+/// the runtime can depend on the profiler and not vice versa.
+enum class Storage : uint8_t { Heap = 0, Stack = 1, Region = 2 };
+constexpr unsigned NumStorageClasses = 3;
+
+/// Returns "heap" / "stack" / "region".
+const char *storageName(Storage S);
+
+/// Site id of allocations with no static site (engine-internal cells,
+/// tests poking the heap directly). Never collides with an AST node id.
+constexpr uint32_t NoSite = 0xFFFFFFFFu;
+
+/// What one static allocation site did at runtime.
+struct SiteCounters {
+  /// Births by storage class.
+  uint64_t Allocs[NumStorageClasses] = {};
+  /// Deaths by storage class (GC sweep for heap, arena free for
+  /// stack/region). Cells still live at end of run die nowhere.
+  uint64_t Deaths[NumStorageClasses] = {};
+  /// DCONS re-incarnations credited to this site (it is the dcons site).
+  uint64_t Reuses = 0;
+  /// Cells born at this site later consumed in place by a DCONS.
+  uint64_t Overwritten = 0;
+  /// Allocation-sequence distance from birth to death (all death kinds).
+  obs::Histogram Lifetime;
+
+  uint64_t totalAllocs() const {
+    return Allocs[0] + Allocs[1] + Allocs[2];
+  }
+  uint64_t totalDeaths() const {
+    return Deaths[0] + Deaths[1] + Deaths[2];
+  }
+};
+
+/// An exact calling-context tree with an incremental cursor: push /
+/// replace / pop mirror the engine's activation stack, and attribute()
+/// charges elapsed weight (steps, instructions) to the node the cursor
+/// is on. Keys are caller-defined uint32 ids; RootKey is reserved for
+/// the synthetic root (top-level evaluation outside any activation).
+class StackTree {
+public:
+  static constexpr uint32_t RootKey = 0xFFFFFFFFu;
+
+  StackTree();
+
+  void push(uint32_t Key);
+  /// Tail call: the current node's frame is replaced, so the new key
+  /// becomes a *sibling* (child of the current node's parent), exactly
+  /// matching the engine's O(1)-frame semantics.
+  void replace(uint32_t Key);
+  void pop();
+  /// Charges Now - (last attributed clock) to the current node.
+  void attribute(uint64_t Now);
+  /// attribute(Now), then unwind the cursor to the root (end of run or
+  /// abandoned frames after a runtime error).
+  void finish(uint64_t Now);
+
+  size_t depth() const;
+  size_t nodeCount() const { return Nodes.size(); }
+  uint64_t totalWeight() const;
+  /// Self weight accumulated on nodes keyed \p Key (summed over all
+  /// contexts).
+  uint64_t selfWeight(uint32_t Key) const;
+
+  /// Collapsed-stack export: one "root;a;b;c weight" line per node with
+  /// non-zero self weight, names resolved by \p Resolve, every line
+  /// prefixed with \p Prefix (typically the engine name). This is the
+  /// `folded` format of standard flamegraph tooling.
+  std::string folded(const std::function<std::string(uint32_t)> &Resolve,
+                     const std::string &Prefix) const;
+
+private:
+  struct Node {
+    uint32_t Key;
+    uint32_t Parent; ///< index into Nodes; root points at itself
+    uint64_t Self = 0;
+    std::unordered_map<uint32_t, uint32_t> Children; ///< key -> node index
+  };
+
+  uint32_t childOf(uint32_t NodeIdx, uint32_t Key);
+
+  std::vector<Node> Nodes;
+  uint32_t Cur = 0;
+  uint64_t Last = 0;
+};
+
+/// One engine run's profile. Attach via Interpreter::Options::Profiler or
+/// Vm::Options::Profiler (which also hands it to the Heap); one Profiler
+/// instance profiles one run of one engine.
+class Profiler {
+public:
+  //===--- Allocation sites (fed by Heap and the DCONS hooks) ------------==//
+
+  void siteAlloc(uint32_t Site, Storage S) {
+    ++Sites[Site].Allocs[static_cast<unsigned>(S)];
+  }
+  void siteDeath(uint32_t Site, Storage S, uint64_t Lifetime) {
+    SiteCounters &SC = Sites[Site];
+    ++SC.Deaths[static_cast<unsigned>(S)];
+    SC.Lifetime.record(Lifetime);
+  }
+  /// DCONS overwrote a cell born at \p OldSite; the reuse is credited to
+  /// \p NewSite (the dcons site) and the overwritten allocation's
+  /// lifetime recorded against the old one.
+  void siteReuse(uint32_t NewSite, uint32_t OldSite, uint64_t Lifetime) {
+    ++Sites[NewSite].Reuses;
+    SiteCounters &Old = Sites[OldSite];
+    ++Old.Overwritten;
+    Old.Lifetime.record(Lifetime);
+  }
+
+  const std::unordered_map<uint32_t, SiteCounters> &sites() const {
+    return Sites;
+  }
+  /// Looks a site up without creating it (null when never seen).
+  const SiteCounters *site(uint32_t Id) const;
+
+  //===--- Hot path: activation transitions ------------------------------==//
+  //
+  // The tree-walker advances the clock explicitly (its weight unit is
+  // RuntimeStats::Steps); the VM advances it one tick per dispatched
+  // instruction via countVmStep.
+
+  void clockTo(uint64_t Now) { Ticks = Now; }
+  uint64_t clock() const { return Ticks; }
+
+  void framePushed(uint32_t Key) {
+    Tree.attribute(Ticks);
+    Tree.push(Key);
+    ++CallsByKey[Key];
+  }
+  void frameReplaced(uint32_t Key) {
+    Tree.attribute(Ticks);
+    Tree.replace(Key);
+    ++CallsByKey[Key];
+  }
+  void framePopped() {
+    Tree.attribute(Ticks);
+    Tree.pop();
+  }
+  /// End of run: attribute the tail and unwind (frames abandoned by a
+  /// runtime error included).
+  void finish() { Tree.finish(Ticks); }
+
+  const StackTree &stacks() const { return Tree; }
+  const std::unordered_map<uint32_t, uint64_t> &calls() const {
+    return CallsByKey;
+  }
+
+  //===--- Hot path: VM dispatch counters --------------------------------==//
+
+  /// Sizes the exact per-opcode / per-proto tables; call once before the
+  /// VM run (the VM constructor does).
+  void beginVm(size_t NumProtos, size_t NumOpcodes);
+  bool vmProfile() const { return !OpcodeCounts.empty(); }
+
+  void countVmStep(uint8_t Op, uint32_t ProtoIdx) {
+    ++Ticks;
+    ++OpcodeCounts[Op];
+    ++ProtoInstrs[ProtoIdx];
+  }
+
+  const std::vector<uint64_t> &opcodeCounts() const { return OpcodeCounts; }
+  const std::vector<uint64_t> &protoInstrs() const { return ProtoInstrs; }
+
+private:
+  std::unordered_map<uint32_t, SiteCounters> Sites;
+
+  StackTree Tree;
+  uint64_t Ticks = 0;
+  std::unordered_map<uint32_t, uint64_t> CallsByKey;
+
+  std::vector<uint64_t> OpcodeCounts; ///< sized by beginVm (VM runs only)
+  std::vector<uint64_t> ProtoInstrs;
+};
+
+} // namespace eal::prof
+
+#endif // EAL_PROF_PROFILER_H

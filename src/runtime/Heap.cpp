@@ -7,12 +7,22 @@
 
 #include "runtime/Heap.h"
 
+#include "prof/Profiler.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cassert>
 
 using namespace eal;
+
+namespace {
+
+/// CellClass -> profiler storage class (same order by construction).
+prof::Storage storageOf(CellClass Class) {
+  return static_cast<prof::Storage>(Class);
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Marker
@@ -68,7 +78,7 @@ void Heap::growPool(size_t MinCells) {
   Capacity += Size;
 }
 
-ConsCell *Heap::popFree(CellClass Class) {
+ConsCell *Heap::popFree(CellClass Class, uint32_t SiteId) {
   ConsCell *Cell = FreeList;
   if (!Cell)
     return nullptr;
@@ -77,14 +87,15 @@ ConsCell *Heap::popFree(CellClass Class) {
   Cell->Cdr = RtValue::makeNil();
   Cell->Next = nullptr;
   Cell->AllocSeq = ++NextAllocSeq;
+  Cell->SiteId = SiteId;
   Cell->Class = Class;
   Cell->State = CellState::Live;
   Cell->Mark = false;
   return Cell;
 }
 
-ConsCell *Heap::allocateHeap() {
-  ConsCell *Cell = popFree(CellClass::Heap);
+ConsCell *Heap::allocateHeap(uint32_t SiteId) {
+  ConsCell *Cell = popFree(CellClass::Heap, SiteId);
   if (!Cell) {
     collect();
     // Grow if the collection recovered too little to make progress.
@@ -101,7 +112,7 @@ ConsCell *Heap::allocateHeap() {
         return nullptr;
       }
     }
-    Cell = popFree(CellClass::Heap);
+    Cell = popFree(CellClass::Heap, SiteId);
     if (!Cell)
       return nullptr;
   }
@@ -109,6 +120,8 @@ ConsCell *Heap::allocateHeap() {
   ++LiveHeap;
   if (LiveHeap > Stats.PeakLiveHeapCells)
     Stats.PeakLiveHeapCells = LiveHeap;
+  if (Prof) [[unlikely]]
+    Prof->siteAlloc(SiteId, prof::Storage::Heap);
   return Cell;
 }
 
@@ -130,21 +143,22 @@ size_t Heap::createArena() {
   return Handle;
 }
 
-ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class) {
+ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class,
+                                uint32_t SiteId) {
   assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
   assert(Class != CellClass::Heap && "heap cells do not live in arenas");
-  ConsCell *Cell = popFree(Class);
+  ConsCell *Cell = popFree(Class, SiteId);
   if (!Cell) {
     // Arena cells are never collected, so collection cannot help unless
     // heap garbage exists; try it, then grow.
     collect();
-    Cell = popFree(Class);
+    Cell = popFree(Class, SiteId);
     if (!Cell) {
       if (!Opts.AllowGrowth)
         return nullptr;
       growPool(Capacity);
       ++Stats.HeapGrowths;
-      Cell = popFree(Class);
+      Cell = popFree(Class, SiteId);
       if (!Cell)
         return nullptr;
     }
@@ -165,12 +179,25 @@ ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class) {
     ++A.RegionCells;
     ++Stats.RegionCellsAllocated;
   }
+  if (Prof) [[unlikely]]
+    Prof->siteAlloc(SiteId, storageOf(Class));
   return Cell;
+}
+
+void Heap::profileArenaDeaths(const CellArena &A) {
+  // The one place profiling gives up freeArena's O(1): each cell's site
+  // and age are per-cell facts, so the chain must be walked. Only runs
+  // with a profiler attached.
+  for (ConsCell *Cell = A.Head; Cell; Cell = Cell->Next)
+    Prof->siteDeath(Cell->SiteId, storageOf(Cell->Class),
+                    NextAllocSeq - Cell->AllocSeq);
 }
 
 void Heap::freeArena(size_t Handle) {
   assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
   CellArena &A = Arenas[Handle];
+  if (Prof) [[unlikely]]
+    profileArenaDeaths(A);
   if (A.Head) {
     // O(1) block reclamation: splice the whole chain onto the free list
     // without visiting the list structure. Cells are re-initialized on
@@ -276,6 +303,9 @@ void Heap::collect() {
       ++Stats.CellsScannedBySweep;
       if (Cell.State == CellState::Live && Cell.Class == CellClass::Heap &&
           !Cell.Mark) {
+        if (Prof) [[unlikely]]
+          Prof->siteDeath(Cell.SiteId, prof::Storage::Heap,
+                          NextAllocSeq - Cell.AllocSeq);
         Cell.State = CellState::Free;
         Cell.Car = RtValue::makeNil();
         Cell.Cdr = RtValue::makeNil();

@@ -34,6 +34,10 @@
 
 namespace eal {
 
+namespace prof {
+class Profiler;
+}
+
 /// Marks values during collection. Cons-cell traversal is iterative (long
 /// spines must not overflow the C++ stack); closures are delegated to the
 /// interpreter-installed tracer.
@@ -93,10 +97,20 @@ public:
     TraceClosure = std::move(Tracer);
   }
 
+  /// Attaches the allocation-site profiler (null detaches). While set,
+  /// every birth and death (sweep, arena free) is reported with its
+  /// ConsCell::SiteId and storage class.
+  void setProfiler(prof::Profiler *P) { Prof = P; }
+
+  /// The next AllocSeq stamp to be issued; `allocSeq() - Cell.AllocSeq`
+  /// is a cell's age in allocations (the profiler's lifetime unit).
+  uint64_t allocSeq() const { return NextAllocSeq; }
+
   /// Allocates a garbage-collected heap cell, collecting (and possibly
   /// growing) as needed. Returns null only when growth is disabled and
-  /// everything is live.
-  ConsCell *allocateHeap();
+  /// everything is live. \p SiteId tags the cell's static allocation
+  /// site for profiling.
+  ConsCell *allocateHeap(uint32_t SiteId = 0xFFFFFFFFu);
 
   //===--- Arenas ----------------------------------------------------------==//
 
@@ -104,7 +118,8 @@ public:
   size_t createArena();
 
   /// Allocates a cell of \p Class (Stack or Region) into arena \p Handle.
-  ConsCell *allocateInArena(size_t Handle, CellClass Class);
+  ConsCell *allocateInArena(size_t Handle, CellClass Class,
+                            uint32_t SiteId = 0xFFFFFFFFu);
 
   /// Reclaims the whole arena: its chain is spliced onto the free list
   /// without visiting the list structure. Statistics record stack and
@@ -135,6 +150,7 @@ private:
   Options Opts;
   RootScanner Roots;
   ClosureTracer TraceClosure;
+  prof::Profiler *Prof = nullptr;
 
   std::vector<std::unique_ptr<ConsCell[]>> Slabs;
   std::vector<size_t> SlabSizes;
@@ -148,7 +164,11 @@ private:
   std::vector<size_t> FreeArenaSlots;
 
   /// Pops a cell off the free list (null if empty) and initializes it.
-  ConsCell *popFree(CellClass Class);
+  ConsCell *popFree(CellClass Class, uint32_t SiteId);
+
+  /// Reports every cell of \p A to the profiler as dead (called before
+  /// the O(1) splice in freeArena, and only when a profiler is set).
+  void profileArenaDeaths(const CellArena &A);
 };
 
 } // namespace eal

@@ -7,6 +7,7 @@
 
 #include "runtime/Interpreter.h"
 
+#include "prof/Profiler.h"
 #include "runtime/ExecutionObserver.h"
 #include "runtime/PrimOps.h"
 #include "runtime/ValuePrinter.h"
@@ -83,6 +84,7 @@ Interpreter::Interpreter(const AstContext &Ast, const TypedProgram &Program,
         M.value(Slot.second);
     }
   });
+  TheHeap.setProfiler(Opts.Profiler);
 }
 
 Interpreter::~Interpreter() {
@@ -131,9 +133,9 @@ ConsCell *Interpreter::allocateConsCell(uint32_t SiteId) {
     CellClass Class = SiteIt->second == ArenaSiteClass::Stack
                           ? CellClass::Stack
                           : CellClass::Region;
-    return Observed(TheHeap.allocateInArena(It->Handle, Class));
+    return Observed(TheHeap.allocateInArena(It->Handle, Class, SiteId));
   }
-  return Observed(TheHeap.allocateHeap());
+  return Observed(TheHeap.allocateHeap(SiteId));
 }
 
 //===----------------------------------------------------------------------===//
@@ -149,6 +151,11 @@ Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
     error(SourceLoc::invalid(), Message);
   };
   Hooks.Stats = &Stats;
+  if (prof::Profiler *Prof = Opts.Profiler) [[unlikely]]
+    Hooks.CellReused = [this, Prof](const ConsCell *Cell, uint32_t Site) {
+      Prof->siteReuse(Site, Cell->SiteId,
+                      TheHeap.allocSeq() - Cell->AllocSeq);
+    };
   return evalSaturatedPrim(Op, SiteId, Args, Hooks);
 }
 
@@ -284,7 +291,16 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
         Obs->activationEntered(C->Lambda, DirectCallee ? Call : nullptr,
                                std::span<const RtValue>(Args).subspan(
                                    FirstArg, Idx - FirstArg));
+      if (prof::Profiler *Prof = Opts.Profiler) [[unlikely]] {
+        // The tree-walker's hot-path clock is Stats.Steps (fuel ticks).
+        Prof->clockTo(Stats.Steps);
+        Prof->framePushed(C->Lambda->id());
+      }
       R = eval(Body, Frame);
+      if (prof::Profiler *Prof = Opts.Profiler) [[unlikely]] {
+        Prof->clockTo(Stats.Steps);
+        Prof->framePopped();
+      }
       // The exit hook runs before FreeArenas so arena cells are still
       // inspectable, and inside the FrameGuard so the frame roots them.
       if (Obs && !Obs->activationExited(R ? &*R : nullptr) && R) {
@@ -475,6 +491,10 @@ std::optional<RtValue> Interpreter::run() {
   EnvPtr Root = std::make_shared<EnvFrame>();
   FrameGuard Active(ActiveFrames, Root.get());
   std::optional<RtValue> Result = eval(Program.root(), Root);
+  if (prof::Profiler *Prof = Opts.Profiler) {
+    Prof->clockTo(Stats.Steps);
+    Prof->finish();
+  }
   if (S.active()) {
     S.arg("steps", Stats.Steps);
     S.arg("applications", Stats.Applications);
@@ -531,6 +551,10 @@ Interpreter::callBinding(Symbol Fn, std::span<const Expr *const> Args,
     *ArgValues = Values;
   std::optional<RtValue> Result =
       applyValues(*FnSlot, Values, std::vector<size_t>(), nullptr);
+  if (prof::Profiler *Prof = Opts.Profiler) {
+    Prof->clockTo(Stats.Steps);
+    Prof->finish();
+  }
   if (Failed)
     return std::nullopt;
   return Result;

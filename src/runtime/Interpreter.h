@@ -55,6 +55,10 @@ public:
     /// Instrumentation hooks (allocation + activation events), not
     /// owned; see runtime/ExecutionObserver.h. Null disables them.
     ExecutionObserver *Observer = nullptr;
+    /// Allocation-site & hot-path profiler (prof/Profiler.h), not owned.
+    /// Null disables profiling; independent of Observer, so the dynamic
+    /// oracle and the profiler can run together.
+    prof::Profiler *Profiler = nullptr;
   };
 
   /// \p Plan may be null (everything heap-allocated, no reuse semantics

@@ -139,6 +139,10 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
     if (!Args[0].isCons())
       return TypeError();
     ConsCell *Cell = Args[0].cell();
+    if (Hooks.CellReused) [[unlikely]] {
+      Hooks.CellReused(Cell, SiteId);
+      Cell->SiteId = SiteId;
+    }
     Cell->Car = Args[1];
     Cell->Cdr = Args[2];
     if (Hooks.Stats)

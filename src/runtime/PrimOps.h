@@ -35,6 +35,11 @@ struct PrimOpsHooks {
   std::function<void(const std::string &)> Error;
   /// Counters to charge (DconsReuses).
   RuntimeStats *Stats = nullptr;
+  /// Profiling hook, set only while a prof::Profiler is attached: DCONS
+  /// is about to overwrite \p Cell in place on behalf of site \p SiteId.
+  /// Called before the overwrite so the hook can read the cell's old
+  /// site tag; the engine re-tags Cell->SiteId afterwards.
+  std::function<void(const ConsCell *Cell, uint32_t SiteId)> CellReused;
 };
 
 /// Applies the saturated primitive \p Op to \p Args (exactly

@@ -144,6 +144,12 @@ struct ConsCell {
   /// escape oracle (eal::check) relies on this to classify cells after
   /// GC or arena reclamation has reused them.
   uint64_t AllocSeq = 0;
+  /// Static allocation site (AST node id of the cons/pair application),
+  /// or prof::NoSite for cells with no source site. Fits in the struct's
+  /// existing padding; read by the eal::prof allocation-site profiler at
+  /// death/reuse time. A DCONS overwrite re-tags this with the dcons
+  /// site while leaving AllocSeq alone (see prof/Profiler.h).
+  uint32_t SiteId = 0xFFFFFFFFu;
   CellClass Class = CellClass::Heap;
   CellState State = CellState::Free;
   bool Mark = false;

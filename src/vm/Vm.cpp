@@ -22,6 +22,7 @@
 
 #include "vm/Vm.h"
 
+#include "prof/Profiler.h"
 #include "support/Diagnostics.h"
 #include "support/Trace.h"
 
@@ -72,6 +73,17 @@ Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
   Hooks.AllocateCell = [this](uint32_t Site) { return allocateCell(Site); };
   Hooks.Error = [this](const std::string &Message) { error(Message); };
   Hooks.Stats = &Stats;
+  Prof = Opts.Profiler;
+  TheHeap.setProfiler(Prof);
+  if (Prof) {
+    Prof->beginVm(C.Protos.size(), NumOpcodes);
+    // DCONS through the shared evaluator (the slow path; the doPrim fast
+    // path reports inline).
+    Hooks.CellReused = [this](const ConsCell *Cell, uint32_t Site) {
+      Prof->siteReuse(Site, Cell->SiteId,
+                      TheHeap.allocSeq() - Cell->AllocSeq);
+    };
+  }
   // Intern one closure per primitive-as-value site up front; PushPrim
   // is then a plain push, never an allocation.
   InternedPrims.reserve(C.PrimRefs.size());
@@ -112,9 +124,9 @@ ConsCell *Vm::allocateCell(uint32_t SiteId) {
     CellClass Class = SiteIt->second == ArenaSiteClass::Stack
                           ? CellClass::Stack
                           : CellClass::Region;
-    return TheHeap.allocateInArena(It->Handle, Class);
+    return TheHeap.allocateInArena(It->Handle, Class, SiteId);
   }
-  return TheHeap.allocateHeap();
+  return TheHeap.allocateHeap(SiteId);
 }
 
 bool Vm::freeArenas(std::vector<size_t> &Arenas, const RtValue *Result) {
@@ -242,6 +254,8 @@ bool Vm::applyValue(RtValue Callee, std::vector<RtValue> Args,
     Frames.push_back(std::move(CF));
     if (Frames.size() > Stats.PeakCallFrames)
       Stats.PeakCallFrames = Frames.size();
+    if (Prof) [[unlikely]]
+      Prof->framePushed(static_cast<uint32_t>(Closure->ProtoIdx));
     return true;
   }
 }
@@ -338,6 +352,11 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
     RtValue &P = Stack[Size - 3];
     if (P.isCons()) {
       ConsCell *Cell = P.cell();
+      if (Prof) [[unlikely]] {
+        Prof->siteReuse(Site, Cell->SiteId,
+                        TheHeap.allocSeq() - Cell->AllocSeq);
+        Cell->SiteId = Site;
+      }
       Cell->Car = Stack[Size - 2];
       Cell->Cdr = Stack[Size - 1];
       P = RtValue::makeCons(Cell);
@@ -400,6 +419,8 @@ bool Vm::doCall(size_t N, uint32_t NumPending) {
         Frames.push_back(std::move(CF));
         if (Frames.size() > Stats.PeakCallFrames)
           Stats.PeakCallFrames = Frames.size();
+        if (Prof) [[unlikely]]
+          Prof->framePushed(static_cast<uint32_t>(Closure->ProtoIdx));
         return true;
       }
     }
@@ -455,6 +476,8 @@ bool Vm::doTailCall(size_t N, uint32_t NumPending) {
         Frame.P = &P;
         Frame.Ip = 0;
         Frame.Arenas = std::move(Arenas);
+        if (Prof) [[unlikely]]
+          Prof->frameReplaced(static_cast<uint32_t>(Closure->ProtoIdx));
         return true;
       }
     }
@@ -463,6 +486,8 @@ bool Vm::doTailCall(size_t N, uint32_t NumPending) {
   std::vector<RtValue> Args(Stack.end() - N, Stack.end());
   Frames.pop_back();
   Stack.resize(Base);
+  if (Prof) [[unlikely]]
+    Prof->framePopped();
   return applyValue(Callee, std::move(Args), std::move(Arenas));
 }
 
@@ -471,6 +496,8 @@ bool Vm::doReturn() {
   RtValue Result = Stack.back();
   CallFrame Finished = std::move(Frames.back());
   Frames.pop_back();
+  if (Prof) [[unlikely]]
+    Prof->framePopped();
   Stack.resize(Finished.StackBase);
   if (!freeArenas(Finished.Arenas, &Result))
     return false;
@@ -492,6 +519,8 @@ std::optional<RtValue> Vm::run() {
     CF.StackBase = 0;
     Frames.push_back(std::move(CF));
     Stats.PeakCallFrames = std::max<uint64_t>(Stats.PeakCallFrames, 1);
+    if (Prof)
+      Prof->framePushed(C.Entry);
   }
   Frames.reserve(64);
   Stack.reserve(256);
@@ -501,6 +530,10 @@ std::optional<RtValue> Vm::run() {
   const Instr *CodeBase = nullptr; // current proto's code
   const Instr *IP = nullptr;       // next instruction
   const Instr *In = nullptr;
+  // Profiling state, hoisted so the per-instruction hook is one
+  // predictable branch when profiling is off.
+  const bool ProfOn = Prof != nullptr;
+  const Proto *ProtoBase = C.Protos.data();
 
   // One handler body per opcode, two dispatch mechanisms. The hot state
   // (frame pointer, instruction pointer) lives in locals: handlers that
@@ -534,6 +567,9 @@ std::optional<RtValue> Vm::run() {
       goto run_done;                                                         \
     }                                                                        \
     In = IP++;                                                               \
+    if (ProfOn) [[unlikely]]                                                 \
+      Prof->countVmStep(static_cast<uint8_t>(In->Op),                        \
+                        static_cast<uint32_t>(F->P - ProtoBase));            \
     goto *Targets[static_cast<uint8_t>(In->Op)];                             \
   } while (0)
 #define VM_NEXT()                                                            \
@@ -568,6 +604,9 @@ std::optional<RtValue> Vm::run() {
       break;
     }
     In = IP++;
+    if (ProfOn) [[unlikely]]
+      Prof->countVmStep(static_cast<uint8_t>(In->Op),
+                        static_cast<uint32_t>(F->P - ProtoBase));
     switch (In->Op) {
 #endif
 
@@ -722,6 +761,8 @@ std::optional<RtValue> Vm::run() {
 
 run_done:
   Stats.Steps = Steps;
+  if (Prof)
+    Prof->finish();
   for (size_t Handle : OrphanArenas)
     TheHeap.freeArena(Handle);
   OrphanArenas.clear();

@@ -41,6 +41,11 @@ public:
     uint64_t MaxSteps = 2'000'000'000;
     /// Verify at every arena free that no arena cell is still reachable.
     bool ValidateArenaFrees = false;
+    /// Allocation-site & hot-path profiler (prof/Profiler.h), not owned.
+    /// Null disables profiling. When set, every dispatched instruction
+    /// is counted per opcode and per proto, and frame transitions feed
+    /// the calling-context tree.
+    prof::Profiler *Profiler = nullptr;
   };
 
   Vm(const Chunk &C, DiagnosticEngine &Diags);
@@ -123,6 +128,9 @@ private:
 
   /// Primitive-evaluation hooks, built once (not per instruction).
   PrimOpsHooks Hooks;
+
+  /// Profiler (Opts.Profiler, cached; null when profiling is off).
+  prof::Profiler *Prof = nullptr;
 
   uint64_t MarkEpoch = 0;
   bool Failed = false;

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports and gate on perf regressions.
+
+The perf-regression harness (docs/PROFILING.md): compares a CURRENT
+eal-bench-v1 report against a BASELINE (typically the checked-in file
+under bench/baselines/), record by record, and fails when the execute
+time of any sufficiently-long record regressed past the threshold.
+
+Usage:
+  bench_diff.py BASELINE CURRENT [options]
+  bench_diff.py --self-test
+
+Options:
+  --max-time-regress R   fail when current/baseline - 1 > R for any
+                         gated record (default 0.10, i.e. +10%)
+  --min-seconds S        noise floor: records whose baseline time is
+                         below S seconds are reported but never gate
+                         (default 0.005; container timers are coarse)
+  --strict-counters      fail (not just report) when a storage counter
+                         drifted between the two reports
+
+Per record the preferred time is execute_seconds (best-of-K execute
+phase, written by benches that measure it); wall_seconds (whole
+pipeline, one shot) is the fallback and is noisier -- set a generous
+--min-seconds when only wall times are available.
+
+A record present in BASELINE but missing from CURRENT fails the diff (a
+silently dropped configuration is how regressions hide); a record only
+in CURRENT is reported as new and does not gate.  Counter drift (storage
+counters changing between same-named records) is reported and gates only
+under --strict-counters: counters are deterministic for a given binary,
+so drift means behavior changed -- often intentionally, which is why the
+default is report-only.
+
+Exit status: 0 when no gated regression, 1 otherwise, 2 on usage error.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "eal-bench-v1"
+
+# Storage counters whose drift is worth reporting; a subset of the
+# eal-bench-v1 required counters (tools/check_bench_json.py).
+DRIFT_COUNTERS = [
+    "heap_cells_allocated",
+    "stack_cells_allocated",
+    "region_cells_allocated",
+    "dcons_reuses",
+    "gc_runs",
+]
+
+
+def load_report(path, errors):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        errors.append("%s: cannot load: %s" % (path, e))
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        errors.append("%s: 'schema' is %r, expected %r"
+                      % (path, doc.get("schema") if isinstance(doc, dict)
+                         else None, SCHEMA))
+        return None
+    records = doc.get("records")
+    if not isinstance(records, list):
+        errors.append("%s: 'records' is not an array" % path)
+        return None
+    by_name = {}
+    for record in records:
+        if isinstance(record, dict) and isinstance(record.get("name"), str):
+            by_name[record["name"]] = record
+    return by_name
+
+
+def record_seconds(record):
+    """(seconds, which) preferring execute_seconds over wall_seconds."""
+    execute = record.get("execute_seconds")
+    if isinstance(execute, (int, float)) and not isinstance(execute, bool) \
+            and execute >= 0:
+        return float(execute), "execute_seconds"
+    wall = record.get("wall_seconds")
+    if isinstance(wall, (int, float)) and not isinstance(wall, bool) \
+            and wall >= 0:
+        return float(wall), "wall_seconds"
+    return None, None
+
+
+def diff_reports(baseline, current, max_regress, min_seconds,
+                 strict_counters, out=None):
+    """Returns a list of failure strings; prints a per-record report."""
+    # Late-bound so contextlib.redirect_stdout (self-test) is honored.
+    out = out if out is not None else sys.stdout
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            failures.append("record %r present in baseline but missing "
+                            "from current" % name)
+            continue
+
+        base_sec, base_kind = record_seconds(base)
+        cur_sec, cur_kind = record_seconds(cur)
+        if base_sec is None or cur_sec is None:
+            failures.append("record %r has no usable time" % name)
+            continue
+        if base_kind != cur_kind:
+            # Comparing execute vs wall times is apples to oranges.
+            out.write("note %s: baseline has %s, current has %s; "
+                      "comparing anyway\n" % (name, base_kind, cur_kind))
+
+        if base_sec <= 0:
+            ratio = None
+            verdict = "n/a "
+        else:
+            ratio = cur_sec / base_sec - 1.0
+            if base_sec < min_seconds:
+                verdict = "skip"  # under the noise floor: never gates
+            elif ratio > max_regress:
+                verdict = "FAIL"
+                failures.append(
+                    "record %r: %s regressed %+.1f%% "
+                    "(%.6fs -> %.6fs, threshold +%.1f%%)"
+                    % (name, base_kind, 100 * ratio, base_sec, cur_sec,
+                       100 * max_regress))
+            else:
+                verdict = "ok  "
+        out.write("%s %s: %.6fs -> %.6fs%s [%s]\n"
+                  % (verdict, name, base_sec, cur_sec,
+                     "" if ratio is None else " (%+.1f%%)" % (100 * ratio),
+                     base_kind or "?"))
+
+        base_counters = base.get("counters") or {}
+        cur_counters = cur.get("counters") or {}
+        for key in DRIFT_COUNTERS:
+            b, c = base_counters.get(key), cur_counters.get(key)
+            if isinstance(b, int) and isinstance(c, int) and b != c:
+                message = ("record %r: counter %s drifted %d -> %d"
+                           % (name, key, b, c))
+                out.write("%s %s\n"
+                          % ("FAIL" if strict_counters else "note", message))
+                if strict_counters:
+                    failures.append(message)
+
+    for name in sorted(set(current) - set(baseline)):
+        out.write("new  %s (not in baseline, not gated)\n" % name)
+    return failures
+
+
+def run_diff(baseline_path, current_path, max_regress, min_seconds,
+             strict_counters):
+    errors = []
+    baseline = load_report(baseline_path, errors)
+    current = load_report(current_path, errors)
+    for e in errors:
+        print("FAIL %s" % e)
+    if baseline is None or current is None:
+        return 1
+    failures = diff_reports(baseline, current, max_regress, min_seconds,
+                            strict_counters)
+    for f in failures:
+        print("FAIL %s" % f)
+    if not failures:
+        print("ok   %s vs %s: no gated regression"
+              % (os.path.basename(baseline_path),
+                 os.path.basename(current_path)))
+    return 1 if failures else 0
+
+
+def self_test():
+    def report(records):
+        return {"schema": SCHEMA, "bench": "demo", "records": records}
+
+    def record(name, execute, wall=1.0, counters=None):
+        rec = {"name": name, "n": 4, "wall_seconds": wall,
+               "counters": counters or {"heap_cells_allocated": 10,
+                                        "gc_runs": 1}}
+        if execute is not None:
+            rec["execute_seconds"] = execute
+        return rec
+
+    base = report([record("a", 0.100), record("b", 0.100)])
+    cases = [
+        ("identical reports pass",
+         base, report([record("a", 0.100), record("b", 0.100)]), [], True),
+        ("5% regression under a 10% threshold passes",
+         base, report([record("a", 0.105), record("b", 0.100)]), [], True),
+        ("20% regression fails",
+         base, report([record("a", 0.120), record("b", 0.100)]), [], False),
+        ("20% speedup passes",
+         base, report([record("a", 0.080), record("b", 0.100)]), [], True),
+        ("missing record fails",
+         base, report([record("a", 0.100)]), [], False),
+        ("new record does not gate",
+         base, report([record("a", 0.100), record("b", 0.100),
+                       record("c", 9.9)]), [], True),
+        ("sub-floor record never gates",
+         report([record("a", 0.0001)]), report([record("a", 0.0009)]),
+         [], True),
+        ("wall time is the fallback",
+         report([record("a", None, wall=0.100)]),
+         report([record("a", None, wall=0.200)]), [], False),
+        ("counter drift reports but passes by default",
+         base,
+         report([record("a", 0.100,
+                        counters={"heap_cells_allocated": 11, "gc_runs": 1}),
+                 record("b", 0.100)]), [], True),
+        ("counter drift fails under --strict-counters",
+         base,
+         report([record("a", 0.100,
+                        counters={"heap_cells_allocated": 11, "gc_runs": 1}),
+                 record("b", 0.100)]), ["--strict-counters"], False),
+        ("tighter threshold gates a 5% regression",
+         base, report([record("a", 0.105), record("b", 0.100)]),
+         ["--max-time-regress", "0.01"], False),
+    ]
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-bench-diff-") as tmp:
+        for label, base_doc, cur_doc, extra, expect_ok in cases:
+            bp = os.path.join(tmp, "base.json")
+            cp = os.path.join(tmp, "cur.json")
+            with open(bp, "w") as f:
+                json.dump(base_doc, f)
+            with open(cp, "w") as f:
+                json.dump(cur_doc, f)
+            code = main(["bench_diff.py", bp, cp] + extra, quiet=True)
+            got_ok = code == 0
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (pass=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        with open(os.path.join(tmp, "bad.json"), "w") as f:
+            f.write("{ not json")
+        if main(["bench_diff.py", os.path.join(tmp, "bad.json"),
+                 os.path.join(tmp, "bad.json")], quiet=True) != 0:
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv, quiet=False):
+    args = argv[1:]
+    if args and args[0] == "--self-test":
+        return self_test()
+    max_regress = 0.10
+    min_seconds = 0.005
+    strict_counters = False
+    paths = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--max-time-regress" and i + 1 < len(args):
+            max_regress = float(args[i + 1])
+            i += 2
+        elif arg == "--min-seconds" and i + 1 < len(args):
+            min_seconds = float(args[i + 1])
+            i += 2
+        elif arg == "--strict-counters":
+            strict_counters = True
+            i += 1
+        elif arg.startswith("-"):
+            print(__doc__)
+            return 2
+        else:
+            paths.append(arg)
+            i += 1
+    if len(paths) != 2:
+        print(__doc__)
+        return 2
+    if quiet:
+        import io
+        import contextlib
+        with contextlib.redirect_stdout(io.StringIO()):
+            return run_diff(paths[0], paths[1], max_regress, min_seconds,
+                            strict_counters)
+    return run_diff(paths[0], paths[1], max_regress, min_seconds,
+                    strict_counters)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Validate eal-profile-v1 files written by `eal profile --profile-json=`.
+
+The profile report (docs/PROFILING.md) joins every static cons/pair/
+dcons allocation site of the optimized program -- with its source
+position, the storage class the optimizer planned for it, and why --
+against what each engine's run actually observed there, plus per-engine
+hot-path data (calling-context tree summary; exact opcode/proto counters
+for the VM).  This checker is the schema's executable definition, wired
+into ctest so a report that drifts fails the build's test suite, not a
+downstream consumer.
+
+Usage:
+  check_profile_json.py FILE [FILE...]   validate report files
+  check_profile_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "eal-profile-v1"
+
+PLANNED = ("heap", "stack", "region", "reuse")
+PRIMS = ("cons", "pair", "dcons")
+
+# Per-engine counters every site entry must carry.
+SITE_COUNTERS = [
+    "allocs_heap", "allocs_stack", "allocs_region",
+    "deaths_heap", "deaths_stack", "deaths_region",
+    "reuses", "overwritten",
+]
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_histogram(errors, path, label, hist):
+    if hist is None:
+        return  # site never recorded a lifetime
+    if not isinstance(hist, dict):
+        fail(errors, path, "%s: 'lifetime' is neither null nor an object"
+             % label)
+        return
+    for key in ("count", "sum", "min", "max"):
+        if not is_count(hist.get(key)):
+            fail(errors, path,
+                 "%s: lifetime '%s' is not a non-negative integer"
+                 % (label, key))
+    buckets = hist.get("buckets")
+    if not isinstance(buckets, list) or not all(is_count(b) for b in buckets):
+        fail(errors, path, "%s: lifetime 'buckets' is not an array of "
+             "non-negative integers" % label)
+    elif is_count(hist.get("count")) and sum(buckets) != hist["count"]:
+        fail(errors, path, "%s: lifetime buckets sum to %d but count is %d"
+             % (label, sum(buckets), hist["count"]))
+
+
+def check_site_engines(errors, path, label, engines, engine_names):
+    if not isinstance(engines, dict):
+        fail(errors, path, "%s: 'engines' is not an object" % label)
+        return
+    for name in engines:
+        if name not in engine_names:
+            fail(errors, path, "%s: engine %r not in the top-level "
+                 "engines list" % (label, name))
+    for name, counters in engines.items():
+        elabel = "%s engine %r" % (label, name)
+        if not isinstance(counters, dict):
+            fail(errors, path, "%s is not an object" % elabel)
+            continue
+        for key in SITE_COUNTERS:
+            if not is_count(counters.get(key)):
+                fail(errors, path,
+                     "%s: '%s' is not a non-negative integer"
+                     % (elabel, key))
+        if "lifetime" not in counters:
+            fail(errors, path, "%s: missing 'lifetime'" % elabel)
+        else:
+            check_histogram(errors, path, elabel, counters["lifetime"])
+
+
+def check_site(errors, path, index, site, engine_names):
+    label = "sites[%d]" % index
+    if not isinstance(site, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return None
+    if not is_count(site.get("id")):
+        fail(errors, path, "%s: 'id' is not a non-negative integer" % label)
+    # Every site must resolve to a real source position (file:line:col
+    # with 1-based line/col); clones made by the reuse transform inherit
+    # the original's position.
+    for key in ("line", "col"):
+        value = site.get(key)
+        if not is_count(value) or value < 1:
+            fail(errors, path, "%s: '%s' is not a positive integer"
+                 % (label, key))
+    if site.get("prim") not in PRIMS:
+        fail(errors, path, "%s: 'prim' is %r, expected one of %s"
+             % (label, site.get("prim"), list(PRIMS)))
+    if not isinstance(site.get("prim_value"), bool):
+        fail(errors, path, "%s: 'prim_value' is not a boolean" % label)
+    planned = site.get("planned")
+    if planned not in PLANNED:
+        fail(errors, path, "%s: 'planned' is %r, expected one of %s"
+             % (label, planned, list(PLANNED)))
+    elif site.get("prim") == "dcons" and planned != "reuse":
+        fail(errors, path, "%s: a dcons site must be planned 'reuse', "
+             "got %r" % (label, planned))
+    why = site.get("why")
+    if not isinstance(why, str) or not why:
+        fail(errors, path, "%s: 'why' is not a non-empty string" % label)
+    if "engines" not in site:
+        fail(errors, path, "%s: missing 'engines'" % label)
+    else:
+        check_site_engines(errors, path, label, site["engines"],
+                           engine_names)
+    return site.get("id") if is_count(site.get("id")) else None
+
+
+def check_engine(errors, path, index, engine):
+    label = "engines[%d]" % index
+    if not isinstance(engine, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return None
+    name = engine.get("name")
+    if not isinstance(name, str) or not name:
+        fail(errors, path, "%s: 'name' is not a non-empty string" % label)
+        name = None
+    if not isinstance(engine.get("success"), bool):
+        fail(errors, path, "%s: 'success' is not a boolean" % label)
+    for key in ("steps", "stack_nodes", "stack_total_weight"):
+        if key in engine and not is_count(engine[key]):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+    frames = engine.get("frames")
+    if frames is not None:
+        if not isinstance(frames, list):
+            fail(errors, path, "%s: 'frames' is not an array" % label)
+        else:
+            for j, frame in enumerate(frames):
+                if not isinstance(frame, dict) \
+                        or not isinstance(frame.get("name"), str) \
+                        or not is_count(frame.get("calls")) \
+                        or not is_count(frame.get("self")):
+                    fail(errors, path, "%s: frames[%d] is malformed"
+                         % (label, j))
+    opcodes = engine.get("opcodes")
+    if opcodes is not None:
+        if not isinstance(opcodes, dict) \
+                or not all(isinstance(k, str) and is_count(v)
+                           for k, v in opcodes.items()):
+            fail(errors, path,
+                 "%s: 'opcodes' is not an object of counters" % label)
+        # An engine with opcode counters is a VM run: the dispatch total
+        # must reconcile with the reported step count.
+        if isinstance(opcodes, dict) and is_count(engine.get("steps")):
+            dispatched = sum(v for v in opcodes.values() if is_count(v))
+            if dispatched != engine["steps"]:
+                fail(errors, path,
+                     "%s: opcode counters sum to %d but steps is %d"
+                     % (label, dispatched, engine["steps"]))
+    return name
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    if not isinstance(doc.get("program"), str) or not doc.get("program"):
+        fail(errors, path, "'program' is not a non-empty string")
+    if not isinstance(doc.get("success"), bool):
+        fail(errors, path, "'success' is not a boolean")
+
+    engines = doc.get("engines")
+    engine_names = []
+    if not isinstance(engines, list) or not engines:
+        fail(errors, path, "'engines' is not a non-empty array")
+    else:
+        for i, engine in enumerate(engines):
+            name = check_engine(errors, path, i, engine)
+            if name is not None:
+                if name in engine_names:
+                    fail(errors, path, "duplicate engine name %r" % name)
+                engine_names.append(name)
+
+    sites = doc.get("sites")
+    if not isinstance(sites, list):
+        fail(errors, path, "'sites' is not an array")
+    else:
+        ids = set()
+        for i, site in enumerate(sites):
+            site_id = check_site(errors, path, i, site, engine_names)
+            if site_id is not None:
+                if site_id in ids:
+                    fail(errors, path, "duplicate site id %d" % site_id)
+                ids.add(site_id)
+
+    if not isinstance(doc.get("reuse_versions"), list):
+        fail(errors, path, "'reuse_versions' is not an array")
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "program": "demo.nml",
+        "success": True,
+        "sites": [{
+            "id": 7, "line": 3, "col": 12, "prim": "cons",
+            "prim_value": False, "planned": "stack",
+            "why": "builds the top spine of argument 1 of 'ps'",
+            "engines": {
+                "tree": {
+                    "allocs_heap": 0, "allocs_stack": 6, "allocs_region": 0,
+                    "deaths_heap": 0, "deaths_stack": 6, "deaths_region": 0,
+                    "reuses": 0, "overwritten": 0,
+                    "lifetime": {"count": 6, "sum": 60, "min": 4, "max": 20,
+                                 "mean": 10.0, "buckets": [0, 0, 0, 2, 2, 2]},
+                },
+                "vm": {
+                    "allocs_heap": 0, "allocs_stack": 6, "allocs_region": 0,
+                    "deaths_heap": 0, "deaths_stack": 6, "deaths_region": 0,
+                    "reuses": 0, "overwritten": 0, "lifetime": None,
+                },
+            },
+        }],
+        "reuse_versions": [{"original": "ps", "primed": "ps'",
+                            "param_index": 0, "dcons_sites": 2}],
+        "engines": [
+            {"name": "tree", "success": True, "steps": 800,
+             "stack_nodes": 10, "stack_total_weight": 800,
+             "frames": [{"name": "ps", "calls": 7, "self": 500}]},
+            {"name": "vm", "success": True, "steps": 5,
+             "stack_nodes": 4, "stack_total_weight": 5,
+             "frames": [], "opcodes": {"Call": 2, "Return": 3},
+             "protos": [{"name": "<entry>", "instrs": 5}]},
+        ],
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid document", good, True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("empty engines",
+         broken(lambda d: d.update(engines=[])), False),
+        ("zero line number",
+         broken(lambda d: d["sites"][0].update(line=0)), False),
+        ("unknown planned class",
+         broken(lambda d: d["sites"][0].update(planned="tls")), False),
+        ("dcons site not planned reuse",
+         broken(lambda d: d["sites"][0].update(prim="dcons")), False),
+        ("empty why",
+         broken(lambda d: d["sites"][0].update(why="")), False),
+        ("missing site counter",
+         broken(lambda d: d["sites"][0]["engines"]["tree"].pop("reuses")),
+         False),
+        ("lifetime buckets disagree with count",
+         broken(lambda d: d["sites"][0]["engines"]["tree"]["lifetime"]
+                .update(count=5)), False),
+        ("site engine absent from top level",
+         broken(lambda d: d["sites"][0]["engines"]
+                .update(jit=d["sites"][0]["engines"]["vm"])), False),
+        ("opcode counters disagree with steps",
+         broken(lambda d: d["engines"][1].update(steps=99)), False),
+        ("duplicate site ids",
+         broken(lambda d: d["sites"].append(d["sites"][0])), False),
+        ("negative overwritten",
+         broken(lambda d: d["sites"][0]["engines"]["vm"]
+                .update(overwritten=-1)), False),
+        ("missing reuse_versions",
+         broken(lambda d: d.pop("reuse_versions")), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-profile-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "profile_case.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "profile_bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,8 +11,13 @@
 # Each configuration builds into build-ci-<name>/ at the repo root and
 # runs the tier-1 ctest suite (tier2 benches/sweeps are excluded: they
 # measure, they don't gate). The release configuration then runs a fuzz
-# smoke: the property suite's Fuzz instantiation widened to fresh seeds
-# via EAL_FUZZ_SEEDS (see tests/property/DifferentialTest.cpp). Usage:
+# smoke (the property suite's Fuzz instantiation widened to fresh seeds
+# via EAL_FUZZ_SEEDS, see tests/property/DifferentialTest.cpp) and the
+# perf-regression gate: the JSON-writing benches' sweeps run into
+# build-ci-release/bench-archive/ and tools/bench_diff.py compares each
+# BENCH_*.json against the checked-in baseline under bench/baselines/,
+# failing on execute-time regressions past EAL_BENCH_MAX_REGRESS
+# (default +10%; see docs/PROFILING.md). Usage:
 #
 #   tools/ci.sh            all four configurations
 #   tools/ci.sh asan       just one
@@ -21,6 +26,9 @@ set -euo pipefail
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FUZZ_SEEDS="${EAL_FUZZ_SEEDS:-48}"
+BENCH_MAX_REGRESS="${EAL_BENCH_MAX_REGRESS:-0.10}"
+# Benches whose BENCH_*.json is baselined under bench/baselines/.
+BENCH_GATE="bench_engines bench_a31_stack_alloc"
 
 configure_flags() {
   case "$1" in
@@ -49,8 +57,35 @@ run_config() {
     echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
     (cd "$dir" && EAL_FUZZ_SEEDS="$FUZZ_SEEDS" \
         ./tests/property_tests --gtest_filter='Fuzz/*')
+    bench_gate "$dir"
   fi
   echo "=== [$name] OK"
+}
+
+# Perf-regression gate: run each baselined bench's sweep (benchmark
+# timing loops filtered out) into bench-archive/, then diff the fresh
+# BENCH_*.json against bench/baselines/. The archive directory is kept
+# so CI can upload it as the run's perf artifact.
+bench_gate() {
+  local dir="$1"
+  local archive="$dir/bench-archive"
+  echo "=== [release] bench archive + regression gate (threshold +$(
+      awk "BEGIN { printf \"%g\", $BENCH_MAX_REGRESS * 100 }")%)"
+  rm -rf "$archive"
+  mkdir -p "$archive"
+  for bench in $BENCH_GATE; do
+    (cd "$archive" && "$dir/bench/$bench" --benchmark_filter=__none__)
+  done
+  for bench in $BENCH_GATE; do
+    local json="BENCH_${bench#bench_}.json"
+    if [ ! -f "$REPO/bench/baselines/$json" ]; then
+      echo "ci.sh: missing baseline bench/baselines/$json" >&2
+      exit 1
+    fi
+    python3 "$REPO/tools/bench_diff.py" \
+        "$REPO/bench/baselines/$json" "$archive/$json" \
+        --max-time-regress "$BENCH_MAX_REGRESS"
+  done
 }
 
 if [ "$#" -gt 0 ]; then

@@ -13,6 +13,10 @@
 //   eal check    <file>   lint + per-allocation optimization explanations
 //                         (docs/CHECKING.md); add --oracle to also execute
 //                         under the dynamic escape oracle
+//   eal profile  <file>   execute on BOTH engines under the allocation-site
+//                         & hot-path profiler (docs/PROFILING.md): every
+//                         cons/pair/dcons site with its planned storage
+//                         class, why, and what each engine observed there
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -39,11 +43,20 @@
 //   --check-json=FILE write findings + oracle counters as JSON
 //                     (schema eal-check-v1, tools/check_findings_json.py)
 //
+// Profiling flags (docs/PROFILING.md, `eal profile` only):
+//   --profile-json=FILE write the joined static+dynamic profile as JSON
+//                     (schema eal-profile-v1, tools/check_profile_json.py)
+//   --folded=FILE     write collapsed stacks for both engines (one
+//                     "tree;f;g N" / "vm;f;g N" line per stack), ready
+//                     for flamegraph.pl / speedscope
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
 #include "escape/EscapeAnalyzer.h"
 #include "lang/AstPrinter.h"
+#include "prof/ProfileReport.h"
+#include "prof/Profiler.h"
 #include "sharing/SharingAnalysis.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -60,13 +73,14 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: eal <analyze|optimize|run|disasm|report|check> <file|-> "
-         "[options]\n"
+      << "usage: eal <analyze|optimize|run|disasm|report|check|profile> "
+         "<file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
          "         --trace=FILE --stats-json=FILE --time-phases\n"
-         "         --check --oracle --check-json=FILE\n";
+         "         --check --oracle --check-json=FILE\n"
+         "         --profile-json=FILE --folded=FILE   (profile only)\n";
   return 2;
 }
 
@@ -118,27 +132,85 @@ void printPhaseTimes(const PipelineResult &R) {
               << std::setw(10) << Micros << " us\n";
 }
 
-bool writeStatsJson(const std::string &Path, const std::string &Command,
-                    const PipelineResult &R) {
+/// Reports PipelineResult::ObsExportErrors (trace/stats-json export
+/// failures) on stderr; returns false when there were any.
+bool reportObsErrors(const PipelineResult &R) {
+  for (const std::string &E : R.ObsExportErrors)
+    std::cerr << "eal: error: " << E << "\n";
+  return R.ObsExportErrors.empty();
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
   std::ofstream Out(Path);
-  if (!Out) {
+  if (Out)
+    Out << Text;
+  if (!Out)
     std::cerr << "eal: error: cannot write '" << Path << "'\n";
-    return false;
-  }
-  Out << "{\n"
-      << "  \"schema\": \"eal-stats-v1\",\n"
-      << "  \"command\": " << obs::jsonQuote(Command) << ",\n"
-      << "  \"success\": " << (R.Success ? "true" : "false") << ",\n"
-      << "  \"value\": " << obs::jsonQuote(R.RenderedValue) << ",\n"
-      << "  \"phases_us\": {";
-  for (size_t I = 0; I != R.PhaseMicros.size(); ++I)
-    Out << (I ? ", " : "") << obs::jsonQuote(R.PhaseMicros[I].first) << ": "
-        << R.PhaseMicros[I].second;
-  Out << "},\n"
-      << "  \"counters\": " << R.Stats.toJson(2) << ",\n"
-      << "  \"metrics\": " << obs::globalMetrics().toJson(2) << "\n"
-      << "}\n";
   return static_cast<bool>(Out);
+}
+
+/// `eal profile`: run the program on both engines under the profiler and
+/// join the two runs with the optimizer's plan into one report. The
+/// parser and optimizer are deterministic, so both runs assign the same
+/// node ids and the site/frames tables line up.
+int runProfile(const std::string &Source, PipelineOptions Options,
+               const std::string &ProfileJsonPath,
+               const std::string &FoldedPath, bool TimePhases) {
+  prof::Profiler TreeProf;
+  prof::Profiler VmProf;
+
+  Options.Engine = ExecutionEngine::TreeWalker;
+  Options.Obs.Profile = &TreeProf;
+  PipelineResult R1 = runPipeline(Source, Options);
+
+  Options.Engine = ExecutionEngine::Bytecode;
+  Options.Obs.Profile = &VmProf;
+  Options.RunLint = false; // findings carry over from the first run
+  PipelineResult R2 = runPipeline(Source, Options);
+
+  bool ExportOk = reportObsErrors(R1) && reportObsErrors(R2);
+
+  if (!R1.Optimized) { // front-end failure: nothing to profile
+    std::cerr << R1.diagnostics();
+    return 1;
+  }
+
+  std::vector<prof::EngineProfile> Engines(2);
+  Engines[0].Name = "tree";
+  Engines[0].P = &TreeProf;
+  Engines[0].Success = R1.Success;
+  Engines[1].Name = "vm";
+  Engines[1].P = &VmProf;
+  Engines[1].Success = R2.Success;
+  if (R2.Code)
+    for (const Proto &P : R2.Code->Protos)
+      Engines[1].FrameNames.push_back(P.Name);
+  for (unsigned I = 0; I != NumOpcodes; ++I)
+    Engines[1].OpcodeNames.push_back(opcodeName(static_cast<Opcode>(I)));
+
+  prof::ProfileReport Report(*R1.Ast, *R1.SM, R1.Optimized->Root,
+                             R1.Optimized->Plan, R1.Optimized->Reuse,
+                             R1.Check ? &R1.Check->Findings : nullptr,
+                             std::move(Engines));
+
+  if (!ProfileJsonPath.empty())
+    ExportOk = writeTextFile(ProfileJsonPath, Report.toJson()) && ExportOk;
+  if (!FoldedPath.empty())
+    ExportOk = writeTextFile(FoldedPath, Report.folded()) && ExportOk;
+
+  std::cout << Report.renderSummary();
+  if (R1.Success && R2.Success)
+    std::cout << "value: " << R1.RenderedValue << "\n";
+  if (TimePhases) {
+    std::cout << '\n';
+    printPhaseTimes(R2);
+  }
+
+  if (!R1.Success || !R2.Success) {
+    std::cerr << R1.diagnostics() << R2.diagnostics();
+    return 1;
+  }
+  return ExportOk ? 0 : 1;
 }
 
 } // namespace
@@ -149,14 +221,17 @@ int main(int argc, char **argv) {
   std::string Command = argv[1];
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
-      Command != "disasm" && Command != "report" && Command != "check")
+      Command != "disasm" && Command != "report" && Command != "check" &&
+      Command != "profile")
     return usage();
 
   PipelineOptions Options;
-  Options.RunProgram = Command == "run" || Command == "report";
+  Options.RunProgram =
+      Command == "run" || Command == "report" || Command == "profile";
   Options.CompileBytecode = Command == "disasm";
-  Options.RunLint = Command == "check";
-  std::string TracePath, StatsJsonPath, CheckJsonPath;
+  Options.RunLint = Command == "check" || Command == "profile";
+  Options.Obs.Command = Command;
+  std::string CheckJsonPath, ProfileJsonPath, FoldedPath;
   bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -179,9 +254,9 @@ int main(int argc, char **argv) {
     else if (Arg == "--heap" && I + 1 < argc)
       Options.Run.HeapCapacity = std::strtoul(argv[++I], nullptr, 10);
     else if (Arg.rfind("--trace=", 0) == 0)
-      TracePath = Arg.substr(std::strlen("--trace="));
+      Options.Obs.TracePath = Arg.substr(std::strlen("--trace="));
     else if (Arg.rfind("--stats-json=", 0) == 0)
-      StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
+      Options.Obs.StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
     else if (Arg == "--time-phases")
       TimePhases = true;
     else if (Arg == "--check")
@@ -191,29 +266,28 @@ int main(int argc, char **argv) {
     else if (Arg.rfind("--check-json=", 0) == 0) {
       CheckJsonPath = Arg.substr(std::strlen("--check-json="));
       Options.RunLint = true;
-    } else
+    } else if (Arg.rfind("--profile-json=", 0) == 0 && Command == "profile")
+      ProfileJsonPath = Arg.substr(std::strlen("--profile-json="));
+    else if (Arg.rfind("--folded=", 0) == 0 && Command == "profile")
+      FoldedPath = Arg.substr(std::strlen("--folded="));
+    else
       return usage();
   }
-  if (!TracePath.empty())
-    obs::enableTracing();
-  if (!StatsJsonPath.empty())
-    obs::enableMetrics();
 
   std::string Source;
   if (!readSource(Path, Source))
     return 1;
+  Options.SourceName = Path == "-" ? "<stdin>" : Path;
+
+  if (Command == "profile")
+    return runProfile(Source, std::move(Options), ProfileJsonPath, FoldedPath,
+                      TimePhases);
 
   PipelineResult R = runPipeline(Source, Options);
-  // Exports happen even on failure: a trace of a failed run is exactly
-  // what one wants for debugging it.
-  bool ExportOk = true;
-  if (!TracePath.empty() && !obs::writeChromeTrace(TracePath)) {
-    std::cerr << "eal: error: cannot write '" << TracePath << "'\n";
-    ExportOk = false;
-  }
-  if (!StatsJsonPath.empty() &&
-      !writeStatsJson(StatsJsonPath, Command, R))
-    ExportOk = false;
+  // The pipeline itself exports traces and stats (even on failure: a
+  // trace of a failed run is exactly what one wants for debugging it);
+  // surface any export errors here.
+  bool ExportOk = reportObsErrors(R);
   if (!CheckJsonPath.empty()) {
     std::ofstream Out(CheckJsonPath);
     if (Out && R.Check)
