@@ -114,7 +114,14 @@ std::string CheckReport::toJson(const SourceManager &SM,
     OS << (I ? "," : "") << "\n    {\"code\": " << obs::jsonQuote(F.Code)
        << ", \"severity\": " << obs::jsonQuote(severityName(F.Severity))
        << ", \"line\": " << LC.Line << ", \"col\": " << LC.Column
-       << ", \"message\": " << obs::jsonQuote(F.Message) << "}";
+       << ", \"message\": " << obs::jsonQuote(F.Message);
+    if (!F.Blame.empty()) {
+      OS << ", \"blame\": [";
+      for (size_t J = 0; J != F.Blame.size(); ++J)
+        OS << (J ? ", " : "") << F.Blame[J];
+      OS << "]";
+    }
+    OS << "}";
   }
   OS << (Findings.empty() ? "]" : "\n  ]");
   if (Oracle) {

@@ -47,6 +47,10 @@ struct Finding {
   FindingSeverity Severity = FindingSeverity::Warning;
   SourceLoc Loc;
   std::string Message;
+  /// Why-provenance blame chain (docs/EXPLAIN.md): fact ids into the
+  /// run's ProvenanceRecorder, verdict first, fixpoint leaf last. Empty
+  /// for source lints and when no recorder was attached.
+  std::vector<uint32_t> Blame;
 };
 
 /// One dynamic refutation of a static no-escape verdict: a cell the

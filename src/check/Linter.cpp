@@ -22,21 +22,6 @@ using namespace eal::check;
 
 namespace {
 
-/// Matches a saturated `cons e1 e2` / pair construction; fills operands.
-bool isAllocApp(const Expr *E, PrimOp &Op, const Expr *&Head,
-                const Expr *&Tail) {
-  std::vector<const Expr *> Args;
-  const Expr *Callee = uncurryCall(E, Args);
-  const auto *Prim = dyn_cast<PrimExpr>(Callee);
-  if (!Prim || Args.size() != 2 ||
-      (Prim->op() != PrimOp::Cons && Prim->op() != PrimOp::MkPair))
-    return false;
-  Op = Prim->op();
-  Head = Args[0];
-  Tail = Args[1];
-  return true;
-}
-
 /// True when \p E can never evaluate to a function value (used to turn a
 /// syntactic over-application into a lint before type inference even
 /// runs).
@@ -108,7 +93,7 @@ private:
 
   void finding(const char *Code, FindingSeverity Sev, SourceLoc Loc,
                std::string Message) {
-    Out.Findings.push_back({Code, Sev, Loc, std::move(Message)});
+    Out.Findings.push_back({Code, Sev, Loc, std::move(Message), {}});
   }
 
   Binder *lookup(Symbol Name) {
@@ -277,235 +262,33 @@ void eal::check::lintSource(const AstContext &Ast, const Expr *Root,
 // Optimization-blocked explanations (EAL-O001..O006)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-class BlockedAllocExplainer {
-public:
-  BlockedAllocExplainer(const AstContext &Ast, const TypedProgram &Program,
-                        EscapeAnalyzer &Analyzer, const AllocationPlan &Plan,
-                        CheckReport &Out)
-      : Ast(Ast), Program(Program), Analyzer(Analyzer), Out(Out) {
-    for (const ArgArenaDirective &D : Plan.Directives)
-      for (const auto &[Id, Class] : D.Sites) {
-        (void)Class;
-        Planned.insert(Id);
-      }
-    const auto *Letrec = dyn_cast<LetrecExpr>(Program.root());
-    if (!Letrec)
-      return;
-    TopLetrec = Letrec;
-    for (const LetrecBinding &B : Letrec->bindings())
-      if (unsigned Arity = lambdaArity(B.Value))
-        FnArities[B.Name.id()] = Arity;
-  }
-
-  void run() {
-    const auto *Letrec = TopLetrec;
-    if (!Letrec) {
-      walk(Program.root(), Context());
-      return;
-    }
-    for (const LetrecBinding &B : Letrec->bindings())
-      walk(B.Value, Context());
-    walk(Letrec->body(), Context());
-  }
-
-private:
-  /// Why the cells under the cursor would (not) be protected.
-  struct Context {
-    enum KindT {
-      None,          ///< result/let/program position: nothing protects
-      Protected,     ///< argument with a positive protected prefix
-      EscapesResult, ///< argument the verdict says escapes
-      UnknownCallee, ///< argument of a call the local test cannot see
-    } Kind = None;
-    Symbol Callee;
-    unsigned ArgIndex = 0;
-    unsigned ProtectedSpines = 0;
-    unsigned EscapingSpines = 0;
-    unsigned Level = 1;    ///< spine level within the argument
-    bool Detached = false; ///< left the spine (element position etc.)
-  };
-
-  void note(const Expr *Site, const char *Code, std::string Message) {
-    // Desugared list literals produce many cons sites with one source
-    // location and identical stories; one note carries the same weight.
-    std::string Key = std::string(Code) + '@' +
-                      std::to_string(Site->loc().offset()) + ':' + Message;
-    if (!Emitted.insert(std::move(Key)).second)
-      return;
-    Out.Findings.push_back(
-        {Code, FindingSeverity::Note, Site->loc(), std::move(Message)});
-  }
-
-  void explainSite(const Expr *Site, PrimOp Op, const Context &Ctx) {
-    const char *What = Op == PrimOp::MkPair ? "pair cell" : "cons cell";
-    std::ostringstream OS;
-    switch (Ctx.Kind) {
-    case Context::EscapesResult:
-      OS << What << " stays on the GC heap: argument " << (Ctx.ArgIndex + 1)
-         << " of '" << Ast.spelling(Ctx.Callee)
-         << "' may escape via the callee's result (" << Ctx.EscapingSpines
-         << " escaping spine(s), 0 protected)";
-      note(Site, "EAL-O001", OS.str());
-      return;
-    case Context::UnknownCallee:
-      OS << What << " stays on the GC heap: the surrounding call's callee "
-         << "is unknown or unsaturated, so the local escape test cannot "
-         << "protect the argument";
-      note(Site, "EAL-O003", OS.str());
-      return;
-    case Context::Protected:
-      if (Ctx.Detached)
-        OS << What << " stays on the GC heap: it is in element position "
-           << "(not on a spine the analysis grades) of argument "
-           << (Ctx.ArgIndex + 1) << " of '" << Ast.spelling(Ctx.Callee)
-           << "'";
-      else if (Ctx.Level > Ctx.ProtectedSpines)
-        OS << What << " stays on the GC heap: it builds spine level "
-           << Ctx.Level << " of argument " << (Ctx.ArgIndex + 1) << " of '"
-           << Ast.spelling(Ctx.Callee) << "', below the protected prefix "
-           << "(top " << Ctx.ProtectedSpines << " spine(s))";
-      else
-        OS << What << " is within the protected prefix of argument "
-           << (Ctx.ArgIndex + 1) << " of '" << Ast.spelling(Ctx.Callee)
-           << "' but no directive covers it (stack/region allocation "
-           << "disabled?)";
-      note(Site, "EAL-O002", OS.str());
-      return;
-    case Context::None:
-      OS << What << " stays on the GC heap: no protecting call site — it "
-         << "builds a result or a locally let-bound value, so only a "
-         << "caller-side region could place it";
-      note(Site, "EAL-O004", OS.str());
-      return;
-    }
-  }
-
-  void walk(const Expr *E, Context Ctx) {
-    switch (E->kind()) {
-    case ExprKind::IntLit:
-    case ExprKind::BoolLit:
-    case ExprKind::NilLit:
-    case ExprKind::Var:
-    case ExprKind::Prim:
-      return;
-    case ExprKind::Lambda: {
-      Context Inner;
-      walk(cast<LambdaExpr>(E)->body(), Inner);
-      return;
-    }
-    case ExprKind::If: {
-      const auto *If = cast<IfExpr>(E);
-      walk(If->cond(), Context());
-      walk(If->thenExpr(), Ctx);
-      walk(If->elseExpr(), Ctx);
-      return;
-    }
-    case ExprKind::Let: {
-      const auto *Let = cast<LetExpr>(E);
-      walk(Let->value(), Context());
-      walk(Let->body(), Ctx);
-      return;
-    }
-    case ExprKind::Letrec: {
-      const auto *Letrec = cast<LetrecExpr>(E);
-      for (const LetrecBinding &B : Letrec->bindings())
-        walk(B.Value, Context());
-      walk(Letrec->body(), Ctx);
-      return;
-    }
-    case ExprKind::App: {
-      PrimOp Op;
-      const Expr *Head = nullptr, *Tail = nullptr;
-      if (isAllocApp(E, Op, Head, Tail)) {
-        if (!Planned.count(E->id()))
-          explainSite(E, Op, Ctx);
-        Context HeadCtx = Ctx;
-        if (Op == PrimOp::Cons && Ctx.Kind == Context::Protected &&
-            !Ctx.Detached)
-          ++HeadCtx.Level;
-        else
-          HeadCtx.Detached = Ctx.Kind == Context::Protected;
-        walk(Head, HeadCtx);
-        walk(Tail, Ctx);
-        return;
-      }
-      std::vector<const Expr *> Args;
-      const Expr *Callee = uncurryCall(E, Args);
-      if (const auto *Prim = dyn_cast<PrimExpr>(Callee)) {
-        // cdr shares its operand's spines at the same levels; car (and
-        // the pair projections) extract elements — off the spine.
-        if (Prim->op() == PrimOp::Cdr && Args.size() == 1) {
-          walk(Args[0], Ctx);
-          return;
-        }
-        Context Inner = Ctx;
-        Inner.Detached = Ctx.Kind == Context::Protected;
-        for (const Expr *Arg : Args)
-          walk(Arg, Inner.Detached ? Inner : Context());
-        return;
-      }
-      walk(Callee, Context());
-      const auto *Var = dyn_cast<VarExpr>(Callee);
-      auto ArityIt = Var ? FnArities.find(Var->name().id()) : FnArities.end();
-      bool KnownSaturated =
-          ArityIt != FnArities.end() && ArityIt->second == Args.size();
-      for (unsigned I = 0; I != Args.size(); ++I) {
-        Context ArgCtx;
-        if (spineCount(Program.typeOf(Args[I])) > 0) {
-          if (KnownSaturated) {
-            auto Local = topLevelClosed(E) ? Analyzer.localEscape(E, I)
-                                           : Analyzer.localEscapeInContext(E, I);
-            if (!Local)
-              Local = Analyzer.globalEscape(Var->name(), I);
-            ArgCtx.Callee = Var->name();
-            ArgCtx.ArgIndex = I;
-            if (Local && Local->protectedTopSpines() > 0) {
-              ArgCtx.Kind = Context::Protected;
-              ArgCtx.ProtectedSpines = Local->protectedTopSpines();
-            } else {
-              ArgCtx.Kind = Context::EscapesResult;
-              ArgCtx.EscapingSpines = Local ? Local->escapingSpines() : 0;
-            }
-          } else {
-            ArgCtx.Kind = Context::UnknownCallee;
-          }
-        }
-        walk(Args[I], ArgCtx);
-      }
-      return;
-    }
-    }
-  }
-
-  bool topLevelClosed(const Expr *Call) {
-    if (!TopLetrec)
-      return false;
-    for (Symbol Free : freeVariables(Call))
-      if (!TopLetrec->findBinding(Free))
-        return false;
-    return true;
-  }
-
-  const AstContext &Ast;
-  const TypedProgram &Program;
-  EscapeAnalyzer &Analyzer;
-  CheckReport &Out;
-  const LetrecExpr *TopLetrec = nullptr;
-  std::unordered_set<uint32_t> Planned;
-  std::unordered_map<uint32_t, unsigned> FnArities;
-  std::unordered_set<std::string> Emitted;
-};
-
-} // namespace
-
 void eal::check::explainBlockedAllocations(
     const AstContext &Ast, const TypedProgram &Program,
-    EscapeAnalyzer &Analyzer, const AllocationPlan &Plan,
+    const std::vector<explain::SiteInfo> &Sites,
     const ReuseTransformResult &Reuse, const ProgramEscapeReport &Escape,
-    CheckReport &Out) {
-  BlockedAllocExplainer(Ast, Program, Analyzer, Plan, Out).run();
+    const explain::ProvenanceRecorder *Prov, CheckReport &Out) {
+  // One note per unplanned (heap) site; the story text and code come from
+  // the shared classifier vocabulary (explain::describeSite), so `eal
+  // check` and `eal explain` can never tell different stories about the
+  // same cell. Desugared list literals produce many cons sites with one
+  // source location and identical stories; one note carries the same
+  // weight, so duplicates are folded.
+  std::unordered_set<std::string> Emitted;
+  for (const explain::SiteInfo &SI : Sites) {
+    if (SI.Storage != explain::SiteStorage::Heap)
+      continue;
+    const char *Code = explain::findingCode(SI.Ctx);
+    std::string Message = explain::describeSite(Ast, SI.Op, SI.Ctx);
+    std::string Key = std::string(Code) + '@' +
+                      std::to_string(SI.Site->loc().offset()) + ':' + Message;
+    if (!Emitted.insert(std::move(Key)).second)
+      continue;
+    Finding F{Code, FindingSeverity::Note, SI.Site->loc(),
+              std::move(Message), {}};
+    if (Prov)
+      F.Blame = explain::blamePath(*Prov, SI.Ctx.VerdictProv);
+    Out.Findings.push_back(std::move(F));
+  }
 
   // Reuse-side explanations: protected parameters that earned no DCONS
   // version, and versions no call site could be retargeted to.
@@ -536,8 +319,11 @@ void eal::check::explainBlockedAllocations(
          << " protected top spine(s) but no DCONS version was generated "
          << "(reuse disabled, no qualifying cons site, or the argument is "
          << "used after it)";
-      Out.Findings.push_back({"EAL-O005", FindingSeverity::Note,
-                              BindingLoc(F.Name), OS.str()});
+      Finding Note{"EAL-O005", FindingSeverity::Note, BindingLoc(F.Name),
+                   OS.str(), {}};
+      if (Prov && P.Prov != explain::NoFact)
+        Note.Blame.push_back(P.Prov);
+      Out.Findings.push_back(std::move(Note));
     }
   }
   for (const ReuseVersion &V : Reuse.Versions) {
@@ -551,7 +337,10 @@ void eal::check::explainBlockedAllocations(
        << "' was generated but no call of '" << Ast.spelling(V.Original)
        << "' was retargeted — Theorem 2 could not prove any actual "
        << "argument's top spine unshared (shared spine)";
-    Out.Findings.push_back({"EAL-O006", FindingSeverity::Note,
-                            BindingLoc(V.Original), OS.str()});
+    Finding Note{"EAL-O006", FindingSeverity::Note, BindingLoc(V.Original),
+                 OS.str(), {}};
+    if (Prov && V.ProvenanceRef != explain::NoFact)
+      Note.Blame.push_back(V.ProvenanceRef);
+    Out.Findings.push_back(std::move(Note));
   }
 }

@@ -35,6 +35,7 @@
 
 #include "check/CheckReport.h"
 #include "escape/EscapeAnalyzer.h"
+#include "explain/Explain.h"
 #include "opt/AllocPlanner.h"
 #include "opt/ReuseTransform.h"
 
@@ -54,14 +55,17 @@ void lintSource(const AstContext &Ast, const Expr *Root,
                 const LintOptions &Options, CheckReport &Out);
 
 /// Emits one EAL-O* note per unplanned allocation site of the *final*
-/// program. \p Analyzer must be built over \p Program (the final typed
-/// program); \p Plan and \p Reuse are the optimizer's decisions.
+/// program. \p Sites is the classification of every allocation site
+/// (explain::classifySites over the final program + plan); \p Program is
+/// that same final program (reuse-side notes anchor to its bindings);
+/// \p Reuse is the optimizer's transformation record. When \p Prov is
+/// non-null each finding carries a Blame chain into its graph.
 void explainBlockedAllocations(const AstContext &Ast,
                                const TypedProgram &Program,
-                               EscapeAnalyzer &Analyzer,
-                               const AllocationPlan &Plan,
+                               const std::vector<explain::SiteInfo> &Sites,
                                const ReuseTransformResult &Reuse,
                                const ProgramEscapeReport &Escape,
+                               const explain::ProvenanceRecorder *Prov,
                                CheckReport &Out);
 
 } // namespace eal::check

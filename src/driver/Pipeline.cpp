@@ -97,6 +97,13 @@ void runPipelineImpl(const std::string &Source,
 
   OptimizerConfig OptConfig = Options.Optimize;
   OptConfig.Mode = Options.Mode;
+  if (Options.RunLint || Options.RunExplain) {
+    // One recorder spans the whole run: base/final escape analysis, the
+    // sharing analysis, and the planner all write into it, and findings
+    // plus blame chains index into the one graph.
+    R.Prov = std::make_unique<explain::ProvenanceRecorder>();
+    OptConfig.Explain = R.Prov.get();
+  }
   {
     obs::PhaseTimer T(&R.PhaseMicros, "optimize");
     R.Optimized = optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags,
@@ -105,16 +112,30 @@ void runPipelineImpl(const std::string &Source,
   if (!R.Optimized)
     return;
 
-  if (Options.RunLint) {
+  if (Options.RunLint || Options.RunExplain) {
     // The blocked-allocation explanations grade the *final* program: the
-    // analyzer must agree with the one the planner consulted.
+    // analyzer must agree with the one the planner consulted. One site
+    // classification feeds both the linter's findings and the blame
+    // chains, so the two can never disagree.
     obs::PhaseTimer T(&R.PhaseMicros, "explain");
     EscapeAnalyzer Analyzer(*R.Ast, R.Optimized->Typed, *R.Diags, 512,
                             OptConfig.Analysis);
-    check::explainBlockedAllocations(*R.Ast, R.Optimized->Typed, Analyzer,
-                                     R.Optimized->Plan, R.Optimized->Reuse,
-                                     R.Optimized->FinalEscape, *R.Check);
+    Analyzer.attachProvenance(R.Prov.get());
+    std::vector<explain::SiteInfo> Sites = explain::classifySites(
+        *R.Ast, R.Optimized->Typed, Analyzer, R.Optimized->Plan);
+    if (Options.RunLint)
+      check::explainBlockedAllocations(*R.Ast, R.Optimized->Typed, Sites,
+                                       R.Optimized->Reuse,
+                                       R.Optimized->FinalEscape,
+                                       R.Prov.get(), *R.Check);
+    if (Options.RunExplain)
+      R.Explain = explain::buildExplainReport(*R.Ast, R.Optimized->Typed,
+                                              Sites, *R.Prov);
+    T.span().arg("sites", static_cast<uint64_t>(Sites.size()));
+    T.span().arg("facts", static_cast<uint64_t>(R.Prov->numFacts()));
   }
+  if (R.Prov && obs::metricsEnabled())
+    R.Prov->exportTo(obs::globalMetrics());
 
   if (!Options.RunProgram && !Options.RunOracle) {
     if (Options.CompileBytecode) {

@@ -25,6 +25,7 @@
 
 #include "check/Linter.h"
 #include "check/Oracle.h"
+#include "explain/Explain.h"
 #include "opt/Optimizer.h"
 #include "runtime/Interpreter.h"
 #include "vm/Compiler.h"
@@ -100,6 +101,11 @@ struct PipelineOptions {
   /// per-allocation "why is this still on the GC heap" explanations.
   /// Findings land in PipelineResult::Check.
   bool RunLint = false;
+  /// Record why-provenance through the whole pipeline and build blame
+  /// chains for every allocation site (docs/EXPLAIN.md). The report
+  /// lands in PipelineResult::Explain; RunLint alone also attaches the
+  /// recorder so findings carry Blame arrays, but builds no chains.
+  bool RunExplain = false;
   /// Cross-check every static escape claim against the concrete run
   /// (eal::check dynamic oracle). Forces the tree-walker engine (the
   /// observer hooks live there) and arena-free validation; implies the
@@ -138,6 +144,12 @@ struct PipelineResult {
   /// Lint findings and/or the oracle cross-check report (present iff
   /// RunLint or RunOracle was set).
   std::optional<check::CheckReport> Check;
+  /// The why-provenance graph (present iff RunLint or RunExplain was
+  /// set; the analyses recorded into it during optimization).
+  std::unique_ptr<explain::ProvenanceRecorder> Prov;
+  /// Blame chains for every allocation site of the final program
+  /// (present iff RunExplain was set; references *Prov).
+  std::optional<explain::ExplainReport> Explain;
   /// The live oracle (kept so tests can inspect it; its report is also
   /// copied into Check->Oracle).
   std::unique_ptr<check::EscapeOracle> Oracle;

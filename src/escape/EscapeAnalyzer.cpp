@@ -33,6 +33,16 @@ unsigned EscapeAnalyzer::modeSpineCount(const Type *T) const {
   return Mode == EscapeAnalysisMode::WholeObject ? 0 : spineCount(T);
 }
 
+void EscapeAnalyzer::attachProvenance(explain::ProvenanceRecorder *P) {
+  Prov = P;
+  if (P) {
+    ProvBindingNs = P->allocNamespace();
+    ProvApplyNs = P->allocNamespace();
+    ProvGlobalNs = P->allocNamespace();
+    ProvLocalNs = P->allocNamespace();
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Fixpoint driver
 //===----------------------------------------------------------------------===//
@@ -40,8 +50,11 @@ unsigned EscapeAnalyzer::modeSpineCount(const Type *T) const {
 ValueId EscapeAnalyzer::runToFixpoint(const std::function<ValueId()> &Root) {
   ValueId Result = Store.bottom();
   LastRounds = 0;
+  if (Tracing)
+    RoundChanges.clear();
   do {
     Changed = false;
+    ChangedThisRound = 0;
     ++CurrentRound;
     ++LastRounds;
     if (LastRounds > MaxRounds) {
@@ -52,6 +65,15 @@ ValueId EscapeAnalyzer::runToFixpoint(const std::function<ValueId()> &Root) {
       break;
     }
     Result = Root();
+    // Convergence telemetry: how many cache entries moved up the lattice
+    // this round (the final, stable round records 0).
+    if (Tracing) {
+      RoundChanges.push_back(ChangedThisRound);
+      if (obs::tracingEnabled())
+        obs::instant("fixpoint.round", "fixpoint",
+                     {{"round", std::to_string(LastRounds)},
+                      {"changed_vars", std::to_string(ChangedThisRound)}});
+    }
   } while (Changed);
   if (obs::metricsEnabled()) {
     obs::MetricsRegistry &Reg = obs::globalMetrics();
@@ -90,10 +112,23 @@ EnvId EscapeAnalyzer::letrecBodyEnv(LetrecInstId Inst) {
 ValueId EscapeAnalyzer::materializeBinding(LetrecInstId Inst, uint32_t Index) {
   uint64_t Key = (static_cast<uint64_t>(Inst) << 32) | Index;
   CacheEntry &Entry = BindingCache[Key];
+  uint32_t PF = explain::NoFact;
+  if (Prov) {
+    PF = Prov->lookup(explain::FactKind::Binding, ProvBindingNs, Key);
+    if (PF == explain::NoFact) {
+      const LetrecBinding &B = Store.letrecInst(Inst).Node->bindings()[Index];
+      PF = Prov->create(explain::FactKind::Binding, ProvBindingNs, Key,
+                        std::string(Ast.spelling(B.Name)),
+                        "letrec-fix (§3.5)", B.Value->loc());
+    }
+    Prov->read(PF);
+  }
   if (Entry.InProgress || Entry.Round == CurrentRound)
     return Entry.Val;
   Entry.Round = CurrentRound;
   Entry.InProgress = true;
+  if (Prov)
+    Prov->open(PF);
   const LetrecInst &LI = Store.letrecInst(Inst);
   ValueId New = eval(LI.Node->bindings()[Index].Value, letrecBodyEnv(Inst));
   New = Store.joinValues(Entry.Val, New);
@@ -101,6 +136,13 @@ ValueId EscapeAnalyzer::materializeBinding(LetrecInstId Inst, uint32_t Index) {
   if (BindingChanged) {
     Entry.Val = New;
     Changed = true;
+    ++ChangedThisRound;
+    if (Prov)
+      Prov->raise(PF, LastRounds, Store.str(New));
+  }
+  if (Prov) {
+    Prov->result(PF, Store.str(Entry.Val));
+    Prov->close(PF);
   }
   Entry.InProgress = false;
   if (Tracing) {
@@ -267,10 +309,23 @@ ValueId EscapeAnalyzer::applyAtom(FnAtomId AtomId, ValueId Arg) {
   case FnAtomKind::Closure: {
     uint64_t Key = (static_cast<uint64_t>(AtomId) << 32) | Arg;
     CacheEntry &Entry = ApplyCache[Key];
+    uint32_t PF = explain::NoFact;
+    if (Prov) {
+      PF = Prov->lookup(explain::FactKind::Apply, ProvApplyNs, Key);
+      if (PF == explain::NoFact)
+        PF = Prov->create(explain::FactKind::Apply, ProvApplyNs, Key,
+                          "apply λ" +
+                              std::string(Ast.spelling(Atom.Lambda->param())) +
+                              " to " + Store.str(Arg),
+                          "closure-apply (§3.4)", Atom.Lambda->loc());
+      Prov->read(PF);
+    }
     if (Entry.InProgress || Entry.Round == CurrentRound)
       return Entry.Val;
     Entry.Round = CurrentRound;
     Entry.InProgress = true;
+    if (Prov)
+      Prov->open(PF);
     EnvBinding B;
     B.Name = Atom.Lambda->param();
     B.Kind = EnvBindingKind::Value;
@@ -280,6 +335,13 @@ ValueId EscapeAnalyzer::applyAtom(FnAtomId AtomId, ValueId Arg) {
     if (New != Entry.Val) {
       Entry.Val = New;
       Changed = true;
+      ++ChangedThisRound;
+      if (Prov)
+        Prov->raise(PF, LastRounds, Store.str(New));
+    }
+    if (Prov) {
+      Prov->result(PF, Store.str(Entry.Val));
+      Prov->close(PF);
     }
     Entry.InProgress = false;
     return Entry.Val;
@@ -443,6 +505,18 @@ std::optional<ParamEscape> EscapeAnalyzer::globalEscape(Symbol Fn,
   unsigned InterestingSpines = modeSpineCount(Params[ParamIndex]);
 
   LetrecInstId TopInst = Store.internLetrecInst(Letrec, Store.emptyEnv());
+  uint32_t QF = explain::NoFact;
+  if (Prov) {
+    uint64_t Key = (static_cast<uint64_t>(Fn.id()) << 32) | ParamIndex;
+    QF = Prov->lookup(explain::FactKind::Query, ProvGlobalNs, Key);
+    if (QF == explain::NoFact)
+      QF = Prov->create(explain::FactKind::Query, ProvGlobalNs, Key,
+                        "G(" + std::string(Ast.spelling(Fn)) + ", " +
+                            std::to_string(ParamIndex + 1) + ")",
+                        "global escape test G (§4.1)", Binding->Value->loc());
+    Prov->read(QF);
+    Prov->open(QF);
+  }
   ValueId Result = runToFixpoint([&] {
     ValueId F = materializeBinding(TopInst, Index);
     for (unsigned J = 0; J != Arity; ++J) {
@@ -455,6 +529,7 @@ std::optional<ParamEscape> EscapeAnalyzer::globalEscape(Symbol Fn,
   });
 
   ParamEscape PE;
+  PE.Prov = QF;
   PE.Function = Fn;
   PE.ParamIndex = ParamIndex;
   PE.ParamType = Params[ParamIndex];
@@ -467,6 +542,10 @@ std::optional<ParamEscape> EscapeAnalyzer::globalEscape(Symbol Fn,
     PE.Escape = PE.Escape.isContained()
                     ? BasicEscape::contained(PE.ParamSpines)
                     : BasicEscape::none();
+  }
+  if (Prov) {
+    Prov->result(QF, PE.Escape.str());
+    Prov->close(QF);
   }
   return PE;
 }
@@ -529,6 +608,26 @@ EscapeAnalyzer::localEscapeUnder(const Expr *CallSite, unsigned ParamIndex,
   unsigned InterestingSpines =
       modeSpineCount(Program.typeOf(Args[ParamIndex]));
 
+  Symbol CalleeName;
+  if (const auto *Var = dyn_cast<VarExpr>(Callee))
+    CalleeName = Var->name();
+
+  uint32_t QF = explain::NoFact;
+  if (Prov) {
+    uint64_t Key = (static_cast<uint64_t>(CallSite->id()) << 32) | ParamIndex;
+    QF = Prov->lookup(explain::FactKind::Query, ProvLocalNs, Key);
+    if (QF == explain::NoFact)
+      QF = Prov->create(explain::FactKind::Query, ProvLocalNs, Key,
+                        "L(" +
+                            (CalleeName.isValid()
+                                 ? std::string(Ast.spelling(CalleeName))
+                                 : std::string("<fn>")) +
+                            ", " + std::to_string(ParamIndex + 1) + ")",
+                        "local escape test L (§4.2)", CallSite->loc());
+    Prov->read(QF);
+    Prov->open(QF);
+  }
+
   ValueId Result = runToFixpoint([&] {
     ValueId F = eval(Callee, Env);
     for (unsigned J = 0; J != Args.size(); ++J) {
@@ -543,9 +642,7 @@ EscapeAnalyzer::localEscapeUnder(const Expr *CallSite, unsigned ParamIndex,
   });
 
   ParamEscape PE;
-  Symbol CalleeName;
-  if (const auto *Var = dyn_cast<VarExpr>(Callee))
-    CalleeName = Var->name();
+  PE.Prov = QF;
   PE.Function = CalleeName;
   PE.ParamIndex = ParamIndex;
   PE.ParamType = Program.typeOf(Args[ParamIndex]);
@@ -556,6 +653,10 @@ EscapeAnalyzer::localEscapeUnder(const Expr *CallSite, unsigned ParamIndex,
     PE.Escape = PE.Escape.isContained()
                     ? BasicEscape::contained(PE.ParamSpines)
                     : BasicEscape::none();
+  }
+  if (Prov) {
+    Prov->result(QF, PE.Escape.str());
+    Prov->close(QF);
   }
   return PE;
 }

@@ -23,6 +23,7 @@
 #define EAL_ESCAPE_ESCAPEANALYZER_H
 
 #include "escape/EscapeValue.h"
+#include "explain/Provenance.h"
 #include "types/TypeInference.h"
 
 #include <functional>
@@ -44,6 +45,9 @@ struct ParamEscape {
   unsigned ParamSpines = 0;
   /// The test result: ⟨0,0⟩ or ⟨1,k⟩.
   BasicEscape Escape;
+  /// Why-provenance: the Query fact this verdict was derived under, when
+  /// a recorder was attached (explain::NoFact otherwise).
+  uint32_t Prov = explain::NoFact;
 
   /// True if any part of the parameter may escape.
   bool escapes() const { return Escape.isContained(); }
@@ -171,6 +175,18 @@ public:
   /// Renders the recorded trace as "name^(k) = value" lines.
   std::string renderTrace() const;
 
+  /// Per-round counts of cache entries that moved up the lattice during
+  /// the most recent query (recorded while tracing is enabled; one entry
+  /// per fixpoint round, the final stable round counting 0).
+  const std::vector<unsigned> &roundChanges() const { return RoundChanges; }
+
+  /// Attaches a why-provenance recorder (docs/EXPLAIN.md): subsequent
+  /// queries record Binding/Apply/Query facts and their derivation
+  /// edges, and fill ParamEscape::Prov. Null detaches. The recorder must
+  /// outlive the analyzer.
+  void attachProvenance(explain::ProvenanceRecorder *P);
+  explain::ProvenanceRecorder *provenance() const { return Prov; }
+
 private:
   //===--- Abstract evaluation ---------------------------------------------==//
 
@@ -238,10 +254,22 @@ private:
 
   unsigned CurrentRound = 0;
   bool Changed = false;
+  /// Cache entries raised in the round being evaluated (convergence
+  /// telemetry; see runToFixpoint).
+  unsigned ChangedThisRound = 0;
   bool Tracing = false;
   std::vector<FixpointTraceEntry> Trace;
+  std::vector<unsigned> RoundChanges;
   unsigned LastRounds = 0;
   bool HitLimit = false;
+
+  /// Why-provenance recorder (null: record nothing) and the namespaces
+  /// keeping this analyzer's cache keys apart from other attachees'.
+  explain::ProvenanceRecorder *Prov = nullptr;
+  uint32_t ProvBindingNs = 0;
+  uint32_t ProvApplyNs = 0;
+  uint32_t ProvGlobalNs = 0;
+  uint32_t ProvLocalNs = 0;
 
   std::optional<EnvId> CachedTopEnv;
 };

@@ -1,0 +1,157 @@
+//===- Provenance.cpp -----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "explain/Provenance.h"
+
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace eal;
+using namespace eal::explain;
+
+const char *eal::explain::factKindName(FactKind K) {
+  switch (K) {
+  case FactKind::Binding:
+    return "binding";
+  case FactKind::Apply:
+    return "apply";
+  case FactKind::Query:
+    return "query";
+  case FactKind::Sharing:
+    return "sharing";
+  case FactKind::Decision:
+    return "decision";
+  case FactKind::Finding:
+    return "finding";
+  }
+  return "unknown";
+}
+
+static uint64_t indexKey(FactKind K, uint32_t Ns) {
+  return (static_cast<uint64_t>(K) << 32) | Ns;
+}
+
+uint32_t ProvenanceRecorder::lookup(FactKind K, uint32_t Ns,
+                                    uint64_t Key) const {
+  auto Outer = Index.find(indexKey(K, Ns));
+  if (Outer == Index.end())
+    return NoFact;
+  auto Inner = Outer->second.find(Key);
+  return Inner == Outer->second.end() ? NoFact : Inner->second;
+}
+
+uint32_t ProvenanceRecorder::create(FactKind K, uint32_t Ns, uint64_t Key,
+                                    std::string Label, std::string Equation,
+                                    SourceLoc Loc) {
+  uint32_t Id = fresh(K, std::move(Label), std::move(Equation), Loc);
+  bool Inserted = Index[indexKey(K, Ns)].emplace(Key, Id).second;
+  assert(Inserted && "provenance key created twice");
+  (void)Inserted;
+  return Id;
+}
+
+uint32_t ProvenanceRecorder::fresh(FactKind K, std::string Label,
+                                   std::string Equation, SourceLoc Loc) {
+  Fact F;
+  F.Kind = K;
+  F.Label = std::move(Label);
+  F.Equation = std::move(Equation);
+  F.Loc = Loc;
+  Facts.push_back(std::move(F));
+  return static_cast<uint32_t>(Facts.size() - 1);
+}
+
+void ProvenanceRecorder::open(uint32_t F) {
+  assert(F < Facts.size() && "opening unknown fact");
+  Stack.push_back(Frame{F, {}});
+}
+
+void ProvenanceRecorder::close(uint32_t F) {
+  assert(!Stack.empty() && Stack.back().FactId == F &&
+         "provenance frames must nest");
+  (void)F;
+  Frame Top = std::move(Stack.back());
+  Stack.pop_back();
+  Fact &Fct = Facts[Top.FactId];
+  for (uint32_t Dep : Top.Reads)
+    addDep(Fct, Dep);
+}
+
+void ProvenanceRecorder::read(uint32_t F) {
+  if (F == NoFact || Stack.empty())
+    return;
+  Frame &Top = Stack.back();
+  if (Top.FactId == F)
+    return; // a recursive self-read carries no information
+  if (std::find(Top.Reads.begin(), Top.Reads.end(), F) == Top.Reads.end())
+    Top.Reads.push_back(F);
+}
+
+void ProvenanceRecorder::raise(uint32_t F, unsigned Round,
+                               std::string Value) {
+  assert(!Stack.empty() && Stack.back().FactId == F &&
+         "raise outside the fact's own frame");
+  RaiseEvent E;
+  E.Round = Round;
+  E.Value = std::move(Value);
+  E.Deps = Stack.back().Reads;
+  Fact &Fct = Facts[F];
+  for (uint32_t Dep : E.Deps)
+    addDep(Fct, Dep);
+  Fct.Raises.push_back(std::move(E));
+  ++RaiseCount;
+}
+
+void ProvenanceRecorder::result(uint32_t F, std::string Value) {
+  Facts[F].Result = std::move(Value);
+}
+
+void ProvenanceRecorder::depend(uint32_t From, uint32_t To) {
+  if (From == NoFact || To == NoFact || From == To)
+    return;
+  addDep(Facts[From], To);
+}
+
+void ProvenanceRecorder::addDep(Fact &F, uint32_t Dep) {
+  if (std::find(F.Deps.begin(), F.Deps.end(), Dep) != F.Deps.end())
+    return;
+  F.Deps.push_back(Dep);
+  ++EdgeCount;
+}
+
+unsigned ProvenanceRecorder::depthOf(uint32_t F, std::vector<uint8_t> &State,
+                                     std::vector<unsigned> &Memo) const {
+  if (State[F] == 2)
+    return Memo[F];
+  if (State[F] == 1)
+    return 0; // back edge of a recursive derivation: cut the cycle
+  State[F] = 1;
+  unsigned Best = 0;
+  for (uint32_t Dep : Facts[F].Deps)
+    Best = std::max(Best, depthOf(Dep, State, Memo));
+  State[F] = 2;
+  Memo[F] = Best + 1;
+  return Memo[F];
+}
+
+unsigned ProvenanceRecorder::maxDepth() const {
+  std::vector<uint8_t> State(Facts.size(), 0);
+  std::vector<unsigned> Memo(Facts.size(), 0);
+  unsigned Best = 0;
+  for (uint32_t F = 0; F != Facts.size(); ++F)
+    Best = std::max(Best, depthOf(F, State, Memo));
+  return Best;
+}
+
+void ProvenanceRecorder::exportTo(obs::MetricsRegistry &Reg) const {
+  Reg.counter("explain.facts").max(numFacts());
+  Reg.counter("explain.edges").max(numEdges());
+  Reg.counter("explain.raises").max(numRaises());
+  Reg.counter("explain.max_depth").max(maxDepth());
+}

@@ -174,6 +174,23 @@ AllocationPlan AllocPlanner::run() {
           if (D.Sites.empty())
             continue;
         }
+        if (Options.Prov) {
+          unsigned NumStack = 0, NumRegion = 0;
+          for (const auto &[Id, Class] : D.Sites)
+            (Class == ArenaSiteClass::Stack ? NumStack : NumRegion) += 1;
+          uint32_t DF = Options.Prov->fresh(
+              explain::FactKind::Decision,
+              "arena directive: argument " + std::to_string(I + 1) +
+                  " of '" + std::string(Ast.spelling(Var->name())) + "'",
+              "stack/region allocation (A.3.1/A.3.3)", Node->loc());
+          Options.Prov->depend(DF, Local->Prov);
+          Options.Prov->result(
+              DF, "top " + std::to_string(D.ProtectedSpines) +
+                      " spine(s) protected; " + std::to_string(NumStack) +
+                      " stack site(s), " + std::to_string(NumRegion) +
+                      " region site(s)");
+          D.ProvenanceRef = DF;
+        }
         Plan.Directives.push_back(std::move(D));
       }
     });

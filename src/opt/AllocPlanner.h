@@ -71,6 +71,11 @@ struct ArgArenaDirective {
   /// the arena, with their classification.
   std::unordered_map<uint32_t, ArenaSiteClass> Sites;
 
+  /// Why-provenance: the Decision fact recorded for this directive,
+  /// citing the escape verdict that justified it (explain::NoFact when
+  /// no recorder was attached).
+  uint32_t ProvenanceRef = explain::NoFact;
+
   bool hasStackSites() const {
     for (const auto &[Id, Class] : Sites)
       if (Class == ArenaSiteClass::Stack)
@@ -105,6 +110,10 @@ struct AllocationPlan {
 struct AllocPlannerOptions {
   bool EnableStack = true;
   bool EnableRegion = true;
+  /// Why-provenance recorder; when non-null every directive records a
+  /// Decision fact depending on its escape verdict (observation only:
+  /// the plan itself is byte-identical either way).
+  explain::ProvenanceRecorder *Prov = nullptr;
 };
 
 /// Computes an AllocationPlan for a typed program, using per-call local

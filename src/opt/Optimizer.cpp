@@ -7,12 +7,68 @@
 
 #include "opt/Optimizer.h"
 
+#include "lang/AstUtils.h"
 #include "support/Diagnostics.h"
 #include "support/Metrics.h"
 
 using namespace eal;
 
 namespace {
+
+/// Records Decision facts for the §6 reuse transformation: one per
+/// generated version f' (citing the escape verdict that protected the
+/// reused parameter) and one per retargeted call site (citing its
+/// version's fact). Runs as a post-pass so the transform itself stays
+/// provenance-free.
+void recordReuseProvenance(const AstContext &Ast, const TypedProgram &Program,
+                           const ProgramEscapeReport &BaseEscape,
+                           ReuseTransformResult &Reuse,
+                           explain::ProvenanceRecorder &Prov) {
+  if (!Reuse.changedAnything())
+    return;
+  // The transform records node ids in the *original* AST; map them back
+  // to source positions for the facts.
+  std::unordered_map<uint32_t, SourceLoc> Locs;
+  forEachExpr(Program.root(),
+              [&](const Expr *E) { Locs.emplace(E->id(), E->loc()); });
+  auto LocOf = [&](uint32_t Id) {
+    auto It = Locs.find(Id);
+    return It == Locs.end() ? SourceLoc::invalid() : It->second;
+  };
+
+  std::unordered_map<uint32_t, uint32_t> VersionFacts; // primed sym -> fact
+  for (ReuseVersion &V : Reuse.Versions) {
+    SourceLoc Loc = V.DconsSites.empty() ? SourceLoc::invalid()
+                                         : LocOf(V.DconsSites.front());
+    uint32_t VF = Prov.fresh(
+        explain::FactKind::Decision,
+        "reuse version " + std::string(Ast.spelling(V.Primed)) + " of " +
+            std::string(Ast.spelling(V.Original)) + " (parameter " +
+            std::to_string(V.ParamIndex + 1) + ")",
+        "in-place reuse via DCONS (§6/A.3.2)", Loc);
+    if (const FunctionEscape *FE = BaseEscape.find(V.Original))
+      if (V.ParamIndex < FE->Params.size())
+        Prov.depend(VF, FE->Params[V.ParamIndex].Prov);
+    Prov.result(VF, std::to_string(V.DconsSites.size()) +
+                        " cons site(s) rewritten to DCONS");
+    V.ProvenanceRef = VF;
+    VersionFacts.emplace(V.Primed.id(), VF);
+  }
+
+  for (CallRetarget &R : Reuse.Retargets) {
+    uint32_t RF = Prov.fresh(
+        explain::FactKind::Decision,
+        "retarget call " + std::string(Ast.spelling(R.From)) + " -> " +
+            std::string(Ast.spelling(R.To)),
+        "Theorem 2 reuse budget >= 1 (§6)", LocOf(R.CalleeVarId));
+    auto It = VersionFacts.find(R.To.id());
+    if (It != VersionFacts.end())
+      Prov.depend(RF, It->second);
+    Prov.result(RF, R.InPrimedBody ? "recursive site inside primed body"
+                                   : "call site in base program");
+    R.ProvenanceRef = RF;
+  }
+}
 
 /// Publishes the optimizer's decision counts: how many reuse versions /
 /// DCONS sites the transformation produced and how many arena directives
@@ -64,6 +120,8 @@ eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
   {
     obs::PhaseTimer T(PhaseMicrosOut, "escape");
     EscapeAnalyzer BaseAnalyzer(Ast, Program, Diags, 512, Config.Analysis);
+    if (Config.Explain)
+      BaseAnalyzer.attachProvenance(Config.Explain);
     Out.BaseEscape = BaseAnalyzer.analyzeProgram();
     T.span().arg("functions",
                  static_cast<uint64_t>(Out.BaseEscape.Functions.size()));
@@ -76,11 +134,16 @@ eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
   if (Config.EnableReuse) {
     obs::PhaseTimer T(PhaseMicrosOut, "sharing");
     SharingAnalysis Sharing(Ast, Program, Out.BaseEscape);
+    if (Config.Explain)
+      Sharing.attachProvenance(Config.Explain);
     ReuseTransform Transform(Ast, Program, Out.BaseEscape, Sharing);
     if (auto Result = Transform.run()) {
       Out.Reuse = std::move(*Result);
       FinalRoot = Out.Reuse.NewRoot;
     }
+    if (Config.Explain)
+      recordReuseProvenance(Ast, Program, Out.BaseEscape, Out.Reuse,
+                            *Config.Explain);
     T.span().arg("reuse_versions",
                  static_cast<uint64_t>(Out.Reuse.Versions.size()));
   } else if (obs::tracingEnabled()) {
@@ -114,6 +177,8 @@ eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
   }
 
   EscapeAnalyzer FinalAnalyzer(Ast, Out.Typed, Diags, 512, Config.Analysis);
+  if (Config.Explain)
+    FinalAnalyzer.attachProvenance(Config.Explain);
   Out.FinalEscape = FinalAnalyzer.analyzeProgram();
 
   // Phase 4: allocation planning on the final program.
@@ -122,6 +187,7 @@ eal::optimizeProgram(AstContext &Ast, TypeContext &Types,
     AllocPlannerOptions PO;
     PO.EnableStack = Config.EnableStack;
     PO.EnableRegion = Config.EnableRegion;
+    PO.Prov = Config.Explain;
     AllocPlanner Planner(Ast, Out.Typed, FinalAnalyzer, PO);
     Out.Plan = Planner.run();
     T.span().arg("directives",

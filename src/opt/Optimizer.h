@@ -44,6 +44,12 @@ struct OptimizerConfig {
   /// Analysis granularity: the paper's spine-aware analysis or the
   /// ESOP'90 whole-object baseline (ablation).
   EscapeAnalysisMode Analysis = EscapeAnalysisMode::SpineAware;
+  /// Why-provenance recorder (docs/EXPLAIN.md), not owned. When non-null
+  /// the escape analyzers, the sharing analysis, and the planner record
+  /// their derivations, and reuse versions / plan directives carry
+  /// ProvenanceRef anchors. Observation-only: optimization decisions are
+  /// byte-identical with or without it.
+  explain::ProvenanceRecorder *Explain = nullptr;
 };
 
 /// Everything the pipeline produces.

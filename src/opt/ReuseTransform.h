@@ -47,6 +47,10 @@ struct ReuseVersion {
   /// Node ids (in the *original* AST) of the cons applications rewritten
   /// to DCONS in the primed body.
   std::vector<uint32_t> DconsSites;
+  /// Why-provenance: the Decision fact recorded for this version, citing
+  /// the G verdict that protected the reused parameter (explain::NoFact
+  /// when no recorder was attached).
+  uint32_t ProvenanceRef = explain::NoFact;
 };
 
 /// One call-site retargeting f -> f'.
@@ -57,6 +61,9 @@ struct CallRetarget {
   Symbol To;
   /// Whether the site is inside a primed body (true) or the base program.
   bool InPrimedBody = false;
+  /// Why-provenance: the Decision fact recorded for this retargeting
+  /// (explain::NoFact when no recorder was attached).
+  uint32_t ProvenanceRef = explain::NoFact;
 };
 
 /// The transformed program plus a record of what was done.

@@ -130,7 +130,7 @@ void ProfileReport::buildSiteTable() {
   });
 
   for (Site &S : SiteTable)
-    S.Planned = plannedFor(S.Id, S.Op, S.Loc, S.Why);
+    S.Planned = plannedFor(S.Id, S.Op, S.Loc, S.Why, S.Prov);
 
   // Deterministic order: source position, then id (synthesized last).
   std::sort(SiteTable.begin(), SiteTable.end(),
@@ -142,7 +142,8 @@ void ProfileReport::buildSiteTable() {
 }
 
 std::string ProfileReport::plannedFor(uint32_t Id, PrimOp Op, SourceLoc Loc,
-                                      std::string &Why) const {
+                                      std::string &Why,
+                                      uint32_t &Prov) const {
   if (Op == PrimOp::DCons) {
     std::ostringstream OS;
     OS << "cons rewritten to DCONS by the in-place reuse transformation "
@@ -154,6 +155,7 @@ std::string ProfileReport::plannedFor(uint32_t Id, PrimOp Op, SourceLoc Loc,
         OS << " " << Ast.spelling(V.Primed) << " (param "
            << (V.ParamIndex + 1) << " of " << Ast.spelling(V.Original)
            << ")";
+      Prov = Reuse.Versions.front().ProvenanceRef;
     }
     Why = OS.str();
     return "reuse";
@@ -173,6 +175,7 @@ std::string ProfileReport::plannedFor(uint32_t Id, PrimOp Op, SourceLoc Loc,
        << "', which never escape its activation"
        << (IsStack ? "" : "; the whole block is bulk-freed on return");
     Why = OS.str();
+    Prov = D.ProvenanceRef;
     return IsStack ? "stack" : "region";
   }
 
@@ -182,6 +185,8 @@ std::string ProfileReport::plannedFor(uint32_t Id, PrimOp Op, SourceLoc Loc,
     for (const check::Finding &F : *Findings)
       if (F.Loc == Loc && F.Code.size() > 5 && F.Code.compare(0, 5, "EAL-O") == 0) {
         Why = "[" + F.Code + "] " + F.Message;
+        if (!F.Blame.empty())
+          Prov = F.Blame.front();
         return "heap";
       }
   Why = "not claimed by any optimization";
@@ -239,7 +244,13 @@ std::string ProfileReport::toJson() const {
        << ", \"prim\": " << obs::jsonQuote(allocPrimName(S.Op))
        << ", \"prim_value\": " << (S.PrimValue ? "true" : "false")
        << ", \"planned\": " << obs::jsonQuote(S.Planned)
-       << ", \"why\": " << obs::jsonQuote(S.Why) << ",\n     \"engines\": {";
+       << ", \"why\": " << obs::jsonQuote(S.Why)
+       << ", \"provenance_ref\": ";
+    if (S.Prov == explain::NoFact)
+      OS << "null";
+    else
+      OS << S.Prov;
+    OS << ",\n     \"engines\": {";
     bool FirstEngine = true;
     for (const EngineProfile &E : Engines) {
       if (!E.P)

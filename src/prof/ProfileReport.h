@@ -30,6 +30,7 @@
 #define EAL_PROF_PROFILEREPORT_H
 
 #include "check/CheckReport.h"
+#include "explain/Provenance.h"
 #include "lang/Ast.h"
 #include "opt/AllocPlanner.h"
 #include "opt/ReuseTransform.h"
@@ -84,6 +85,10 @@ public:
     std::string Planned;
     /// Why the optimizer claimed (or could not claim) the site.
     std::string Why;
+    /// Why-provenance anchor (docs/EXPLAIN.md): the fact behind the
+    /// verdict — the directive/version Decision fact, or the heap
+    /// finding's blame head (explain::NoFact when no recorder ran).
+    uint32_t Prov = explain::NoFact;
   };
 
   const std::vector<Site> &sites() const { return SiteTable; }
@@ -104,7 +109,7 @@ public:
 private:
   void buildSiteTable();
   std::string plannedFor(uint32_t Id, PrimOp Op, SourceLoc Loc,
-                         std::string &Why) const;
+                         std::string &Why, uint32_t &Prov) const;
 
   const AstContext &Ast;
   const SourceManager &SM;

@@ -46,6 +46,28 @@ SharingAnalysis::resultSharing(Symbol Fn,
   SR.UnsharedTopSpines =
       FE->ResultSpines >= MaxSharedEscape ? FE->ResultSpines - MaxSharedEscape
                                           : 0;
+  if (Prov) {
+    // One fact per (function, argument-sharing vector): the clause-2
+    // derivation (all u_i = 0) and every clause-1 instantiation get
+    // their own node, each citing the G facts it consumed.
+    uint64_t Key = Fn.id();
+    for (unsigned U : ArgUnshared)
+      Key = Key * 1000003u + U + 1;
+    uint32_t SF = Prov->lookup(explain::FactKind::Sharing, ProvNs, Key);
+    if (SF == explain::NoFact) {
+      SF = Prov->create(explain::FactKind::Sharing, ProvNs, Key,
+                        "unshared(" + std::string(Ast.spelling(Fn)) +
+                            " result)",
+                        "Theorem 2: d_f − max_i{min{esc_i, d_i − u_i}}",
+                        SourceLoc::invalid());
+      for (const ParamEscape &PE : FE->Params)
+        Prov->depend(SF, PE.Prov);
+      Prov->result(SF, "top " + std::to_string(SR.UnsharedTopSpines) +
+                           " of " + std::to_string(SR.ResultSpines) +
+                           " result spine(s) unshared");
+    }
+    SR.Prov = SF;
+  }
   return SR;
 }
 
@@ -123,7 +145,26 @@ unsigned SharingAnalysis::reusableTopSpines(
     return 0;
   const ParamEscape &PE = FE->Params[ParamIndex];
   unsigned U = unsharedTopSpines(ArgExpr, Assumptions);
-  return std::min(U, PE.protectedTopSpines());
+  unsigned Budget = std::min(U, PE.protectedTopSpines());
+  if (Prov) {
+    // The §6 reuse budget for this concrete argument expression.
+    uint64_t Key = (static_cast<uint64_t>(ArgExpr->id()) << 32) |
+                   (static_cast<uint64_t>(ParamIndex) << 8) |
+                   (Fn.id() & 0xFFu);
+    uint32_t BF = Prov->lookup(explain::FactKind::Sharing, ProvNs, Key);
+    if (BF == explain::NoFact) {
+      BF = Prov->create(explain::FactKind::Sharing, ProvNs, Key,
+                        "reuse budget(" + std::string(Ast.spelling(Fn)) +
+                            ", " + std::to_string(ParamIndex + 1) + ")",
+                        "§6: min{u_i, d_i − esc_i}", ArgExpr->loc());
+      Prov->depend(BF, PE.Prov);
+      Prov->result(BF, "u=" + std::to_string(U) + ", protected=" +
+                           std::to_string(PE.protectedTopSpines()) +
+                           " → may reuse top " + std::to_string(Budget) +
+                           " spine(s)");
+    }
+  }
+  return Budget;
 }
 
 std::string eal::renderSharingReport(const AstContext &Ast,

@@ -44,6 +44,10 @@ struct SharingResult {
   unsigned ResultSpines = 0;
   /// How many top spines of the result are unshared.
   unsigned UnsharedTopSpines = 0;
+  /// Why-provenance: the Sharing fact recorded for this derivation (cites
+  /// the escape facts it consumed, per Theorem 2); explain::NoFact when
+  /// no recorder is attached.
+  uint32_t Prov = explain::NoFact;
 };
 
 /// Derives sharing facts from a program's global escape report.
@@ -53,6 +57,15 @@ public:
   SharingAnalysis(const AstContext &Ast, const TypedProgram &Program,
                   const ProgramEscapeReport &Report)
       : Ast(Ast), Program(Program), Report(Report) {}
+
+  /// Attaches a why-provenance recorder: subsequent resultSharing()
+  /// derivations record Sharing facts citing the ParamEscape facts they
+  /// consumed (Theorem 2). The recorder must outlive the analysis.
+  void attachProvenance(explain::ProvenanceRecorder *P) {
+    Prov = P;
+    if (P)
+      ProvNs = P->allocNamespace();
+  }
 
   /// Theorem 2 clause 2: unshared top spines of f's result for *any*
   /// arguments. Returns nullopt for unknown functions or non-list
@@ -100,6 +113,11 @@ private:
   const AstContext &Ast;
   const TypedProgram &Program;
   const ProgramEscapeReport &Report;
+  /// Why-provenance recorder (null: record nothing). The pointee is
+  /// mutated from const query methods — recording observes, it does not
+  /// change any analysis result.
+  explain::ProvenanceRecorder *Prov = nullptr;
+  uint32_t ProvNs = 0;
 };
 
 /// Renders clause-2 sharing facts for every function in \p Report

@@ -1,0 +1,89 @@
+//===- ExplainGoldenTest.cpp - blame-chain snapshots ------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Golden snapshots of `eal explain` over the Appendix A programs: the
+// partition sort (APPEND/SPLIT/PS) and naive reverse. The rendered blame
+// chains are the analysis's public story — which equation fired, at
+// which site, citing which prior facts — so a change to them must be a
+// conscious one: regenerate with
+//
+//   EAL_UPDATE_GOLDEN=1 ./explain_tests --gtest_filter='ExplainGolden*'
+//
+// and review the diff like any other source change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Pipeline.h"
+#include "explain/Explain.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace eal;
+using namespace eal::test;
+
+namespace {
+
+std::string goldenPath(const std::string &Name, const char *Ext) {
+  return std::string(EAL_SOURCE_DIR) + "/tests/explain/golden/" + Name + Ext;
+}
+
+void checkGolden(const std::string &Path, const std::string &Actual) {
+  if (std::getenv("EAL_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "updated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with EAL_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Actual, Buf.str())
+      << "blame chains drifted from " << Path
+      << "; if intentional, regenerate with EAL_UPDATE_GOLDEN=1";
+}
+
+PipelineResult explain(const char *Source) {
+  PipelineOptions Options;
+  Options.RunExplain = true;
+  Options.RunProgram = false;
+  return runPipeline(Source, Options);
+}
+
+void checkProgram(const std::string &Name, const char *Source) {
+  PipelineResult R = explain(Source);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.Explain.has_value());
+  checkGolden(goldenPath(Name, ".explain"), R.Explain->renderText(*R.SM));
+}
+
+TEST(ExplainGolden, PartitionSort) {
+  // APPEND, SPLIT, and PS of Appendix A in one program: escaping returns
+  // (append's second argument), protected prefixes, and reuse versions
+  // all leave chains here.
+  checkProgram("partition_sort", partitionSortSource());
+}
+
+TEST(ExplainGolden, Reverse) {
+  checkProgram("reverse", reverseSource());
+}
+
+TEST(ExplainGolden, MapPair) {
+  checkProgram("map_pair", mapPairSource());
+}
+
+TEST(ExplainGolden, PartitionSortDot) {
+  PipelineResult R = explain(partitionSortSource());
+  ASSERT_TRUE(R.Explain.has_value());
+  checkGolden(goldenPath("partition_sort", ".dot"), R.Explain->toDot());
+}
+
+} // namespace

@@ -20,6 +20,7 @@
 #include "ProgramGenerator.h"
 
 #include "driver/Pipeline.h"
+#include "lang/AstPrinter.h"
 
 #include <cstdlib>
 #include <gtest/gtest.h>
@@ -100,6 +101,48 @@ TEST_P(DifferentialTest, AllConfigsAndEnginesAgreeWithBaseline) {
       << "ORACLE REFUTED a claim (seed " << GetParam() << "):\n"
       << Prog.Source << Checked.diagnostics();
   EXPECT_EQ(Checked.RenderedValue, Base.RenderedValue) << Prog.Source;
+}
+
+// The why-provenance recorder is an observer: attaching it must not
+// change a single optimization decision. Optimize each generated program
+// with and without a recorder and require the final program, the
+// allocation plan, and the reuse record to render byte-identically
+// (docs/EXPLAIN.md).
+TEST_P(DifferentialTest, ProvenanceRecorderIsObservationOnly) {
+  ProgramGenerator Gen(GetParam());
+  GenProgram Prog = Gen.generate(3);
+
+  auto Optimize = [&](bool Explain) {
+    PipelineOptions Options;
+    Options.Mode = TypeInferenceMode::Monomorphic;
+    Options.RunProgram = false;
+    Options.RunExplain = Explain;
+    return runPipeline(Prog.Source, Options);
+  };
+
+  PipelineResult Plain = Optimize(false);
+  PipelineResult Observed = Optimize(true);
+  ASSERT_TRUE(Plain.Success) << Prog.Source << Plain.diagnostics();
+  ASSERT_TRUE(Observed.Success) << Prog.Source << Observed.diagnostics();
+  ASSERT_TRUE(Plain.Optimized && Observed.Optimized);
+  EXPECT_EQ(Plain.Prov, nullptr);
+  ASSERT_NE(Observed.Prov, nullptr);
+
+  EXPECT_EQ(printExpr(*Plain.Ast, Plain.Optimized->Root),
+            printExpr(*Observed.Ast, Observed.Optimized->Root))
+      << "recorder perturbed the optimized program (seed " << GetParam()
+      << "):\n"
+      << Prog.Source;
+  EXPECT_EQ(renderAllocationPlan(*Plain.Ast, Plain.Optimized->Plan),
+            renderAllocationPlan(*Observed.Ast, Observed.Optimized->Plan))
+      << "recorder perturbed the allocation plan (seed " << GetParam()
+      << "):\n"
+      << Prog.Source;
+  EXPECT_EQ(renderReuseReport(*Plain.Ast, Plain.Optimized->Reuse),
+            renderReuseReport(*Observed.Ast, Observed.Optimized->Reuse))
+      << "recorder perturbed the reuse transform (seed " << GetParam()
+      << "):\n"
+      << Prog.Source;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1u, 257u));

@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Validate eal --explain-json output against the eal-explain-v1 schema.
+
+`eal explain FILE --explain-json=OUT.json` (and any other command given
+--explain-json) writes the why-provenance graph and the blame chains --
+one chain per allocation site of the final program, each a minimal path
+from the site to the program point that decided its storage class -- as
+one JSON document (docs/EXPLAIN.md).  This checker is the schema's
+executable definition; ctest runs it over real CLI output so a drift
+fails the test suite, not a downstream consumer.
+
+Usage:
+  check_explain_json.py FILE [FILE...]   validate existing report files
+  check_explain_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import re
+import sys
+import tempfile
+import os
+
+SCHEMA = "eal-explain-v1"
+
+CODE_RE = re.compile(r"^EAL-[A-Z]\d{3}$")
+FACT_KINDS = ("binding", "apply", "query", "sharing", "decision", "finding")
+PRIMS = ("cons", "mkpair")
+STORAGES = ("heap", "stack", "region")
+GRAPH_COUNTERS = ("facts", "edges", "raises", "max_depth")
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_fact_ref(value, num_facts):
+    return is_count(value) and value < num_facts
+
+
+def check_step(errors, path, label, index, step, num_facts):
+    slabel = "%s.steps[%d]" % (label, index)
+    if not isinstance(step, dict):
+        fail(errors, path, "%s is not an object" % slabel)
+        return
+    for key in ("title", "detail"):
+        value = step.get(key)
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "%s: '%s' is not a non-empty string"
+                 % (slabel, key))
+    for key in ("line", "col"):
+        if not is_count(step.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (slabel, key))
+    fact = step.get("fact")
+    if fact is not None and not is_fact_ref(fact, num_facts):
+        fail(errors, path, "%s: 'fact' %r is neither null nor a valid "
+             "fact id" % (slabel, fact))
+
+
+def check_chain(errors, path, index, chain, num_facts):
+    label = "chains[%d]" % index
+    if not isinstance(chain, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    site = chain.get("site")
+    if not isinstance(site, dict):
+        fail(errors, path, "%s: 'site' is not an object" % label)
+    else:
+        if not is_count(site.get("id")):
+            fail(errors, path, "%s: site 'id' is not a non-negative "
+                 "integer" % label)
+        # Every chain is anchored at a real source position (1-based).
+        for key in ("line", "col"):
+            value = site.get(key)
+            if not is_count(value) or value < 1:
+                fail(errors, path, "%s: site '%s' is not a positive "
+                     "integer" % (label, key))
+        if site.get("prim") not in PRIMS:
+            fail(errors, path, "%s: site 'prim' is %r, expected one of %s"
+                 % (label, site.get("prim"), list(PRIMS)))
+        storage = site.get("storage")
+        if storage not in STORAGES:
+            fail(errors, path, "%s: site 'storage' is %r, expected one "
+                 "of %s" % (label, storage, list(STORAGES)))
+        code = site.get("code")
+        if code is not None and (not isinstance(code, str)
+                                 or not CODE_RE.match(code)):
+            fail(errors, path, "%s: site 'code' %r is neither null nor "
+                 "an EAL-Xnnn code" % (label, code))
+        # Only sites left on the GC heap carry a finding code.
+        if storage == "heap" and code is None:
+            fail(errors, path, "%s: a heap site must carry a finding "
+                 "code" % label)
+        if storage in ("stack", "region") and code is not None:
+            fail(errors, path, "%s: a %s site must not carry a finding "
+                 "code, got %r" % (label, storage, code))
+    steps = chain.get("steps")
+    if not isinstance(steps, list) or not steps:
+        fail(errors, path, "%s: 'steps' is not a non-empty array" % label)
+    else:
+        for j, step in enumerate(steps):
+            check_step(errors, path, label, j, step, num_facts)
+    facts = chain.get("facts")
+    if not isinstance(facts, list):
+        fail(errors, path, "%s: 'facts' is not an array" % label)
+    else:
+        for j, ref in enumerate(facts):
+            if not is_fact_ref(ref, num_facts):
+                fail(errors, path, "%s: facts[%d] %r is not a valid fact "
+                     "id" % (label, j, ref))
+
+
+def check_fact(errors, path, index, fact, num_facts):
+    label = "facts[%d]" % index
+    if not isinstance(fact, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    if fact.get("id") != index:
+        fail(errors, path, "%s: 'id' is %r, expected the array index %d"
+             % (label, fact.get("id"), index))
+    if fact.get("kind") not in FACT_KINDS:
+        fail(errors, path, "%s: 'kind' is %r, expected one of %s"
+             % (label, fact.get("kind"), list(FACT_KINDS)))
+    label_str = fact.get("label")
+    if not isinstance(label_str, str) or not label_str:
+        fail(errors, path, "%s: 'label' is not a non-empty string" % label)
+    # equation/result may legitimately be empty (e.g. an anchor fact),
+    # but must be strings.
+    for key in ("equation", "result"):
+        if not isinstance(fact.get(key), str):
+            fail(errors, path, "%s: '%s' is not a string" % (label, key))
+    for key in ("line", "col"):
+        if not is_count(fact.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+    deps = fact.get("deps")
+    if not isinstance(deps, list):
+        fail(errors, path, "%s: 'deps' is not an array" % label)
+    else:
+        for j, dep in enumerate(deps):
+            if not is_fact_ref(dep, num_facts):
+                fail(errors, path, "%s: deps[%d] %r is not a valid fact "
+                     "id" % (label, j, dep))
+            elif dep == index:
+                fail(errors, path, "%s: deps[%d] is a self-edge" % (label, j))
+    raises = fact.get("raises")
+    if not isinstance(raises, list):
+        fail(errors, path, "%s: 'raises' is not an array" % label)
+        return
+    last_round = -1
+    for j, event in enumerate(raises):
+        rlabel = "%s.raises[%d]" % (label, j)
+        if not isinstance(event, dict):
+            fail(errors, path, "%s is not an object" % rlabel)
+            continue
+        rnd = event.get("round")
+        if not is_count(rnd):
+            fail(errors, path, "%s: 'round' is not a non-negative integer"
+                 % rlabel)
+        else:
+            # The fixpoint only ever raises monotonically, round by round.
+            if rnd < last_round:
+                fail(errors, path, "%s: rounds are not non-decreasing"
+                     % rlabel)
+            last_round = rnd
+        value = event.get("value")
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "%s: 'value' is not a non-empty string"
+                 % rlabel)
+        deps = event.get("deps")
+        if not isinstance(deps, list):
+            fail(errors, path, "%s: 'deps' is not an array" % rlabel)
+        else:
+            for k, dep in enumerate(deps):
+                if not is_fact_ref(dep, num_facts):
+                    fail(errors, path, "%s: deps[%d] %r is not a valid "
+                         "fact id" % (rlabel, k, dep))
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    for key in ("command", "file"):
+        value = doc.get(key)
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "'%s' is not a non-empty string" % key)
+    if not isinstance(doc.get("success"), bool):
+        fail(errors, path, "'success' is not a boolean")
+    graph = doc.get("graph")
+    if not isinstance(graph, dict):
+        fail(errors, path, "'graph' is not an object")
+        graph = {}
+    for key in GRAPH_COUNTERS:
+        if not is_count(graph.get(key)):
+            fail(errors, path, "graph: '%s' is not a non-negative integer"
+                 % key)
+    facts = doc.get("facts")
+    if not isinstance(facts, list):
+        fail(errors, path, "'facts' is not an array")
+        facts = []
+    num_facts = len(facts)
+    if is_count(graph.get("facts")) and graph["facts"] != num_facts:
+        fail(errors, path, "graph: 'facts' is %d but the facts array has "
+             "%d entries" % (graph["facts"], num_facts))
+    for i, fact in enumerate(facts):
+        check_fact(errors, path, i, fact, num_facts)
+    chains = doc.get("chains")
+    if not isinstance(chains, list):
+        fail(errors, path, "'chains' is not an array")
+    else:
+        for i, chain in enumerate(chains):
+            check_chain(errors, path, i, chain, num_facts)
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "command": "explain",
+        "file": "<input>",
+        "success": True,
+        "graph": {"facts": 3, "edges": 2, "raises": 1, "max_depth": 2},
+        "chains": [{
+            "site": {"id": 17, "line": 11, "col": 23, "prim": "cons",
+                     "storage": "heap", "code": "EAL-O001"},
+            "steps": [
+                {"title": "allocation site", "detail": "cons cell",
+                 "line": 11, "col": 23, "fact": None},
+                {"title": "escape verdict",
+                 "detail": "L(append, 2) = <1,1> [§4.2]",
+                 "line": 3, "col": 1, "fact": 2},
+                {"title": "escaping return",
+                 "detail": "the result carries 1 spine back to the caller",
+                 "line": 3, "col": 1, "fact": 0},
+            ],
+            "facts": [2, 0],
+        }],
+        "facts": [
+            {"id": 0, "kind": "binding", "label": "append",
+             "equation": "§4.1 letrec", "line": 3, "col": 1,
+             "result": "<0,0>+fn(1)", "deps": [],
+             "raises": [{"round": 1, "value": "<0,0>+fn(1)", "deps": []}]},
+            {"id": 1, "kind": "apply", "label": "append @ call",
+             "equation": "§4.1 apply", "line": 5, "col": 4,
+             "result": "<1,1>", "deps": [0], "raises": []},
+            {"id": 2, "kind": "query", "label": "L(append, 2)",
+             "equation": "§4.2", "line": 3, "col": 1,
+             "result": "<1,1>", "deps": [0], "raises": []},
+        ],
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid document", good, True),
+        ("stack site with null code",
+         broken(lambda d: d["chains"][0]["site"].update(
+             storage="stack", code=None)), True),
+        ("empty chains",
+         broken(lambda d: d.update(chains=[])), True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("missing success",
+         broken(lambda d: d.pop("success")), False),
+        ("missing graph counter",
+         broken(lambda d: d["graph"].pop("edges")), False),
+        ("graph fact count disagrees with facts array",
+         broken(lambda d: d["graph"].update(facts=99)), False),
+        ("unknown fact kind",
+         broken(lambda d: d["facts"][0].update(kind="lemma")), False),
+        ("fact id not the array index",
+         broken(lambda d: d["facts"][1].update(id=7)), False),
+        ("dangling dep",
+         broken(lambda d: d["facts"][1].update(deps=[42])), False),
+        ("self-edge dep",
+         broken(lambda d: d["facts"][1].update(deps=[1])), False),
+        ("raise rounds decrease",
+         broken(lambda d: d["facts"][0].update(raises=[
+             {"round": 2, "value": "a", "deps": []},
+             {"round": 1, "value": "b", "deps": []}])), False),
+        ("heap site without finding code",
+         broken(lambda d: d["chains"][0]["site"].update(code=None)), False),
+        ("bad finding code",
+         broken(lambda d: d["chains"][0]["site"].update(code="O001")), False),
+        ("unknown storage class",
+         broken(lambda d: d["chains"][0]["site"].update(
+             storage="tls", code=None)), False),
+        ("chain without steps",
+         broken(lambda d: d["chains"][0].update(steps=[])), False),
+        ("step fact dangling",
+         broken(lambda d: d["chains"][0]["steps"][1].update(fact=42)), False),
+        ("chain fact list dangling",
+         broken(lambda d: d["chains"][0].update(facts=[42])), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-explain-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "explain.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -76,6 +76,17 @@ def check_finding(errors, path, index, finding):
     message = finding.get("message")
     if not isinstance(message, str) or not message:
         fail(errors, path, "%s: 'message' is not a non-empty string" % label)
+    # Optional why-provenance: fact ids into the matching --explain-json
+    # graph (docs/EXPLAIN.md).  Only emitted when a recorder ran.
+    if "blame" in finding:
+        blame = finding["blame"]
+        if not isinstance(blame, list):
+            fail(errors, path, "%s: 'blame' is not an array" % label)
+        else:
+            for j, ref in enumerate(blame):
+                if not is_count(ref):
+                    fail(errors, path, "%s: blame[%d] %r is not a "
+                         "non-negative integer" % (label, j, ref))
 
 
 def check_violation(errors, path, index, violation):
@@ -200,6 +211,12 @@ def self_test():
         ("valid document", good, True),
         ("no oracle section",
          broken(lambda d: d.pop("oracle")), True),
+        ("finding with blame chain",
+         broken(lambda d: d["findings"][0].update(blame=[230, 221])), True),
+        ("blame not an array",
+         broken(lambda d: d["findings"][0].update(blame=7)), False),
+        ("negative blame entry",
+         broken(lambda d: d["findings"][0].update(blame=[-1])), False),
         ("wrong schema tag",
          broken(lambda d: d.update(schema="v0")), False),
         ("missing success",

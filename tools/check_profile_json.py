@@ -121,6 +121,15 @@ def check_site(errors, path, index, site, engine_names):
     why = site.get("why")
     if not isinstance(why, str) or not why:
         fail(errors, path, "%s: 'why' is not a non-empty string" % label)
+    # Why-provenance anchor: a fact id into the matching --explain-json
+    # graph, or null when no recorder ran / no fact backs the verdict
+    # (docs/EXPLAIN.md).
+    if "provenance_ref" not in site:
+        fail(errors, path, "%s: missing 'provenance_ref'" % label)
+    elif site["provenance_ref"] is not None \
+            and not is_count(site["provenance_ref"]):
+        fail(errors, path, "%s: 'provenance_ref' %r is neither null nor "
+             "a non-negative integer" % (label, site["provenance_ref"]))
     if "engines" not in site:
         fail(errors, path, "%s: missing 'engines'" % label)
     else:
@@ -245,6 +254,7 @@ def self_test():
             "id": 7, "line": 3, "col": 12, "prim": "cons",
             "prim_value": False, "planned": "stack",
             "why": "builds the top spine of argument 1 of 'ps'",
+            "provenance_ref": 42,
             "engines": {
                 "tree": {
                     "allocs_heap": 0, "allocs_stack": 6, "allocs_region": 0,
@@ -280,6 +290,12 @@ def self_test():
 
     cases = [
         ("valid document", good, True),
+        ("null provenance_ref",
+         broken(lambda d: d["sites"][0].update(provenance_ref=None)), True),
+        ("missing provenance_ref",
+         broken(lambda d: d["sites"][0].pop("provenance_ref")), False),
+        ("string provenance_ref",
+         broken(lambda d: d["sites"][0].update(provenance_ref="42")), False),
         ("wrong schema tag",
          broken(lambda d: d.update(schema="v0")), False),
         ("empty engines",

@@ -53,6 +53,9 @@ run_config() {
   cmake --build "$dir" -j "$JOBS"
   echo "=== [$name] tier-1 ctest"
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" -LE tier2)
+  if [ "$name" = asan ]; then
+    explain_smoke "$dir"
+  fi
   if [ "$name" = release ]; then
     echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
     (cd "$dir" && EAL_FUZZ_SEEDS="$FUZZ_SEEDS" \
@@ -60,6 +63,29 @@ run_config() {
     bench_gate "$dir"
   fi
   echo "=== [$name] OK"
+}
+
+# Why-provenance smoke: run `eal explain` over every shipped example
+# under ASan -- the blame-chain builder walks the whole final program and
+# dereferences fact ids recorded by three different analyses, so this is
+# where a stale reference or classifier/linter drift surfaces. Each run
+# also round-trips --explain-json through the schema checker
+# (docs/EXPLAIN.md).
+explain_smoke() {
+  local dir="$1"
+  echo "=== [asan] eal explain over examples/nml (+ schema check)"
+  local example flags json
+  for example in "$REPO"/examples/nml/*.nml; do
+    flags=""
+    case "$(basename "$example")" in
+    stats.nml) flags="--stdlib" ;;
+    esac
+    json="$dir/explain-$(basename "$example" .nml).json"
+    # shellcheck disable=SC2086
+    "$dir/tools/eal" explain "$example" $flags --explain-json="$json" \
+        >/dev/null
+    python3 "$REPO/tools/check_explain_json.py" "$json"
+  done
 }
 
 # Perf-regression gate: run each baselined bench's sweep (benchmark

@@ -17,6 +17,10 @@
 //                         & hot-path profiler (docs/PROFILING.md): every
 //                         cons/pair/dcons site with its planned storage
 //                         class, why, and what each engine observed there
+//   eal explain  <file>   why-provenance blame chains (docs/EXPLAIN.md):
+//                         for every allocation site, the derivation from
+//                         the site to the program point deciding its
+//                         storage (the escaping return, the directive, ...)
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -50,6 +54,16 @@
 //                     "tree;f;g N" / "vm;f;g N" line per stack), ready
 //                     for flamegraph.pl / speedscope
 //
+// Explain flags (docs/EXPLAIN.md):
+//   --at=[FILE:]L:C   print only the chains of the allocation site at
+//                     line L, column C (`eal explain` only); with no
+//                     exact column match, every site on line L
+//   --explain-json=FILE write the chains + the whole provenance graph as
+//                     JSON (schema eal-explain-v1,
+//                     tools/check_explain_json.py); any command
+//   --dot=FILE        write the provenance graph as Graphviz DOT, blame
+//                     chains highlighted; any command
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
@@ -73,14 +87,16 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: eal <analyze|optimize|run|disasm|report|check|profile> "
-         "<file|-> [options]\n"
+      << "usage: eal <analyze|optimize|run|disasm|report|check|profile"
+         "|explain> <file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
          "         --trace=FILE --stats-json=FILE --time-phases\n"
          "         --check --oracle --check-json=FILE\n"
-         "         --profile-json=FILE --folded=FILE   (profile only)\n";
+         "         --profile-json=FILE --folded=FILE   (profile only)\n"
+         "         --at=[FILE:]LINE:COL (explain only) --explain-json=FILE "
+         "--dot=FILE\n";
   return 2;
 }
 
@@ -147,6 +163,24 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   if (!Out)
     std::cerr << "eal: error: cannot write '" << Path << "'\n";
   return static_cast<bool>(Out);
+}
+
+/// Parses "--at" position specs: "LINE:COL" with an optional leading
+/// "FILE:" prefix (ignored; the command already names the file).
+bool parseAt(const std::string &Spec, LineColumn &LC) {
+  size_t Colon2 = Spec.rfind(':');
+  if (Colon2 == std::string::npos || Colon2 == 0 || Colon2 + 1 >= Spec.size())
+    return false;
+  size_t Colon1 = Spec.rfind(':', Colon2 - 1);
+  size_t LineBegin = Colon1 == std::string::npos ? 0 : Colon1 + 1;
+  char *End = nullptr;
+  LC.Line = std::strtoul(Spec.c_str() + LineBegin, &End, 10);
+  if (End != Spec.c_str() + Colon2)
+    return false;
+  LC.Column = std::strtoul(Spec.c_str() + Colon2 + 1, &End, 10);
+  if (End != Spec.c_str() + Spec.size())
+    return false;
+  return LC.Line > 0;
 }
 
 /// `eal profile`: run the program on both engines under the profiler and
@@ -222,7 +256,7 @@ int main(int argc, char **argv) {
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
       Command != "disasm" && Command != "report" && Command != "check" &&
-      Command != "profile")
+      Command != "profile" && Command != "explain")
     return usage();
 
   PipelineOptions Options;
@@ -230,8 +264,10 @@ int main(int argc, char **argv) {
       Command == "run" || Command == "report" || Command == "profile";
   Options.CompileBytecode = Command == "disasm";
   Options.RunLint = Command == "check" || Command == "profile";
+  Options.RunExplain = Command == "explain";
   Options.Obs.Command = Command;
   std::string CheckJsonPath, ProfileJsonPath, FoldedPath;
+  std::string AtSpec, ExplainJsonPath, DotPath;
   bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -270,7 +306,15 @@ int main(int argc, char **argv) {
       ProfileJsonPath = Arg.substr(std::strlen("--profile-json="));
     else if (Arg.rfind("--folded=", 0) == 0 && Command == "profile")
       FoldedPath = Arg.substr(std::strlen("--folded="));
-    else
+    else if (Arg.rfind("--at=", 0) == 0 && Command == "explain")
+      AtSpec = Arg.substr(std::strlen("--at="));
+    else if (Arg.rfind("--explain-json=", 0) == 0 && Command != "profile") {
+      ExplainJsonPath = Arg.substr(std::strlen("--explain-json="));
+      Options.RunExplain = true;
+    } else if (Arg.rfind("--dot=", 0) == 0 && Command != "profile") {
+      DotPath = Arg.substr(std::strlen("--dot="));
+      Options.RunExplain = true;
+    } else
       return usage();
   }
 
@@ -288,6 +332,24 @@ int main(int argc, char **argv) {
   // trace of a failed run is exactly what one wants for debugging it);
   // surface any export errors here.
   bool ExportOk = reportObsErrors(R);
+  if (!ExplainJsonPath.empty()) {
+    if (R.Explain)
+      ExportOk = writeTextFile(ExplainJsonPath,
+                               R.Explain->toJson(*R.SM, Command, R.Success)) &&
+                 ExportOk;
+    else {
+      std::cerr << "eal: error: cannot write '" << ExplainJsonPath << "'\n";
+      ExportOk = false;
+    }
+  }
+  if (!DotPath.empty()) {
+    if (R.Explain)
+      ExportOk = writeTextFile(DotPath, R.Explain->toDot()) && ExportOk;
+    else {
+      std::cerr << "eal: error: cannot write '" << DotPath << "'\n";
+      ExportOk = false;
+    }
+  }
   if (!CheckJsonPath.empty()) {
     std::ofstream Out(CheckJsonPath);
     if (Out && R.Check)
@@ -318,6 +380,29 @@ int main(int argc, char **argv) {
     if (Command == "report")
       std::cout << '\n';
     printRun(R);
+  }
+  if (Command == "explain" && R.Explain) {
+    if (AtSpec.empty()) {
+      std::cout << R.Explain->renderText(*R.SM);
+    } else {
+      LineColumn LC;
+      if (!parseAt(AtSpec, LC)) {
+        std::cerr << "eal: error: malformed --at '" << AtSpec
+                  << "' (expected [FILE:]LINE:COL)\n";
+        return 2;
+      }
+      auto Selected = R.Explain->chainsAt(*R.SM, LC);
+      if (Selected.empty()) {
+        std::cerr << "eal: error: no allocation site at '" << AtSpec
+                  << "'\n";
+        return 1;
+      }
+      explain::ExplainReport Sub;
+      Sub.Recorder = R.Explain->Recorder;
+      for (const explain::BlameChain *C : Selected)
+        Sub.Chains.push_back(*C);
+      std::cout << Sub.renderText(*R.SM);
+    }
   }
   if (R.Check) {
     if (Command != "check")
