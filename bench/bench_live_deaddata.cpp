@@ -1,0 +1,122 @@
+//===- bench_live_deaddata.cpp - dead-data workloads & liveness cost --------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment LIVE (an implementation ablation, not a paper table): the
+// dead-data workload family behind docs/LIVENESS.md — spine-only
+// consumers, computed-but-undemanded pair components, and partially
+// consumed map chains. Three configurations per size:
+//
+//   live=off   the plain optimized pipeline (the zero-cost-when-off
+//              gate: enabling the analysis in the codebase must not
+//              slow this row down),
+//   live=on    the liveness analysis runs but nothing consumes it
+//              (its static cost on top of the same execution),
+//   live=gc    the GC-prune consumer armed with a small heap, so the
+//              mark phase actually skips dead cells' children.
+//
+// BENCH_live_deaddata.json is baselined under bench/baselines/ and
+// gated by tools/bench_diff.py in CI (tools/ci.sh).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+/// The dead-data family, sized by \p N: length walks N spine cells whose
+/// elements are never read, the pair's fst list is never touched at all,
+/// and only a 3-cell prefix of the N-cell map chain survives.
+std::string deadDataSource(unsigned N) {
+  std::string N2 = std::to_string(N);
+  return "letrec\n"
+         "  upto n = if n = 0 then nil else cons (n mod 7) (upto (n - 1));\n"
+         "  shadow n = if n = 0 then nil else cons (n + n) (shadow (n - 1));\n"
+         "  length l = if (null l) then 0 else 1 + length (cdr l);\n"
+         "  sum l = if (null l) then 0 else (car l) + (sum (cdr l));\n"
+         "  map f l = if (null l) then nil\n"
+         "            else cons (f (car l)) (map f (cdr l));\n"
+         "  take n l = if n = 0 then nil else if (null l) then nil\n"
+         "             else cons (car l) (take (n - 1) (cdr l))\n"
+         "in (length (upto " + N2 + ")) + (sum (upto 16))\n"
+         "   + (sum (take 3 (map (lambda(w). w * w) (upto " + N2 + "))))\n"
+         "   + (snd (shadow " + N2 + ", 100))\n";
+}
+
+PipelineOptions liveConfig(bool Live, bool GcPrune) {
+  PipelineOptions Options = config(true, true, true);
+  Options.RunLive = Live || GcPrune;
+  Options.LiveGcPrune = GcPrune;
+  if (GcPrune)
+    // Small enough that the collector runs and the prune does work.
+    Options.Run.HeapCapacity = 128;
+  return Options;
+}
+
+void printComparison() {
+  std::cout << "=== LIVE: dead-data workloads, liveness analysis cost ===\n";
+  std::cout << std::left << std::setw(26) << "workload" << std::right
+            << std::setw(12) << "value" << std::setw(13) << "wall (us)"
+            << std::setw(13) << "exec (us)" << std::setw(10) << "gc runs"
+            << '\n';
+  struct Row {
+    const char *Name;
+    bool Live;
+    bool GcPrune;
+  };
+  const Row Rows[] = {
+      {"dead_data/live=off", false, false},
+      {"dead_data/live=on", true, false},
+      {"dead_data/live=gc", false, true},
+  };
+  const unsigned N = 256;
+  const unsigned Reps = 9;
+  std::vector<BenchRecord> Records;
+  std::string Source = deadDataSource(N);
+  for (const Row &Row : Rows) {
+    PipelineOptions Options = liveConfig(Row.Live, Row.GcPrune);
+    PipelineResult R = timedRun(Records, std::string(Row.Name) + "/n=" +
+                                             std::to_string(N),
+                                N, Source, Options);
+    Records.back().ExecuteSeconds = bestExecuteSeconds(Source, Options, Reps);
+    std::cout << std::left << std::setw(26) << Row.Name << std::right
+              << std::setw(12) << R.RenderedValue << std::setw(13)
+              << static_cast<int64_t>(Records.back().WallSeconds * 1e6)
+              << std::setw(13)
+              << static_cast<int64_t>(Records.back().ExecuteSeconds * 1e6)
+              << std::setw(10) << R.Stats.GcRuns << '\n';
+  }
+  std::cout << '\n';
+  writeBenchJson("live_deaddata", Records);
+}
+
+void BM_DeadData(benchmark::State &State) {
+  bool Live = State.range(0) == 1;
+  bool GcPrune = State.range(0) == 2;
+  std::string Source = deadDataSource(256);
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, liveConfig(Live, GcPrune));
+    benchmark::DoNotOptimize(R.RenderedValue);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_DeadData)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- LiveLint.cpp -------------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/LiveLint.h"
+
+#include "types/TypeInference.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace eal;
+using namespace eal::check;
+using namespace eal::live;
+
+namespace {
+
+bool isExempt(const AstContext &Ast, Symbol Context,
+              const LiveLintOptions &Options) {
+  if (!Context.isValid())
+    return false;
+  std::string_view Spelling = Ast.spelling(Context);
+  for (const std::string &Name : Options.ExemptContexts)
+    if (Spelling == Name)
+      return true;
+  return false;
+}
+
+/// True when the element slot of a cons at \p Site can hold cells —
+/// then a dead element field means structural garbage, not just an
+/// unread scalar. Unknown types count as cell-holding (conservative:
+/// report).
+bool elementHoldsCells(const TypedProgram *Typed, const Expr *Site) {
+  if (!Typed)
+    return true;
+  const Type *T = Typed->typeOf(Site);
+  const auto *L = dyn_cast<ListType>(T);
+  if (!L)
+    return true;
+  return L->element()->isList() || L->element()->isPair();
+}
+
+void addFinding(CheckReport &Out, const char *Code, FindingSeverity Severity,
+                const SiteLive &S, std::string Message,
+                const explain::ProvenanceRecorder *Prov) {
+  Finding F;
+  F.Code = Code;
+  F.Severity = Severity;
+  F.Loc = S.Site->loc();
+  F.Message = std::move(Message);
+  if (Prov && S.Fact != explain::NoFact)
+    F.Blame = explain::blamePath(*Prov, S.Fact);
+  Out.Findings.push_back(std::move(F));
+}
+
+std::string siteNoun(const SiteLive &S) {
+  switch (S.Op) {
+  case PrimOp::MkPair:
+    return "pair";
+  case PrimOp::DCons:
+    return "reused cell";
+  default:
+    return "cell";
+  }
+}
+
+} // namespace
+
+void eal::check::lintLiveness(const AstContext &Ast, const LiveReport &Live,
+                              const std::vector<explain::SiteInfo> &Sites,
+                              const TypedProgram *Typed,
+                              const explain::ProvenanceRecorder *Prov,
+                              const LiveLintOptions &Options,
+                              CheckReport &Out) {
+  // Storage under the final plan, from the shared site classifier.
+  std::unordered_map<uint32_t, explain::SiteStorage> Storage;
+  for (const explain::SiteInfo &SI : Sites)
+    Storage.emplace(SI.Site->id(), SI.Storage);
+
+  for (const SiteLive &S : Live.Sites) {
+    if (isExempt(Ast, S.Context, Options))
+      continue;
+    Demand D = S.Dem.normalized();
+    bool IsList = S.Op == PrimOp::Cons || S.Op == PrimOp::DCons;
+
+    if (D.isBottom()) {
+      // Dead *code* (the enclosing function never runs — e.g. the
+      // optimizer's superseded original after DCONS cloning) is not
+      // dead *data*; nothing is ever allocated here.
+      if (S.Unreached)
+        continue;
+      std::ostringstream OS;
+      OS << "dead data: no field of any " << siteNoun(S)
+         << " allocated here is ever read (demand " << D.str() << ")";
+      addFinding(Out, "EAL-D001", FindingSeverity::Warning, S, OS.str(),
+                 Prov);
+      continue; // ⊥ subsumes the finer findings
+    }
+
+    // D002: a finite spine prefix is demanded; the suffix is dead
+    // weight. A list notion — pairs always have depth 1.
+    if (IsList && D.Depth != Demand::Inf) {
+      std::ostringstream OS;
+      OS << "dead spine suffix: only the first " << unsigned(D.Depth)
+         << " spine cell(s) of lists built here are ever demanded (demand "
+         << D.str() << ")";
+      addFinding(Out, "EAL-D002", FindingSeverity::Note, S, OS.str(), Prov);
+    }
+
+    // D003: spines walked, elements never read.
+    if (IsList && !D.Car && elementHoldsCells(Typed, S.Site)) {
+      std::ostringstream OS;
+      OS << "dead element field: spines built here are traversed but no "
+            "element is ever read (demand "
+         << D.str() << "); the elements are structural garbage";
+      addFinding(Out, "EAL-D003", FindingSeverity::Note, S, OS.str(), Prov);
+    }
+
+    // D004: the escape analysis pinned the site to the GC heap, but
+    // liveness shows a finite demand — residency protects mostly-dead
+    // data. Anchored on the shared classifier's storage verdict.
+    if (IsList && D.Depth != Demand::Inf) {
+      auto It = Storage.find(S.Site->id());
+      if (It != Storage.end() && It->second == explain::SiteStorage::Heap) {
+        std::ostringstream OS;
+        OS << "liveness-blocked optimization: kept on the GC heap by the "
+              "escape analysis, yet only "
+           << unsigned(D.Depth)
+           << " spine cell(s) are ever demanded — heap residency protects "
+              "data that is mostly never read";
+        addFinding(Out, "EAL-D004", FindingSeverity::Note, S, OS.str(),
+                   Prov);
+      }
+    }
+  }
+}

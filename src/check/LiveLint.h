@@ -1,0 +1,65 @@
+//===- LiveLint.h - Dead-data lints (EAL-D) ---------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The EAL-D finding family (docs/LIVENESS.md, docs/CHECKING.md): what
+/// the liveness analysis has to say about each allocation site of the
+/// final program —
+///
+///   EAL-D001  dead allocation: demand ⊥ — no field of any cell born
+///             here is ever read (this is the set the liveness oracle
+///             checks dynamically)
+///   EAL-D002  dead spine suffix: only the first d spine cells of the
+///             lists built here are ever demanded (finite 0 < d < ∞)
+///   EAL-D003  dead element field: spines are walked but no element is
+///             ever read (car-demand clear); reported when the element
+///             type holds cells, i.e. the garbage is structural
+///   EAL-D004  liveness-blocked optimization: the escape analysis kept
+///             the site on the GC heap, yet its demand is finite — the
+///             heap residency protects data that is mostly never read
+///
+/// Storage classification reuses explain::classifySites — the same
+/// SiteClassifier walk behind the EAL-O linter and the blame chains —
+/// so the two finding families can never disagree about where a cell
+/// lives. With a recorder attached, each finding's Blame is the
+/// provenance path from the site's Liveness fact to the demanding
+/// context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_CHECK_LIVELINT_H
+#define EAL_CHECK_LIVELINT_H
+
+#include "check/CheckReport.h"
+#include "explain/Explain.h"
+#include "live/LiveAnalyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace eal::check {
+
+struct LiveLintOptions {
+  /// Top-level binding names whose sites are exempt (the spliced stdlib
+  /// prelude: unused prelude functions would otherwise flood D001).
+  std::vector<std::string> ExemptContexts;
+};
+
+/// Appends the EAL-D findings for \p Live to \p Out, in site order.
+/// \p Sites (explain::classifySites over the same final program) feeds
+/// the D004 storage test — pass an empty vector to skip D004. \p Typed
+/// may be null (D003 then skips its element-type refinement). \p Prov
+/// may be null (findings then carry no blame chains).
+void lintLiveness(const AstContext &Ast, const live::LiveReport &Live,
+                  const std::vector<explain::SiteInfo> &Sites,
+                  const TypedProgram *Typed,
+                  const explain::ProvenanceRecorder *Prov,
+                  const LiveLintOptions &Options, CheckReport &Out);
+
+} // namespace eal::check
+
+#endif // EAL_CHECK_LIVELINT_H

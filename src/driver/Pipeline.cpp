@@ -7,6 +7,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "check/LiveLint.h"
 #include "driver/Stdlib.h"
 #include "lang/Lexer.h"
 #include "lang/Parser.h"
@@ -18,6 +19,44 @@
 using namespace eal;
 
 namespace {
+
+/// Fans every observer hook out to two observers, so the escape oracle
+/// and the liveness oracle (or a caller-supplied observer and either
+/// oracle) can ride the same run.
+class FanOutObserver final : public ExecutionObserver {
+public:
+  FanOutObserver(ExecutionObserver *A, ExecutionObserver *B) : A(A), B(B) {}
+
+  void cellAllocated(const ConsCell *Cell, uint32_t SiteId) override {
+    A->cellAllocated(Cell, SiteId);
+    B->cellAllocated(Cell, SiteId);
+  }
+  void cellTouched(const ConsCell *Cell, uint64_t NowSeq) override {
+    A->cellTouched(Cell, NowSeq);
+    B->cellTouched(Cell, NowSeq);
+  }
+  void activationEntered(const LambdaExpr *Fn, const AppExpr *CallSite,
+                         std::span<const RtValue> Args) override {
+    A->activationEntered(Fn, CallSite, Args);
+    B->activationEntered(Fn, CallSite, Args);
+  }
+  bool activationExited(const RtValue *Result) override {
+    // Both sides must see every exit (strict bracketing) even when the
+    // first one aborts.
+    bool KeepA = A->activationExited(Result);
+    bool KeepB = B->activationExited(Result);
+    Aborted = !KeepA ? A : !KeepB ? B : nullptr;
+    return KeepA && KeepB;
+  }
+  std::string abortReason() const override {
+    return Aborted ? Aborted->abortReason() : ExecutionObserver::abortReason();
+  }
+
+private:
+  ExecutionObserver *A;
+  ExecutionObserver *B;
+  ExecutionObserver *Aborted = nullptr;
+};
 
 /// The eal-stats-v1 document (tools/check_stats_json.py-compatible shape;
 /// see docs/OBSERVABILITY.md).
@@ -75,7 +114,11 @@ void runPipelineImpl(const std::string &Source,
   if (!R.ParsedRoot)
     return;
 
-  if (Options.RunLint || Options.RunOracle)
+  // The liveness oracle checks the analysis's claims, so it implies the
+  // analysis.
+  const bool RunLive = Options.RunLive || Options.RunLiveOracle;
+
+  if (Options.RunLint || Options.RunOracle || RunLive)
     R.Check.emplace();
   if (Options.RunLint) {
     obs::PhaseTimer T(&R.PhaseMicros, "lint");
@@ -97,10 +140,11 @@ void runPipelineImpl(const std::string &Source,
 
   OptimizerConfig OptConfig = Options.Optimize;
   OptConfig.Mode = Options.Mode;
-  if (Options.RunLint || Options.RunExplain) {
+  if (Options.RunLint || Options.RunExplain || RunLive) {
     // One recorder spans the whole run: base/final escape analysis, the
-    // sharing analysis, and the planner all write into it, and findings
-    // plus blame chains index into the one graph.
+    // sharing analysis, the planner, and the liveness analysis all
+    // write into it, and findings plus blame chains index into the one
+    // graph.
     R.Prov = std::make_unique<explain::ProvenanceRecorder>();
     OptConfig.Explain = R.Prov.get();
   }
@@ -112,17 +156,29 @@ void runPipelineImpl(const std::string &Source,
   if (!R.Optimized)
     return;
 
+  // One site classification per run: the EAL-O explanations, the blame
+  // chains, and the EAL-D storage test (D004) must all grade the same
+  // final program the planner consulted, so they can never disagree.
+  std::vector<explain::SiteInfo> ClassifiedSites;
+  bool HaveSites = false;
+  auto classifySitesOnce = [&]() -> const std::vector<explain::SiteInfo> & {
+    if (!HaveSites) {
+      EscapeAnalyzer Analyzer(*R.Ast, R.Optimized->Typed, *R.Diags, 512,
+                              OptConfig.Analysis);
+      if (R.Prov)
+        Analyzer.attachProvenance(R.Prov.get());
+      ClassifiedSites = explain::classifySites(*R.Ast, R.Optimized->Typed,
+                                               Analyzer, R.Optimized->Plan);
+      HaveSites = true;
+    }
+    return ClassifiedSites;
+  };
+
   if (Options.RunLint || Options.RunExplain) {
     // The blocked-allocation explanations grade the *final* program: the
-    // analyzer must agree with the one the planner consulted. One site
-    // classification feeds both the linter's findings and the blame
-    // chains, so the two can never disagree.
+    // analyzer must agree with the one the planner consulted.
     obs::PhaseTimer T(&R.PhaseMicros, "explain");
-    EscapeAnalyzer Analyzer(*R.Ast, R.Optimized->Typed, *R.Diags, 512,
-                            OptConfig.Analysis);
-    Analyzer.attachProvenance(R.Prov.get());
-    std::vector<explain::SiteInfo> Sites = explain::classifySites(
-        *R.Ast, R.Optimized->Typed, Analyzer, R.Optimized->Plan);
+    const std::vector<explain::SiteInfo> &Sites = classifySitesOnce();
     if (Options.RunLint)
       check::explainBlockedAllocations(*R.Ast, R.Optimized->Typed, Sites,
                                        R.Optimized->Reuse,
@@ -134,10 +190,31 @@ void runPipelineImpl(const std::string &Source,
     T.span().arg("sites", static_cast<uint64_t>(Sites.size()));
     T.span().arg("facts", static_cast<uint64_t>(R.Prov->numFacts()));
   }
+
+  if (RunLive) {
+    // Backward heap-liveness over the same final program the engines
+    // execute, so site ids line up with the runtime's ConsCell::SiteId
+    // tags. Strictly observational: nothing downstream consults the
+    // report unless LiveGcPrune arms the GC consumer.
+    obs::PhaseTimer T(&R.PhaseMicros, "liveness");
+    live::LiveAnalyzer LA(*R.Ast, R.Optimized->Root, &R.Optimized->Typed);
+    if (R.Prov)
+      LA.attachProvenance(R.Prov.get());
+    R.Live = LA.run();
+    check::LiveLintOptions LLO;
+    if (Options.IncludeStdlib)
+      for (std::string_view Name : stdlibBindingNames())
+        LLO.ExemptContexts.emplace_back(Name);
+    check::lintLiveness(*R.Ast, *R.Live, classifySitesOnce(),
+                        &R.Optimized->Typed, R.Prov.get(), LLO, *R.Check);
+    T.span().arg("rounds", static_cast<uint64_t>(R.Live->Rounds));
+    T.span().arg("sites", static_cast<uint64_t>(R.Live->Sites.size()));
+    T.span().arg("dead", static_cast<uint64_t>(R.Live->deadSiteCount()));
+  }
   if (R.Prov && obs::metricsEnabled())
     R.Prov->exportTo(obs::globalMetrics());
 
-  if (!Options.RunProgram && !Options.RunOracle) {
+  if (!Options.RunProgram && !Options.RunOracle && !Options.RunLiveOracle) {
     if (Options.CompileBytecode) {
       obs::PhaseTimer T(&R.PhaseMicros, "compile");
       R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
@@ -165,6 +242,28 @@ void runPipelineImpl(const std::string &Source,
     RunOpts.Observer = R.Oracle.get();
     T.span().arg("claims", static_cast<uint64_t>(R.Oracle->claimCount()));
   }
+  if (Options.RunLiveOracle) {
+    obs::PhaseTimer T(&R.PhaseMicros, "live-claims");
+    // Touch hooks live in the tree-walker (the VM's fused field reads
+    // bypass observers).
+    Engine = ExecutionEngine::TreeWalker;
+    check::LiveClaims Claims;
+    Claims.DeadSites = R.Live->deadSites();
+    for (const live::SiteLive &S : R.Live->Sites)
+      Claims.SiteLocs.emplace(S.Site->id(), S.Site->loc());
+    R.LiveOracle = std::make_unique<check::LivenessOracle>(std::move(Claims));
+    if (RunOpts.Observer) {
+      R.FanOut = std::make_unique<FanOutObserver>(RunOpts.Observer,
+                                                  R.LiveOracle.get());
+      RunOpts.Observer = R.FanOut.get();
+    } else {
+      RunOpts.Observer = R.LiveOracle.get();
+    }
+    T.span().arg("dead_claims", R.LiveOracle->report().DeadSitesClaimed);
+  }
+  if (Options.LiveGcPrune && R.Live)
+    R.LiveDeadSites = std::make_unique<std::unordered_set<uint32_t>>(
+        R.Live->deadSites());
 
   {
     obs::PhaseTimer T(&R.PhaseMicros, "execute");
@@ -181,6 +280,8 @@ void runPipelineImpl(const std::string &Source,
       VO.ValidateArenaFrees = RunOpts.ValidateArenaFrees;
       VO.Profiler = RunOpts.Profiler;
       R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
+      if (R.LiveDeadSites)
+        R.TheVm->heap().setDeadSites(R.LiveDeadSites.get());
       R.Value = R.TheVm->run();
       R.Stats = R.TheVm->stats();
     } else {
@@ -188,6 +289,8 @@ void runPipelineImpl(const std::string &Source,
       R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
                                                &R.Optimized->Plan, *R.Diags,
                                                RunOpts);
+      if (R.LiveDeadSites)
+        R.Interp->heap().setDeadSites(R.LiveDeadSites.get());
       R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
                                       : R.Interp->run();
       R.Stats = R.Interp->stats();
@@ -202,6 +305,8 @@ void runPipelineImpl(const std::string &Source,
     if (obs::metricsEnabled())
       R.Oracle->report().exportTo(obs::globalMetrics());
   }
+  if (R.LiveOracle)
+    R.LiveOracle->finalize(R.Value ? &*R.Value : nullptr);
   if (!R.Value)
     return;
   R.RenderedValue = renderValue(*R.Value);

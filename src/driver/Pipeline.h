@@ -24,8 +24,10 @@
 #define EAL_DRIVER_PIPELINE_H
 
 #include "check/Linter.h"
+#include "check/LiveOracle.h"
 #include "check/Oracle.h"
 #include "explain/Explain.h"
+#include "live/LiveAnalyzer.h"
 #include "opt/Optimizer.h"
 #include "runtime/Interpreter.h"
 #include "vm/Compiler.h"
@@ -111,6 +113,26 @@ struct PipelineOptions {
   /// observer hooks live there) and arena-free validation; implies the
   /// program is executed. A refuted claim aborts the run with an error.
   bool RunOracle = false;
+  /// Run the backward heap-liveness analysis (src/live) over the final
+  /// program: per-function demand summaries, per-site demands, and the
+  /// EAL-D dead-data findings (appended to PipelineResult::Check). The
+  /// report lands in PipelineResult::Live. Observation-only — the plan
+  /// and the executed program are untouched, so enabling it cannot
+  /// change a program's output.
+  bool RunLive = false;
+  /// Cross-check every EAL-D001 dead-site claim against the concrete
+  /// run (check::LivenessOracle): a field read or result-reachability
+  /// of a claimed-dead cell is a violation. Implies RunLive and program
+  /// execution; forces the tree-walker engine (the touch hooks live
+  /// there). Violations land in PipelineResult::LiveOracle — they do
+  /// not abort the run; callers decide.
+  bool RunLiveOracle = false;
+  /// Arm the one liveness *consumer* that changes runtime behaviour:
+  /// the GC consults the dead-site set during marking and skips the
+  /// children of claimed-dead cells (Heap::setDeadSites). Requires
+  /// RunLive; off by default so the analysis stays observation-only
+  /// unless explicitly requested.
+  bool LiveGcPrune = false;
   /// Tracing / stats export / profiler routing.
   ObservabilityOptions Obs;
 };
@@ -153,6 +175,18 @@ struct PipelineResult {
   /// The live oracle (kept so tests can inspect it; its report is also
   /// copied into Check->Oracle).
   std::unique_ptr<check::EscapeOracle> Oracle;
+  /// The liveness analysis report (present iff RunLive / RunLiveOracle
+  /// was set).
+  std::optional<live::LiveReport> Live;
+  /// The dynamic liveness oracle (present iff RunLiveOracle was set;
+  /// kept alive so callers can read its report and last-touch map).
+  std::unique_ptr<check::LivenessOracle> LiveOracle;
+  /// Observer fan-out when both dynamic oracles (or a caller-supplied
+  /// observer and an oracle) ride one run.
+  std::unique_ptr<ExecutionObserver> FanOut;
+  /// The dead-site set handed to the heap under LiveGcPrune (the heap
+  /// borrows it, so it must outlive the engine).
+  std::unique_ptr<std::unordered_set<uint32_t>> LiveDeadSites;
 
   /// Wall time of each pipeline phase in run order, as {name, µs}. The
   /// "lex" entry appears only when tracing is enabled (a counting

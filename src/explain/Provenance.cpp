@@ -29,6 +29,8 @@ const char *eal::explain::factKindName(FactKind K) {
     return "decision";
   case FactKind::Finding:
     return "finding";
+  case FactKind::Liveness:
+    return "liveness";
   }
   return "unknown";
 }

@@ -69,10 +69,11 @@ enum class FactKind : uint8_t {
   Sharing,  ///< a Theorem 2 sharing derivation
   Decision, ///< an optimizer decision (arena directive, reuse version)
   Finding,  ///< a check finding anchored into the graph
+  Liveness, ///< a heap-liveness fact: a summary or site demand (eal::live)
 };
 
 /// Returns "binding" / "apply" / "query" / "sharing" / "decision" /
-/// "finding".
+/// "finding" / "liveness".
 const char *factKindName(FactKind K);
 
 /// One lattice raise of a fact: the fixpoint round it happened in, the

@@ -1,0 +1,130 @@
+//===- Demand.h - The heap-liveness demand lattice --------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract domain of the backward heap-liveness analysis
+/// (docs/LIVENESS.md): *how much of a list/pair value a strict context
+/// may read*. Where the escape domain of §3.3 grades how far a value
+/// flows, a Demand grades how far a consumer reaches into it:
+///
+///   ⟨Depth, Car, Snd⟩
+///
+///  * Depth — the number of top-spine cells whose fields may be touched
+///    (a `car`/`cdr`/`fst`/`snd` read). 0 means no cell of the value is
+///    ever read: the allocation is dead data. Finite depths saturate at
+///    DepthCap; Inf means the whole spine may be traversed.
+///  * Car — whether element fields (`car` of a cons, `fst` of a pair)
+///    may be read. With Car clear, the spine cells themselves may be
+///    walked (length-style consumers) while every element is dead.
+///  * Snd — whether `snd` of a pair may be read. Lists thread their tail
+///    demand through Depth instead, so Snd is only ever set by `snd`.
+///
+/// The lattice is the product order: join is pointwise max/or, bottom
+/// ⟨0,·,·⟩ is "dead", top ⟨∞,car,snd⟩ is full demand. Normalization
+/// keeps one canonical dead element (Depth 0 clears both flags) so the
+/// memo table of per-function summaries stays small: at most
+/// (DepthCap + 2) · 4 distinct demands per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_LIVE_DEMAND_H
+#define EAL_LIVE_DEMAND_H
+
+#include <cstdint>
+#include <string>
+
+namespace eal::live {
+
+/// One point of the demand lattice; trivially copyable, 4 bytes.
+struct Demand {
+  /// Depth value meaning "the whole spine".
+  static constexpr uint8_t Inf = 255;
+  /// Finite depths saturate here: any deeper finite demand becomes Inf.
+  /// Matches the escape analyzer's practical spine grading (k ≤ d is
+  /// tiny in real programs); keeps the summary space finite.
+  static constexpr uint8_t DepthCap = 4;
+
+  uint8_t Depth = 0;
+  bool Car = false;
+  bool Snd = false;
+
+  static Demand bottom() { return {}; }
+  static Demand top() { return {Inf, true, true}; }
+  /// Spine-only demand of \p Depth (a length-style consumer).
+  static Demand spine(uint8_t Depth) {
+    return Demand{Depth, false, false}.normalized();
+  }
+
+  bool isBottom() const { return Depth == 0; }
+  bool isTop() const { return Depth == Inf && Car && Snd; }
+
+  /// Canonical form: dead values carry no field flags; finite depths
+  /// beyond DepthCap saturate to Inf.
+  Demand normalized() const {
+    Demand D = *this;
+    if (D.Depth == 0) {
+      D.Car = D.Snd = false;
+    } else if (D.Depth != Inf && D.Depth > DepthCap) {
+      D.Depth = Inf;
+    }
+    return D;
+  }
+
+  /// Pointwise least upper bound (Inf is numerically maximal).
+  static Demand join(Demand A, Demand B) {
+    return Demand{static_cast<uint8_t>(A.Depth > B.Depth ? A.Depth : B.Depth),
+                  A.Car || B.Car, A.Snd || B.Snd}
+        .normalized();
+  }
+
+  /// Demand on the tail argument of a `cons` whose cell is demanded at
+  /// *this: one spine level is consumed by the new cell. Dead stays
+  /// dead; Inf stays Inf.
+  Demand tail() const {
+    if (Depth == 0 || Depth == Inf)
+      return normalized();
+    return Demand{static_cast<uint8_t>(Depth - 1), Car, Snd}.normalized();
+  }
+
+  /// Demand on `x` given demand *this on `cdr x`: the read touches one
+  /// cell, then the context reaches Depth further. This is where a
+  /// spine-recursive consumer's demand climbs to Inf (via DepthCap).
+  Demand viaCdr() const {
+    if (Depth == Inf)
+      return normalized();
+    return Demand{static_cast<uint8_t>(Depth + 1), Car, Snd}.normalized();
+  }
+
+  friend bool operator==(Demand A, Demand B) {
+    return A.Depth == B.Depth && A.Car == B.Car && A.Snd == B.Snd;
+  }
+  friend bool operator!=(Demand A, Demand B) { return !(A == B); }
+
+  /// Dense 10-bit key for memo tables (normalized form assumed).
+  uint16_t encode() const {
+    return static_cast<uint16_t>(Depth << 2 | (Car ? 2 : 0) | (Snd ? 1 : 0));
+  }
+
+  /// "dead", "<2>", "<inf,car>", "<1,car,snd>", ...
+  std::string str() const {
+    Demand D = normalized();
+    if (D.isBottom())
+      return "dead";
+    std::string S = "<";
+    S += D.Depth == Inf ? std::string("inf") : std::to_string(unsigned(D.Depth));
+    if (D.Car)
+      S += ",car";
+    if (D.Snd)
+      S += ",snd";
+    S += ">";
+    return S;
+  }
+};
+
+} // namespace eal::live
+
+#endif // EAL_LIVE_DEMAND_H

@@ -259,6 +259,12 @@ std::string ProfileReport::toJson() const {
       OS << (FirstEngine ? "" : ", ") << obs::jsonQuote(E.Name) << ": {";
       FirstEngine = false;
       if (SC) {
+        // Incarnations born at the site (fresh allocations + DCONS
+        // re-tags) minus the ones whose fields were ever demanded: the
+        // dynamic dead-cell count the liveness analysis predicts
+        // statically (docs/LIVENESS.md).
+        uint64_t Born = SC->totalAllocs() + SC->Reuses;
+        uint64_t Dead = Born > SC->FirstTouches ? Born - SC->FirstTouches : 0;
         OS << "\"allocs_heap\": " << SC->Allocs[0]
            << ", \"allocs_stack\": " << SC->Allocs[1]
            << ", \"allocs_region\": " << SC->Allocs[2]
@@ -267,12 +273,15 @@ std::string ProfileReport::toJson() const {
            << ", \"deaths_region\": " << SC->Deaths[2]
            << ", \"reuses\": " << SC->Reuses
            << ", \"overwritten\": " << SC->Overwritten
+           << ", \"first_touches\": " << SC->FirstTouches
+           << ", \"dead_cells\": " << Dead
            << ", \"lifetime\": " << SC->Lifetime.toJson();
       } else {
         OS << "\"allocs_heap\": 0, \"allocs_stack\": 0, "
               "\"allocs_region\": 0, \"deaths_heap\": 0, "
               "\"deaths_stack\": 0, \"deaths_region\": 0, "
-              "\"reuses\": 0, \"overwritten\": 0, \"lifetime\": null";
+              "\"reuses\": 0, \"overwritten\": 0, \"first_touches\": 0, "
+              "\"dead_cells\": 0, \"lifetime\": null";
       }
       OS << "}";
     }
@@ -369,9 +378,14 @@ std::string ProfileReport::renderSummary() const {
       const SiteCounters *SC = E.P->site(S.Id);
       uint64_t Allocs = SC ? SC->totalAllocs() : 0;
       uint64_t Reuses = SC ? SC->Reuses : 0;
+      uint64_t Born = Allocs + Reuses;
+      uint64_t Touched = SC ? SC->FirstTouches : 0;
+      uint64_t Dead = Born > Touched ? Born - Touched : 0;
       OS << "  [" << E.Name << ": " << Allocs << " alloc(s)";
       if (Reuses)
         OS << ", " << Reuses << " reuse(s)";
+      if (Dead)
+        OS << ", " << Dead << '/' << Born << " never touched";
       OS << "]";
     }
     OS << "\n    " << S.Why << "\n";

@@ -80,6 +80,13 @@ struct SiteCounters {
   uint64_t Reuses = 0;
   /// Cells born at this site later consumed in place by a DCONS.
   uint64_t Overwritten = 0;
+  /// Allocations whose fields were demanded at least once (car/cdr/fst/
+  /// snd) while tagged with this site. totalAllocs() - FirstTouches is
+  /// the site's dead-cell count; the report derives the dead fraction
+  /// from it (docs/LIVENESS.md). A DCONS re-tag moves future touch
+  /// attribution to the dcons site, matching the liveness analysis's
+  /// view of whose data the cell now holds.
+  uint64_t FirstTouches = 0;
   /// Allocation-sequence distance from birth to death (all death kinds).
   obs::Histogram Lifetime;
 
@@ -167,6 +174,8 @@ public:
     ++Old.Overwritten;
     Old.Lifetime.record(Lifetime);
   }
+  /// First demand on a cell currently tagged with \p Site.
+  void siteFirstTouch(uint32_t Site) { ++Sites[Site].FirstTouches; }
 
   const std::unordered_map<uint32_t, SiteCounters> &sites() const {
     return Sites;

@@ -47,6 +47,17 @@ public:
     (void)SiteId;
   }
 
+  /// A field of \p Cell was demanded: car/cdr on a cons, fst/snd on a
+  /// pair. \p NowSeq is the heap's current allocation stamp, so the
+  /// liveness oracle (src/check/LiveOracle.h) can record per-cell
+  /// last-touch times in AllocSeq units. A null/tag test (null p) is
+  /// *not* a touch, and neither is a DCONS overwrite: liveness counts
+  /// reads of the data, not existence checks or recycling.
+  virtual void cellTouched(const ConsCell *Cell, uint64_t NowSeq) {
+    (void)Cell;
+    (void)NowSeq;
+  }
+
   /// A user-closure body is about to be evaluated. \p CallSite is the
   /// outermost AppExpr of the originating call spine when \p Fn was the
   /// spine's direct callee (the case static per-call verdicts attach

@@ -43,6 +43,13 @@ void Marker::drain() {
         continue;
       Cell->Mark = true;
       ++H.Stats.CellsMarked;
+      // Dead-site prune (setDeadSites): the cell itself survives — it
+      // is reachable — but the analysis claims no one will ever demand
+      // its fields, so nothing reachable only through them needs to.
+      if (H.DeadSites && H.DeadSites->count(Cell->SiteId)) [[unlikely]] {
+        ++H.PrunedDeadCells;
+        continue;
+      }
       Work.push_back(Cell->Car);
       Work.push_back(Cell->Cdr);
       continue;
@@ -91,6 +98,7 @@ ConsCell *Heap::popFree(CellClass Class, uint32_t SiteId) {
   Cell->Class = Class;
   Cell->State = CellState::Live;
   Cell->Mark = false;
+  Cell->Touched = false;
   return Cell;
 }
 
@@ -275,6 +283,10 @@ void Heap::markPhase(bool IncludeArenas, size_t ExcludeHandle) {
       continue;
     for (ConsCell *Cell = A.Head; Cell; Cell = Cell->Next) {
       Cell->Mark = true;
+      if (DeadSites && DeadSites->count(Cell->SiteId)) [[unlikely]] {
+        ++PrunedDeadCells;
+        continue;
+      }
       M.value(Cell->Car);
       M.value(Cell->Cdr);
     }

@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 namespace eal {
@@ -106,6 +107,23 @@ public:
   /// is a cell's age in allocations (the profiler's lifetime unit).
   uint64_t allocSeq() const { return NextAllocSeq; }
 
+  /// Installs the liveness analysis's dead-site set (null detaches).
+  /// While set, the mark phase treats a cell whose SiteId is in the set
+  /// as a leaf: the cell itself stays live (it is still reachable), but
+  /// its fields are not traced, so data only reachable through
+  /// never-demanded allocations is reclaimed (docs/LIVENESS.md). Safe
+  /// even if the analysis were wrong about reads-after-prune: slabs are
+  /// never returned to the allocator and swept cells are reset to nil.
+  /// The set is not owned and must outlive the heap's use of it.
+  void setDeadSites(const std::unordered_set<uint32_t> *Sites) {
+    DeadSites = Sites;
+  }
+
+  /// Cells whose children the mark phase skipped because their SiteId
+  /// was claimed dead (`setDeadSites`). Kept out of RuntimeStats so the
+  /// default-off feature cannot perturb counter-parity or bench JSON.
+  uint64_t prunedDeadCells() const { return PrunedDeadCells; }
+
   /// Allocates a garbage-collected heap cell, collecting (and possibly
   /// growing) as needed. Returns null only when growth is disabled and
   /// everything is live. \p SiteId tags the cell's static allocation
@@ -151,6 +169,8 @@ private:
   RootScanner Roots;
   ClosureTracer TraceClosure;
   prof::Profiler *Prof = nullptr;
+  const std::unordered_set<uint32_t> *DeadSites = nullptr;
+  uint64_t PrunedDeadCells = 0;
 
   std::vector<std::unique_ptr<ConsCell[]>> Slabs;
   std::vector<size_t> SlabSizes;

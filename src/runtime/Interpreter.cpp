@@ -156,6 +156,16 @@ Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
       Prof->siteReuse(Site, Cell->SiteId,
                       TheHeap.allocSeq() - Cell->AllocSeq);
     };
+  if (Opts.Profiler || Opts.Observer) [[unlikely]]
+    Hooks.CellTouched = [this](ConsCell *Cell) {
+      if (!Cell->Touched) {
+        Cell->Touched = true;
+        if (prof::Profiler *Prof = Opts.Profiler)
+          Prof->siteFirstTouch(Cell->SiteId);
+      }
+      if (Opts.Observer)
+        Opts.Observer->cellTouched(Cell, TheHeap.allocSeq());
+    };
   return evalSaturatedPrim(Op, SiteId, Args, Hooks);
 }
 

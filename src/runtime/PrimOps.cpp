@@ -103,6 +103,8 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
     }
     if (!Args[0].isCons())
       return TypeError();
+    if (Hooks.CellTouched) [[unlikely]]
+      Hooks.CellTouched(Args[0].cell());
     return Op == PrimOp::Car ? Args[0].cell()->Car : Args[0].cell()->Cdr;
   case PrimOp::Cons: {
     ConsCell *Cell = Hooks.AllocateCell(SiteId);
@@ -128,6 +130,8 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
   case PrimOp::Snd:
     if (!Args[0].isPair())
       return TypeError();
+    if (Hooks.CellTouched) [[unlikely]]
+      Hooks.CellTouched(Args[0].cell());
     return Op == PrimOp::Fst ? Args[0].cell()->Car : Args[0].cell()->Cdr;
   case PrimOp::DCons: {
     // dcons p b c: reuse p's head cell in place (§6). The analysis
@@ -139,10 +143,16 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
     if (!Args[0].isCons())
       return TypeError();
     ConsCell *Cell = Args[0].cell();
-    if (Hooks.CellReused) [[unlikely]] {
+    if (Hooks.CellReused) [[unlikely]]
       Hooks.CellReused(Cell, SiteId);
-      Cell->SiteId = SiteId;
-    }
+    // The overwrite re-tags the slot with the dcons site while keeping
+    // the birth AllocSeq: from here on, touch attribution follows the
+    // *new* site (the cell now holds that site's data), but (pointer,
+    // stamp) still identifies the original allocation. Unconditional so
+    // the liveness oracle sees the same identity with or without a
+    // profiler attached.
+    Cell->SiteId = SiteId;
+    Cell->Touched = false;
     Cell->Car = Args[1];
     Cell->Cdr = Args[2];
     if (Hooks.Stats)

@@ -40,6 +40,11 @@ struct PrimOpsHooks {
   /// Called before the overwrite so the hook can read the cell's old
   /// site tag; the engine re-tags Cell->SiteId afterwards.
   std::function<void(const ConsCell *Cell, uint32_t SiteId)> CellReused;
+  /// Liveness hook, set only while a profiler or execution observer is
+  /// attached: a field of \p Cell is being demanded (car/cdr/fst/snd).
+  /// Fires before the field value is returned. Tag tests (null) and the
+  /// DCONS overwrite are not touches (docs/LIVENESS.md).
+  std::function<void(ConsCell *Cell)> CellTouched;
 };
 
 /// Applies the saturated primitive \p Op to \p Args (exactly

@@ -153,6 +153,13 @@ struct ConsCell {
   CellClass Class = CellClass::Heap;
   CellState State = CellState::Free;
   bool Mark = false;
+  /// Whether any field of this allocation has been demanded (read by
+  /// car/cdr/fst/snd) since it came off the free list. Cleared on
+  /// allocation, set on first touch; eal::prof derives per-site
+  /// dead-cell fractions from it and eal::live's dynamic oracle uses it
+  /// to refute dead-site claims. Fits in the struct's remaining padding
+  /// byte, so the cell stays at its previous size.
+  bool Touched = false;
 };
 
 } // namespace eal

@@ -150,7 +150,7 @@ MetricsRegistry &obs::globalMetrics() {
   return Reg;
 }
 
-bool obs::detail::MetricsOn = false;
+std::atomic<bool> obs::detail::MetricsOn{false};
 
 void obs::enableMetrics() {
   detail::MetricsOn = true;

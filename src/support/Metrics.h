@@ -29,6 +29,7 @@
 #define EAL_SUPPORT_METRICS_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -116,12 +117,16 @@ private:
 MetricsRegistry &globalMetrics();
 
 namespace detail {
-extern bool MetricsOn;
+/// Atomic for the same reason as Trace.h's flags: producer sites load
+/// it from the big-stack execution thread.
+extern std::atomic<bool> MetricsOn;
 } // namespace detail
 
 /// Guard for metrics producer sites (same discipline as Trace.h's
-/// enabled(): one inlined bool load when off).
-inline bool metricsEnabled() { return detail::MetricsOn; }
+/// enabled(): one inlined relaxed load when off).
+inline bool metricsEnabled() {
+  return detail::MetricsOn.load(std::memory_order_relaxed);
+}
 void enableMetrics();
 void disableMetrics();
 

@@ -59,17 +59,22 @@ TraceState &state() {
 
 } // namespace
 
-bool obs::detail::Enabled = false;
-bool obs::detail::RecorderOn = false;
-bool obs::detail::StreamOn = false;
+std::atomic<bool> obs::detail::Enabled{false};
+std::atomic<bool> obs::detail::RecorderOn{false};
+std::atomic<bool> obs::detail::StreamOn{false};
 
 namespace {
 
-/// Recomputes the derived flags; caller holds the lock.
+/// Recomputes the derived flags; caller holds the lock. Stores are
+/// relaxed: the lock orders the writers, and readers only need the
+/// eventual flag value, not any payload published with it.
 void refreshEnabled() {
-  obs::detail::StreamOn =
-      obs::detail::RecorderOn || !state().Sinks.empty();
-  obs::detail::Enabled = obs::detail::StreamOn || obs::detail::MetricsOn;
+  bool Stream = obs::detail::RecorderOn.load(std::memory_order_relaxed) ||
+                !state().Sinks.empty();
+  obs::detail::StreamOn.store(Stream, std::memory_order_relaxed);
+  obs::detail::Enabled.store(
+      Stream || obs::detail::MetricsOn.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 } // namespace

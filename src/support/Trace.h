@@ -29,6 +29,7 @@
 #ifndef EAL_SUPPORT_TRACE_H
 #define EAL_SUPPORT_TRACE_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -72,22 +73,31 @@ public:
 
 namespace detail {
 /// True iff any consumer is attached: the recorder, a sink, or the
-/// metrics registry (Metrics.h).
-extern bool Enabled;
-extern bool RecorderOn;
+/// metrics registry (Metrics.h). Atomic because producer sites check
+/// these from the big-stack execution thread while the toggles run on
+/// the spawning thread; relaxed loads keep the off-path to one plain
+/// load on every target we build for.
+extern std::atomic<bool> Enabled;
+extern std::atomic<bool> RecorderOn;
 /// True iff events have somewhere to go: recorder or at least one sink.
-extern bool StreamOn;
+extern std::atomic<bool> StreamOn;
 /// Recomputes the derived flags; called by every enable/disable entry.
 void refreshMaster();
 } // namespace detail
 
 /// The master guard every producer site checks first.
-inline bool enabled() { return detail::Enabled; }
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
 /// True when events are being kept for later export.
-inline bool tracingEnabled() { return detail::RecorderOn; }
+inline bool tracingEnabled() {
+  return detail::RecorderOn.load(std::memory_order_relaxed);
+}
 /// True when emitting an event reaches a consumer (recorder or sink);
 /// gate event construction on this, metrics on metricsEnabled().
-inline bool streamEnabled() { return detail::StreamOn; }
+inline bool streamEnabled() {
+  return detail::StreamOn.load(std::memory_order_relaxed);
+}
 
 /// Turns the in-memory recorder on/off. Enabling does not clear
 /// previously recorded events; use clearTrace() for a fresh run.

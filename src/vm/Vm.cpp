@@ -83,6 +83,12 @@ Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
       Prof->siteReuse(Site, Cell->SiteId,
                       TheHeap.allocSeq() - Cell->AllocSeq);
     };
+    Hooks.CellTouched = [this](ConsCell *Cell) {
+      if (!Cell->Touched) {
+        Cell->Touched = true;
+        Prof->siteFirstTouch(Cell->SiteId);
+      }
+    };
   }
   // Intern one closure per primitive-as-value site up front; PushPrim
   // is then a plain push, never an allocation.
@@ -321,7 +327,12 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
   case PrimOp::Cdr: {
     RtValue &A = Stack[Size - 1];
     if (A.isCons()) {
-      A = Op == PrimOp::Car ? A.cell()->Car : A.cell()->Cdr;
+      ConsCell *Cell = A.cell();
+      if (Prof && !Cell->Touched) [[unlikely]] {
+        Cell->Touched = true;
+        Prof->siteFirstTouch(Cell->SiteId);
+      }
+      A = Op == PrimOp::Car ? Cell->Car : Cell->Cdr;
       return true;
     }
     break;
@@ -330,7 +341,12 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
   case PrimOp::Snd: {
     RtValue &A = Stack[Size - 1];
     if (A.isPair()) {
-      A = Op == PrimOp::Fst ? A.cell()->Car : A.cell()->Cdr;
+      ConsCell *Cell = A.cell();
+      if (Prof && !Cell->Touched) [[unlikely]] {
+        Cell->Touched = true;
+        Prof->siteFirstTouch(Cell->SiteId);
+      }
+      A = Op == PrimOp::Fst ? Cell->Car : Cell->Cdr;
       return true;
     }
     break;
@@ -352,11 +368,14 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
     RtValue &P = Stack[Size - 3];
     if (P.isCons()) {
       ConsCell *Cell = P.cell();
-      if (Prof) [[unlikely]] {
+      if (Prof) [[unlikely]]
         Prof->siteReuse(Site, Cell->SiteId,
                         TheHeap.allocSeq() - Cell->AllocSeq);
-        Cell->SiteId = Site;
-      }
+      // Re-tag unconditionally (mirrors the shared evaluator): touch
+      // attribution follows the dcons site from here on, while AllocSeq
+      // keeps identifying the original allocation.
+      Cell->SiteId = Site;
+      Cell->Touched = false;
       Cell->Car = Stack[Size - 2];
       Cell->Cdr = Stack[Size - 1];
       P = RtValue::makeCons(Cell);

@@ -1,0 +1,335 @@
+//===- LiveAnalyzerTest.cpp - demand lattice & liveness summaries ----------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Unit tests for the demand lattice (src/live/Demand.h), the summary
+// query `LiveAnalyzer::functionDemand`, dead-site and unreached-code
+// detection, and golden snapshots of `eal live` over the Appendix A
+// programs. Regenerate the snapshots with
+//
+//   EAL_UPDATE_GOLDEN=1 ./live_tests --gtest_filter='LiveGolden*'
+//
+// and review the diff like any other source change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "driver/Pipeline.h"
+#include "live/Demand.h"
+#include "live/LiveAnalyzer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <set>
+#include <sstream>
+
+using namespace eal;
+using namespace eal::live;
+using namespace eal::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Demand lattice
+//===----------------------------------------------------------------------===//
+
+TEST(DemandLattice, BottomAndTop) {
+  EXPECT_TRUE(Demand::bottom().isBottom());
+  EXPECT_FALSE(Demand::bottom().isTop());
+  EXPECT_TRUE(Demand::top().isTop());
+  EXPECT_FALSE(Demand::top().isBottom());
+  EXPECT_EQ(Demand::top().Depth, Demand::Inf);
+}
+
+TEST(DemandLattice, NormalizedDeadClearsFlags) {
+  Demand D{0, true, true};
+  EXPECT_EQ(D.normalized(), Demand::bottom());
+  EXPECT_EQ(D.normalized().str(), "dead");
+}
+
+TEST(DemandLattice, NormalizedSaturatesPastCap) {
+  Demand D{static_cast<uint8_t>(Demand::DepthCap + 1), false, false};
+  EXPECT_EQ(D.normalized().Depth, Demand::Inf);
+  // At the cap itself the depth stays finite.
+  EXPECT_EQ(Demand::spine(Demand::DepthCap).Depth, Demand::DepthCap);
+}
+
+TEST(DemandLattice, JoinIsPointwise) {
+  Demand A{2, true, false};
+  Demand B{3, false, true};
+  Demand J = Demand::join(A, B);
+  EXPECT_EQ(J.Depth, 3);
+  EXPECT_TRUE(J.Car);
+  EXPECT_TRUE(J.Snd);
+  // Join with bottom is the identity; with top, top.
+  EXPECT_EQ(Demand::join(A, Demand::bottom()), A);
+  EXPECT_TRUE(Demand::join(A, Demand::top()).isTop());
+  // Commutative.
+  EXPECT_EQ(Demand::join(A, B), Demand::join(B, A));
+}
+
+TEST(DemandLattice, TailConsumesOneSpineLevel) {
+  EXPECT_EQ((Demand{2, true, false}).tail(), (Demand{1, true, false}));
+  // Dead stays dead; Inf stays Inf.
+  EXPECT_TRUE(Demand::bottom().tail().isBottom());
+  EXPECT_EQ(Demand::top().tail(), Demand::top());
+  // Depth 1 tails to dead (and dead drops the flags).
+  EXPECT_TRUE((Demand{1, true, true}).tail().isBottom());
+}
+
+TEST(DemandLattice, ViaCdrClimbsAndSaturates) {
+  EXPECT_EQ(Demand::spine(2).viaCdr(), Demand::spine(3));
+  // One step past the cap goes straight to Inf: the spine-recursive
+  // consumer's fixpoint.
+  EXPECT_EQ(Demand::spine(Demand::DepthCap).viaCdr().Depth, Demand::Inf);
+  EXPECT_EQ(Demand::top().viaCdr(), Demand::top());
+}
+
+TEST(DemandLattice, EncodeIsInjectiveOnNormalForms) {
+  std::set<uint16_t> Keys;
+  unsigned Count = 0;
+  for (unsigned Depth : {0u, 1u, 2u, 3u, 4u, unsigned(Demand::Inf)})
+    for (bool Car : {false, true})
+      for (bool Snd : {false, true}) {
+        Demand D =
+            Demand{static_cast<uint8_t>(Depth), Car, Snd}.normalized();
+        if (D != Demand{static_cast<uint8_t>(Depth), Car, Snd})
+          continue; // not a normal form (dead with flags)
+        Keys.insert(D.encode());
+        ++Count;
+      }
+  EXPECT_EQ(Keys.size(), Count);
+}
+
+TEST(DemandLattice, Rendering) {
+  EXPECT_EQ(Demand::bottom().str(), "dead");
+  EXPECT_EQ(Demand::spine(2).str(), "<2>");
+  EXPECT_EQ((Demand{Demand::Inf, true, false}).str(), "<inf,car>");
+  EXPECT_EQ((Demand{1, true, true}).str(), "<1,car,snd>");
+}
+
+//===----------------------------------------------------------------------===//
+// functionDemand: the summary query
+//===----------------------------------------------------------------------===//
+
+TEST(LiveAnalyzer, AppendSummaryUnderTop) {
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(reverseSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  std::vector<Demand> Ps = LA.functionDemand(F.Ast.intern("append"), Demand::top());
+  ASSERT_EQ(Ps.size(), 2u);
+  // x is walked in full by the recursion (strictness: `car x` reads the
+  // element regardless of the caller's demand), but `snd` never touches
+  // it — x is a list, not a pair.
+  EXPECT_EQ(Ps[0].Depth, Demand::Inf);
+  EXPECT_TRUE(Ps[0].Car);
+  EXPECT_FALSE(Ps[0].Snd);
+  // y becomes the result's tail: it inherits the full result demand.
+  EXPECT_TRUE(Ps[1].isTop());
+}
+
+TEST(LiveAnalyzer, AppendSummaryUnderSpineDemand) {
+  // A length-style consumer of `append x y` walks spines but no
+  // elements: y's demand follows the result demand, while x is still
+  // traversed in full and its heads still read (strict `car x`).
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(reverseSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  std::vector<Demand> Ps =
+      LA.functionDemand(F.Ast.intern("append"), Demand::spine(2));
+  ASSERT_EQ(Ps.size(), 2u);
+  EXPECT_EQ(Ps[0].Depth, Demand::Inf);
+  EXPECT_TRUE(Ps[0].Car);
+  EXPECT_EQ(Ps[1], Demand::spine(2));
+}
+
+TEST(LiveAnalyzer, SummariesAreMonotone) {
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(reverseSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  Symbol Append = F.Ast.intern("append");
+  std::vector<Demand> Low = LA.functionDemand(Append, Demand::spine(1));
+  std::vector<Demand> High = LA.functionDemand(Append, Demand::top());
+  ASSERT_EQ(Low.size(), High.size());
+  for (size_t I = 0; I < Low.size(); ++I)
+    EXPECT_EQ(Demand::join(Low[I], High[I]), High[I])
+        << "param " << I << " demand not monotone in the result demand";
+}
+
+TEST(LiveAnalyzer, LengthSumDistinction) {
+  // The headline precision claim: a spine-only consumer (length) leaves
+  // every element dead, while sum reads them.
+  static const char *Source = R"(
+letrec
+  length l = if (null l) then 0 else 1 + length (cdr l);
+  sum l = if (null l) then 0 else (car l) + sum (cdr l)
+in (length [1, 2, 3]) + (sum [4, 5, 6])
+)";
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(Source)) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  std::vector<Demand> Len = LA.functionDemand(F.Ast.intern("length"), Demand::top());
+  std::vector<Demand> Sum = LA.functionDemand(F.Ast.intern("sum"), Demand::top());
+  ASSERT_EQ(Len.size(), 1u);
+  ASSERT_EQ(Sum.size(), 1u);
+  EXPECT_EQ(Len[0].Depth, Demand::Inf);
+  EXPECT_FALSE(Len[0].Car) << "length must not demand elements";
+  EXPECT_EQ(Sum[0].Depth, Demand::Inf);
+  EXPECT_TRUE(Sum[0].Car) << "sum reads every element";
+}
+
+TEST(LiveAnalyzer, UnknownBindingIsEmpty) {
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(reverseSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  EXPECT_TRUE(LA.functionDemand(F.Ast.intern("nosuch"), Demand::top()).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program runs: dead sites, worst-casing, unreached code
+//===----------------------------------------------------------------------===//
+
+TEST(LiveAnalyzer, DeadDataDetected) {
+  // `dead` is built and never read: both of its cons sites must grade ⊥
+  // while the demanded list's sites stay live. The binding sits in the
+  // program body, so it is dead *data*, not unreached code.
+  static const char *Source = R"(
+letrec
+  sum l = if (null l) then 0 else (car l) + sum (cdr l)
+in let dead = cons 1 (cons 2 nil) in
+   sum [1, 2, 3]
+)";
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(Source)) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  LiveReport R = LA.run();
+  unsigned DeadData = 0, Live = 0;
+  for (const SiteLive &S : R.Sites) {
+    if (S.Dem.isBottom()) {
+      EXPECT_FALSE(S.Unreached) << "program-body data is reachable";
+      ++DeadData;
+    } else {
+      ++Live;
+    }
+  }
+  EXPECT_EQ(DeadData, 2u) << "the two cells of `dead`";
+  EXPECT_GT(Live, 0u) << "the summed list is demanded";
+  EXPECT_EQ(R.deadSites().size(), R.deadSiteCount());
+  EXPECT_EQ(R.deadSiteCount(), 2u);
+}
+
+TEST(LiveAnalyzer, FirstClassUseWorstCases) {
+  // `pair` escapes into map's parameter f: its summary must be ⊤ on
+  // every parameter, flagged WorstCased.
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(mapPairSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  LiveReport R = LA.run();
+  const FunctionLive *Pair = R.find(F.Ast.intern("pair"));
+  ASSERT_NE(Pair, nullptr);
+  EXPECT_TRUE(Pair->WorstCased);
+  ASSERT_EQ(Pair->Params.size(), 1u);
+  EXPECT_TRUE(Pair->Params[0].isTop());
+  const FunctionLive *Map = R.find(F.Ast.intern("map"));
+  ASSERT_NE(Map, nullptr);
+  EXPECT_FALSE(Map->WorstCased) << "map itself is only called directly";
+}
+
+TEST(LiveAnalyzer, ConvergesWithinBudget) {
+  Frontend F;
+  ASSERT_TRUE(F.parseAndType(partitionSortSource())) << F.diagText();
+  LiveAnalyzer LA(F.Ast, F.Root, &*F.Typed);
+  LiveReport R = LA.run();
+  EXPECT_FALSE(R.IterationLimitHit);
+  EXPECT_GT(R.Rounds, 0u);
+  EXPECT_GT(R.SummaryEntries, 0u);
+  EXPECT_EQ(R.deadSiteCount(), 0u)
+      << "every allocation of the sort feeds the printed result";
+}
+
+TEST(LiveAnalyzer, SupersededOriginalsAreUnreachedNotDead) {
+  // Through the full pipeline the optimizer's DCONS cloning leaves the
+  // original append/rev bodies uncalled. Their sites grade ⊥, but as
+  // dead *code* (Unreached) — so the dead-data lint stays silent.
+  PipelineOptions Options;
+  Options.RunLive = true;
+  Options.RunProgram = false;
+  PipelineResult R = runPipeline(reverseSource(), Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.Live.has_value());
+  unsigned Unreached = 0;
+  for (const SiteLive &S : R.Live->Sites)
+    if (S.Unreached) {
+      EXPECT_TRUE(S.Dem.isBottom()) << "unreached implies ⊥";
+      ++Unreached;
+    }
+  EXPECT_GT(Unreached, 0u) << "the superseded originals";
+  ASSERT_TRUE(R.Check.has_value());
+  for (const check::Finding &Fi : R.Check->Findings)
+    EXPECT_NE(Fi.Code.substr(0, 5), "EAL-D")
+        << Fi.Code << ": no dead-data finding expected on reverse";
+}
+
+TEST(LiveAnalyzer, JsonShapeSanity) {
+  PipelineOptions Options;
+  Options.RunLive = true;
+  Options.RunProgram = false;
+  PipelineResult R = runPipeline(reverseSource(), Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.Live.has_value());
+  std::string Json = R.Live->toJson(*R.Ast, *R.SM, "live", R.Success);
+  EXPECT_NE(Json.find("\"schema\": \"eal-live-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"functions\""), std::string::npos);
+  EXPECT_NE(Json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(Json.find("\"unreached\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden snapshots of the rendered report (the `eal live` output)
+//===----------------------------------------------------------------------===//
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(EAL_SOURCE_DIR) + "/tests/live/golden/" + Name + ".live";
+}
+
+void checkGolden(const std::string &Path, const std::string &Actual) {
+  if (std::getenv("EAL_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "updated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with EAL_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Actual, Buf.str())
+      << "liveness report drifted from " << Path
+      << "; if intentional, regenerate with EAL_UPDATE_GOLDEN=1";
+}
+
+void checkProgram(const std::string &Name, const char *Source) {
+  PipelineOptions Options;
+  Options.RunLive = true;
+  Options.RunProgram = false;
+  PipelineResult R = runPipeline(Source, Options);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.Live.has_value());
+  checkGolden(goldenPath(Name), R.Live->render(*R.Ast, *R.SM));
+}
+
+TEST(LiveGolden, PartitionSort) {
+  // APPEND, SPLIT, and PS of Appendix A: every site live, the split
+  // accumulators fully demanded through the head/tail projections.
+  checkProgram("partition_sort", partitionSortSource());
+}
+
+TEST(LiveGolden, Reverse) { checkProgram("reverse", reverseSource()); }
+
+TEST(LiveGolden, MapPair) { checkProgram("map_pair", mapPairSource()); }
+
+} // namespace

@@ -145,6 +145,82 @@ TEST_P(DifferentialTest, ProvenanceRecorderIsObservationOnly) {
       << Prog.Source;
 }
 
+// The liveness analysis is an observer too: with its one planner
+// consumer (LiveGcPrune) left off, enabling it must not change a single
+// byte of output or a single storage counter, on either engine, under
+// any optimization configuration. And the dynamic liveness oracle must
+// refute none of its dead-site claims on any of these runs
+// (docs/LIVENESS.md).
+TEST_P(DifferentialTest, LivenessIsObservationOnlyAndClaimsHold) {
+  ProgramGenerator Gen(GetParam());
+  GenProgram Prog = Gen.generate(3);
+
+  auto Run = [&](bool Reuse, bool Stack, bool Region, ExecutionEngine E,
+                 bool Live, bool Oracle) {
+    PipelineOptions Options;
+    Options.Mode = TypeInferenceMode::Monomorphic;
+    Options.Engine = E;
+    Options.Optimize.EnableReuse = Reuse;
+    Options.Optimize.EnableStack = Stack;
+    Options.Optimize.EnableRegion = Region;
+    Options.Run.ValidateArenaFrees = true;
+    Options.RunLive = Live;
+    Options.RunLiveOracle = Oracle;
+    return runPipeline(Prog.Source, Options);
+  };
+
+  for (bool Reuse : {false, true})
+    for (bool Stack : {false, true})
+      for (bool Region : {false, true}) {
+        PipelineResult Plain = Run(Reuse, Stack, Region,
+                                   ExecutionEngine::TreeWalker, false, false);
+        ASSERT_TRUE(Plain.Success)
+            << "config " << Reuse << Stack << Region << " failed (seed "
+            << GetParam() << "):\n"
+            << Prog.Source << Plain.diagnostics();
+
+        PipelineResult Live = Run(Reuse, Stack, Region,
+                                  ExecutionEngine::TreeWalker, true, false);
+        ASSERT_TRUE(Live.Success) << Prog.Source << Live.diagnostics();
+        EXPECT_EQ(Live.RenderedValue, Plain.RenderedValue)
+            << "LIVENESS PERTURBED OUTPUT under config reuse=" << Reuse
+            << " stack=" << Stack << " region=" << Region << " (seed "
+            << GetParam() << "):\n"
+            << Prog.Source;
+        EXPECT_EQ(Live.Stats.DconsReuses, Plain.Stats.DconsReuses)
+            << Prog.Source;
+        EXPECT_EQ(Live.Stats.StackCellsAllocated,
+                  Plain.Stats.StackCellsAllocated)
+            << Prog.Source;
+        EXPECT_EQ(Live.Stats.RegionCellsAllocated,
+                  Plain.Stats.RegionCellsAllocated)
+            << Prog.Source;
+
+        PipelineResult Byte = Run(Reuse, Stack, Region,
+                                  ExecutionEngine::Bytecode, true, false);
+        ASSERT_TRUE(Byte.Success) << Prog.Source << Byte.diagnostics();
+        EXPECT_EQ(Byte.RenderedValue, Plain.RenderedValue)
+            << "LIVENESS PERTURBED THE VM under config reuse=" << Reuse
+            << " stack=" << Stack << " region=" << Region << " (seed "
+            << GetParam() << "):\n"
+            << Prog.Source;
+
+        // The liveness oracle forces the tree-walker; its dead-site
+        // claims must survive the concrete run under every config.
+        PipelineResult Checked = Run(Reuse, Stack, Region,
+                                     ExecutionEngine::TreeWalker, true, true);
+        ASSERT_TRUE(Checked.Success) << Prog.Source << Checked.diagnostics();
+        ASSERT_NE(Checked.LiveOracle, nullptr);
+        EXPECT_TRUE(Checked.LiveOracle->report().Violations.empty())
+            << "LIVENESS ORACLE REFUTED a dead-site claim under config reuse="
+            << Reuse << " stack=" << Stack << " region=" << Region
+            << " (seed " << GetParam() << "):\n"
+            << Prog.Source
+            << Checked.LiveOracle->report().render(*Checked.SM);
+        EXPECT_EQ(Checked.RenderedValue, Plain.RenderedValue) << Prog.Source;
+      }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1u, 257u));
 
 // Extra seeds for CI fuzz-smoke runs: EAL_FUZZ_SEEDS widens the sweep

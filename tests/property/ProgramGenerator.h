@@ -175,7 +175,9 @@ private:
              else cons (f (car l)) (mapi f (cdr l));
   compose f g = lambda(x). f (g x);
   count n acc = if n = 0 then acc else count (n - 1) (acc + 1);
-  sumt l acc = if (null l) then acc else sumt (cdr l) (acc + car l))";
+  sumt l acc = if (null l) then acc else sumt (cdr l) (acc + car l);
+  len l = if (null l) then 0 else 1 + len (cdr l);
+  hd d l = if (null l) then d else car l)";
   }
 
   /// Parameter types: the three data types, plus first-class functions
@@ -290,7 +292,7 @@ private:
     }
     switch (T) {
     case GenType::Int:
-      switch (Rng() % 10) {
+      switch (Rng() % 13) {
       case 0: {
         std::string P = paramOf(F, GenType::Int);
         if (!P.empty())
@@ -340,13 +342,27 @@ private:
                        " " + paren(genExpr(F, GenType::Int, 0)));
         return paren("sumt " + paren(genExpr(F, GenType::IntList,
                                              Depth - 1)) + " 0");
+      case 9:
+        // Dead-data family: a spine-only consumer — the list is walked
+        // in full but every element it computed goes unread.
+        return paren("len " + paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 10:
+        // Dead-data family: only the head of the computed list is
+        // demanded; the tail (and everything it cost) is dead.
+        return paren("hd " + paren(genExpr(F, GenType::Int, 0)) + " " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 11:
+        // Dead-data family: a computed-but-undemanded pair component —
+        // the fst list is built, threaded, and never touched.
+        return paren("snd (" + genExpr(F, GenType::IntList, Depth - 1) +
+                     ", " + genExpr(F, GenType::Int, Depth - 1) + ")");
       default:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::Int, Depth - 1) + " else " +
                      genExpr(F, GenType::Int, Depth - 1));
       }
     case GenType::IntList:
-      switch (Rng() % 10) {
+      switch (Rng() % 11) {
       case 0: {
         std::string P = paramOf(F, T);
         if (!P.empty())
@@ -389,6 +405,11 @@ private:
         return paren("mapi " + paren(genExpr(F, GenType::IntFun,
                                              Depth - 1)) +
                      " " + paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 9:
+        // Dead-data family: a partially consumed chain — only a short
+        // prefix of whatever the subexpression built is kept.
+        return paren("take " + std::to_string(1 + Rng() % 3) + " " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)));
       default:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::IntList, Depth - 1) + " else " +

@@ -27,7 +27,8 @@ import os
 SCHEMA = "eal-explain-v1"
 
 CODE_RE = re.compile(r"^EAL-[A-Z]\d{3}$")
-FACT_KINDS = ("binding", "apply", "query", "sharing", "decision", "finding")
+FACT_KINDS = ("binding", "apply", "query", "sharing", "decision", "finding",
+              "liveness")
 PRIMS = ("cons", "mkpair")
 STORAGES = ("heap", "stack", "region")
 GRAPH_COUNTERS = ("facts", "edges", "raises", "max_depth")
@@ -302,6 +303,10 @@ def self_test():
          broken(lambda d: d["graph"].pop("edges")), False),
         ("graph fact count disagrees with facts array",
          broken(lambda d: d["graph"].update(facts=99)), False),
+        ("liveness fact kind accepted",
+         broken(lambda d: d["facts"][2].update(
+             kind="liveness", label="site 17 demand",
+             equation="docs/LIVENESS.md join", result="<inf,car>")), True),
         ("unknown fact kind",
          broken(lambda d: d["facts"][0].update(kind="lemma")), False),
         ("fact id not the array index",

@@ -213,6 +213,20 @@ def self_test():
          broken(lambda d: d.pop("oracle")), True),
         ("finding with blame chain",
          broken(lambda d: d["findings"][0].update(blame=[230, 221])), True),
+        ("dead-data finding (EAL-D001)",
+         broken(lambda d: d["findings"][0].update(
+             code="EAL-D001",
+             message="dead data: no field of any cell allocated here is "
+                     "ever read (demand dead)")), True),
+        ("dead-spine note (EAL-D002)",
+         broken(lambda d: d["findings"][0].update(
+             code="EAL-D002", severity="note",
+             message="dead spine suffix: only the first 2 spine cell(s) "
+                     "are ever demanded")), True),
+        ("liveness-blocked note (EAL-D004)",
+         broken(lambda d: d["findings"][0].update(
+             code="EAL-D004", severity="note",
+             message="liveness-blocked optimization")), True),
         ("blame not an array",
          broken(lambda d: d["findings"][0].update(blame=7)), False),
         ("negative blame entry",

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Validate eal --live-json output against the eal-live-v1 schema.
+
+`eal live FILE --live-json=OUT.json` (and any other command given
+--live-json) writes the heap-liveness report -- per-function demand
+summaries under result demand top, and the joined demand of every
+allocation site of the final program -- as one JSON document
+(docs/LIVENESS.md).  This checker is the schema's executable
+definition; ctest runs it over real CLI output so a drift fails the
+test suite, not a downstream consumer.
+
+Demand encoding: "depth" is the spine depth, -1 meaning infinity;
+"car"/"snd" are the element- and second-field flags; "rendered" is the
+human form ("dead", "<inf,car>", "<2,car,snd>").  A normalized bottom
+demand has depth 0 and both flags clear; "dead" on a site must agree
+with that.
+
+Usage:
+  check_live_json.py FILE [FILE...]   validate existing report files
+  check_live_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "eal-live-v1"
+
+OPS = ("cons", "pair", "dcons")
+SUMMARY_COUNTERS = ("rounds", "summaries", "functions", "sites", "dead_sites")
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_demand(errors, path, label, obj):
+    """Validates the depth/car/snd/rendered quadruple embedded in
+    function params and sites; returns True when the demand is bottom."""
+    depth = obj.get("depth")
+    if not isinstance(depth, int) or isinstance(depth, bool) or depth < -1:
+        fail(errors, path, "%s: 'depth' is %r, expected an integer >= -1"
+             % (label, depth))
+        depth = 0
+    for key in ("car", "snd"):
+        if not isinstance(obj.get(key), bool):
+            fail(errors, path, "%s: '%s' is not a boolean" % (label, key))
+    rendered = obj.get("rendered")
+    if not isinstance(rendered, str) or not rendered:
+        fail(errors, path, "%s: 'rendered' is not a non-empty string" % label)
+    bottom = depth == 0 and not obj.get("car") and not obj.get("snd")
+    # A normalized bottom demand renders as "dead" and vice versa.
+    if isinstance(rendered, str) and rendered:
+        if bottom != (rendered == "dead"):
+            fail(errors, path, "%s: rendered %r disagrees with depth=%r "
+                 "car=%r snd=%r" % (label, rendered, obj.get("depth"),
+                                    obj.get("car"), obj.get("snd")))
+    # Depth 0 clears the field flags (normalization invariant).
+    if depth == 0 and (obj.get("car") or obj.get("snd")):
+        fail(errors, path, "%s: depth 0 with a field flag set (demands "
+             "must be normalized)" % label)
+    return bottom
+
+
+def check_function(errors, path, index, fn):
+    label = "functions[%d]" % index
+    if not isinstance(fn, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    if not isinstance(fn.get("name"), str) or not fn.get("name"):
+        fail(errors, path, "%s: 'name' is not a non-empty string" % label)
+    for key in ("line", "col"):
+        if not is_count(fn.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+    arity = fn.get("arity")
+    if not is_count(arity):
+        fail(errors, path, "%s: 'arity' is not a non-negative integer" % label)
+        arity = None
+    if not isinstance(fn.get("worst"), bool):
+        fail(errors, path, "%s: 'worst' is not a boolean" % label)
+    params = fn.get("params")
+    if not isinstance(params, list):
+        fail(errors, path, "%s: 'params' is not an array" % label)
+        return
+    if arity is not None and len(params) != arity:
+        fail(errors, path, "%s: 'arity' is %d but 'params' has %d entries"
+             % (label, arity, len(params)))
+    for j, param in enumerate(params):
+        plabel = "%s.params[%d]" % (label, j)
+        if not isinstance(param, dict):
+            fail(errors, path, "%s is not an object" % plabel)
+            continue
+        if param.get("index") != j:
+            fail(errors, path, "%s: 'index' is %r, expected the array "
+                 "index %d" % (plabel, param.get("index"), j))
+        if not isinstance(param.get("name"), str) or not param.get("name"):
+            fail(errors, path, "%s: 'name' is not a non-empty string"
+                 % plabel)
+        bottom = check_demand(errors, path, plabel, param)
+        # A worst-cased function reports every parameter at top.
+        if fn.get("worst") is True and (param.get("depth") != -1
+                                        or not param.get("car")
+                                        or not param.get("snd")):
+            fail(errors, path, "%s: a worst-cased function must report "
+                 "demand top on every parameter" % plabel)
+        del bottom
+
+
+def check_site(errors, path, index, site, seen_ids):
+    label = "sites[%d]" % index
+    if not isinstance(site, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return False
+    site_id = site.get("id")
+    if not is_count(site_id):
+        fail(errors, path, "%s: 'id' is not a non-negative integer" % label)
+    elif site_id in seen_ids:
+        fail(errors, path, "%s: duplicate site id %d" % (label, site_id))
+    else:
+        seen_ids.add(site_id)
+    if site.get("op") not in OPS:
+        fail(errors, path, "%s: 'op' is %r, expected one of %s"
+             % (label, site.get("op"), list(OPS)))
+    # Context "" is the program body; otherwise a binding name.
+    if not isinstance(site.get("context"), str):
+        fail(errors, path, "%s: 'context' is not a string" % label)
+    # Every site is anchored at a real source position (1-based).
+    for key in ("line", "col"):
+        value = site.get(key)
+        if not is_count(value) or value < 1:
+            fail(errors, path, "%s: '%s' is not a positive integer"
+                 % (label, key))
+    bottom = check_demand(errors, path, label, site)
+    dead = site.get("dead")
+    if not isinstance(dead, bool):
+        fail(errors, path, "%s: 'dead' is not a boolean" % label)
+    elif dead != bottom:
+        fail(errors, path, "%s: 'dead' is %r but the demand is %s"
+             % (label, dead, "bottom" if bottom else "not bottom"))
+    unreached = site.get("unreached")
+    if not isinstance(unreached, bool):
+        fail(errors, path, "%s: 'unreached' is not a boolean" % label)
+    elif unreached and dead is False:
+        # Unreached code allocates nothing; its demand can only be dead.
+        fail(errors, path, "%s: 'unreached' site is not dead" % label)
+    return isinstance(dead, bool) and dead
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    for key in ("command", "file"):
+        value = doc.get(key)
+        if not isinstance(value, str) or not value:
+            fail(errors, path, "'%s' is not a non-empty string" % key)
+    if not isinstance(doc.get("success"), bool):
+        fail(errors, path, "'success' is not a boolean")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(errors, path, "'summary' is not an object")
+        summary = {}
+    for key in SUMMARY_COUNTERS:
+        if not is_count(summary.get(key)):
+            fail(errors, path, "summary: '%s' is not a non-negative integer"
+                 % key)
+    if not isinstance(summary.get("converged"), bool):
+        fail(errors, path, "summary: 'converged' is not a boolean")
+    functions = doc.get("functions")
+    if not isinstance(functions, list):
+        fail(errors, path, "'functions' is not an array")
+        functions = []
+    if is_count(summary.get("functions")) \
+            and summary["functions"] != len(functions):
+        fail(errors, path, "summary: 'functions' is %d but the functions "
+             "array has %d entries" % (summary["functions"], len(functions)))
+    for i, fn in enumerate(functions):
+        check_function(errors, path, i, fn)
+    sites = doc.get("sites")
+    if not isinstance(sites, list):
+        fail(errors, path, "'sites' is not an array")
+        sites = []
+    if is_count(summary.get("sites")) and summary["sites"] != len(sites):
+        fail(errors, path, "summary: 'sites' is %d but the sites array has "
+             "%d entries" % (summary["sites"], len(sites)))
+    seen_ids = set()
+    dead = 0
+    for i, site in enumerate(sites):
+        dead += check_site(errors, path, i, site, seen_ids)
+    if is_count(summary.get("dead_sites")) and summary["dead_sites"] != dead:
+        fail(errors, path, "summary: 'dead_sites' is %d but %d site(s) are "
+             "marked dead" % (summary["dead_sites"], dead))
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "command": "live",
+        "file": "<input>",
+        "success": True,
+        "summary": {"rounds": 4, "summaries": 6, "functions": 2,
+                    "sites": 3, "dead_sites": 1, "converged": True},
+        "functions": [
+            {"name": "append", "line": 3, "col": 1, "arity": 2,
+             "worst": False, "params": [
+                 {"index": 0, "name": "x", "depth": -1, "car": True,
+                  "snd": False, "rendered": "<inf,car>"},
+                 {"index": 1, "name": "y", "depth": -1, "car": True,
+                  "snd": True, "rendered": "<inf,car,snd>"}]},
+            {"name": "id", "line": 6, "col": 1, "arity": 1,
+             "worst": True, "params": [
+                 {"index": 0, "name": "v", "depth": -1, "car": True,
+                  "snd": True, "rendered": "<inf,car,snd>"}]},
+        ],
+        "sites": [
+            {"id": 17, "op": "cons", "context": "append", "line": 4, "col": 6,
+             "depth": -1, "car": True, "snd": True,
+             "rendered": "<inf,car,snd>", "dead": False, "unreached": False},
+            {"id": 29, "op": "pair", "context": "", "line": 8, "col": 2,
+             "depth": 1, "car": False, "snd": True, "rendered": "<1,snd>",
+             "dead": False, "unreached": False},
+            {"id": 35, "op": "cons", "context": "", "line": 9, "col": 2,
+             "depth": 0, "car": False, "snd": False, "rendered": "dead",
+             "dead": True, "unreached": False},
+        ],
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid document", good, True),
+        ("empty functions and sites",
+         broken(lambda d: (d.update(functions=[], sites=[]),
+                           d["summary"].update(functions=0, sites=0,
+                                               dead_sites=0))), True),
+        ("unreached dead site",
+         broken(lambda d: d["sites"][2].update(unreached=True)), True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("missing success",
+         broken(lambda d: d.pop("success")), False),
+        ("missing summary counter",
+         broken(lambda d: d["summary"].pop("rounds")), False),
+        ("non-boolean converged",
+         broken(lambda d: d["summary"].update(converged=1)), False),
+        ("function count disagrees with array",
+         broken(lambda d: d["summary"].update(functions=5)), False),
+        ("site count disagrees with array",
+         broken(lambda d: d["summary"].update(sites=5)), False),
+        ("dead count disagrees with dead flags",
+         broken(lambda d: d["summary"].update(dead_sites=0)), False),
+        ("param index not the array position",
+         broken(lambda d: d["functions"][0]["params"][1].update(index=0)),
+         False),
+        ("arity disagrees with params",
+         broken(lambda d: d["functions"][0].update(arity=3)), False),
+        ("worst-cased function with a non-top param",
+         broken(lambda d: d["functions"][1]["params"][0].update(
+             depth=2, rendered="<2,car,snd>")), False),
+        ("depth below -1",
+         broken(lambda d: d["sites"][0].update(depth=-2)), False),
+        ("depth 0 with car set",
+         broken(lambda d: d["sites"][2].update(
+             car=True, rendered="<0,car>")), False),
+        ("rendered dead on a live demand",
+         broken(lambda d: d["sites"][0].update(rendered="dead")), False),
+        ("dead flag disagrees with demand",
+         broken(lambda d: d["sites"][2].update(dead=False)), False),
+        ("unreached site that is not dead",
+         broken(lambda d: d["sites"][0].update(unreached=True)), False),
+        ("unknown op",
+         broken(lambda d: d["sites"][0].update(op="vector")), False),
+        ("duplicate site ids",
+         broken(lambda d: d["sites"][1].update(id=17)), False),
+        ("zero site line",
+         broken(lambda d: d["sites"][0].update(line=0)), False),
+        ("missing unreached flag",
+         broken(lambda d: d["sites"][0].pop("unreached")), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-live-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "live.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

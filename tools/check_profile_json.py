@@ -33,7 +33,7 @@ PRIMS = ("cons", "pair", "dcons")
 SITE_COUNTERS = [
     "allocs_heap", "allocs_stack", "allocs_region",
     "deaths_heap", "deaths_stack", "deaths_region",
-    "reuses", "overwritten",
+    "reuses", "overwritten", "first_touches", "dead_cells",
 ]
 
 
@@ -260,13 +260,15 @@ def self_test():
                     "allocs_heap": 0, "allocs_stack": 6, "allocs_region": 0,
                     "deaths_heap": 0, "deaths_stack": 6, "deaths_region": 0,
                     "reuses": 0, "overwritten": 0,
+                    "first_touches": 4, "dead_cells": 2,
                     "lifetime": {"count": 6, "sum": 60, "min": 4, "max": 20,
                                  "mean": 10.0, "buckets": [0, 0, 0, 2, 2, 2]},
                 },
                 "vm": {
                     "allocs_heap": 0, "allocs_stack": 6, "allocs_region": 0,
                     "deaths_heap": 0, "deaths_stack": 6, "deaths_region": 0,
-                    "reuses": 0, "overwritten": 0, "lifetime": None,
+                    "reuses": 0, "overwritten": 0,
+                    "first_touches": 6, "dead_cells": 0, "lifetime": None,
                 },
             },
         }],
@@ -324,6 +326,9 @@ def self_test():
         ("negative overwritten",
          broken(lambda d: d["sites"][0]["engines"]["vm"]
                 .update(overwritten=-1)), False),
+        ("missing dead_cells counter",
+         broken(lambda d: d["sites"][0]["engines"]["vm"]
+                .pop("dead_cells")), False),
         ("missing reuse_versions",
          broken(lambda d: d.pop("reuse_versions")), False),
     ]

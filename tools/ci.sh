@@ -7,6 +7,9 @@
 #   ubsan     UndefinedBehaviorSanitizer, -fno-sanitize-recover=all
 #   portable  Release with -DEAL_COMPUTED_GOTO=OFF: the VM's switch
 #             dispatch loop, which non-GNU compilers get
+#   tsan      ThreadSanitizer: the obs sinks and enable flags are read
+#             from the big-stack execution thread (prep for a parallel
+#             runtime), so toggling them must stay race-free
 #
 # Each configuration builds into build-ci-<name>/ at the repo root and
 # runs the tier-1 ctest suite (tier2 benches/sweeps are excluded: they
@@ -28,7 +31,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FUZZ_SEEDS="${EAL_FUZZ_SEEDS:-48}"
 BENCH_MAX_REGRESS="${EAL_BENCH_MAX_REGRESS:-0.10}"
 # Benches whose BENCH_*.json is baselined under bench/baselines/.
-BENCH_GATE="bench_engines bench_a31_stack_alloc"
+BENCH_GATE="bench_engines bench_a31_stack_alloc bench_live_deaddata"
 
 configure_flags() {
   case "$1" in
@@ -36,8 +39,9 @@ configure_flags() {
   asan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_ASAN=ON" ;;
   ubsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_UBSAN=ON" ;;
   portable) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON -DEAL_COMPUTED_GOTO=OFF" ;;
+  tsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_TSAN=ON" ;;
   *)
-    echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan|portable)" >&2
+    echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan|portable|tsan)" >&2
     exit 2
     ;;
   esac
@@ -55,6 +59,7 @@ run_config() {
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" -LE tier2)
   if [ "$name" = asan ]; then
     explain_smoke "$dir"
+    live_smoke "$dir"
   fi
   if [ "$name" = release ]; then
     echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
@@ -85,6 +90,27 @@ explain_smoke() {
     "$dir/tools/eal" explain "$example" $flags --explain-json="$json" \
         >/dev/null
     python3 "$REPO/tools/check_explain_json.py" "$json"
+  done
+}
+
+# Heap-liveness smoke: `eal live` over every shipped example, each run
+# round-tripping --live-json through the eal-live-v1 schema checker
+# (docs/LIVENESS.md). Dead-data lints are warnings, so a finding does
+# not fail the smoke -- a schema drift or an analysis crash does.
+live_smoke() {
+  local dir="$1"
+  echo "=== [asan] eal live over examples/nml (+ schema check)"
+  local example flags json
+  for example in "$REPO"/examples/nml/*.nml; do
+    flags=""
+    case "$(basename "$example")" in
+    stats.nml) flags="--stdlib" ;;
+    esac
+    json="$dir/live-$(basename "$example" .nml).json"
+    # shellcheck disable=SC2086
+    "$dir/tools/eal" live "$example" $flags --live-json="$json" \
+        >/dev/null
+    python3 "$REPO/tools/check_live_json.py" "$json"
   done
 }
 
@@ -119,7 +145,7 @@ if [ "$#" -gt 0 ]; then
     run_config "$config"
   done
 else
-  for config in release asan ubsan portable; do
+  for config in release asan ubsan portable tsan; do
     run_config "$config"
   done
 fi

@@ -21,6 +21,11 @@
 //                         for every allocation site, the derivation from
 //                         the site to the program point deciding its
 //                         storage (the escaping return, the directive, ...)
+//   eal live     <file>   heap-liveness analysis (docs/LIVENESS.md):
+//                         per-function demand summaries, per-site demands,
+//                         and the EAL-D dead-data findings; add
+//                         --live-oracle to also execute under the dynamic
+//                         liveness oracle
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -53,6 +58,16 @@
 //   --folded=FILE     write collapsed stacks for both engines (one
 //                     "tree;f;g N" / "vm;f;g N" line per stack), ready
 //                     for flamegraph.pl / speedscope
+//
+// Liveness flags (docs/LIVENESS.md):
+//   --live            run the liveness analysis alongside any command
+//   --live-oracle     execute under the dynamic liveness oracle: every
+//                     EAL-D001 dead-site claim is checked against the
+//                     concrete run's field reads; violations exit 1
+//   --live-gc         let the GC prune never-demanded structure (the one
+//                     liveness consumer that changes runtime behaviour)
+//   --live-json=FILE  write the liveness report as JSON (schema
+//                     eal-live-v1, tools/check_live_json.py); any command
 //
 // Explain flags (docs/EXPLAIN.md):
 //   --at=[FILE:]L:C   print only the chains of the allocation site at
@@ -88,12 +103,13 @@ namespace {
 int usage() {
   std::cerr
       << "usage: eal <analyze|optimize|run|disasm|report|check|profile"
-         "|explain> <file|-> [options]\n"
+         "|explain|live> <file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
          "         --trace=FILE --stats-json=FILE --time-phases\n"
          "         --check --oracle --check-json=FILE\n"
+         "         --live --live-oracle --live-gc --live-json=FILE\n"
          "         --profile-json=FILE --folded=FILE   (profile only)\n"
          "         --at=[FILE:]LINE:COL (explain only) --explain-json=FILE "
          "--dot=FILE\n";
@@ -256,7 +272,7 @@ int main(int argc, char **argv) {
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
       Command != "disasm" && Command != "report" && Command != "check" &&
-      Command != "profile" && Command != "explain")
+      Command != "profile" && Command != "explain" && Command != "live")
     return usage();
 
   PipelineOptions Options;
@@ -265,9 +281,10 @@ int main(int argc, char **argv) {
   Options.CompileBytecode = Command == "disasm";
   Options.RunLint = Command == "check" || Command == "profile";
   Options.RunExplain = Command == "explain";
+  Options.RunLive = Command == "live";
   Options.Obs.Command = Command;
   std::string CheckJsonPath, ProfileJsonPath, FoldedPath;
-  std::string AtSpec, ExplainJsonPath, DotPath;
+  std::string AtSpec, ExplainJsonPath, DotPath, LiveJsonPath;
   bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -299,7 +316,17 @@ int main(int argc, char **argv) {
       Options.RunLint = true;
     else if (Arg == "--oracle")
       Options.RunOracle = true;
-    else if (Arg.rfind("--check-json=", 0) == 0) {
+    else if (Arg == "--live")
+      Options.RunLive = true;
+    else if (Arg == "--live-oracle")
+      Options.RunLiveOracle = true;
+    else if (Arg == "--live-gc") {
+      Options.LiveGcPrune = true;
+      Options.RunLive = true;
+    } else if (Arg.rfind("--live-json=", 0) == 0) {
+      LiveJsonPath = Arg.substr(std::strlen("--live-json="));
+      Options.RunLive = true;
+    } else if (Arg.rfind("--check-json=", 0) == 0) {
       CheckJsonPath = Arg.substr(std::strlen("--check-json="));
       Options.RunLint = true;
     } else if (Arg.rfind("--profile-json=", 0) == 0 && Command == "profile")
@@ -347,6 +374,17 @@ int main(int argc, char **argv) {
       ExportOk = writeTextFile(DotPath, R.Explain->toDot()) && ExportOk;
     else {
       std::cerr << "eal: error: cannot write '" << DotPath << "'\n";
+      ExportOk = false;
+    }
+  }
+  if (!LiveJsonPath.empty()) {
+    if (R.Live)
+      ExportOk =
+          writeTextFile(LiveJsonPath,
+                        R.Live->toJson(*R.Ast, *R.SM, Command, R.Success)) &&
+          ExportOk;
+    else {
+      std::cerr << "eal: error: cannot write '" << LiveJsonPath << "'\n";
       ExportOk = false;
     }
   }
@@ -404,10 +442,30 @@ int main(int argc, char **argv) {
       std::cout << Sub.renderText(*R.SM);
     }
   }
+  if (Command == "live" && R.Live)
+    std::cout << R.Live->render(*R.Ast, *R.SM);
   if (R.Check) {
     if (Command != "check")
       std::cout << '\n';
     std::cout << R.Check->render(*R.SM);
+  }
+  if (R.LiveOracle) {
+    std::cout << '\n' << R.LiveOracle->report().render(*R.SM);
+    // The dynamic ground truth next to the static demands: when each
+    // site's data was last read, in AllocSeq units.
+    const auto &Last = R.LiveOracle->lastTouchBySite();
+    if (R.Live && !Last.empty()) {
+      std::cout << "last touch by site (alloc-seq units):\n";
+      for (const live::SiteLive &S : R.Live->Sites) {
+        auto It = Last.find(S.Site->id());
+        if (It == Last.end())
+          continue;
+        LineColumn LC = R.SM->lineColumn(S.Site->loc());
+        std::cout << "  site " << S.Site->id() << " at " << LC.Line << ':'
+                  << LC.Column << ": seq " << It->second
+                  << " (static demand " << S.Dem.str() << ")\n";
+      }
+    }
   }
   if (TimePhases) {
     std::cout << '\n';
@@ -415,6 +473,8 @@ int main(int argc, char **argv) {
   }
   if (R.Check && (R.Check->count(check::FindingSeverity::Error) > 0 ||
                   R.Check->hasViolations()))
+    return 1;
+  if (R.LiveOracle && !R.LiveOracle->report().Violations.empty())
     return 1;
   return ExportOk ? 0 : 1;
 }
