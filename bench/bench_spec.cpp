@@ -1,0 +1,139 @@
+//===- bench_spec.cpp - speculative tier: heap savings & guard cost --------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Experiment SPEC (an implementation ablation, not a paper table): the
+// profile-hot, statically-blocked workload behind docs/SPECULATION.md --
+// a keep-style function whose never-taken then-branch returns its list
+// argument, forcing the conservative planner to heap-allocate the whole
+// producer spine. Three configurations per size:
+//
+//   spec=off    the conservative optimized pipeline (every producer
+//               cell goes to the GC heap),
+//   spec=on     the speculative tier prunes the cold branch, guards it,
+//               and region-allocates the spine (the guard holds),
+//   spec=deopt  the same plan with an injected guard failure, so every
+//               speculative arena migrates back to the GC heap (the
+//               worst case: speculation cost without its benefit).
+//
+// The comparison pass enforces the tier's contract: spec=on must cut
+// heap_cells_allocated by at least 20% against spec=off, or the bench
+// exits nonzero. BENCH_spec.json is baselined under bench/baselines/
+// and gated by tools/bench_diff.py in CI (tools/ci.sh).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+using namespace eal;
+using namespace eal::bench;
+
+namespace {
+
+/// The speculation family, sized by \p N: build's N cons cells escape
+/// conservatively because keep's (never-entered) then-branch returns the
+/// list, but are region-allocatable once that branch is pruned.
+std::string specColdSource(unsigned N) {
+  return "letrec\n"
+         "  build n = if n = 0 then nil else cons n (build (n - 1));\n"
+         "  suml l = if (null l) then 0 else (car l) + (suml (cdr l));\n"
+         "  keep b l = if b then l else cons (suml l) nil\n"
+         "in suml (keep false (build " +
+         std::to_string(N) + "))\n";
+}
+
+PipelineOptions specConfig(bool Spec, bool InjectDeopt) {
+  PipelineOptions Options = config(true, true, true);
+  Options.Spec.Enable = Spec || InjectDeopt;
+  if (InjectDeopt)
+    Options.Spec.Inject.All = true;
+  return Options;
+}
+
+void printComparison() {
+  std::cout << "=== SPEC: speculative tier, heap savings & deopt cost ===\n";
+  std::cout << std::left << std::setw(26) << "workload" << std::right
+            << std::setw(12) << "value" << std::setw(13) << "wall (us)"
+            << std::setw(13) << "exec (us)" << std::setw(10) << "heap"
+            << std::setw(10) << "region" << '\n';
+  struct Row {
+    const char *Name;
+    bool Spec;
+    bool InjectDeopt;
+  };
+  const Row Rows[] = {
+      {"spec_cold/spec=off", false, false},
+      {"spec_cold/spec=on", true, false},
+      {"spec_cold/spec=deopt", false, true},
+  };
+  const unsigned N = 256;
+  const unsigned Reps = 9;
+  std::vector<BenchRecord> Records;
+  std::string Source = specColdSource(N);
+  uint64_t HeapOff = 0, HeapOn = 0;
+  for (const Row &Row : Rows) {
+    PipelineOptions Options = specConfig(Row.Spec, Row.InjectDeopt);
+    PipelineResult R = timedRun(Records, std::string(Row.Name) + "/n=" +
+                                             std::to_string(N),
+                                N, Source, Options);
+    Records.back().ExecuteSeconds = bestExecuteSeconds(Source, Options, Reps);
+    std::cout << std::left << std::setw(26) << Row.Name << std::right
+              << std::setw(12) << R.RenderedValue << std::setw(13)
+              << static_cast<int64_t>(Records.back().WallSeconds * 1e6)
+              << std::setw(13)
+              << static_cast<int64_t>(Records.back().ExecuteSeconds * 1e6)
+              << std::setw(10) << R.Stats.HeapCellsAllocated << std::setw(10)
+              << R.Stats.RegionCellsAllocated << '\n';
+    if (!Row.Spec && !Row.InjectDeopt)
+      HeapOff = R.Stats.HeapCellsAllocated;
+    if (Row.Spec && !Row.InjectDeopt)
+      HeapOn = R.Stats.HeapCellsAllocated;
+  }
+  double Reduction =
+      HeapOff == 0 ? 0.0
+                   : 100.0 * static_cast<double>(HeapOff - HeapOn) /
+                         static_cast<double>(HeapOff);
+  std::cout << "heap_cells_allocated: " << HeapOff << " -> " << HeapOn
+            << " (" << std::fixed << std::setprecision(1) << Reduction
+            << "% reduction)\n\n";
+  writeBenchJson("spec", Records);
+  // The tier's contract (docs/SPECULATION.md): on a profile-hot,
+  // statically-blocked workload, speculation must cut heap allocation
+  // by at least 20%.
+  if (HeapOff == 0 || HeapOn > HeapOff ||
+      (HeapOff - HeapOn) * 5 < HeapOff) {
+    std::cerr << "bench_spec: speculation reduced heap_cells_allocated by "
+                 "less than 20% ("
+              << HeapOff << " -> " << HeapOn << ")\n";
+    std::exit(1);
+  }
+}
+
+void BM_SpecCold(benchmark::State &State) {
+  bool Spec = State.range(0) == 1;
+  bool InjectDeopt = State.range(0) == 2;
+  std::string Source = specColdSource(256);
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(Source, specConfig(Spec, InjectDeopt));
+    benchmark::DoNotOptimize(R.RenderedValue);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_SpecCold)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -35,6 +35,7 @@ void OracleReport::exportTo(obs::MetricsRegistry &Reg) const {
   Reg.counter("check.oracle.heap_cells_escaped").add(HeapCellsEscaped);
   Reg.counter("check.oracle.heap_cells_unescaped").add(HeapCellsUnescaped);
   Reg.counter("check.oracle.imprecise_claims").add(ImpreciseClaims);
+  Reg.counter("check.oracle.alias_exemptions").add(AliasExemptions);
   Reg.counter("check.oracle.violations").add(Violations.size());
 }
 
@@ -88,7 +89,8 @@ std::string CheckReport::render(const SourceManager &SM) const {
        << Oracle->CellsTracked << " cell(s) tracked; escaped/unescaped heap "
        << "cells " << Oracle->HeapCellsEscaped << '/'
        << Oracle->HeapCellsUnescaped << "; imprecise claims "
-       << Oracle->ImpreciseClaims << "; violations "
+       << Oracle->ImpreciseClaims << "; alias exemptions "
+       << Oracle->AliasExemptions << "; violations "
        << Oracle->Violations.size() << '\n';
     for (const OracleViolation &V : Oracle->Violations) {
       renderLoc(OS, SM, V.CallLoc);
@@ -133,6 +135,7 @@ std::string CheckReport::toJson(const SourceManager &SM,
        << "    \"heap_cells_unescaped\": " << Oracle->HeapCellsUnescaped
        << ",\n"
        << "    \"imprecise_claims\": " << Oracle->ImpreciseClaims << ",\n"
+       << "    \"alias_exemptions\": " << Oracle->AliasExemptions << ",\n"
        << "    \"violations\": [";
     for (size_t I = 0; I != Oracle->Violations.size(); ++I) {
       const OracleViolation &V = Oracle->Violations[I];

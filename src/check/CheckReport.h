@@ -89,6 +89,12 @@ struct OracleReport {
   /// Imprecision at claim granularity: checks where spine level s−k+1
   /// (the first level the analysis gave up on) did not escape either.
   uint64_t ImpreciseClaims = 0;
+  /// Cells exempted from a claim because aliasing routed the same value
+  /// into another argument role of the call whose own claim exposes
+  /// them (the `append l l` shape): escaping through that role is
+  /// legitimate, so charging it against this role's protected prefix
+  /// would be a false refutation.
+  uint64_t AliasExemptions = 0;
 
   std::vector<OracleViolation> Violations;
 

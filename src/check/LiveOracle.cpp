@@ -85,13 +85,15 @@ void LivenessOracle::cellAllocated(const ConsCell *Cell, uint32_t SiteId) {
 
 void LivenessOracle::cellTouched(const ConsCell *Cell, uint64_t NowSeq) {
   ++Report.Touches;
-  uint64_t &Last = LastTouch[Cell->SiteId];
+  // Look through the speculative-placement tag (RtValue.h): claims key
+  // on the base AST site id.
+  uint32_t Site = baseSiteId(Cell->SiteId);
+  uint64_t &Last = LastTouch[Site];
   if (NowSeq > Last)
     Last = NowSeq;
-  if (Claims.DeadSites.count(Cell->SiteId))
-    refute(Injected.count(Cell->SiteId) ? "injected-claim"
-                                        : "dead-site-touched",
-           Cell->SiteId, NowSeq);
+  if (Claims.DeadSites.count(Site))
+    refute(Injected.count(Site) ? "injected-claim" : "dead-site-touched",
+           Site, NowSeq);
 }
 
 void LivenessOracle::finalize(const RtValue *ProgramResult) {
@@ -118,10 +120,10 @@ void LivenessOracle::finalize(const RtValue *ProgramResult) {
     const ConsCell *Cell = V.cell();
     if (!Visited.insert(Cell).second)
       continue;
-    if (Claims.DeadSites.count(Cell->SiteId))
-      refute(Injected.count(Cell->SiteId) ? "injected-claim"
-                                          : "dead-site-reachable",
-             Cell->SiteId, Cell->AllocSeq);
+    uint32_t Site = baseSiteId(Cell->SiteId);
+    if (Claims.DeadSites.count(Site))
+      refute(Injected.count(Site) ? "injected-claim" : "dead-site-reachable",
+             Site, Cell->AllocSeq);
     Work.push_back(Cell->Car);
     Work.push_back(Cell->Cdr);
   }

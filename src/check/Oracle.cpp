@@ -221,10 +221,13 @@ void EscapeOracle::activationEntered(const LambdaExpr *Fn,
         }
         OtherRoles.merge(Exposed);
       }
-      if (!OtherRoles.empty())
+      if (!OtherRoles.empty()) {
+        size_t Before = CC.Cells.size();
         std::erase_if(CC.Cells, [&](const PinnedCell &P) {
           return OtherRoles.count(P.Cell) != 0;
         });
+        Report.AliasExemptions += Before - CC.Cells.size();
+      }
     }
     A.Claims.push_back(std::move(CC));
   }

@@ -11,7 +11,9 @@
 #include "driver/Stdlib.h"
 #include "lang/Lexer.h"
 #include "lang/Parser.h"
+#include "prof/Profiler.h"
 #include "runtime/ValuePrinter.h"
+#include "spec/SpecPlanner.h"
 #include "support/Metrics.h"
 
 #include <fstream>
@@ -229,6 +231,58 @@ void runPipelineImpl(const std::string &Source,
   ExecutionEngine Engine = Options.Engine;
   Interpreter::Options RunOpts = Options.Run;
   RunOpts.Profiler = Options.Obs.Profile;
+
+  if (Options.Spec.Enable) {
+    // Profiling pre-run (tree-walker: the branch hooks live there). nml
+    // is deterministic and takes no input, so this run's branch counts
+    // and per-site allocation counts are exact for the run below — the
+    // price of the tier is running the program twice. Scratch
+    // diagnostics: a pre-run failure (fuel, heap) just disables
+    // speculation; the real run will surface the error itself.
+    spec::BranchProfile Branches;
+    prof::Profiler PreProfile;
+    std::optional<RtValue> PreValue;
+    {
+      obs::PhaseTimer T(&R.PhaseMicros, "spec-profile");
+      DiagnosticEngine PreDiags;
+      Interpreter::Options PreOpts = Options.Run;
+      PreOpts.Observer = nullptr;
+      PreOpts.Profiler = &PreProfile;
+      PreOpts.Spec = &Branches;
+      Interpreter Pre(*R.Ast, R.Optimized->Typed, &R.Optimized->Plan,
+                      PreDiags, PreOpts);
+      PreValue = Options.UseLargeStack ? Pre.runOnLargeStack() : Pre.run();
+      T.span().arg("branches",
+                   static_cast<uint64_t>(Branches.numBranchesSeen()));
+    }
+    if (PreValue) {
+      obs::PhaseTimer T(&R.PhaseMicros, "spec-plan");
+      spec::SpecPlannerOptions SPO;
+      SPO.ColdMaxEntries = Options.Spec.ColdMaxEntries;
+      SPO.HotMinAllocs = Options.Spec.HotMinAllocs;
+      SPO.MaxGuards = Options.Spec.MaxGuards;
+      SPO.Mode = Options.Mode;
+      SPO.Analysis = OptConfig.Analysis;
+      SPO.EnableStack = OptConfig.EnableStack;
+      SPO.EnableRegion = OptConfig.EnableRegion;
+      SPO.Prov = R.Prov.get();
+      R.SpecPlan = spec::planSpeculation(*R.Ast, R.Optimized->Root,
+                                         R.Optimized->Plan, Branches,
+                                         PreProfile, SPO);
+      if (R.SpecPlan->anySpeculation()) {
+        R.SpecRT = std::make_unique<spec::SpecRuntime>(*R.SpecPlan,
+                                                       Options.Spec.Inject);
+        RunOpts.Spec = R.SpecRT.get();
+      }
+      T.span().arg("speculations",
+                   static_cast<uint64_t>(R.SpecPlan->Specs.size()));
+    }
+  }
+  // The plan the engines execute: merged (conservative + guarded
+  // speculative directives) when the spec tier planned anything.
+  const AllocationPlan *ExecPlan =
+      R.SpecPlan ? &R.SpecPlan->Merged : &R.Optimized->Plan;
+
   if (Options.RunOracle) {
     obs::PhaseTimer T(&R.PhaseMicros, "claims");
     // The observer hooks live in the tree-walker, and a sound plan must
@@ -269,8 +323,9 @@ void runPipelineImpl(const std::string &Source,
     obs::PhaseTimer T(&R.PhaseMicros, "execute");
     if (Engine == ExecutionEngine::Bytecode) {
       T.span().arg("engine", "bytecode");
-      R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
-                                 &R.Optimized->Plan, *R.Diags);
+      R.Code = compileToBytecode(
+          *R.Ast, R.Optimized->Root, ExecPlan, *R.Diags,
+          R.SpecRT ? &R.SpecPlan->GuardsByBranch : nullptr);
       if (!R.Code)
         return;
       Vm::Options VO;
@@ -279,18 +334,22 @@ void runPipelineImpl(const std::string &Source,
       VO.MaxSteps = RunOpts.MaxSteps;
       VO.ValidateArenaFrees = RunOpts.ValidateArenaFrees;
       VO.Profiler = RunOpts.Profiler;
+      VO.Spec = RunOpts.Spec;
       R.TheVm = std::make_unique<Vm>(*R.Code, *R.Diags, VO);
       if (R.LiveDeadSites)
         R.TheVm->heap().setDeadSites(R.LiveDeadSites.get());
+      if (R.SpecRT)
+        R.SpecRT->setHeap(&R.TheVm->heap());
       R.Value = R.TheVm->run();
       R.Stats = R.TheVm->stats();
     } else {
       T.span().arg("engine", "tree-walker");
       R.Interp = std::make_unique<Interpreter>(*R.Ast, R.Optimized->Typed,
-                                               &R.Optimized->Plan, *R.Diags,
-                                               RunOpts);
+                                               ExecPlan, *R.Diags, RunOpts);
       if (R.LiveDeadSites)
         R.Interp->heap().setDeadSites(R.LiveDeadSites.get());
+      if (R.SpecRT)
+        R.SpecRT->setHeap(&R.Interp->heap());
       R.Value = Options.UseLargeStack ? R.Interp->runOnLargeStack()
                                       : R.Interp->run();
       R.Stats = R.Interp->stats();
@@ -299,6 +358,8 @@ void runPipelineImpl(const std::string &Source,
   }
   if (obs::metricsEnabled())
     R.Stats.exportTo(obs::globalMetrics());
+  if (R.SpecRT && obs::metricsEnabled())
+    R.SpecRT->exportTo(obs::globalMetrics());
   if (R.Oracle) {
     R.Oracle->finalize(R.Value ? &*R.Value : nullptr);
     R.Check->Oracle = R.Oracle->report();

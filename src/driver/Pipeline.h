@@ -30,6 +30,7 @@
 #include "live/LiveAnalyzer.h"
 #include "opt/Optimizer.h"
 #include "runtime/Interpreter.h"
+#include "spec/SpecReport.h"
 #include "vm/Compiler.h"
 #include "vm/Vm.h"
 #include "support/Diagnostics.h"
@@ -133,6 +134,23 @@ struct PipelineOptions {
   /// RunLive; off by default so the analysis stays observation-only
   /// unless explicitly requested.
   bool LiveGcPrune = false;
+  /// The speculative tier (docs/SPECULATION.md). When enabled and the
+  /// program is executed, the pipeline first runs a profiling pre-run on
+  /// the tree-walker (nml is deterministic with no input, so the pre-run
+  /// *is* the real run), then plans guarded speculative directives for
+  /// profile-cold branches and executes the merged plan with a
+  /// spec::SpecRuntime attached. Requires execution; ignored for
+  /// plan-only invocations.
+  struct SpeculationOptions {
+    bool Enable = false;
+    /// Deterministic guard-failure injection (--spec-inject-deopt).
+    spec::SpecInjection Inject;
+    /// Planner knobs (SpecPlannerOptions mirrors).
+    uint64_t ColdMaxEntries = 0;
+    uint64_t HotMinAllocs = 8;
+    unsigned MaxGuards = 16;
+  };
+  SpeculationOptions Spec;
   /// Tracing / stats export / profiler routing.
   ObservabilityOptions Obs;
 };
@@ -154,6 +172,15 @@ struct PipelineResult {
   /// Analysis + transformation output (valid once parsing/typing
   /// succeeded).
   std::optional<OptimizedProgram> Optimized;
+
+  /// The speculative plan (present iff Spec.Enable and the profiling
+  /// pre-run succeeded; may hold zero speculations). Declared before
+  /// the engines: they hold pointers into Merged, so it must outlive
+  /// them (members destroy in reverse order).
+  std::optional<spec::SpecPlan> SpecPlan;
+  /// The speculative runtime attached to the executing engine (present
+  /// iff SpecPlan has at least one speculation).
+  std::unique_ptr<spec::SpecRuntime> SpecRT;
 
   /// The engine (kept alive so Value remains valid) and its result.
   std::unique_ptr<Interpreter> Interp;

@@ -307,6 +307,22 @@ ValueId EscapeAnalyzer::applyAtom(FnAtomId AtomId, ValueId Arg) {
     // only arise transiently through joins. Bottom is safe (stuck).
     return Store.bottom();
   case FnAtomKind::Closure: {
+    if (ApplyDepth >= MaxApplyDepth) {
+      // A chain this deep means every level was a fresh (closure, arg)
+      // cache key — a recursive function rebuilding a function argument
+      // at each call. Widen the closure to W^τ ⊔ its captured ground
+      // (Definition 2): above anything the closure's body can compute,
+      // so the result is sound, and no new closures get interned, which
+      // restores the finiteness the fixpoint termination argument needs.
+      FnAtom W;
+      W.Kind = FnAtomKind::Worst;
+      W.WorstType = Program.typeOf(Atom.Lambda);
+      W.WorstAcc = closureGround(Atom.Lambda, Atom.Env);
+      ++Widenings;
+      if (obs::metricsEnabled())
+        obs::globalMetrics().counter("escape.apply.widenings").add(1);
+      return applyWorst(W, Arg);
+    }
     uint64_t Key = (static_cast<uint64_t>(AtomId) << 32) | Arg;
     CacheEntry &Entry = ApplyCache[Key];
     uint32_t PF = explain::NoFact;
@@ -330,7 +346,9 @@ ValueId EscapeAnalyzer::applyAtom(FnAtomId AtomId, ValueId Arg) {
     B.Name = Atom.Lambda->param();
     B.Kind = EnvBindingKind::Value;
     B.Val = Arg;
+    ++ApplyDepth;
     ValueId New = eval(Atom.Lambda->body(), Store.extend(Atom.Env, B));
+    --ApplyDepth;
     New = Store.joinValues(Entry.Val, New);
     if (New != Entry.Val) {
       Entry.Val = New;

@@ -17,6 +17,16 @@
 /// monotone and the value space reachable from a program is finite, so the
 /// iteration terminates (§3.5); an iteration budget guards against bugs.
 ///
+/// One program shape escapes that finiteness argument: a recursive
+/// function that *rebuilds* a function argument at every call
+/// (`g (cdr l) (compose f h)`) manufactures a strictly growing chain of
+/// distinct closures, so each recursive application is a fresh cache key
+/// and the ⊥-seeded cycle brake never engages. A depth budget on nested
+/// closure applications detects the runaway chain and widens the closure
+/// to its worst-case function W^τ (Definition 2) joined with its captured
+/// ground — above anything the closure can do, so the result stays sound,
+/// merely conservative (see wideningCount()).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EAL_ESCAPE_ESCAPEANALYZER_H
@@ -168,6 +178,13 @@ public:
   /// conservative).
   bool hitIterationLimit() const { return HitLimit; }
 
+  /// Number of closure applications widened to W^τ because nested
+  /// application depth exceeded the budget (higher-order recursion
+  /// building ever-larger closures). Zero on every paper program; a
+  /// positive count means the analysis stayed sound by worst-casing the
+  /// runaway chain.
+  unsigned wideningCount() const { return Widenings; }
+
   /// Enables recording of per-binding fixpoint iterates (Appendix A.1
   /// style); call before queries.
   void enableTracing() { Tracing = true; }
@@ -251,6 +268,16 @@ private:
   /// (letrec inst, binding index) -> value, ⊥-seeded.
   std::unordered_map<uint64_t, CacheEntry> BindingCache;
   std::unordered_map<uint32_t, std::vector<Symbol>> FreeVarCache;
+
+  /// Nesting depth of in-flight closure applications, and the budget
+  /// past which applyAtom widens instead of evaluating the body. The
+  /// budget bounds C++ recursion, not fixpoint rounds: only a chain of
+  /// *distinct* (closure, argument) keys can nest this deep, and any
+  /// program whose abstract closures are finitely many stays far below
+  /// it (Appendix A tops out below ten).
+  unsigned ApplyDepth = 0;
+  static constexpr unsigned MaxApplyDepth = 128;
+  unsigned Widenings = 0;
 
   unsigned CurrentRound = 0;
   bool Changed = false;

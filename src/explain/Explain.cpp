@@ -354,6 +354,10 @@ const char *stepTitleFor(FactKind K) {
     return "decision";
   case FactKind::Finding:
     return "finding";
+  case FactKind::Liveness:
+    return "liveness derivation";
+  case FactKind::Speculation:
+    return "speculative re-classification";
   }
   return "fact";
 }

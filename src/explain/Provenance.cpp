@@ -31,6 +31,8 @@ const char *eal::explain::factKindName(FactKind K) {
     return "finding";
   case FactKind::Liveness:
     return "liveness";
+  case FactKind::Speculation:
+    return "speculation";
   }
   return "unknown";
 }

@@ -70,10 +70,16 @@ enum class FactKind : uint8_t {
   Decision, ///< an optimizer decision (arena directive, reuse version)
   Finding,  ///< a check finding anchored into the graph
   Liveness, ///< a heap-liveness fact: a summary or site demand (eal::live)
+  /// A speculative re-classification (src/spec): the spec planner bet
+  /// that a profile-cold branch never runs, re-ran the escape analysis
+  /// on the branch-pruned program, and planted a guarded arena
+  /// directive. Depends on the guarded Decision fact and cites the
+  /// profile evidence in its label (docs/SPECULATION.md).
+  Speculation,
 };
 
 /// Returns "binding" / "apply" / "query" / "sharing" / "decision" /
-/// "finding" / "liveness".
+/// "finding" / "liveness" / "speculation".
 const char *factKindName(FactKind K);
 
 /// One lattice raise of a fact: the fixpoint round it happened in, the

@@ -76,6 +76,14 @@ struct ArgArenaDirective {
   /// no recorder was attached).
   uint32_t ProvenanceRef = explain::NoFact;
 
+  /// -1 for conservative directives (the planner's own output). A
+  /// non-negative value marks a *speculative* directive added by the
+  /// spec tier (src/spec, docs/SPECULATION.md): the value indexes the
+  /// speculation whose guard protects it, the engines consult
+  /// SpecHooks::directiveArmed before honoring it, and cells it places
+  /// carry SpecSiteBit so a deopt can find and migrate them.
+  int32_t SpecIndex = -1;
+
   bool hasStackSites() const {
     for (const auto &[Id, Class] : Sites)
       if (Class == ArenaSiteClass::Stack)

@@ -87,6 +87,10 @@ struct SiteCounters {
   /// attribution to the dcons site, matching the liveness analysis's
   /// view of whose data the cell now holds.
   uint64_t FirstTouches = 0;
+  /// Cells deopt-migrated from a speculative arena to the GC heap
+  /// (docs/SPECULATION.md). A migrated cell's birth stays in Allocs under
+  /// its original storage class; its eventual death is a heap death.
+  uint64_t Migrated = 0;
   /// Allocation-sequence distance from birth to death (all death kinds).
   obs::Histogram Lifetime;
 
@@ -176,6 +180,9 @@ public:
   }
   /// First demand on a cell currently tagged with \p Site.
   void siteFirstTouch(uint32_t Site) { ++Sites[Site].FirstTouches; }
+  /// A cell born at \p Site was deopt-migrated from a speculative arena
+  /// to the GC heap (Heap::migrateArenaToHeap).
+  void siteMigrated(uint32_t Site) { ++Sites[Site].Migrated; }
 
   const std::unordered_map<uint32_t, SiteCounters> &sites() const {
     return Sites;

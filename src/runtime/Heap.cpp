@@ -46,7 +46,8 @@ void Marker::drain() {
       // Dead-site prune (setDeadSites): the cell itself survives — it
       // is reachable — but the analysis claims no one will ever demand
       // its fields, so nothing reachable only through them needs to.
-      if (H.DeadSites && H.DeadSites->count(Cell->SiteId)) [[unlikely]] {
+      if (H.DeadSites && H.DeadSites->count(baseSiteId(Cell->SiteId)))
+          [[unlikely]] {
         ++H.PrunedDeadCells;
         continue;
       }
@@ -152,10 +153,11 @@ size_t Heap::createArena() {
 }
 
 ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class,
-                                uint32_t SiteId) {
+                                uint32_t SiteId, bool Speculative) {
   assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
   assert(Class != CellClass::Heap && "heap cells do not live in arenas");
-  ConsCell *Cell = popFree(Class, SiteId);
+  ConsCell *Cell =
+      popFree(Class, Speculative ? SiteId | SpecSiteBit : SiteId);
   if (!Cell) {
     // Arena cells are never collected, so collection cannot help unless
     // heap garbage exists; try it, then grow.
@@ -197,7 +199,7 @@ void Heap::profileArenaDeaths(const CellArena &A) {
   // and age are per-cell facts, so the chain must be walked. Only runs
   // with a profiler attached.
   for (ConsCell *Cell = A.Head; Cell; Cell = Cell->Next)
-    Prof->siteDeath(Cell->SiteId, storageOf(Cell->Class),
+    Prof->siteDeath(baseSiteId(Cell->SiteId), storageOf(Cell->Class),
                     NextAllocSeq - Cell->AllocSeq);
 }
 
@@ -244,6 +246,34 @@ void Heap::freeArena(size_t Handle) {
   FreeArenaSlots.push_back(Handle);
 }
 
+size_t Heap::migrateArenaToHeap(size_t Handle) {
+  assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
+  CellArena &A = Arenas[Handle];
+  size_t Migrated = A.Count;
+  ConsCell *Cell = A.Head;
+  while (Cell) {
+    ConsCell *Next = Cell->Next;
+    // The cell becomes an ordinary GC-heap resident: Next is a free-list/
+    // arena-chain link and heap cells use neither. AllocSeq is preserved
+    // — the oracle's (pointer, stamp) identity must survive deopt.
+    Cell->Next = nullptr;
+    Cell->Class = CellClass::Heap;
+    Cell->SiteId = baseSiteId(Cell->SiteId);
+    ++LiveHeap;
+    if (LiveHeap > Stats.PeakLiveHeapCells)
+      Stats.PeakLiveHeapCells = LiveHeap;
+    if (Prof) [[unlikely]]
+      Prof->siteMigrated(Cell->SiteId);
+    Cell = Next;
+  }
+  // Empty the chain: the owning activation still frees this arena on
+  // exit, and that free must reclaim nothing (the conditional counters
+  // in freeArena then stay untouched too).
+  A.Head = A.Tail = nullptr;
+  A.Count = A.StackCells = A.RegionCells = 0;
+  return Migrated;
+}
+
 bool Heap::arenaIsReachable(size_t Handle) {
   assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
   if (!Roots)
@@ -283,7 +313,8 @@ void Heap::markPhase(bool IncludeArenas, size_t ExcludeHandle) {
       continue;
     for (ConsCell *Cell = A.Head; Cell; Cell = Cell->Next) {
       Cell->Mark = true;
-      if (DeadSites && DeadSites->count(Cell->SiteId)) [[unlikely]] {
+      if (DeadSites && DeadSites->count(baseSiteId(Cell->SiteId)))
+          [[unlikely]] {
         ++PrunedDeadCells;
         continue;
       }
@@ -316,7 +347,7 @@ void Heap::collect() {
       if (Cell.State == CellState::Live && Cell.Class == CellClass::Heap &&
           !Cell.Mark) {
         if (Prof) [[unlikely]]
-          Prof->siteDeath(Cell.SiteId, prof::Storage::Heap,
+          Prof->siteDeath(baseSiteId(Cell.SiteId), prof::Storage::Heap,
                           NextAllocSeq - Cell.AllocSeq);
         Cell.State = CellState::Free;
         Cell.Car = RtValue::makeNil();

@@ -136,8 +136,23 @@ public:
   size_t createArena();
 
   /// Allocates a cell of \p Class (Stack or Region) into arena \p Handle.
+  /// \p Speculative tags the cell with SpecSiteBit: it was placed by a
+  /// speculative directive (src/spec) and may be migrated to the GC heap
+  /// by migrateArenaToHeap if the speculation's guard fails.
   ConsCell *allocateInArena(size_t Handle, CellClass Class,
-                            uint32_t SiteId = 0xFFFFFFFFu);
+                            uint32_t SiteId = 0xFFFFFFFFu,
+                            bool Speculative = false);
+
+  /// The deopt path (docs/SPECULATION.md): re-homes every cell of the
+  /// still-live arena \p Handle onto the GC heap. Each cell keeps its
+  /// AllocSeq — the (pointer, stamp) identity the dynamic oracle tracks —
+  /// while its storage class becomes Heap and its SiteId is re-tagged to
+  /// the base site (SpecSiteBit cleared), so profiler and oracle
+  /// attribution stay exact. The arena's chain is emptied: the owning
+  /// activation's eventual freeArena reclaims nothing, and the migrated
+  /// cells live on until mark-sweep proves them dead. Returns the number
+  /// of cells migrated.
+  size_t migrateArenaToHeap(size_t Handle);
 
   /// Reclaims the whole arena: its chain is spliced onto the free list
   /// without visiting the list structure. Statistics record stack and

@@ -10,6 +10,7 @@
 #include "prof/Profiler.h"
 #include "runtime/ExecutionObserver.h"
 #include "runtime/PrimOps.h"
+#include "runtime/SpecHooks.h"
 #include "runtime/ValuePrinter.h"
 
 #include "lang/AstUtils.h"
@@ -133,7 +134,8 @@ ConsCell *Interpreter::allocateConsCell(uint32_t SiteId) {
     CellClass Class = SiteIt->second == ArenaSiteClass::Stack
                           ? CellClass::Stack
                           : CellClass::Region;
-    return Observed(TheHeap.allocateInArena(It->Handle, Class, SiteId));
+    return Observed(TheHeap.allocateInArena(It->Handle, Class, SiteId,
+                                            It->Directive->SpecIndex >= 0));
   }
   return Observed(TheHeap.allocateHeap(SiteId));
 }
@@ -153,7 +155,7 @@ Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
   Hooks.Stats = &Stats;
   if (prof::Profiler *Prof = Opts.Profiler) [[unlikely]]
     Hooks.CellReused = [this, Prof](const ConsCell *Cell, uint32_t Site) {
-      Prof->siteReuse(Site, Cell->SiteId,
+      Prof->siteReuse(Site, baseSiteId(Cell->SiteId),
                       TheHeap.allocSeq() - Cell->AllocSeq);
     };
   if (Opts.Profiler || Opts.Observer) [[unlikely]]
@@ -161,7 +163,7 @@ Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
       if (!Cell->Touched) {
         Cell->Touched = true;
         if (prof::Profiler *Prof = Opts.Profiler)
-          Prof->siteFirstTouch(Cell->SiteId);
+          Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
       }
       if (Opts.Observer)
         Opts.Observer->cellTouched(Cell, TheHeap.allocSeq());
@@ -227,6 +229,11 @@ Interpreter::applyValues(RtValue Callee, const std::vector<RtValue> &Args,
     if (Result)
       ResultRoot.push(*Result);
     for (size_t Handle : Arenas) {
+      // The spec runtime sees every close first: this is where injected
+      // guard failures fire, migrating the speculative cells out before
+      // the (then-empty) arena is spliced away.
+      if (Opts.Spec) [[unlikely]]
+        Opts.Spec->arenaClosing(static_cast<uint32_t>(Handle));
       if (Opts.ValidateArenaFrees && TheHeap.arenaIsReachable(Handle))
         return error(SourceLoc::invalid(),
                      "allocation plan error: arena cell still reachable "
@@ -382,9 +389,17 @@ std::optional<RtValue> Interpreter::evalCallSpine(const AppExpr *Call,
           D = Cand;
           break;
         }
+    // A speculative directive is honored only while its guard holds;
+    // once disarmed (deopt) the argument evaluates plain, exactly as
+    // under the conservative plan.
+    if (D && D->SpecIndex >= 0 &&
+        (!Opts.Spec || !Opts.Spec->directiveArmed(D->SpecIndex)))
+      D = nullptr;
     std::optional<RtValue> V;
     if (D) {
       size_t Handle = TheHeap.createArena();
+      if (D->SpecIndex >= 0) [[unlikely]]
+        Opts.Spec->arenaOpened(D->SpecIndex, static_cast<uint32_t>(Handle));
       ArenaStack.push_back(ActiveArena{D, Handle});
       V = eval(ArgExprs[I], Env);
       ArenaStack.pop_back();
@@ -393,8 +408,11 @@ std::optional<RtValue> Interpreter::evalCallSpine(const AppExpr *Call,
       V = eval(ArgExprs[I], Env);
     }
     if (!V) {
-      for (size_t Handle : Arenas)
+      for (size_t Handle : Arenas) {
+        if (Opts.Spec) [[unlikely]]
+          Opts.Spec->arenaClosing(static_cast<uint32_t>(Handle));
         TheHeap.freeArena(Handle);
+      }
       return std::nullopt;
     }
     Rooted.push(*V);
@@ -456,7 +474,12 @@ std::optional<RtValue> Interpreter::eval(const Expr *E, const EnvPtr &Env) {
       error(If->cond()->loc(), "if condition is not a boolean");
       return std::nullopt;
     }
-    return eval(Cond->boolValue() ? If->thenExpr() : If->elseExpr(), Env);
+    const Expr *Chosen = Cond->boolValue() ? If->thenExpr() : If->elseExpr();
+    // Branch-entry report: the spec tier's profile counter during the
+    // pre-run, its deopt guard during the speculative run.
+    if (Opts.Spec) [[unlikely]]
+      Opts.Spec->branchEntered(Chosen->id());
+    return eval(Chosen, Env);
   }
   case ExprKind::Let: {
     const auto *Let = cast<LetExpr>(E);

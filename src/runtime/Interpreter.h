@@ -39,6 +39,7 @@ namespace eal {
 
 class DiagnosticEngine;
 class ExecutionObserver;
+class SpecHooks;
 
 /// Evaluates one typed program.
 class Interpreter {
@@ -59,6 +60,13 @@ public:
     /// Null disables profiling; independent of Observer, so the dynamic
     /// oracle and the profiler can run together.
     prof::Profiler *Profiler = nullptr;
+    /// Speculative-tier hooks (runtime/SpecHooks.h), not owned. While
+    /// set, every entered if-branch is reported, speculative directives
+    /// (SpecIndex >= 0) are honored only while directiveArmed says so,
+    /// and every arena open/close is announced so the spec runtime can
+    /// track speculative arenas and run the deopt protocol. Null
+    /// disables the tier entirely.
+    SpecHooks *Spec = nullptr;
   };
 
   /// \p Plan may be null (everything heap-allocated, no reuse semantics

@@ -130,6 +130,21 @@ enum class CellState : uint8_t {
   Live,
 };
 
+/// High bit of ConsCell::SiteId: set when the cell was placed by a
+/// *speculative* arena directive (src/spec). Everything that attributes
+/// by site — the profiler, the oracles, GC dead-site pruning — must look
+/// through it via baseSiteId(); deopt migration clears it when it
+/// re-tags the cell as a plain GC-heap resident (docs/SPECULATION.md).
+/// AST node ids stay far below 2^31, so the bit cannot collide with a
+/// real site, and prof::NoSite (all ones) already has it set.
+inline constexpr uint32_t SpecSiteBit = 0x80000000u;
+
+/// The allocation-site id with the speculative-placement bit removed;
+/// NoSite (0xFFFFFFFF) passes through unchanged.
+inline constexpr uint32_t baseSiteId(uint32_t SiteId) {
+  return SiteId == 0xFFFFFFFFu ? SiteId : SiteId & ~SpecSiteBit;
+}
+
 /// One cons cell.
 struct ConsCell {
   RtValue Car;

@@ -1,0 +1,159 @@
+//===- SpecReport.cpp -----------------------------------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/SpecReport.h"
+
+#include "lang/Ast.h"
+#include "support/SourceManager.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace eal;
+using namespace eal::spec;
+
+namespace {
+
+std::string locString(const SourceManager &SM, SourceLoc Loc) {
+  std::ostringstream OS;
+  if (Loc.isValid()) {
+    LineColumn LC = SM.lineColumn(Loc);
+    OS << SM.name() << ':' << LC.Line << ':' << LC.Column;
+  } else {
+    OS << SM.name() << ":?:?";
+  }
+  return OS.str();
+}
+
+/// Sites of a directive sorted by id, for deterministic output.
+std::vector<std::pair<uint32_t, ArenaSiteClass>>
+sortedSites(const ArgArenaDirective &D) {
+  std::vector<std::pair<uint32_t, ArenaSiteClass>> Sites(D.Sites.begin(),
+                                                         D.Sites.end());
+  std::sort(Sites.begin(), Sites.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Sites;
+}
+
+const char *siteClassName(ArenaSiteClass C) {
+  return C == ArenaSiteClass::Stack ? "stack" : "region";
+}
+
+size_t countConservative(const SpecPlan &Plan) {
+  size_t N = 0;
+  for (const ArgArenaDirective &D : Plan.Merged.Directives)
+    if (D.SpecIndex < 0)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+std::string spec::renderSpecReport(const SpecPlan &Plan,
+                                   const SpecRuntime *Runtime,
+                                   const AstContext &Ast,
+                                   const SourceManager &SM) {
+  std::ostringstream OS;
+  size_t NumSpecDirectives = Plan.Merged.Directives.size() -
+                             countConservative(Plan);
+  OS << "speculation plan: " << Plan.Specs.size() << " speculation(s), "
+     << NumSpecDirectives << " speculative directive(s), "
+     << countConservative(Plan) << " conservative directive(s)\n";
+  for (size_t I = 0; I != Plan.Specs.size(); ++I) {
+    const Speculation &S = Plan.Specs[I];
+    OS << "spec #" << I << ": guarded branch at " << locString(SM, S.GuardLoc)
+       << " (if at " << locString(SM, S.IfLoc) << "); profile hot="
+       << S.HotEntries << " cold=" << S.ColdEntries << '\n';
+    for (uint32_t DirIdx : S.DirectiveIndices) {
+      const ArgArenaDirective &D = Plan.Merged.Directives[DirIdx];
+      OS << "  call of " << Ast.spelling(D.Callee) << " (node "
+         << D.CallAppId << "), argument " << (D.ArgIndex + 1) << ": top "
+         << D.ProtectedSpines << " spine(s) protected; sites";
+      bool First = true;
+      for (const auto &[Site, Class] : sortedSites(D)) {
+        OS << (First ? " " : ", ") << Site << " [" << siteClassName(Class)
+           << ']';
+        First = false;
+      }
+      OS << '\n';
+    }
+  }
+  if (!Runtime) {
+    OS << "status: planned (not executed)\n";
+    return OS.str();
+  }
+  const SpecStats &St = Runtime->stats();
+  if (Runtime->deopted())
+    OS << "status: deopted (" << Runtime->deoptCause() << ")";
+  else
+    OS << "status: held";
+  OS << " — " << St.GuardHits << " guard hit(s), " << St.Deopts
+     << " deopt(s), " << St.CellsMigrated << " cell(s) migrated, "
+     << St.ArenasOpened << " arena(s) opened\n";
+  return OS.str();
+}
+
+std::string spec::specPlanToJson(const SpecPlan &Plan,
+                                 const SpecRuntime *Runtime,
+                                 const AstContext &Ast,
+                                 const SourceManager &SM) {
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"schema\": \"eal-spec-v1\",\n"
+     << "  \"program\": " << obs::jsonQuote(SM.name()) << ",\n";
+
+  OS << "  \"speculations\": [";
+  for (size_t I = 0; I != Plan.Specs.size(); ++I) {
+    const Speculation &S = Plan.Specs[I];
+    LineColumn IfLC = SM.lineColumn(S.IfLoc);
+    LineColumn GuardLC = SM.lineColumn(S.GuardLoc);
+    OS << (I ? ",\n" : "\n") << "    {\"index\": " << I
+       << ", \"if\": {\"id\": " << S.IfExprId << ", \"line\": " << IfLC.Line
+       << ", \"col\": " << IfLC.Column << "},\n     \"guard\": {\"branch_id\": "
+       << S.GuardBranchId << ", \"line\": " << GuardLC.Line << ", \"col\": "
+       << GuardLC.Column << "},\n     \"profile\": {\"hot_entries\": "
+       << S.HotEntries << ", \"cold_entries\": " << S.ColdEntries << "},\n"
+       << "     \"directives\": [";
+    for (size_t J = 0; J != S.DirectiveIndices.size(); ++J) {
+      const ArgArenaDirective &D = Plan.Merged.Directives[S.DirectiveIndices[J]];
+      OS << (J ? ",\n       " : "\n       ") << "{\"call\": "
+         << obs::jsonQuote(std::string(Ast.spelling(D.Callee)))
+         << ", \"call_id\": " << D.CallAppId << ", \"arg\": " << D.ArgIndex
+         << ", \"protected_spines\": " << D.ProtectedSpines
+         << ", \"sites\": [";
+      bool First = true;
+      for (const auto &[Site, Class] : sortedSites(D)) {
+        OS << (First ? "" : ", ") << "{\"id\": " << Site << ", \"class\": "
+           << obs::jsonQuote(siteClassName(Class)) << '}';
+        First = false;
+      }
+      OS << "]}";
+    }
+    OS << "\n     ]}";
+  }
+  OS << "\n  ],\n";
+
+  OS << "  \"runtime\": ";
+  if (!Runtime) {
+    OS << "null\n";
+  } else {
+    const SpecStats &St = Runtime->stats();
+    OS << "{\"deopted\": " << (Runtime->deopted() ? "true" : "false")
+       << ", \"cause\": ";
+    if (Runtime->deoptCause().empty())
+      OS << "null";
+    else
+      OS << obs::jsonQuote(Runtime->deoptCause());
+    OS << ", \"arenas_opened\": " << St.ArenasOpened << ", \"guard_hits\": "
+       << St.GuardHits << ", \"deopts\": " << St.Deopts
+       << ", \"injected_deopts\": " << St.InjectedDeopts
+       << ", \"cells_migrated\": " << St.CellsMigrated << "}\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

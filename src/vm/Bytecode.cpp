@@ -57,6 +57,8 @@ const char *eal::opcodeName(Opcode Op) {
     return "prim.l";
   case Opcode::LocalLocalPrim:
     return "prim.ll";
+  case Opcode::GuardSpec:
+    return "guard.spec";
   }
   return "???";
 }
@@ -67,7 +69,14 @@ std::string eal::disassemble(const Chunk &C) {
     const Proto &P = C.Protos[PI];
     OS << "proto " << PI << " '" << P.Name << "' arity " << P.Arity
        << (P.FlatFrame ? " flat" : "")
-       << (PI == C.Entry ? " (entry)" : "") << ":\n";
+       << (PI == C.Entry ? " (entry)" : "");
+    if (!P.SpecGuards.empty()) {
+      OS << " guards=[";
+      for (size_t G = 0; G != P.SpecGuards.size(); ++G)
+        OS << (G ? "," : "") << P.SpecGuards[G];
+      OS << ']';
+    }
+    OS << ":\n";
     for (size_t I = 0; I != P.Code.size(); ++I) {
       const Instr &In = P.Code[I];
       OS << "  " << I << ": " << opcodeName(In.Op);
@@ -139,6 +148,9 @@ std::string eal::disassemble(const Chunk &C) {
         break;
       case Opcode::BeginArena:
         OS << " directive=" << In.A;
+        break;
+      case Opcode::GuardSpec:
+        OS << " guard=" << In.A;
         break;
       default:
         break;

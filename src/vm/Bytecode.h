@@ -60,11 +60,18 @@ enum class Opcode : uint8_t {
   PushIntPrim,    ///< push Imm, then saturated prim A; B = site id
   LocalPrim,      ///< push local A, then saturated prim Imm; B = site id
   LocalLocalPrim, ///< push locals A>>16 and A&0xffff, then prim Imm @ B
+
+  /// Speculative-tier deopt guard (src/spec, docs/SPECULATION.md):
+  /// control reached a branch the speculation assumed cold. Reports
+  /// guard A to SpecHooks::guardReached, which runs the deopt protocol;
+  /// with no hooks attached it is a no-op. Materialized at the top of
+  /// the guarded branch's code, so it also bars superinstruction fusion
+  /// across the branch entry.
+  GuardSpec,
 };
 
 /// One past the last opcode (size of dispatch tables).
-constexpr unsigned NumOpcodes =
-    static_cast<unsigned>(Opcode::LocalLocalPrim) + 1;
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::GuardSpec) + 1;
 
 /// Returns the mnemonic of \p Op.
 const char *opcodeName(Opcode Op);
@@ -87,6 +94,11 @@ struct Proto {
   /// this proto is captured by a nested closure, so parameters live as
   /// value-stack slots (LoadLocal) and calls allocate no EnvFrame.
   bool FlatFrame = false;
+  /// Speculation guards materialized in this proto's code (guard
+  /// indices, in emission order) — the per-proto materialization map the
+  /// spec report and disassembly show (docs/SPECULATION.md). Empty in
+  /// non-speculative compiles.
+  std::vector<uint32_t> SpecGuards;
 };
 
 /// A compiled program.

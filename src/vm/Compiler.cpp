@@ -49,8 +49,9 @@ struct CodeBuf {
 class CompilerImpl {
 public:
   CompilerImpl(const AstContext &Ast, const AllocationPlan *Plan,
-               DiagnosticEngine &Diags)
-      : Ast(Ast), Plan(Plan), Diags(Diags) {}
+               DiagnosticEngine &Diags,
+               const std::unordered_map<uint32_t, uint32_t> *SpecGuards)
+      : Ast(Ast), Plan(Plan), Diags(Diags), SpecGuards(SpecGuards) {}
 
   std::optional<Chunk> run(const Expr *Root) {
     Escapes = analyzeFrameEscapes(Ast, Root);
@@ -179,6 +180,19 @@ private:
   //===--- Expression compilation -------------------------------------------==//
 
   bool compileExpr(const Expr *E, CodeBuf &B, bool Tail) {
+    // A guarded branch materializes its deopt guard before anything
+    // else runs in it; the barrier keeps fusion from reaching past the
+    // branch entry (the guard must fire before any allocation in the
+    // branch).
+    if (SpecGuards) [[unlikely]] {
+      auto GuardIt = SpecGuards->find(E->id());
+      if (GuardIt != SpecGuards->end()) {
+        emit(B, {Opcode::GuardSpec,
+                 static_cast<int32_t>(GuardIt->second), 0, 0}, 0);
+        B.Barrier = B.Code.size();
+        Out.Protos[CurProto].SpecGuards.push_back(GuardIt->second);
+      }
+    }
     switch (E->kind()) {
     case ExprKind::IntLit:
       emit(B, {Opcode::PushInt, 0, 0, cast<IntLitExpr>(E)->value()}, +1);
@@ -405,6 +419,8 @@ private:
   const AstContext &Ast;
   const AllocationPlan *Plan;
   DiagnosticEngine &Diags;
+  /// Guarded branch expr id -> guard index (null: no speculation).
+  const std::unordered_map<uint32_t, uint32_t> *SpecGuards;
   Chunk Out;
   FrameEscapeInfo Escapes;
   std::vector<Scope> Scopes;
@@ -419,10 +435,10 @@ private:
 
 } // namespace
 
-std::optional<Chunk> eal::compileToBytecode(const AstContext &Ast,
-                                            const Expr *Root,
-                                            const AllocationPlan *Plan,
-                                            DiagnosticEngine &Diags) {
-  CompilerImpl Impl(Ast, Plan, Diags);
+std::optional<Chunk> eal::compileToBytecode(
+    const AstContext &Ast, const Expr *Root, const AllocationPlan *Plan,
+    DiagnosticEngine &Diags,
+    const std::unordered_map<uint32_t, uint32_t> *SpecGuards) {
+  CompilerImpl Impl(Ast, Plan, Diags, SpecGuards);
   return Impl.run(Root);
 }

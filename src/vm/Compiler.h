@@ -21,17 +21,23 @@
 #include "vm/Bytecode.h"
 
 #include <optional>
+#include <unordered_map>
 
 namespace eal {
 
 class DiagnosticEngine;
 
 /// Compiles \p Root into a chunk. \p Plan may be null (no arena
-/// bracketing). Returns nullopt after a diagnostic on unbound variables.
-std::optional<Chunk> compileToBytecode(const AstContext &Ast,
-                                       const Expr *Root,
-                                       const AllocationPlan *Plan,
-                                       DiagnosticEngine &Diags);
+/// bracketing). \p SpecGuards maps a guarded branch expression's node id
+/// to its guard index (docs/SPECULATION.md): a guard.spec instruction is
+/// materialized at the top of that branch's code and recorded in the
+/// owning Proto's SpecGuards. Null (the default) compiles no guards.
+/// Returns nullopt after a diagnostic on unbound variables.
+std::optional<Chunk>
+compileToBytecode(const AstContext &Ast, const Expr *Root,
+                  const AllocationPlan *Plan, DiagnosticEngine &Diags,
+                  const std::unordered_map<uint32_t, uint32_t> *SpecGuards =
+                      nullptr);
 
 } // namespace eal
 

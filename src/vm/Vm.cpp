@@ -23,6 +23,7 @@
 #include "vm/Vm.h"
 
 #include "prof/Profiler.h"
+#include "runtime/SpecHooks.h"
 #include "support/Diagnostics.h"
 #include "support/Trace.h"
 
@@ -74,19 +75,20 @@ Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
   Hooks.Error = [this](const std::string &Message) { error(Message); };
   Hooks.Stats = &Stats;
   Prof = Opts.Profiler;
+  Spec = Opts.Spec;
   TheHeap.setProfiler(Prof);
   if (Prof) {
     Prof->beginVm(C.Protos.size(), NumOpcodes);
     // DCONS through the shared evaluator (the slow path; the doPrim fast
     // path reports inline).
     Hooks.CellReused = [this](const ConsCell *Cell, uint32_t Site) {
-      Prof->siteReuse(Site, Cell->SiteId,
+      Prof->siteReuse(Site, baseSiteId(Cell->SiteId),
                       TheHeap.allocSeq() - Cell->AllocSeq);
     };
     Hooks.CellTouched = [this](ConsCell *Cell) {
       if (!Cell->Touched) {
         Cell->Touched = true;
-        Prof->siteFirstTouch(Cell->SiteId);
+        Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
       }
     };
   }
@@ -124,13 +126,16 @@ RtClosure *Vm::newClosure() {
 
 ConsCell *Vm::allocateCell(uint32_t SiteId) {
   for (auto It = ArenaStack.rbegin(); It != ArenaStack.rend(); ++It) {
+    if (!It->Enabled) [[unlikely]]
+      continue; // deopted speculative directive: heap like conservative
     auto SiteIt = It->Directive->Sites.find(SiteId);
     if (SiteIt == It->Directive->Sites.end())
       continue;
     CellClass Class = SiteIt->second == ArenaSiteClass::Stack
                           ? CellClass::Stack
                           : CellClass::Region;
-    return TheHeap.allocateInArena(It->Handle, Class, SiteId);
+    return TheHeap.allocateInArena(It->Handle, Class, SiteId,
+                                   It->Directive->SpecIndex >= 0);
   }
   return TheHeap.allocateHeap(SiteId);
 }
@@ -142,6 +147,11 @@ bool Vm::freeArenas(std::vector<size_t> &Arenas, const RtValue *Result) {
     Stack.push_back(*Result); // root during validation
   bool Ok = true;
   for (size_t Handle : Arenas) {
+    // The spec runtime sees every close first: injected guard failures
+    // fire here, migrating the speculative cells out before the
+    // (then-empty) arena is spliced away.
+    if (Spec) [[unlikely]]
+      Spec->arenaClosing(static_cast<uint32_t>(Handle));
     if (Opts.ValidateArenaFrees && TheHeap.arenaIsReachable(Handle)) {
       Ok = error("allocation plan error: arena cell still reachable when "
                  "its activation returned");
@@ -330,7 +340,7 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
       ConsCell *Cell = A.cell();
       if (Prof && !Cell->Touched) [[unlikely]] {
         Cell->Touched = true;
-        Prof->siteFirstTouch(Cell->SiteId);
+        Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
       }
       A = Op == PrimOp::Car ? Cell->Car : Cell->Cdr;
       return true;
@@ -344,7 +354,7 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
       ConsCell *Cell = A.cell();
       if (Prof && !Cell->Touched) [[unlikely]] {
         Cell->Touched = true;
-        Prof->siteFirstTouch(Cell->SiteId);
+        Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
       }
       A = Op == PrimOp::Fst ? Cell->Car : Cell->Cdr;
       return true;
@@ -369,7 +379,7 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
     if (P.isCons()) {
       ConsCell *Cell = P.cell();
       if (Prof) [[unlikely]]
-        Prof->siteReuse(Site, Cell->SiteId,
+        Prof->siteReuse(Site, baseSiteId(Cell->SiteId),
                         TheHeap.allocSeq() - Cell->AllocSeq);
       // Re-tag unconditionally (mirrors the shared evaluator): touch
       // attribution follows the dcons site from here on, while AllocSeq
@@ -577,7 +587,7 @@ std::optional<RtValue> Vm::run() {
       &&op_StoreSlot,   &&op_LeaveScope,  &&op_BeginArena,
       &&op_StashArena,  &&op_LoadLocal,   &&op_Slide,
       &&op_TailCall,    &&op_PushIntPrim, &&op_LocalPrim,
-      &&op_LocalLocalPrim};
+      &&op_LocalLocalPrim, &&op_GuardSpec};
 #define VM_OP(name) op_##name:
 #define VM_NEXT_FAST()                                                       \
   do {                                                                       \
@@ -757,7 +767,22 @@ std::optional<RtValue> Vm::run() {
   }
   VM_OP(BeginArena) {
     const ArgArenaDirective *D = C.Directives[static_cast<size_t>(In->A)];
-    ArenaStack.push_back(ActiveArena{D, TheHeap.createArena()});
+    size_t Handle = TheHeap.createArena();
+    bool Enabled = true;
+    if (D->SpecIndex >= 0) [[unlikely]] {
+      // A speculative directive is honored only while its guard holds;
+      // after a deopt the arena still exists (uniform bookkeeping) but
+      // stays empty, so allocation matches the conservative plan.
+      Enabled = Spec && Spec->directiveArmed(D->SpecIndex);
+      if (Enabled)
+        Spec->arenaOpened(D->SpecIndex, static_cast<uint32_t>(Handle));
+    }
+    ArenaStack.push_back(ActiveArena{D, Handle, Enabled});
+    VM_NEXT_FAST();
+  }
+  VM_OP(GuardSpec) {
+    if (Spec) [[unlikely]]
+      Spec->guardReached(static_cast<uint32_t>(In->A));
     VM_NEXT_FAST();
   }
   VM_OP(StashArena) {
@@ -782,8 +807,11 @@ run_done:
   Stats.Steps = Steps;
   if (Prof)
     Prof->finish();
-  for (size_t Handle : OrphanArenas)
+  for (size_t Handle : OrphanArenas) {
+    if (Spec) [[unlikely]]
+      Spec->arenaClosing(static_cast<uint32_t>(Handle));
     TheHeap.freeArena(Handle);
+  }
   OrphanArenas.clear();
   if (S.active()) {
     S.arg("steps", Stats.Steps);

@@ -30,6 +30,7 @@
 namespace eal {
 
 class DiagnosticEngine;
+class SpecHooks;
 
 /// Executes one compiled chunk.
 class Vm {
@@ -46,6 +47,12 @@ public:
     /// is counted per opcode and per proto, and frame transitions feed
     /// the calling-context tree.
     prof::Profiler *Profiler = nullptr;
+    /// Speculative-tier hooks (runtime/SpecHooks.h), not owned. While
+    /// set, guard.spec instructions report to guardReached, speculative
+    /// directives (SpecIndex >= 0) are honored only while directiveArmed
+    /// says so, and arena opens/closes are announced so the spec runtime
+    /// can run the deopt protocol. Null disables the tier.
+    SpecHooks *Spec = nullptr;
   };
 
   Vm(const Chunk &C, DiagnosticEngine &Diags);
@@ -113,6 +120,11 @@ private:
   struct ActiveArena {
     const ArgArenaDirective *Directive;
     size_t Handle;
+    /// False for a speculative directive whose guard already failed:
+    /// the arena exists (so Stash/free bookkeeping is uniform) but
+    /// allocateCell skips it, and freeing the empty chain is O(1) and
+    /// bumps no counters.
+    bool Enabled = true;
   };
   std::vector<ActiveArena> ArenaStack;
   std::vector<size_t> PendingArenas;
@@ -131,6 +143,8 @@ private:
 
   /// Profiler (Opts.Profiler, cached; null when profiling is off).
   prof::Profiler *Prof = nullptr;
+  /// Spec hooks (Opts.Spec, cached; null when the tier is off).
+  SpecHooks *Spec = nullptr;
 
   uint64_t MarkEpoch = 0;
   bool Failed = false;

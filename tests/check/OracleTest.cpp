@@ -101,6 +101,30 @@ TEST(Oracle, CountsImprecisionNotViolation) {
   EXPECT_GT(O.ImpreciseClaims, 0u) << R.Check->render(*R.SM);
 }
 
+TEST(Oracle, AliasedArgumentRolesAreExemptNotRefuted) {
+  // One list routed into BOTH roles of append: its cells legitimately
+  // escape through the second role (which the analysis lets escape), so
+  // charging them against the first role's protected prefix would be a
+  // false refutation. The oracle's per-role exemption must fire — the
+  // run stays violation-free and AliasExemptions counts the shared
+  // cells it excused.
+  const char *Source =
+      "letrec\n"
+      "  append x y = if (null x) then y\n"
+      "               else cons (car x) (append (cdr x) y);\n"
+      "  suml l = if (null l) then 0 else (car l) + (suml (cdr l))\n"
+      "in let aa = cons 1 (cons 2 (cons 3 nil))\n"
+      "   in (suml (append aa aa)) + (suml aa)\n";
+  PipelineResult R = runOracle(Source, Configs[0]);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.Check && R.Check->Oracle);
+  const check::OracleReport &O = *R.Check->Oracle;
+  EXPECT_EQ(O.Violations.size(), 0u) << R.Check->render(*R.SM);
+  EXPECT_GT(O.AliasExemptions, 0u)
+      << "the aliased call should exercise the per-role exemption:\n"
+      << R.Check->render(*R.SM);
+}
+
 TEST(Oracle, DconsVersionsStaySound) {
   // In-place reuse rewrites append into append' (DCONS); the oracle must
   // agree that the rewrite never let a protected spine escape.

@@ -206,6 +206,45 @@ in evens [1, 2, 3, 4]
   EXPECT_FALSE(Analyzer->hitIterationLimit());
 }
 
+TEST_F(EscapeAnalyzerTest, GrowingClosureChainIsWidenedNotDiverging) {
+  // g rebuilds its function argument at every recursive call, so each
+  // application of g's closure carries a strictly larger abstract
+  // closure — a fresh apply-cache key every time, which defeats the
+  // ⊥-seeded cycle brake and, without the depth widening, recurses
+  // without bound. The analysis must terminate, widen at least once,
+  // and answer conservatively: once f is worst-cased, the argument it
+  // is applied to (car l) escapes into the result, so the verdict for
+  // l degrades from the exact ⟨0,0⟩ to ⟨1,0⟩ — sound, not precise.
+  const char *Source = R"(
+letrec
+  compose f h = lambda(x). f (h x);
+  g l f = if (null l) then f (car l)
+          else (car l + (g (cdr l) (compose f (lambda(w). w + 1))))
+in g [1, 2] (lambda(w). w + 3)
+)";
+  ASSERT_TRUE(setup(Source, TypeInferenceMode::Monomorphic))
+      << FE.diagText();
+  EXPECT_EQ(global("g", 1), BasicEscape::contained(0));
+  EXPECT_GT(Analyzer->wideningCount(), 0u);
+  EXPECT_FALSE(Analyzer->hitIterationLimit());
+}
+
+TEST_F(EscapeAnalyzerTest, WideningIsNeverNeededOnBoundedClosures) {
+  // The same compose shape without the recursive rebuild: closures are
+  // finitely many, so the budget is never reached and the analysis is
+  // exact (g's list parameter feeds only a scalar fold).
+  const char *Source = R"(
+letrec
+  compose f h = lambda(x). f (h x);
+  g l f = if (null l) then f 0 else (car l + (g (cdr l) f))
+in g [1, 2] (compose (lambda(w). w + 3) (lambda(w). w + 1))
+)";
+  ASSERT_TRUE(setup(Source, TypeInferenceMode::Monomorphic))
+      << FE.diagText();
+  EXPECT_EQ(global("g", 1), BasicEscape::none());
+  EXPECT_EQ(Analyzer->wideningCount(), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Query mechanics.
 //===----------------------------------------------------------------------===//

@@ -221,7 +221,128 @@ TEST_P(DifferentialTest, LivenessIsObservationOnlyAndClaimsHold) {
       }
 }
 
+// The speculative tier (docs/SPECULATION.md) re-classifies heap sites
+// under runtime guards, with a deopt path that migrates speculative
+// cells back to the GC heap. None of that may be user-visible: for
+// every seed, both engines must produce byte-identical output with
+// speculation off, on, and with a forced deopt (every guard injected to
+// fail at its first covered arena close), under arena-free validation.
+// The user-visible counters -- reuse hits and the total allocation
+// volume -- must not move either (storage-class splits legitimately
+// shift heap->region; VM instruction counts legitimately grow by the
+// guard opcodes). A final forced-deopt run under the dynamic escape
+// oracle must refute nothing: migrated cells are real heap cells.
+TEST_P(DifferentialTest, SpeculationIsSemanticsPreserving) {
+  ProgramGenerator Gen(GetParam());
+  GenProgram Prog = Gen.generate(3);
+
+  enum class SpecMode { Off, On, ForcedDeopt };
+  auto Run = [&](ExecutionEngine E, SpecMode Mode, bool Oracle) {
+    PipelineOptions Options;
+    Options.Mode = TypeInferenceMode::Monomorphic;
+    Options.Engine = E;
+    Options.Optimize.EnableReuse = true;
+    Options.Optimize.EnableStack = true;
+    Options.Optimize.EnableRegion = true;
+    Options.Run.ValidateArenaFrees = true;
+    Options.Spec.Enable = Mode != SpecMode::Off;
+    // Any profiled allocation makes a site hot: generated programs are
+    // small, and we want speculation to actually fire on this corpus.
+    Options.Spec.HotMinAllocs = 1;
+    if (Mode == SpecMode::ForcedDeopt)
+      Options.Spec.Inject.All = true;
+    Options.RunOracle = Oracle;
+    return runPipeline(Prog.Source, Options);
+  };
+
+  PipelineResult Base = Run(ExecutionEngine::TreeWalker, SpecMode::Off, false);
+  ASSERT_TRUE(Base.Success) << "baseline failed (seed " << GetParam()
+                            << "):\n"
+                            << Prog.Source << Base.diagnostics();
+
+  for (SpecMode Mode :
+       {SpecMode::Off, SpecMode::On, SpecMode::ForcedDeopt}) {
+    const char *ModeName = Mode == SpecMode::Off     ? "off"
+                           : Mode == SpecMode::On    ? "on"
+                                                     : "forced-deopt";
+    PipelineResult Tree = Run(ExecutionEngine::TreeWalker, Mode, false);
+    ASSERT_TRUE(Tree.Success)
+        << "spec=" << ModeName << " failed (seed " << GetParam() << "):\n"
+        << Prog.Source << Tree.diagnostics();
+    EXPECT_EQ(Tree.RenderedValue, Base.RenderedValue)
+        << "SPECULATION PERTURBED OUTPUT (spec=" << ModeName << ", seed "
+        << GetParam() << "):\n"
+        << Prog.Source;
+    EXPECT_EQ(Tree.Stats.Steps, Base.Stats.Steps) << Prog.Source;
+    EXPECT_EQ(Tree.Stats.Applications, Base.Stats.Applications)
+        << Prog.Source;
+    EXPECT_EQ(Tree.Stats.DconsReuses, Base.Stats.DconsReuses) << Prog.Source;
+    EXPECT_EQ(Tree.Stats.totalCellsAllocated(),
+              Base.Stats.totalCellsAllocated())
+        << "speculation changed the allocation volume (spec=" << ModeName
+        << ", seed " << GetParam() << "):\n"
+        << Prog.Source;
+
+    PipelineResult Byte = Run(ExecutionEngine::Bytecode, Mode, false);
+    ASSERT_TRUE(Byte.Success)
+        << "VM spec=" << ModeName << " failed (seed " << GetParam() << "):\n"
+        << Prog.Source << Byte.diagnostics();
+    EXPECT_EQ(Byte.RenderedValue, Base.RenderedValue)
+        << "ENGINE DIVERGENCE under spec=" << ModeName << " (seed "
+        << GetParam() << "):\n"
+        << Prog.Source;
+    EXPECT_EQ(Byte.Stats.DconsReuses, Tree.Stats.DconsReuses) << Prog.Source;
+    EXPECT_EQ(Byte.Stats.StackCellsAllocated, Tree.Stats.StackCellsAllocated)
+        << Prog.Source;
+    EXPECT_EQ(Byte.Stats.RegionCellsAllocated,
+              Tree.Stats.RegionCellsAllocated)
+        << Prog.Source;
+  }
+
+  // Forced-deopt sweep under the dynamic escape oracle: a migrated cell
+  // is a heap cell, so even the worst case must refute no static claim.
+  PipelineResult Checked =
+      Run(ExecutionEngine::TreeWalker, SpecMode::ForcedDeopt, true);
+  ASSERT_TRUE(Checked.Success)
+      << "ORACLE REFUTED a claim under forced deopt (seed " << GetParam()
+      << "):\n"
+      << Prog.Source << Checked.diagnostics();
+  EXPECT_EQ(Checked.RenderedValue, Base.RenderedValue) << Prog.Source;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1u, 257u));
+
+// The generator's aliased-argument family (`append l l`, ProgramGenerator
+// IntList case 10) exists to exercise the oracle's per-role exemption:
+// without it no generated program ever routed one value into two roles
+// of the same call, leaving Oracle.cpp's exemption path untested by the
+// fuzz corpus. Pin that coverage: across a small fixed corpus, at least
+// one run must exempt shared cells, and no run may be refuted.
+TEST(AliasCorpus, GeneratorExercisesOracleAliasExemption) {
+  uint64_t Exemptions = 0;
+  for (uint32_t Seed = 1; Seed <= 64; ++Seed) {
+    ProgramGenerator Gen(Seed);
+    GenProgram Prog = Gen.generate(3);
+    PipelineOptions Options;
+    Options.Mode = TypeInferenceMode::Monomorphic;
+    Options.Optimize.EnableReuse = true;
+    Options.Optimize.EnableStack = true;
+    Options.Optimize.EnableRegion = true;
+    Options.Run.ValidateArenaFrees = true;
+    Options.RunOracle = true;
+    PipelineResult R = runPipeline(Prog.Source, Options);
+    ASSERT_TRUE(R.Success) << "seed " << Seed << ":\n"
+                           << Prog.Source << R.diagnostics();
+    ASSERT_TRUE(R.Check && R.Check->Oracle);
+    EXPECT_TRUE(R.Check->Oracle->Violations.empty())
+        << "seed " << Seed << ":\n"
+        << Prog.Source << R.Check->render(*R.SM);
+    Exemptions += R.Check->Oracle->AliasExemptions;
+  }
+  EXPECT_GT(Exemptions, 0u)
+      << "the aliased-argument family never reached the oracle's "
+         "per-role exemption";
+}
 
 // Extra seeds for CI fuzz-smoke runs: EAL_FUZZ_SEEDS widens the sweep
 // without a recompile; the default keeps one fresh seed in tier 1.

@@ -362,7 +362,7 @@ private:
                      genExpr(F, GenType::Int, Depth - 1));
       }
     case GenType::IntList:
-      switch (Rng() % 11) {
+      switch (Rng() % 12) {
       case 0: {
         std::string P = paramOf(F, T);
         if (!P.empty())
@@ -410,6 +410,21 @@ private:
         // prefix of whatever the subexpression built is kept.
         return paren("take " + std::to_string(1 + Rng() % 3) + " " +
                      paren(genExpr(F, GenType::IntList, Depth - 1)));
+      case 10: {
+        // Aliased argument roles: one list value routed into both
+        // argument roles of the same call (the `append l l` shape).
+        // append's first role carries a protected-prefix claim while
+        // its second legitimately escapes, so the dynamic oracle must
+        // exempt the shared cells rather than refute the claim
+        // (Oracle.cpp's per-role exemption; OracleReport's
+        // AliasExemptions counts the corpus exercising it).
+        std::string P = paramOf(F, GenType::IntList);
+        if (!P.empty() && Rng() % 2)
+          return paren("append " + P + " " + P);
+        return paren("let aa = " +
+                     paren(genExpr(F, GenType::IntList, Depth - 1)) +
+                     " in append aa aa");
+      }
       default:
         return paren("if " + genBool(F, Depth - 1) + " then " +
                      genExpr(F, GenType::IntList, Depth - 1) + " else " +

@@ -1,0 +1,186 @@
+//===- DeoptMigrationTest.cpp - deopt migration re-homes cells exactly ------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// The speculative tier's deopt path (docs/SPECULATION.md) calls
+// Heap::migrateArenaToHeap to re-home every cell of a speculatively
+// placed arena onto the GC heap. The contract under test: each migrated
+// cell keeps its AllocSeq — the (pointer, stamp) identity the dynamic
+// oracle tracks — while its storage class becomes Heap and its SiteId is
+// re-tagged to the base site (SpecSiteBit cleared); the emptied arena's
+// eventual free reclaims nothing; and migrated cells become ordinary
+// mark-sweep residents, including chains crossing arena -> GC-heap and
+// cells shared with frames that did not speculate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace eal;
+
+namespace {
+
+class DeoptMigrationTest : public ::testing::Test {
+protected:
+  RuntimeStats Stats;
+  std::vector<RtValue> Roots;
+
+  Heap makeHeap(size_t Capacity) {
+    Heap H(Stats, Heap::Options{Capacity, /*AllowGrowth=*/false, 0.2});
+    H.setRootScanner([this](Marker &M) {
+      for (RtValue V : Roots)
+        M.value(V);
+    });
+    return H;
+  }
+};
+
+// Speculative placement tags the cell with SpecSiteBit; migration clears
+// the bit, flips the class to Heap, and leaves AllocSeq alone.
+TEST_F(DeoptMigrationTest, MigrationKeepsAllocSeqAndRetagsSite) {
+  Heap H = makeHeap(32);
+  size_t Arena = H.createArena();
+  ConsCell *A = H.allocateInArena(Arena, CellClass::Region, /*SiteId=*/7,
+                                  /*Speculative=*/true);
+  ConsCell *B = H.allocateInArena(Arena, CellClass::Stack, /*SiteId=*/9,
+                                  /*Speculative=*/true);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(A->SiteId, 7u | SpecSiteBit) << "speculative placement tags";
+  EXPECT_EQ(B->SiteId, 9u | SpecSiteBit);
+  EXPECT_EQ(baseSiteId(A->SiteId), 7u);
+  uint64_t SeqA = A->AllocSeq, SeqB = B->AllocSeq;
+  EXPECT_NE(SeqA, SeqB) << "stamps identify allocations";
+
+  EXPECT_EQ(H.migrateArenaToHeap(Arena), 2u);
+  EXPECT_EQ(A->AllocSeq, SeqA) << "migration must not re-stamp";
+  EXPECT_EQ(B->AllocSeq, SeqB);
+  EXPECT_EQ(A->Class, CellClass::Heap);
+  EXPECT_EQ(B->Class, CellClass::Heap);
+  EXPECT_EQ(A->SiteId, 7u) << "SpecSiteBit cleared, base site kept";
+  EXPECT_EQ(B->SiteId, 9u);
+  EXPECT_EQ(A->State, CellState::Live);
+  EXPECT_EQ(H.liveHeapCells(), 2u) << "migrated cells are heap residents";
+
+  // The owning activation still frees the (now empty) arena on exit;
+  // that free must reclaim nothing.
+  H.freeArena(Arena);
+  EXPECT_EQ(Stats.RegionCellsFreed, 0u);
+  EXPECT_EQ(Stats.StackCellsFreed, 0u);
+  EXPECT_EQ(H.liveHeapCells(), 2u);
+}
+
+// Migration is not an allocation: the birth counters stay with the
+// original storage class, only the live-heap census moves.
+TEST_F(DeoptMigrationTest, MigrationDoesNotCountAsHeapAllocation) {
+  Heap H = makeHeap(32);
+  size_t Arena = H.createArena();
+  for (int I = 0; I != 4; ++I)
+    ASSERT_NE(H.allocateInArena(Arena, CellClass::Region, 3, true), nullptr);
+  EXPECT_EQ(Stats.RegionCellsAllocated, 4u);
+  EXPECT_EQ(Stats.HeapCellsAllocated, 0u);
+  EXPECT_EQ(H.migrateArenaToHeap(Arena), 4u);
+  EXPECT_EQ(Stats.HeapCellsAllocated, 0u)
+      << "deopt must not inflate the allocation counters";
+  EXPECT_EQ(Stats.RegionCellsAllocated, 4u);
+  EXPECT_GE(Stats.PeakLiveHeapCells, 4u) << "but the census sees them";
+  H.freeArena(Arena);
+}
+
+// A spine that crosses from the speculative arena into the GC heap and
+// back: after migration the whole chain is ordinary heap data — rooted,
+// it survives collection intact; unrooted, all of it is reclaimed.
+TEST_F(DeoptMigrationTest, ChainsCrossingArenaAndHeapSurviveMigration) {
+  Heap H = makeHeap(32);
+  size_t Arena = H.createArena();
+  ConsCell *SpecHead = H.allocateInArena(Arena, CellClass::Region, 1, true);
+  ConsCell *GcMiddle = H.allocateHeap(2);
+  ConsCell *SpecTail = H.allocateInArena(Arena, CellClass::Region, 1, true);
+  SpecHead->Car = RtValue::makeInt(10);
+  SpecHead->Cdr = RtValue::makeCons(GcMiddle);
+  GcMiddle->Car = RtValue::makeInt(20);
+  GcMiddle->Cdr = RtValue::makeCons(SpecTail);
+  SpecTail->Car = RtValue::makeInt(30);
+
+  EXPECT_EQ(H.migrateArenaToHeap(Arena), 2u);
+  H.freeArena(Arena);
+
+  Roots.push_back(RtValue::makeCons(SpecHead));
+  H.collect();
+  EXPECT_EQ(H.liveHeapCells(), 3u) << "rooted chain survives collection";
+  ASSERT_EQ(SpecHead->Cdr.kind(), RtValueKind::Cons);
+  EXPECT_EQ(SpecHead->Cdr.cell()->Cdr.cell()->Car.intValue(), 30)
+      << "links survive migration byte-for-byte";
+
+  Roots.clear();
+  H.collect();
+  EXPECT_EQ(H.liveHeapCells(), 0u)
+      << "unrooted migrated cells are ordinary garbage";
+  EXPECT_EQ(Stats.CellsSwept, 3u);
+}
+
+// A cell shared between a speculated frame and a non-speculated one:
+// the non-speculated arena references a speculative cell. Deopt migrates
+// only the speculative arena; the other arena's wholesale free must not
+// touch the migrated cell, which stays valid for as long as anything
+// (here, a root) reaches it.
+TEST_F(DeoptMigrationTest, SharedCellsAcrossFramesOutliveBothArenas) {
+  Heap H = makeHeap(32);
+  size_t SpecArena = H.createArena();
+  size_t PlainArena = H.createArena();
+  ConsCell *Shared = H.allocateInArena(SpecArena, CellClass::Region, 5, true);
+  Shared->Car = RtValue::makeInt(99);
+  ConsCell *Holder =
+      H.allocateInArena(PlainArena, CellClass::Stack, 6, false);
+  Holder->Car = RtValue::makeCons(Shared);
+  EXPECT_EQ(Holder->SiteId, 6u) << "non-speculative placement is untagged";
+  uint64_t SharedSeq = Shared->AllocSeq;
+
+  EXPECT_EQ(H.migrateArenaToHeap(SpecArena), 1u);
+  H.freeArena(SpecArena);
+  EXPECT_EQ(Shared->AllocSeq, SharedSeq);
+  EXPECT_EQ(Shared->Class, CellClass::Heap);
+
+  // The non-speculated frame exits normally: its own cell is reclaimed,
+  // the migrated cell is not on its chain.
+  Roots.push_back(RtValue::makeCons(Shared));
+  H.freeArena(PlainArena);
+  EXPECT_EQ(Stats.StackCellsFreed, 1u);
+  EXPECT_EQ(Shared->State, CellState::Live);
+  H.collect();
+  EXPECT_EQ(Shared->Car.intValue(), 99) << "shared cell survives both frames";
+  EXPECT_EQ(H.liveHeapCells(), 1u);
+}
+
+// Migrated slots recycle like any other heap slot: once reclaimed and
+// reallocated, the slot carries a fresh AllocSeq, so a recorded
+// (pointer, stamp) pair from before the deopt no longer matches — the
+// property the dynamic oracle's classification relies on.
+TEST_F(DeoptMigrationTest, RecycledMigratedSlotsGetFreshStamps) {
+  Heap H = makeHeap(4);
+  size_t Arena = H.createArena();
+  ConsCell *C = H.allocateInArena(Arena, CellClass::Region, 8, true);
+  uint64_t OldSeq = C->AllocSeq;
+  H.migrateArenaToHeap(Arena);
+  H.freeArena(Arena);
+  H.collect(); // unrooted: the migrated cell is swept
+  EXPECT_EQ(H.liveHeapCells(), 0u);
+  // Exhaust the tiny pool so the slot comes back around.
+  ConsCell *Reused = nullptr;
+  for (int I = 0; I != 4; ++I) {
+    ConsCell *N = H.allocateHeap(11);
+    ASSERT_NE(N, nullptr);
+    if (N == C)
+      Reused = N;
+  }
+  ASSERT_NE(Reused, nullptr) << "slot should recycle in a 4-cell pool";
+  EXPECT_NE(Reused->AllocSeq, OldSeq) << "stamp identifies the allocation";
+  EXPECT_EQ(Reused->SiteId, 11u);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- SpecGoldenTest.cpp - speculation report snapshots --------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Golden snapshots of `eal spec` over the docs/SPECULATION.md workload:
+// the plan-plus-outcome report is the speculative tier's public story --
+// which branch was pruned on what profile evidence, which directives
+// ride on the guard, and whether the speculation held or deopted. A
+// change to it must be a conscious one: regenerate with
+//
+//   EAL_UPDATE_GOLDEN=1 ./spec_tests --gtest_filter='SpecGolden*'
+//
+// and review the diff like any other source change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "spec/SpecReport.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace eal;
+
+namespace {
+
+// The cold-branch workload of examples/nml/spec_cold.nml: keep's
+// never-entered then-branch returns its list argument, so build's cells
+// are heap-bound conservatively and region-placed speculatively.
+const char *specColdSource() {
+  return "letrec\n"
+         "  build n = if n = 0 then nil else cons n (build (n - 1));\n"
+         "  suml l = if (null l) then 0 else (car l) + (suml (cdr l));\n"
+         "  keep b l = if b then l else cons (suml l) nil\n"
+         "in suml (keep false (build 48))\n";
+}
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(EAL_SOURCE_DIR) + "/tests/spec/golden/" + Name +
+         ".spec";
+}
+
+void checkGolden(const std::string &Path, const std::string &Actual) {
+  if (std::getenv("EAL_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "updated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (run with EAL_UPDATE_GOLDEN=1 to create)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Actual, Buf.str())
+      << "speculation report drifted from " << Path
+      << "; if intentional, regenerate with EAL_UPDATE_GOLDEN=1";
+}
+
+PipelineResult runSpec(bool InjectDeopt) {
+  PipelineOptions Options;
+  Options.Spec.Enable = true;
+  if (InjectDeopt)
+    Options.Spec.Inject.All = true;
+  Options.Run.ValidateArenaFrees = true;
+  return runPipeline(specColdSource(), Options);
+}
+
+// The guard holds for the whole run: one speculation, its directive's
+// sites region-placed, zero guard hits, zero migrations.
+TEST(SpecGolden, SpeculatedAndHeld) {
+  PipelineResult R = runSpec(/*InjectDeopt=*/false);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.SpecPlan.has_value());
+  ASSERT_NE(R.SpecRT, nullptr);
+  EXPECT_FALSE(R.SpecRT->deopted());
+  checkGolden(goldenPath("spec_cold_held"),
+              renderSpecReport(*R.SpecPlan, R.SpecRT.get(), *R.Ast, *R.SM));
+}
+
+// A forced guard failure (--spec-inject-deopt=all): the first covered
+// arena close deopts, every speculative cell migrates to the GC heap,
+// and the report says so.
+TEST(SpecGolden, SpeculatedThenDeopted) {
+  PipelineResult R = runSpec(/*InjectDeopt=*/true);
+  ASSERT_TRUE(R.Success) << R.diagnostics();
+  ASSERT_TRUE(R.SpecPlan.has_value());
+  ASSERT_NE(R.SpecRT, nullptr);
+  EXPECT_TRUE(R.SpecRT->deopted());
+  EXPECT_EQ(R.SpecRT->deoptCause(), "injected");
+  checkGolden(goldenPath("spec_cold_deopted"),
+              renderSpecReport(*R.SpecPlan, R.SpecRT.get(), *R.Ast, *R.SM));
+}
+
+// Both outcomes compute the same value as the conservative pipeline --
+// the snapshots above describe presentation, this pins semantics.
+TEST(SpecGolden, OutcomesAgreeWithConservativeRun) {
+  PipelineOptions Plain;
+  Plain.Run.ValidateArenaFrees = true;
+  PipelineResult Base = runPipeline(specColdSource(), Plain);
+  ASSERT_TRUE(Base.Success) << Base.diagnostics();
+  for (bool InjectDeopt : {false, true}) {
+    PipelineResult R = runSpec(InjectDeopt);
+    ASSERT_TRUE(R.Success) << R.diagnostics();
+    EXPECT_EQ(R.RenderedValue, Base.RenderedValue);
+  }
+}
+
+} // namespace

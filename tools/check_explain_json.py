@@ -28,7 +28,7 @@ SCHEMA = "eal-explain-v1"
 
 CODE_RE = re.compile(r"^EAL-[A-Z]\d{3}$")
 FACT_KINDS = ("binding", "apply", "query", "sharing", "decision", "finding",
-              "liveness")
+              "liveness", "speculation")
 PRIMS = ("cons", "mkpair")
 STORAGES = ("heap", "stack", "region")
 GRAPH_COUNTERS = ("facts", "edges", "raises", "max_depth")

@@ -35,6 +35,7 @@ ORACLE_COUNTERS = [
     "heap_cells_escaped",
     "heap_cells_unescaped",
     "imprecise_claims",
+    "alias_exemptions",
 ]
 
 VIOLATION_INTS = [
@@ -186,6 +187,7 @@ def self_test():
             "heap_cells_escaped": 36,
             "heap_cells_unescaped": 4,
             "imprecise_claims": 0,
+            "alias_exemptions": 0,
             "violations": [{
                 "kind": "injected-claim",
                 "function": "append",

@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Validate eal --spec-json output against the eal-spec-v1 schema.
+
+`eal spec FILE --spec-json=OUT.json` (and any executing command given
+--spec-json) writes the speculation plan -- every profile-guided bet
+with its guard position, profile evidence, and guarded directives --
+plus the runtime outcome (held, or deopted with cells migrated) as one
+JSON document (docs/SPECULATION.md).  This checker is the schema's
+executable definition; ctest runs it over real CLI output so a drift
+fails the test suite, not a downstream consumer.
+
+Invariants beyond shape: speculation indices are the array positions;
+a speculation's cold_entries can never exceed its hot_entries (the
+planner prunes the cold side); every directive carries at least one
+site; the runtime block, when present, is internally consistent
+(deopted implies a cause and exactly one deopt, injected_deopts never
+exceeds deopts, and cells can only migrate on a deopt).
+
+Usage:
+  check_spec_json.py FILE [FILE...]   validate existing report files
+  check_spec_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "eal-spec-v1"
+
+SITE_CLASSES = ("stack", "region")
+RUNTIME_COUNTERS = ("arenas_opened", "guard_hits", "deopts",
+                    "injected_deopts", "cells_migrated")
+CAUSES = ("guard", "injected")
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_loc(errors, path, label, obj, id_key):
+    if not isinstance(obj, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    if not is_count(obj.get(id_key)):
+        fail(errors, path, "%s: '%s' is not a non-negative integer"
+             % (label, id_key))
+    for key in ("line", "col"):
+        if not is_count(obj.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+
+
+def check_directive(errors, path, label, directive):
+    if not isinstance(directive, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    if not isinstance(directive.get("call"), str) or not directive.get("call"):
+        fail(errors, path, "%s: 'call' is not a non-empty string" % label)
+    for key in ("call_id", "arg", "protected_spines"):
+        if not is_count(directive.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+    sites = directive.get("sites")
+    if not isinstance(sites, list):
+        fail(errors, path, "%s: 'sites' is not an array" % label)
+        return
+    # An empty directive protects nothing; the planner never emits one.
+    if not sites:
+        fail(errors, path, "%s: 'sites' is empty" % label)
+    seen = set()
+    for j, site in enumerate(sites):
+        slabel = "%s.sites[%d]" % (label, j)
+        if not isinstance(site, dict):
+            fail(errors, path, "%s is not an object" % slabel)
+            continue
+        site_id = site.get("id")
+        if not is_count(site_id):
+            fail(errors, path, "%s: 'id' is not a non-negative integer"
+                 % slabel)
+        elif site_id in seen:
+            fail(errors, path, "%s: duplicate site id %d" % (slabel, site_id))
+        else:
+            seen.add(site_id)
+        if site.get("class") not in SITE_CLASSES:
+            fail(errors, path, "%s: 'class' is %r, expected one of %s"
+                 % (slabel, site.get("class"), list(SITE_CLASSES)))
+
+
+def check_speculation(errors, path, index, spec):
+    label = "speculations[%d]" % index
+    if not isinstance(spec, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return
+    if spec.get("index") != index:
+        fail(errors, path, "%s: 'index' is %r, expected the array index %d"
+             % (label, spec.get("index"), index))
+    check_loc(errors, path, "%s.if" % label, spec.get("if"), "id")
+    check_loc(errors, path, "%s.guard" % label, spec.get("guard"),
+              "branch_id")
+    profile = spec.get("profile")
+    if not isinstance(profile, dict):
+        fail(errors, path, "%s: 'profile' is not an object" % label)
+        profile = {}
+    hot = profile.get("hot_entries")
+    cold = profile.get("cold_entries")
+    for key, value in (("hot_entries", hot), ("cold_entries", cold)):
+        if not is_count(value):
+            fail(errors, path, "%s.profile: '%s' is not a non-negative "
+                 "integer" % (label, key))
+    # The planner prunes the *cold* side: the kept branch must have run
+    # strictly more often than the pruned one.
+    if is_count(hot) and is_count(cold) and cold >= hot:
+        fail(errors, path, "%s.profile: cold_entries (%d) is not below "
+             "hot_entries (%d)" % (label, cold, hot))
+    directives = spec.get("directives")
+    if not isinstance(directives, list):
+        fail(errors, path, "%s: 'directives' is not an array" % label)
+        return
+    # A speculation with nothing to protect would be a free deopt risk;
+    # the planner drops it.
+    if not directives:
+        fail(errors, path, "%s: 'directives' is empty" % label)
+    for j, directive in enumerate(directives):
+        check_directive(errors, path, "%s.directives[%d]" % (label, j),
+                        directive)
+
+
+def check_runtime(errors, path, runtime):
+    if runtime is None:
+        return
+    if not isinstance(runtime, dict):
+        fail(errors, path, "'runtime' is not null or an object")
+        return
+    deopted = runtime.get("deopted")
+    if not isinstance(deopted, bool):
+        fail(errors, path, "runtime: 'deopted' is not a boolean")
+        deopted = None
+    cause = runtime.get("cause")
+    if cause is not None and cause not in CAUSES:
+        fail(errors, path, "runtime: 'cause' is %r, expected null or one of "
+             "%s" % (cause, list(CAUSES)))
+    for key in RUNTIME_COUNTERS:
+        if not is_count(runtime.get(key)):
+            fail(errors, path, "runtime: '%s' is not a non-negative integer"
+                 % key)
+    deopts = runtime.get("deopts")
+    injected = runtime.get("injected_deopts")
+    migrated = runtime.get("cells_migrated")
+    if deopted is True:
+        if cause is None:
+            fail(errors, path, "runtime: deopted without a cause")
+        # The protocol is global: the first failure disarms everything,
+        # so a run deopts exactly once.
+        if is_count(deopts) and deopts != 1:
+            fail(errors, path, "runtime: deopted with 'deopts' = %r, "
+                 "expected 1 (the protocol is global)" % deopts)
+    if deopted is False:
+        if cause is not None:
+            fail(errors, path, "runtime: a cause without a deopt")
+        if is_count(deopts) and deopts != 0:
+            fail(errors, path, "runtime: 'deopts' is %r on a held run"
+                 % deopts)
+        if is_count(migrated) and migrated != 0:
+            fail(errors, path, "runtime: cells migrated without a deopt")
+    if is_count(deopts) and is_count(injected) and injected > deopts:
+        fail(errors, path, "runtime: 'injected_deopts' (%d) exceeds "
+             "'deopts' (%d)" % (injected, deopts))
+    if cause == "injected" and is_count(injected) and injected == 0:
+        fail(errors, path, "runtime: cause 'injected' with zero "
+             "injected_deopts")
+
+
+def check_file(path):
+    """Validate one report file; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), SCHEMA))
+    if not isinstance(doc.get("program"), str) or not doc.get("program"):
+        fail(errors, path, "'program' is not a non-empty string")
+    speculations = doc.get("speculations")
+    if not isinstance(speculations, list):
+        fail(errors, path, "'speculations' is not an array")
+        speculations = []
+    for i, spec in enumerate(speculations):
+        check_speculation(errors, path, i, spec)
+    if "runtime" not in doc:
+        fail(errors, path, "'runtime' is missing (use null for a plan that "
+             "was not executed)")
+    else:
+        check_runtime(errors, path, doc.get("runtime"))
+    return errors
+
+
+def validate(paths):
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def self_test():
+    good = {
+        "schema": SCHEMA,
+        "program": "examples/nml/spec_cold.nml",
+        "speculations": [
+            {"index": 0,
+             "if": {"id": 103, "line": 19, "col": 14},
+             "guard": {"branch_id": 101, "line": 19, "col": 24},
+             "profile": {"hot_entries": 1, "cold_entries": 0},
+             "directives": [
+                 {"call": "keep", "call_id": 112, "arg": 1,
+                  "protected_spines": 1,
+                  "sites": [{"id": 68, "class": "region"}]}]},
+        ],
+        "runtime": {"deopted": False, "cause": None, "arenas_opened": 1,
+                    "guard_hits": 0, "deopts": 0, "injected_deopts": 0,
+                    "cells_migrated": 0},
+    }
+
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+
+    cases = [
+        ("valid held run", good, True),
+        ("valid injected deopt",
+         broken(lambda d: d.update(runtime={
+             "deopted": True, "cause": "injected", "arenas_opened": 1,
+             "guard_hits": 0, "deopts": 1, "injected_deopts": 1,
+             "cells_migrated": 48})), True),
+        ("valid natural guard failure",
+         broken(lambda d: d.update(runtime={
+             "deopted": True, "cause": "guard", "arenas_opened": 1,
+             "guard_hits": 1, "deopts": 1, "injected_deopts": 0,
+             "cells_migrated": 7})), True),
+        ("valid unexecuted plan",
+         broken(lambda d: d.update(runtime=None)), True),
+        ("valid empty plan",
+         broken(lambda d: d.update(speculations=[])), True),
+        ("wrong schema tag",
+         broken(lambda d: d.update(schema="v0")), False),
+        ("empty program name",
+         broken(lambda d: d.update(program="")), False),
+        ("missing runtime key",
+         broken(lambda d: d.pop("runtime")), False),
+        ("speculation index not the array position",
+         broken(lambda d: d["speculations"][0].update(index=3)), False),
+        ("cold entries not below hot",
+         broken(lambda d: d["speculations"][0]["profile"].update(
+             cold_entries=1)), False),
+        ("speculation without directives",
+         broken(lambda d: d["speculations"][0].update(directives=[])), False),
+        ("directive without sites",
+         broken(lambda d: d["speculations"][0]["directives"][0].update(
+             sites=[])), False),
+        ("duplicate directive site ids",
+         broken(lambda d: d["speculations"][0]["directives"][0].update(
+             sites=[{"id": 68, "class": "region"},
+                    {"id": 68, "class": "stack"}])), False),
+        ("unknown site class",
+         broken(lambda d: d["speculations"][0]["directives"][0]["sites"][0]
+                .update(**{"class": "static"})), False),
+        ("deopted without a cause",
+         broken(lambda d: d["runtime"].update(deopted=True, deopts=1)),
+         False),
+        ("held run with a cause",
+         broken(lambda d: d["runtime"].update(cause="guard")), False),
+        ("held run with migrated cells",
+         broken(lambda d: d["runtime"].update(cells_migrated=5)), False),
+        ("two deopts under the global protocol",
+         broken(lambda d: d["runtime"].update(
+             deopted=True, cause="guard", deopts=2, guard_hits=2)), False),
+        ("injected deopts exceed deopts",
+         broken(lambda d: d["runtime"].update(injected_deopts=1)), False),
+        ("injected cause with zero injected deopts",
+         broken(lambda d: d["runtime"].update(
+             deopted=True, cause="injected", deopts=1,
+             cells_migrated=3)), False),
+        ("negative counter",
+         broken(lambda d: d["runtime"].update(guard_hits=-1)), False),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-spec-selftest-") as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, "spec.json")
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    return validate(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

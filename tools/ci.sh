@@ -31,7 +31,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FUZZ_SEEDS="${EAL_FUZZ_SEEDS:-48}"
 BENCH_MAX_REGRESS="${EAL_BENCH_MAX_REGRESS:-0.10}"
 # Benches whose BENCH_*.json is baselined under bench/baselines/.
-BENCH_GATE="bench_engines bench_a31_stack_alloc bench_live_deaddata"
+BENCH_GATE="bench_engines bench_a31_stack_alloc bench_live_deaddata bench_spec"
 
 configure_flags() {
   case "$1" in
@@ -60,6 +60,7 @@ run_config() {
   if [ "$name" = asan ]; then
     explain_smoke "$dir"
     live_smoke "$dir"
+    spec_smoke "$dir"
   fi
   if [ "$name" = release ]; then
     echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
@@ -111,6 +112,33 @@ live_smoke() {
     "$dir/tools/eal" live "$example" $flags --live-json="$json" \
         >/dev/null
     python3 "$REPO/tools/check_live_json.py" "$json"
+  done
+}
+
+# Speculative-tier smoke: run every shipped example under ASan with
+# speculation on AND a forced deopt, arena frees validated — the deopt
+# path migrates live cells mid-run, so this is where a dangling arena
+# link or a double free would surface. Each `eal spec` run also
+# round-trips --spec-json through the eal-spec-v1 schema checker
+# (docs/SPECULATION.md). Examples that plan no speculation still
+# exercise the planner's pre-run and export an empty plan.
+spec_smoke() {
+  local dir="$1"
+  echo "=== [asan] eal spec + forced deopt over examples/nml (+ schema check)"
+  local example flags json
+  for example in "$REPO"/examples/nml/*.nml; do
+    flags=""
+    case "$(basename "$example")" in
+    stats.nml) flags="--stdlib" ;;
+    esac
+    json="$dir/spec-$(basename "$example" .nml).json"
+    # shellcheck disable=SC2086
+    "$dir/tools/eal" run "$example" $flags --spec --spec-inject-deopt=all \
+        --validate >/dev/null
+    # shellcheck disable=SC2086
+    "$dir/tools/eal" spec "$example" $flags --spec-json="$json" \
+        >/dev/null
+    python3 "$REPO/tools/check_spec_json.py" "$json"
   done
 }
 

@@ -26,6 +26,11 @@
 //                         and the EAL-D dead-data findings; add
 //                         --live-oracle to also execute under the dynamic
 //                         liveness oracle
+//   eal spec     <file>   speculative tier (docs/SPECULATION.md): profile
+//                         the program, plan guarded arena directives for
+//                         profile-cold branches, execute the merged plan,
+//                         and report each speculation with its outcome
+//                         (held, or deopted with cells migrated)
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -79,6 +84,23 @@
 //   --dot=FILE        write the provenance graph as Graphviz DOT, blame
 //                     chains highlighted; any command
 //
+// Speculation flags (docs/SPECULATION.md):
+//   --spec            enable the speculative tier alongside any executing
+//                     command (run/report/check --oracle/...)
+//   --spec-inject-deopt=SITE[:N] | all
+//                     deterministically inject a guard failure at the Nth
+//                     close (default 1st) of a live speculative arena
+//                     covering allocation site SITE ("all": the first
+//                     close of any speculative arena); exercises the
+//                     deopt/migration path, which an unperturbed
+//                     deterministic program can never reach
+//   --spec-cold-max=N treat branches with at most N profiled entries as
+//                     cold (default 0)
+//   --spec-hot-min=N  require a speculated site to have at least N
+//                     profiled heap allocations (default 8)
+//   --spec-json=FILE  write the speculation plan + runtime outcome as
+//                     JSON (schema eal-spec-v1, tools/check_spec_json.py)
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
@@ -103,7 +125,7 @@ namespace {
 int usage() {
   std::cerr
       << "usage: eal <analyze|optimize|run|disasm|report|check|profile"
-         "|explain|live> <file|-> [options]\n"
+         "|explain|live|spec> <file|-> [options]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
@@ -112,7 +134,9 @@ int usage() {
          "         --live --live-oracle --live-gc --live-json=FILE\n"
          "         --profile-json=FILE --folded=FILE   (profile only)\n"
          "         --at=[FILE:]LINE:COL (explain only) --explain-json=FILE "
-         "--dot=FILE\n";
+         "--dot=FILE\n"
+         "         --spec --spec-inject-deopt=SITE[:N]|all "
+         "--spec-cold-max=N --spec-hot-min=N --spec-json=FILE\n";
   return 2;
 }
 
@@ -179,6 +203,26 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   if (!Out)
     std::cerr << "eal: error: cannot write '" << Path << "'\n";
   return static_cast<bool>(Out);
+}
+
+/// Parses "--spec-inject-deopt" specs: "all" or "SITE[:N]" (N 1-based,
+/// default 1).
+bool parseInjectSpec(const std::string &Spec, spec::SpecInjection &Inject) {
+  if (Spec == "all") {
+    Inject.All = true;
+    return true;
+  }
+  char *End = nullptr;
+  Inject.Site = static_cast<uint32_t>(std::strtoul(Spec.c_str(), &End, 10));
+  if (End == Spec.c_str())
+    return false;
+  if (*End == '\0')
+    return true;
+  if (*End != ':')
+    return false;
+  const char *NBegin = End + 1;
+  Inject.AtClose = std::strtoull(NBegin, &End, 10);
+  return End != NBegin && *End == '\0' && Inject.AtClose > 0;
 }
 
 /// Parses "--at" position specs: "LINE:COL" with an optional leading
@@ -272,19 +316,21 @@ int main(int argc, char **argv) {
   std::string Path = argv[2];
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
       Command != "disasm" && Command != "report" && Command != "check" &&
-      Command != "profile" && Command != "explain" && Command != "live")
+      Command != "profile" && Command != "explain" && Command != "live" &&
+      Command != "spec")
     return usage();
 
   PipelineOptions Options;
-  Options.RunProgram =
-      Command == "run" || Command == "report" || Command == "profile";
+  Options.RunProgram = Command == "run" || Command == "report" ||
+                       Command == "profile" || Command == "spec";
+  Options.Spec.Enable = Command == "spec";
   Options.CompileBytecode = Command == "disasm";
   Options.RunLint = Command == "check" || Command == "profile";
   Options.RunExplain = Command == "explain";
   Options.RunLive = Command == "live";
   Options.Obs.Command = Command;
   std::string CheckJsonPath, ProfileJsonPath, FoldedPath;
-  std::string AtSpec, ExplainJsonPath, DotPath, LiveJsonPath;
+  std::string AtSpec, ExplainJsonPath, DotPath, LiveJsonPath, SpecJsonPath;
   bool TimePhases = false;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -341,6 +387,27 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--dot=", 0) == 0 && Command != "profile") {
       DotPath = Arg.substr(std::strlen("--dot="));
       Options.RunExplain = true;
+    } else if (Arg == "--spec")
+      Options.Spec.Enable = true;
+    else if (Arg.rfind("--spec-inject-deopt=", 0) == 0) {
+      std::string Spec = Arg.substr(std::strlen("--spec-inject-deopt="));
+      if (!parseInjectSpec(Spec, Options.Spec.Inject)) {
+        std::cerr << "eal: error: malformed --spec-inject-deopt '" << Spec
+                  << "' (expected SITE[:N] or all)\n";
+        return 2;
+      }
+      Options.Spec.Enable = true;
+    } else if (Arg.rfind("--spec-cold-max=", 0) == 0)
+      Options.Spec.ColdMaxEntries =
+          std::strtoull(Arg.c_str() + std::strlen("--spec-cold-max="),
+                        nullptr, 10);
+    else if (Arg.rfind("--spec-hot-min=", 0) == 0)
+      Options.Spec.HotMinAllocs =
+          std::strtoull(Arg.c_str() + std::strlen("--spec-hot-min="),
+                        nullptr, 10);
+    else if (Arg.rfind("--spec-json=", 0) == 0) {
+      SpecJsonPath = Arg.substr(std::strlen("--spec-json="));
+      Options.Spec.Enable = true;
     } else
       return usage();
   }
@@ -385,6 +452,18 @@ int main(int argc, char **argv) {
           ExportOk;
     else {
       std::cerr << "eal: error: cannot write '" << LiveJsonPath << "'\n";
+      ExportOk = false;
+    }
+  }
+  if (!SpecJsonPath.empty()) {
+    if (R.SpecPlan)
+      ExportOk = writeTextFile(SpecJsonPath,
+                               spec::specPlanToJson(*R.SpecPlan,
+                                                    R.SpecRT.get(), *R.Ast,
+                                                    *R.SM)) &&
+                 ExportOk;
+    else {
+      std::cerr << "eal: error: cannot write '" << SpecJsonPath << "'\n";
       ExportOk = false;
     }
   }
@@ -444,6 +523,9 @@ int main(int argc, char **argv) {
   }
   if (Command == "live" && R.Live)
     std::cout << R.Live->render(*R.Ast, *R.SM);
+  if (R.SpecPlan && (Command == "spec" || R.SpecRT))
+    std::cout << spec::renderSpecReport(*R.SpecPlan, R.SpecRT.get(), *R.Ast,
+                                        *R.SM);
   if (R.Check) {
     if (Command != "check")
       std::cout << '\n';
