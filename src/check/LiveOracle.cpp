@@ -7,6 +7,8 @@
 
 #include "check/LiveOracle.h"
 
+#include "obs/Recorder.h"
+
 #include "support/SourceManager.h"
 
 #include <sstream>
@@ -72,7 +74,10 @@ void LivenessOracle::refute(const char *Kind, uint32_t SiteId,
   if (It != Claims.SiteLocs.end())
     V.SiteLoc = It->second;
   V.AtSeq = AtSeq;
+  obs::rec::emit(obs::rec::RecKind::LiveRefuted, V.SiteId,
+                 obs::rec::internName(V.Kind));
   Report.Violations.push_back(std::move(V));
+  obs::rec::dumpNow("live-refuted");
 }
 
 void LivenessOracle::cellAllocated(const ConsCell *Cell, uint32_t SiteId) {

@@ -8,6 +8,7 @@
 #include "check/Oracle.h"
 
 #include "lang/AstUtils.h"
+#include "obs/Recorder.h"
 #include "runtime/Frame.h"
 #include "types/Type.h"
 
@@ -252,7 +253,12 @@ void EscapeOracle::recordViolation(const ClaimCheck &CC,
     if (LocIt != Table.NodeLocs.end())
       V.AllocLoc = LocIt->second;
   }
+  // The refutation names the allocation site in the flight recording's
+  // tail, then triggers a crash dump (docs/RECORDER.md).
+  obs::rec::emit(obs::rec::RecKind::OracleRefuted, V.AllocSiteId,
+                 obs::rec::internName(V.Kind));
   Report.Violations.push_back(std::move(V));
+  obs::rec::dumpNow("oracle-refuted");
 }
 
 void EscapeOracle::classifyCells(

@@ -8,6 +8,7 @@
 #include "driver/Pipeline.h"
 
 #include "check/LiveLint.h"
+#include "obs/Recorder.h"
 #include "driver/Stdlib.h"
 #include "lang/Lexer.h"
 #include "lang/Parser.h"
@@ -97,7 +98,7 @@ void runPipelineImpl(const std::string &Source,
   // work; run a counting pre-pass only when a trace is being recorded,
   // where a complete per-phase picture is worth one extra scan.
   if (obs::tracingEnabled()) {
-    obs::PhaseTimer T(&R.PhaseMicros, "lex");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "lex");
     DiagnosticEngine ScratchDiags;
     Lexer L(R.SM->buffer(), ScratchDiags);
     uint64_t Tokens = 0;
@@ -108,7 +109,7 @@ void runPipelineImpl(const std::string &Source,
   }
 
   {
-    obs::PhaseTimer T(&R.PhaseMicros, "parse");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "parse");
     Parser P(R.SM->buffer(), *R.Ast, *R.Diags);
     R.ParsedRoot = P.parseProgram();
     T.span().arg("nodes", static_cast<uint64_t>(R.Ast->numNodes()));
@@ -123,7 +124,7 @@ void runPipelineImpl(const std::string &Source,
   if (Options.RunLint || Options.RunOracle || RunLive)
     R.Check.emplace();
   if (Options.RunLint) {
-    obs::PhaseTimer T(&R.PhaseMicros, "lint");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "lint");
     check::LintOptions LO;
     if (Options.IncludeStdlib)
       for (std::string_view Name : stdlibBindingNames())
@@ -133,7 +134,7 @@ void runPipelineImpl(const std::string &Source,
   }
 
   {
-    obs::PhaseTimer T(&R.PhaseMicros, "type-inference");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "type-inference");
     TypeInference TI(*R.Ast, *R.Types, *R.Diags, Options.Mode);
     R.Typed = TI.run(R.ParsedRoot);
   }
@@ -151,7 +152,7 @@ void runPipelineImpl(const std::string &Source,
     OptConfig.Explain = R.Prov.get();
   }
   {
-    obs::PhaseTimer T(&R.PhaseMicros, "optimize");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "optimize");
     R.Optimized = optimizeProgram(*R.Ast, *R.Types, *R.Typed, *R.Diags,
                                   OptConfig, &R.PhaseMicros);
   }
@@ -179,7 +180,7 @@ void runPipelineImpl(const std::string &Source,
   if (Options.RunLint || Options.RunExplain) {
     // The blocked-allocation explanations grade the *final* program: the
     // analyzer must agree with the one the planner consulted.
-    obs::PhaseTimer T(&R.PhaseMicros, "explain");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "explain");
     const std::vector<explain::SiteInfo> &Sites = classifySitesOnce();
     if (Options.RunLint)
       check::explainBlockedAllocations(*R.Ast, R.Optimized->Typed, Sites,
@@ -198,7 +199,7 @@ void runPipelineImpl(const std::string &Source,
     // execute, so site ids line up with the runtime's ConsCell::SiteId
     // tags. Strictly observational: nothing downstream consults the
     // report unless LiveGcPrune arms the GC consumer.
-    obs::PhaseTimer T(&R.PhaseMicros, "liveness");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "liveness");
     live::LiveAnalyzer LA(*R.Ast, R.Optimized->Root, &R.Optimized->Typed);
     if (R.Prov)
       LA.attachProvenance(R.Prov.get());
@@ -218,7 +219,7 @@ void runPipelineImpl(const std::string &Source,
 
   if (!Options.RunProgram && !Options.RunOracle && !Options.RunLiveOracle) {
     if (Options.CompileBytecode) {
-      obs::PhaseTimer T(&R.PhaseMicros, "compile");
+      obs::rec::PhaseScope T(&R.PhaseMicros, "compile");
       R.Code = compileToBytecode(*R.Ast, R.Optimized->Root,
                                  &R.Optimized->Plan, *R.Diags);
       if (!R.Code)
@@ -243,7 +244,7 @@ void runPipelineImpl(const std::string &Source,
     prof::Profiler PreProfile;
     std::optional<RtValue> PreValue;
     {
-      obs::PhaseTimer T(&R.PhaseMicros, "spec-profile");
+      obs::rec::PhaseScope T(&R.PhaseMicros, "spec-profile");
       DiagnosticEngine PreDiags;
       Interpreter::Options PreOpts = Options.Run;
       PreOpts.Observer = nullptr;
@@ -256,7 +257,7 @@ void runPipelineImpl(const std::string &Source,
                    static_cast<uint64_t>(Branches.numBranchesSeen()));
     }
     if (PreValue) {
-      obs::PhaseTimer T(&R.PhaseMicros, "spec-plan");
+      obs::rec::PhaseScope T(&R.PhaseMicros, "spec-plan");
       spec::SpecPlannerOptions SPO;
       SPO.ColdMaxEntries = Options.Spec.ColdMaxEntries;
       SPO.HotMinAllocs = Options.Spec.HotMinAllocs;
@@ -284,7 +285,7 @@ void runPipelineImpl(const std::string &Source,
       R.SpecPlan ? &R.SpecPlan->Merged : &R.Optimized->Plan;
 
   if (Options.RunOracle) {
-    obs::PhaseTimer T(&R.PhaseMicros, "claims");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "claims");
     // The observer hooks live in the tree-walker, and a sound plan must
     // also survive cell-by-cell arena-free validation.
     Engine = ExecutionEngine::TreeWalker;
@@ -297,7 +298,7 @@ void runPipelineImpl(const std::string &Source,
     T.span().arg("claims", static_cast<uint64_t>(R.Oracle->claimCount()));
   }
   if (Options.RunLiveOracle) {
-    obs::PhaseTimer T(&R.PhaseMicros, "live-claims");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "live-claims");
     // Touch hooks live in the tree-walker (the VM's fused field reads
     // bypass observers).
     Engine = ExecutionEngine::TreeWalker;
@@ -320,7 +321,7 @@ void runPipelineImpl(const std::string &Source,
         R.Live->deadSites());
 
   {
-    obs::PhaseTimer T(&R.PhaseMicros, "execute");
+    obs::rec::PhaseScope T(&R.PhaseMicros, "execute");
     if (Engine == ExecutionEngine::Bytecode) {
       T.span().arg("engine", "bytecode");
       R.Code = compileToBytecode(
@@ -385,14 +386,64 @@ PipelineResult eal::runPipeline(const std::string &Source,
     obs::enableMetrics();
 
   PipelineResult R;
+
+  // Flight-recorder wiring (docs/RECORDER.md). Arm the crash dump
+  // before anything can fail, then start the stream: startStream purges
+  // the rings, so the recording holds exactly this run's events.
+  if (!Obs.RecDumpPath.empty())
+    obs::rec::setDumpPath(Obs.RecDumpPath, Obs.Command);
+  bool Streaming = false;
+  if (!Obs.RecordPath.empty()) {
+    obs::rec::StreamOptions SO;
+    SO.Path = Obs.RecordPath;
+    SO.Binary = Obs.RecordBinary;
+    SO.Command = Obs.Command;
+    std::string Err;
+    if (obs::rec::startStream(SO, &Err))
+      Streaming = true;
+    else
+      R.ObsExportErrors.push_back(Err);
+  }
+  if (obs::rec::on())
+    obs::rec::emit(obs::rec::RecKind::RunBegin,
+                   obs::rec::internName(Obs.Command),
+                   obs::rec::internName(Options.Engine ==
+                                                ExecutionEngine::Bytecode
+                                            ? "bytecode"
+                                            : "tree-walker"));
+
   runPipelineImpl(Source, Options, R);
 
+  obs::rec::emit(obs::rec::RecKind::RunEnd, R.Success ? 1 : 0);
+  if (obs::rec::on())
+    R.Stats.forEachField([](const char *Key, const char *, uint64_t V) {
+      obs::rec::finalCounter(Key, V);
+    });
+
   // Exports happen even on failure: a trace of a failed run is exactly
-  // what one wants for debugging it.
+  // what one wants for debugging it. Spans still open at this point (a
+  // phase aborted mid-flight) are flushed as complete events first so
+  // neither export silently drops them; the flush count is itself
+  // exported as the obs.export.dropped_spans counter.
+  if (!Obs.TracePath.empty() || !Obs.StatsJsonPath.empty())
+    obs::flushOpenSpans();
   if (!Obs.TracePath.empty() && !obs::writeChromeTrace(Obs.TracePath))
     R.ObsExportErrors.push_back("cannot write '" + Obs.TracePath + "'");
   if (!Obs.StatsJsonPath.empty() &&
       !writeStatsJson(Obs.StatsJsonPath, Obs.Command, R))
     R.ObsExportErrors.push_back("cannot write '" + Obs.StatsJsonPath + "'");
+
+  // A failed pipeline is itself a dump trigger (after the final
+  // counters so they reach the dump footer); stop the stream last so
+  // its footer sees everything, then disarm.
+  if (!R.Success)
+    obs::rec::dumpNow("run-failed");
+  if (Streaming) {
+    std::string Err;
+    if (!obs::rec::stopStream(&Err))
+      R.ObsExportErrors.push_back(Err);
+  }
+  if (!Obs.RecDumpPath.empty())
+    obs::rec::clearDumpPath();
   return R;
 }

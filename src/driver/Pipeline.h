@@ -72,6 +72,17 @@ struct ObservabilityOptions {
   std::string StatsJsonPath;
   /// Command name embedded in exported documents ("run", "check", ...).
   std::string Command = "pipeline";
+  /// Stream the flight-recorder event feed into this eal-rec-v1 file
+  /// (docs/RECORDER.md): NDJSON lines by default, raw binary records
+  /// when RecordBinary is set. Streaming enables the per-cell detail
+  /// tier for the duration of the run. Empty disables streaming (the
+  /// always-on flight buffers keep running either way).
+  std::string RecordPath;
+  bool RecordBinary = false;
+  /// Arm the flight recorder to dump its retained event window here on
+  /// the first failure trigger (oracle refutation, liveness refutation,
+  /// spec deopt, failed run, SIGABRT). Empty leaves dumping disarmed.
+  std::string RecDumpPath;
   /// Allocation-site & hot-path profiler (docs/PROFILING.md), not
   /// owned; routed into whichever engine executes the program. Null
   /// disables profiling.

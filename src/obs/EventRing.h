@@ -1,0 +1,173 @@
+//===- EventRing.h - Lock-free SPSC event ring ------------------*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-producer / single-consumer ring of RecEvents. Exactly one
+/// thread pushes (the execution thread that owns the ring, see the ring
+/// pool in Recorder.cpp) and at most one thread pops (the streaming
+/// drain). Two producer entry points:
+///
+///  - pushOverwrite (flight mode, the always-on default): when full,
+///    reclaim the oldest slot and count the casualty in dropped().
+///    Never blocks — this is the path whose cost the obs.overhead
+///    bench gates.
+///
+///  - tryPush (streaming mode): refuse instead of overwrite when full.
+///    The emitter loops tryPush/yield while a stream is active, so no
+///    event is lost; it re-reads the streaming flag each iteration and
+///    falls back to pushOverwrite when the stream stops, so a producer
+///    can never be stranded spinning (Recorder.cpp).
+///
+/// Head/Tail are monotonically increasing sequence numbers; the slot is
+/// `seq & (Capacity - 1)`. The Head store's release publishes the slot
+/// write; the consumer's acquire load pairs with it. Tail moves by CAS
+/// on both sides because flight-mode overwrite and a concurrent drain
+/// contend for the same oldest slot.
+///
+/// Slots are stored as four relaxed-atomic words, not a plain struct:
+/// snapshot() runs while a producer may be mid-write (a crash dump
+/// never waits), so slot accesses must be data-race-free for TSan
+/// (tests/obs/RecorderStressTest.cpp). A snapshot can therefore see a
+/// torn event at the write frontier — acceptable for forensics, and
+/// impossible on the pop() path, where the Head/Tail protocol keeps
+/// producer and consumer off the same slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_OBS_EVENTRING_H
+#define EAL_OBS_EVENTRING_H
+
+#include "obs/RecEvent.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace eal::obs::rec {
+
+class EventRing {
+public:
+  /// \p CapacityPow2 must be a power of two (asserted).
+  explicit EventRing(size_t CapacityPow2 = DefaultCapacity)
+      : Slots(CapacityPow2), Mask(CapacityPow2 - 1) {
+    assert(CapacityPow2 != 0 && (CapacityPow2 & Mask) == 0 &&
+           "ring capacity must be a power of two");
+  }
+
+  static constexpr size_t DefaultCapacity = 8192;
+
+  size_t capacity() const { return Slots.size(); }
+
+  /// Flight-mode push: overwrites the oldest event when full.
+  void pushOverwrite(const RecEvent &Ev) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t T = Tail.load(std::memory_order_acquire);
+      if (H - T < Slots.size())
+        break;
+      // Reclaim the oldest slot. CAS because a drain may be popping it
+      // concurrently; whoever wins, one slot frees up.
+      if (Tail.compare_exchange_weak(T, T + 1, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        DroppedCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    store(H & Mask, Ev);
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Streaming push: returns false instead of overwriting when full.
+  bool tryPush(const RecEvent &Ev) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    uint64_t T = Tail.load(std::memory_order_acquire);
+    if (H - T >= Slots.size())
+      return false;
+    store(H & Mask, Ev);
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops the oldest event into \p Out. Returns false on
+  /// an empty ring.
+  bool pop(RecEvent &Out) {
+    for (;;) {
+      uint64_t T = Tail.load(std::memory_order_acquire);
+      if (T == Head.load(std::memory_order_acquire))
+        return false;
+      Out = load(T & Mask);
+      // CAS instead of a plain store: a flight-mode producer may steal
+      // this same slot to overwrite it. Losing the race just means the
+      // event we copied was dropped; retry with the new Tail.
+      if (Tail.compare_exchange_weak(T, T + 1, std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Appends the current contents to \p Out, oldest first, without
+  /// consuming. Best-effort (see file comment): used by flight dumps.
+  void snapshot(std::vector<RecEvent> &Out) const {
+    uint64_t T = Tail.load(std::memory_order_acquire);
+    uint64_t H = Head.load(std::memory_order_acquire);
+    for (uint64_t S = T; S != H; ++S)
+      Out.push_back(load(S & Mask));
+  }
+
+  /// Events overwritten in flight mode since construction.
+  uint64_t dropped() const {
+    return DroppedCount.load(std::memory_order_relaxed);
+  }
+
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) ==
+           Tail.load(std::memory_order_acquire);
+  }
+
+private:
+  /// One event as relaxed-atomic words (see file comment). W3 packs
+  /// C | Kind<<32 | Tid<<48.
+  struct Slot {
+    std::atomic<uint64_t> W0{0}, W1{0}, W2{0}, W3{0};
+  };
+
+  void store(size_t I, const RecEvent &Ev) {
+    Slot &S = Slots[I];
+    S.W0.store(Ev.TimeUs, std::memory_order_relaxed);
+    S.W1.store(Ev.A, std::memory_order_relaxed);
+    S.W2.store(Ev.B, std::memory_order_relaxed);
+    S.W3.store(static_cast<uint64_t>(Ev.C) |
+                   (static_cast<uint64_t>(Ev.Kind) << 32) |
+                   (static_cast<uint64_t>(Ev.Tid) << 48),
+               std::memory_order_relaxed);
+  }
+
+  RecEvent load(size_t I) const {
+    const Slot &S = Slots[I];
+    RecEvent Ev;
+    Ev.TimeUs = S.W0.load(std::memory_order_relaxed);
+    Ev.A = S.W1.load(std::memory_order_relaxed);
+    Ev.B = S.W2.load(std::memory_order_relaxed);
+    uint64_t W3 = S.W3.load(std::memory_order_relaxed);
+    Ev.C = static_cast<uint32_t>(W3);
+    Ev.Kind = static_cast<uint16_t>(W3 >> 32);
+    Ev.Tid = static_cast<uint16_t>(W3 >> 48);
+    return Ev;
+  }
+
+  std::vector<Slot> Slots;
+  size_t Mask;
+  /// Next sequence number to write (producer-owned).
+  std::atomic<uint64_t> Head{0};
+  /// Oldest live sequence number (consumer-advanced; flight-mode
+  /// producers advance it too, via CAS, to overwrite).
+  std::atomic<uint64_t> Tail{0};
+  std::atomic<uint64_t> DroppedCount{0};
+};
+
+} // namespace eal::obs::rec
+
+#endif // EAL_OBS_EVENTRING_H

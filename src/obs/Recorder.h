@@ -1,0 +1,179 @@
+//===- Recorder.h - Always-on flight recorder + streaming drain -*- C++ -*-==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight recorder (docs/RECORDER.md): runtime subsystems emit
+/// compact RecEvents into per-thread lock-free rings (EventRing.h), and
+/// three consumers read them back out:
+///
+///  - the always-on flight buffer: each ring retains its last N events;
+///    dumpNow() writes them as an `eal-rec-v1` file when something goes
+///    wrong (oracle refutation, liveness refutation, spec deopt,
+///    SIGABRT, failed pipeline) — first trigger wins;
+///  - the streaming drain (`--record=FILE`): a background thread tails
+///    every ring losslessly into an NDJSON or binary file a live
+///    consumer can follow;
+///  - `eal timeline` (Timeline.h): replays a recording into heap
+///    occupancy curves, cell lifetime ribbons, and phase/GC bands.
+///
+/// Two event tiers keep the always-on cost near zero (the obs.overhead
+/// bench gates it at <= 2%):
+///
+///  - lite (`on()`): run/phase boundaries, GC cycles, heap growth,
+///    arena frees, deopts, oracle verdicts — O(dozens) per run;
+///  - detail (`cells()`): per-cell births/deaths/touches/DCONS re-tags/
+///    deopt migrations — O(allocations), enabled only while a detail
+///    stream is active.
+///
+/// Compiling with -DEAL_OBS_RECORDER=OFF turns both predicates into
+/// `constexpr false`, so every emit site is dead-code-eliminated (the
+/// 0%-compiled-out guarantee); the drain/dump/timeline machinery still
+/// builds, it just sees no events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EAL_OBS_RECORDER_H
+#define EAL_OBS_RECORDER_H
+
+#include "obs/RecEvent.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// The build defines EAL_OBS_RECORDER to 1/0 (CMake option, default ON).
+#ifndef EAL_OBS_RECORDER
+#define EAL_OBS_RECORDER 1
+#endif
+
+namespace eal::obs::rec {
+
+namespace detail {
+extern std::atomic<bool> LiteOn;  ///< master switch (bench kill switch)
+extern std::atomic<bool> CellsOn; ///< detail tier; set by startStream
+/// Stamps time + ring id and pushes into the calling thread's ring.
+void emitSlow(RecKind K, uint64_t A, uint64_t B, uint32_t C);
+} // namespace detail
+
+#if EAL_OBS_RECORDER
+/// True when lite events are being recorded (the always-on default).
+inline bool on() { return detail::LiteOn.load(std::memory_order_relaxed); }
+/// True when per-cell detail events are wanted; check this (not just
+/// on()) before assembling a cell event on an allocation-rate path.
+inline bool cells() {
+  return detail::CellsOn.load(std::memory_order_relaxed) &&
+         detail::LiteOn.load(std::memory_order_relaxed);
+}
+#else
+constexpr bool on() { return false; }
+constexpr bool cells() { return false; }
+#endif
+
+/// Records one event (no-op unless on(); a single relaxed load when
+/// idle). Payload word meanings are per-kind, see RecEvent.h.
+inline void emit(RecKind K, uint64_t A = 0, uint64_t B = 0, uint32_t C = 0) {
+  if (on())
+    detail::emitSlow(K, A, B, C);
+}
+
+/// Interns \p S into the recording's name table; stable for the life of
+/// the process. Id 0 is "<none>"; when the 16-bit table fills, further
+/// names collapse to id 1 ("<overflow>").
+uint16_t internName(std::string_view S);
+/// The interned name for \p Id ("<none>" / "<overflow>" for 0/1;
+/// "<unknown>" for an id never handed out). Testing/timeline aid.
+std::string lookupName(uint16_t Id);
+/// Number of distinct names interned so far (including the 2 reserved).
+size_t internedNameCount();
+
+/// Master kill switch (default enabled). The obs.overhead bench flips
+/// this to measure recorder-on vs recorder-off in one binary; it is not
+/// a user-facing toggle.
+void setLiteEnabled(bool On);
+
+//===----------------------------------------------------------------------===//
+// Streaming drain (--record=FILE)
+//===----------------------------------------------------------------------===//
+
+struct StreamOptions {
+  std::string Path;
+  bool Binary = false; ///< raw RecEvent records instead of NDJSON lines
+  bool Detail = true;  ///< also record the per-cell tier
+  std::string Command = "run"; ///< header metadata
+};
+
+/// Starts the background drain tailing every ring into Opts.Path.
+/// Returns false (with *Err set) on I/O failure or if already streaming.
+bool startStream(const StreamOptions &Opts, std::string *Err);
+/// Final drain + footer (name table, final counters, drop count).
+/// Returns false on I/O failure. No-op (true) when not streaming.
+bool stopStream(std::string *Err);
+bool streaming();
+
+//===----------------------------------------------------------------------===//
+// Crash dumps
+//===----------------------------------------------------------------------===//
+
+/// Arms dumping: the first dumpNow() after this writes the flight
+/// buffers to \p Path as eal-rec-v1 NDJSON. Also installs a SIGABRT
+/// handler (best effort: the handler only dumps if no recorder lock is
+/// held at signal time). Re-arming resets the first-trigger-wins latch
+/// and the finalCounter() set. \p Command is header metadata.
+void setDumpPath(std::string Path, std::string Command = "run");
+void clearDumpPath();
+/// Writes the dump if armed and not already dumped; returns true iff a
+/// file was written. \p Trigger names the cause ("spec-deopt",
+/// "oracle-refuted", ...) in the footer and a trailing DumpTrigger
+/// event.
+bool dumpNow(std::string_view Trigger);
+/// Trigger of the dump written since the last setDumpPath, or "".
+std::string lastDumpTrigger();
+
+/// Attaches a final counter (RuntimeStats totals, export drop counts)
+/// to the footer of the stream file and any later dump. Keys repeat
+/// last-write-wins.
+void finalCounter(std::string_view Key, uint64_t Value);
+
+//===----------------------------------------------------------------------===//
+// PhaseScope
+//===----------------------------------------------------------------------===//
+
+/// Drop-in replacement for obs::PhaseTimer at pipeline stages: same
+/// wall-time + trace-span + metrics behavior, plus PhaseBegin/PhaseEnd
+/// recorder events so timelines get phase bands even when tracing is
+/// off.
+class PhaseScope {
+public:
+  PhaseScope(obs::PhaseTimer::PhaseTimes *Out, const char *Name,
+             const char *Category = "pipeline")
+      : Timer(Out, Name, Category) {
+    if (on()) {
+      NameId = internName(Name);
+      emit(RecKind::PhaseBegin, NameId);
+    }
+  }
+  ~PhaseScope() {
+    if (NameId)
+      emit(RecKind::PhaseEnd, NameId);
+  }
+  PhaseScope(const PhaseScope &) = delete;
+  PhaseScope &operator=(const PhaseScope &) = delete;
+
+  obs::Span &span() { return Timer.span(); }
+
+private:
+  obs::PhaseTimer Timer;
+  uint16_t NameId = 0;
+};
+
+} // namespace eal::obs::rec
+
+#endif // EAL_OBS_RECORDER_H

@@ -7,6 +7,7 @@
 
 #include "runtime/Heap.h"
 
+#include "obs/Recorder.h"
 #include "prof/Profiler.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -117,6 +118,7 @@ ConsCell *Heap::allocateHeap(uint32_t SiteId) {
       if (Opts.AllowGrowth) {
         growPool(Capacity); // double
         ++Stats.HeapGrowths;
+        obs::rec::emit(obs::rec::RecKind::HeapGrow, Capacity);
       } else if (FreeCells == 0) {
         return nullptr;
       }
@@ -131,6 +133,9 @@ ConsCell *Heap::allocateHeap(uint32_t SiteId) {
     Stats.PeakLiveHeapCells = LiveHeap;
   if (Prof) [[unlikely]]
     Prof->siteAlloc(SiteId, prof::Storage::Heap);
+  if (obs::rec::cells()) [[unlikely]]
+    obs::rec::emit(obs::rec::RecKind::CellBirth, Cell->AllocSeq, Cell->SiteId,
+                   static_cast<uint32_t>(CellClass::Heap));
   return Cell;
 }
 
@@ -149,6 +154,7 @@ size_t Heap::createArena() {
     Arenas.emplace_back();
   }
   Arenas[Handle].Live = true;
+  obs::rec::emit(obs::rec::RecKind::ArenaOpen, Handle);
   return Handle;
 }
 
@@ -168,6 +174,7 @@ ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class,
         return nullptr;
       growPool(Capacity);
       ++Stats.HeapGrowths;
+      obs::rec::emit(obs::rec::RecKind::HeapGrow, Capacity);
       Cell = popFree(Class, SiteId);
       if (!Cell)
         return nullptr;
@@ -191,6 +198,9 @@ ConsCell *Heap::allocateInArena(size_t Handle, CellClass Class,
   }
   if (Prof) [[unlikely]]
     Prof->siteAlloc(SiteId, storageOf(Class));
+  if (obs::rec::cells()) [[unlikely]]
+    obs::rec::emit(obs::rec::RecKind::CellBirth, Cell->AllocSeq, Cell->SiteId,
+                   static_cast<uint32_t>(Class));
   return Cell;
 }
 
@@ -208,6 +218,16 @@ void Heap::freeArena(size_t Handle) {
   CellArena &A = Arenas[Handle];
   if (Prof) [[unlikely]]
     profileArenaDeaths(A);
+  if (obs::rec::cells()) [[unlikely]] {
+    // Per-cell deaths cost the same walk profiling does; only the
+    // detail tier pays it. Must precede the splice below.
+    for (ConsCell *Cell = A.Head; Cell; Cell = Cell->Next)
+      obs::rec::emit(obs::rec::RecKind::CellDeath, Cell->AllocSeq,
+                     Cell->SiteId,
+                     obs::rec::deathPayload(
+                         static_cast<uint8_t>(Cell->Class),
+                         obs::rec::DeathByArenaFree));
+  }
   if (A.Head) {
     // O(1) block reclamation: splice the whole chain onto the free list
     // without visiting the list structure. Cells are re-initialized on
@@ -223,6 +243,9 @@ void Heap::freeArena(size_t Handle) {
     ++Stats.RegionBulkFrees;
     Stats.RegionCellsFreed += A.RegionCells;
   }
+  if (A.StackCells || A.RegionCells)
+    obs::rec::emit(obs::rec::RecKind::ArenaFree, A.StackCells, A.RegionCells,
+                   static_cast<uint32_t>(Handle));
   if (obs::enabled()) [[unlikely]] {
     if (obs::metricsEnabled()) {
       obs::MetricsRegistry &Reg = obs::globalMetrics();
@@ -250,9 +273,14 @@ size_t Heap::migrateArenaToHeap(size_t Handle) {
   assert(Handle < Arenas.size() && Arenas[Handle].Live && "stale arena");
   CellArena &A = Arenas[Handle];
   size_t Migrated = A.Count;
+  const bool RecCells = obs::rec::cells();
   ConsCell *Cell = A.Head;
   while (Cell) {
     ConsCell *Next = Cell->Next;
+    if (RecCells) [[unlikely]]
+      obs::rec::emit(obs::rec::RecKind::CellMigrate, Cell->AllocSeq,
+                     baseSiteId(Cell->SiteId),
+                     static_cast<uint32_t>(Cell->Class));
     // The cell becomes an ordinary GC-heap resident: Next is a free-list/
     // arena-chain link and heap cells use neither. AllocSeq is preserved
     // — the oracle's (pointer, stamp) identity must survive deopt.
@@ -332,11 +360,13 @@ void Heap::clearMarks() {
 
 void Heap::collect() {
   ++Stats.GcRuns;
-  // Capture before-counters so the GC event can report this run's work.
-  const bool Obs = obs::enabled();
+  // Capture before-counters so the GC events can report this run's work.
+  const bool Obs = obs::enabled() || obs::rec::on();
   const uint64_t MarkedBefore = Obs ? Stats.CellsMarked : 0;
   const uint64_t SweptBefore = Obs ? Stats.CellsSwept : 0;
   const int64_t StartUs = Obs ? obs::nowMicros() : 0;
+  const bool RecCells = obs::rec::cells();
+  obs::rec::emit(obs::rec::RecKind::GcBegin, LiveHeap, Capacity);
 
   markPhase(/*IncludeArenas=*/true, /*ExcludeHandle=*/SIZE_MAX);
   // Sweep: only heap-class cells are individually reclaimed.
@@ -349,6 +379,12 @@ void Heap::collect() {
         if (Prof) [[unlikely]]
           Prof->siteDeath(baseSiteId(Cell.SiteId), prof::Storage::Heap,
                           NextAllocSeq - Cell.AllocSeq);
+        if (RecCells) [[unlikely]]
+          obs::rec::emit(obs::rec::RecKind::CellDeath, Cell.AllocSeq,
+                         Cell.SiteId,
+                         obs::rec::deathPayload(
+                             static_cast<uint8_t>(CellClass::Heap),
+                             obs::rec::DeathBySweep));
         Cell.State = CellState::Free;
         Cell.Car = RtValue::makeNil();
         Cell.Cdr = RtValue::makeNil();
@@ -366,6 +402,8 @@ void Heap::collect() {
     const int64_t PauseUs = obs::nowMicros() - StartUs;
     const uint64_t Marked = Stats.CellsMarked - MarkedBefore;
     const uint64_t Swept = Stats.CellsSwept - SweptBefore;
+    obs::rec::emit(obs::rec::RecKind::GcEnd, Marked, Swept,
+                   static_cast<uint32_t>(LiveHeap));
     if (obs::metricsEnabled()) {
       obs::MetricsRegistry &Reg = obs::globalMetrics();
       Reg.histogram("heap.gc.pause_us")

@@ -14,6 +14,7 @@
 #include "runtime/ValuePrinter.h"
 
 #include "lang/AstUtils.h"
+#include "obs/Recorder.h"
 #include "support/Diagnostics.h"
 #include "support/Trace.h"
 
@@ -164,6 +165,9 @@ Interpreter::evalPrimCall(PrimOp Op, uint32_t SiteId,
         Cell->Touched = true;
         if (prof::Profiler *Prof = Opts.Profiler)
           Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (obs::rec::cells()) [[unlikely]]
+          obs::rec::emit(obs::rec::RecKind::CellTouch, Cell->AllocSeq,
+                         Cell->SiteId);
       }
       if (Opts.Observer)
         Opts.Observer->cellTouched(Cell, TheHeap.allocSeq());

@@ -7,9 +7,27 @@
 
 #include "runtime/PrimOps.h"
 
+#include "obs/Recorder.h"
+
 #include <cassert>
 
 using namespace eal;
+
+namespace {
+
+/// First-touch recording for the no-hook engines: when neither a
+/// profiler nor an observer installed CellTouched, the Touched flag is
+/// otherwise never flipped, so the recorder flips it here (the flag
+/// feeds only first-touch attribution; program results are unaffected).
+void recordTouch(ConsCell *Cell) {
+  if (obs::rec::cells() && !Cell->Touched) [[unlikely]] {
+    Cell->Touched = true;
+    obs::rec::emit(obs::rec::RecKind::CellTouch, Cell->AllocSeq,
+                   Cell->SiteId);
+  }
+}
+
+} // namespace
 
 std::optional<RtValue>
 eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
@@ -105,6 +123,8 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
       return TypeError();
     if (Hooks.CellTouched) [[unlikely]]
       Hooks.CellTouched(Args[0].cell());
+    else
+      recordTouch(Args[0].cell());
     return Op == PrimOp::Car ? Args[0].cell()->Car : Args[0].cell()->Cdr;
   case PrimOp::Cons: {
     ConsCell *Cell = Hooks.AllocateCell(SiteId);
@@ -132,6 +152,8 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
       return TypeError();
     if (Hooks.CellTouched) [[unlikely]]
       Hooks.CellTouched(Args[0].cell());
+    else
+      recordTouch(Args[0].cell());
     return Op == PrimOp::Fst ? Args[0].cell()->Car : Args[0].cell()->Cdr;
   case PrimOp::DCons: {
     // dcons p b c: reuse p's head cell in place (§6). The analysis
@@ -145,6 +167,9 @@ eal::evalSaturatedPrim(PrimOp Op, uint32_t SiteId,
     ConsCell *Cell = Args[0].cell();
     if (Hooks.CellReused) [[unlikely]]
       Hooks.CellReused(Cell, SiteId);
+    if (obs::rec::cells()) [[unlikely]] // before the re-tag: C = old site
+      obs::rec::emit(obs::rec::RecKind::CellDcons, Cell->AllocSeq, SiteId,
+                     Cell->SiteId);
     // The overwrite re-tags the slot with the dcons site while keeping
     // the birth AllocSeq: from here on, touch attribution follows the
     // *new* site (the cell now holds that site's data), but (pointer,

@@ -7,6 +7,7 @@
 
 #include "spec/SpecRuntime.h"
 
+#include "obs/Recorder.h"
 #include "runtime/Heap.h"
 #include "support/Metrics.h"
 
@@ -81,9 +82,17 @@ void SpecRuntime::deopt(bool Injected) {
   } else {
     Cause = "guard";
   }
+  uint64_t Migrated = 0;
   for (const auto &[Handle, SpecIdx] : LiveArenas)
-    Stats.CellsMigrated += TheHeap->migrateArenaToHeap(Handle);
+    Migrated += TheHeap->migrateArenaToHeap(Handle);
+  Stats.CellsMigrated += Migrated;
   LiveArenas.clear();
+  // After the migration events so the dump's tail reads in causal
+  // order; the deopt is also a dump trigger in its own right.
+  obs::rec::emit(obs::rec::RecKind::SpecDeopt, obs::rec::internName(Cause),
+                 Migrated,
+                 Injected && Inject.Site != 0xFFFFFFFFu ? Inject.Site : 0);
+  obs::rec::dumpNow("spec-deopt");
 }
 
 void SpecRuntime::exportTo(obs::MetricsRegistry &Reg) const {

@@ -50,6 +50,10 @@ struct TraceState {
   std::mutex M;
   std::vector<TraceEvent> Events;
   std::vector<EventSink *> Sinks;
+  /// Spans alive right now (flushOpenSpans walks these). A span present
+  /// here still owns its event; one flushed out of the list must not
+  /// record again at destruction.
+  std::vector<obs::Span *> OpenSpans;
 };
 
 TraceState &state() {
@@ -128,15 +132,24 @@ void obs::clearTrace() {
 // Recording
 //===----------------------------------------------------------------------===//
 
-void obs::record(TraceEvent E) {
+namespace {
+
+/// Caller holds state().M.
+void recordLocked(TraceEvent E) {
   if (E.TimestampUs < 0)
     E.TimestampUs = nowMicros();
-  E.ThreadId = threadId();
-  std::lock_guard<std::mutex> Lock(state().M);
   for (EventSink *S : state().Sinks)
     S->onEvent(E);
-  if (detail::RecorderOn)
+  if (obs::detail::RecorderOn)
     state().Events.push_back(std::move(E));
+}
+
+} // namespace
+
+void obs::record(TraceEvent E) {
+  E.ThreadId = threadId();
+  std::lock_guard<std::mutex> Lock(state().M);
+  recordLocked(std::move(E));
 }
 
 void obs::instant(std::string Name, std::string Category,
@@ -269,30 +282,73 @@ obs::Span::Span(const char *Name, const char *Category) {
   Ev.Category = Category;
   Ev.Phase = 'X';
   Ev.TimestampUs = StartUs;
+  Ev.ThreadId = threadId();
   Ev.Depth = ++SpanDepth;
+  std::lock_guard<std::mutex> Lock(state().M);
+  state().OpenSpans.push_back(this);
 }
 
 obs::Span::~Span() {
   if (!Active)
     return;
   --SpanDepth;
+  std::lock_guard<std::mutex> Lock(state().M);
+  auto &Open = state().OpenSpans;
+  auto It = std::find(Open.begin(), Open.end(), this);
+  if (It == Open.end())
+    return; // flushOpenSpans already recorded this span's event
+  Open.erase(It);
   Ev.DurationUs = nowMicros() - StartUs;
-  record(std::move(Ev));
+  recordLocked(std::move(Ev));
 }
 
+// Args take the trace lock: flushOpenSpans copies a live span's event
+// from the exporting thread, which must not race an arg append. Spans
+// are only active while a trace consumer is attached, so this cost is
+// confined to traced runs.
 void obs::Span::arg(std::string Key, uint64_t Value) {
-  if (Active)
-    Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
+  if (!Active)
+    return;
+  std::lock_guard<std::mutex> Lock(state().M);
+  Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
 }
 
 void obs::Span::arg(std::string Key, int64_t Value) {
-  if (Active)
-    Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
+  if (!Active)
+    return;
+  std::lock_guard<std::mutex> Lock(state().M);
+  Ev.Args.emplace_back(std::move(Key), std::to_string(Value));
 }
 
 void obs::Span::arg(std::string Key, std::string_view Value) {
-  if (Active)
-    Ev.Args.emplace_back(std::move(Key), jsonQuote(Value));
+  if (!Active)
+    return;
+  std::lock_guard<std::mutex> Lock(state().M);
+  Ev.Args.emplace_back(std::move(Key), jsonQuote(Value));
+}
+
+size_t obs::flushOpenSpans() {
+  size_t Flushed = 0;
+  {
+    std::lock_guard<std::mutex> Lock(state().M);
+    auto &Open = state().OpenSpans;
+    // Innermost first, so the trace keeps begin-order nesting when the
+    // events are later sorted by timestamp (ties keep insert order).
+    for (auto It = Open.rbegin(); It != Open.rend(); ++It) {
+      obs::Span *S = *It;
+      TraceEvent E = S->Ev;
+      E.DurationUs = nowMicros() - S->StartUs;
+      E.Args.emplace_back("flushed", "true");
+      recordLocked(std::move(E));
+      ++Flushed;
+    }
+    Open.clear();
+  }
+  if (Flushed && metricsEnabled())
+    globalMetrics()
+        .counter("obs.export.dropped_spans")
+        .add(static_cast<uint64_t>(Flushed));
+  return Flushed;
 }
 
 unsigned obs::Span::currentDepth() { return SpanDepth; }

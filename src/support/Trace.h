@@ -113,6 +113,14 @@ std::vector<TraceEvent> snapshot();
 size_t eventCount();
 void clearTrace();
 
+/// Records every still-open Span as a complete ('X') event ending now
+/// (args kept, "flushed":true added), so an export taken mid-phase — a
+/// crash dump, a failed run — does not silently drop the in-flight
+/// phases. Each flushed span bumps the `obs.export.dropped_spans`
+/// metric counter; a flushed span records nothing further when it is
+/// eventually destroyed. Returns the number flushed.
+size_t flushOpenSpans();
+
 /// Renders recorded events as a Chrome trace_event JSON array, oldest
 /// first. Loadable by chrome://tracing and Perfetto.
 std::string toChromeTraceJson();
@@ -157,6 +165,7 @@ public:
   static unsigned currentDepth();
 
 private:
+  friend size_t flushOpenSpans(); // copies Ev/StartUs of live spans
   bool Active = false;
   int64_t StartUs = 0;
   TraceEvent Ev;

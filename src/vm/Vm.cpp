@@ -22,6 +22,7 @@
 
 #include "vm/Vm.h"
 
+#include "obs/Recorder.h"
 #include "prof/Profiler.h"
 #include "runtime/SpecHooks.h"
 #include "support/Diagnostics.h"
@@ -89,6 +90,9 @@ Vm::Vm(const Chunk &C, DiagnosticEngine &Diags, Options Opts)
       if (!Cell->Touched) {
         Cell->Touched = true;
         Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (obs::rec::cells()) [[unlikely]]
+          obs::rec::emit(obs::rec::RecKind::CellTouch, Cell->AllocSeq,
+                         Cell->SiteId);
       }
     };
   }
@@ -338,9 +342,14 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
     RtValue &A = Stack[Size - 1];
     if (A.isCons()) {
       ConsCell *Cell = A.cell();
-      if (Prof && !Cell->Touched) [[unlikely]] {
+      // Touched first: after a cell's first touch this is one flag test.
+      if (!Cell->Touched && (Prof || obs::rec::cells())) [[unlikely]] {
         Cell->Touched = true;
-        Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (Prof)
+          Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (obs::rec::cells())
+          obs::rec::emit(obs::rec::RecKind::CellTouch, Cell->AllocSeq,
+                         Cell->SiteId);
       }
       A = Op == PrimOp::Car ? Cell->Car : Cell->Cdr;
       return true;
@@ -352,9 +361,13 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
     RtValue &A = Stack[Size - 1];
     if (A.isPair()) {
       ConsCell *Cell = A.cell();
-      if (Prof && !Cell->Touched) [[unlikely]] {
+      if (!Cell->Touched && (Prof || obs::rec::cells())) [[unlikely]] {
         Cell->Touched = true;
-        Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (Prof)
+          Prof->siteFirstTouch(baseSiteId(Cell->SiteId));
+        if (obs::rec::cells())
+          obs::rec::emit(obs::rec::RecKind::CellTouch, Cell->AllocSeq,
+                         Cell->SiteId);
       }
       A = Op == PrimOp::Fst ? Cell->Car : Cell->Cdr;
       return true;
@@ -381,6 +394,9 @@ bool Vm::doPrim(PrimOp Op, uint32_t Site) {
       if (Prof) [[unlikely]]
         Prof->siteReuse(Site, baseSiteId(Cell->SiteId),
                         TheHeap.allocSeq() - Cell->AllocSeq);
+      if (obs::rec::cells()) [[unlikely]] // before the re-tag: C = old site
+        obs::rec::emit(obs::rec::RecKind::CellDcons, Cell->AllocSeq, Site,
+                       Cell->SiteId);
       // Re-tag unconditionally (mirrors the shared evaluator): touch
       // attribution follows the dcons site from here on, while AllocSeq
       // keeps identifying the original allocation.

@@ -1,0 +1,107 @@
+//===- EventRingTest.cpp - SPSC ring unit tests ---------------------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// The flight recorder's ring (obs/EventRing.h): wrap-around overwrite
+// accounting, streaming refusal, pop ordering, and snapshot coherence.
+// The concurrent paths are exercised in RecorderStressTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventRing.h"
+
+#include <gtest/gtest.h>
+
+using namespace eal::obs::rec;
+
+namespace {
+
+RecEvent event(uint64_t A) {
+  RecEvent Ev;
+  Ev.Kind = static_cast<uint16_t>(RecKind::CellTouch);
+  Ev.TimeUs = A;
+  Ev.A = A;
+  return Ev;
+}
+
+TEST(EventRingTest, PushPopFifoOrder) {
+  EventRing Ring(8);
+  for (uint64_t I = 0; I != 5; ++I)
+    Ring.pushOverwrite(event(I));
+  RecEvent Out;
+  for (uint64_t I = 0; I != 5; ++I) {
+    ASSERT_TRUE(Ring.pop(Out));
+    EXPECT_EQ(Out.A, I);
+  }
+  EXPECT_FALSE(Ring.pop(Out));
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_EQ(Ring.dropped(), 0u);
+}
+
+TEST(EventRingTest, OverwriteWrapKeepsNewestAndCountsDrops) {
+  EventRing Ring(8);
+  for (uint64_t I = 0; I != 20; ++I)
+    Ring.pushOverwrite(event(I));
+  EXPECT_EQ(Ring.dropped(), 12u);
+  // The survivors are exactly the newest Capacity events, oldest first.
+  RecEvent Out;
+  for (uint64_t I = 12; I != 20; ++I) {
+    ASSERT_TRUE(Ring.pop(Out));
+    EXPECT_EQ(Out.A, I);
+  }
+  EXPECT_FALSE(Ring.pop(Out));
+}
+
+TEST(EventRingTest, TryPushRefusesWhenFull) {
+  EventRing Ring(4);
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_TRUE(Ring.tryPush(event(I)));
+  EXPECT_FALSE(Ring.tryPush(event(99)));
+  EXPECT_EQ(Ring.dropped(), 0u);
+  // Draining one slot makes room for exactly one more.
+  RecEvent Out;
+  ASSERT_TRUE(Ring.pop(Out));
+  EXPECT_EQ(Out.A, 0u);
+  EXPECT_TRUE(Ring.tryPush(event(4)));
+  EXPECT_FALSE(Ring.tryPush(event(99)));
+}
+
+TEST(EventRingTest, SnapshotDoesNotConsume) {
+  EventRing Ring(8);
+  for (uint64_t I = 0; I != 3; ++I)
+    Ring.pushOverwrite(event(I));
+  std::vector<RecEvent> Snap;
+  Ring.snapshot(Snap);
+  ASSERT_EQ(Snap.size(), 3u);
+  for (uint64_t I = 0; I != 3; ++I)
+    EXPECT_EQ(Snap[I].A, I);
+  // Still all poppable afterwards.
+  RecEvent Out;
+  for (uint64_t I = 0; I != 3; ++I)
+    ASSERT_TRUE(Ring.pop(Out));
+  EXPECT_FALSE(Ring.pop(Out));
+}
+
+TEST(EventRingTest, AllFieldsSurviveTheSlotPacking) {
+  // Slots pack C/Kind/Tid into one word; every field must round-trip.
+  EventRing Ring(4);
+  RecEvent Ev;
+  Ev.TimeUs = 0x0123456789abcdefULL;
+  Ev.A = ~0ULL;
+  Ev.B = 0xfeedfacecafebeefULL;
+  Ev.C = 0xdeadbeef;
+  Ev.Kind = static_cast<uint16_t>(RecKind::SpecDeopt);
+  Ev.Tid = 0x7e57;
+  Ring.pushOverwrite(Ev);
+  RecEvent Out;
+  ASSERT_TRUE(Ring.pop(Out));
+  EXPECT_EQ(Out.TimeUs, Ev.TimeUs);
+  EXPECT_EQ(Out.A, Ev.A);
+  EXPECT_EQ(Out.B, Ev.B);
+  EXPECT_EQ(Out.C, Ev.C);
+  EXPECT_EQ(Out.Kind, Ev.Kind);
+  EXPECT_EQ(Out.Tid, Ev.Tid);
+}
+
+} // namespace

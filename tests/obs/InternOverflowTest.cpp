@@ -1,0 +1,53 @@
+//===- InternOverflowTest.cpp - 16-bit name table saturation --------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// The recorder's name interner is process-global and permanent, so this
+// test — which floods all 64K ids — gets a binary of its own; sharing a
+// process with the other recorder tests would leave them a poisoned
+// table (tests/CMakeLists.txt keeps it off the obs_tests target).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace eal::obs::rec;
+
+namespace {
+
+TEST(InternOverflow, TableSaturatesToOverflowIdNotUb) {
+  const uint16_t First = internName("overflow-probe-first");
+  EXPECT_GT(First, 1u);
+
+  // Flood the 16-bit table. Well past capacity, every new name must
+  // collapse to the reserved "<overflow>" id instead of recycling or
+  // overflowing ids.
+  uint16_t LastFresh = First;
+  bool Saturated = false;
+  for (unsigned I = 0; I != 70000; ++I) {
+    uint16_t Id = internName("overflow-probe-" + std::to_string(I));
+    if (Id == 1) {
+      Saturated = true;
+      break;
+    }
+    EXPECT_GT(Id, LastFresh) << "ids must stay fresh until saturation";
+    LastFresh = Id;
+  }
+  ASSERT_TRUE(Saturated) << "table never saturated";
+  EXPECT_EQ(LastFresh, 0xFFFE) << "every id below the cap is handed out";
+
+  // Saturation is sticky for new names...
+  EXPECT_EQ(internName("overflow-probe-fresh"), 1u);
+  EXPECT_EQ(lookupName(1), "<overflow>");
+  // ...but names interned before saturation keep their ids and text.
+  EXPECT_EQ(internName("overflow-probe-first"), First);
+  EXPECT_EQ(lookupName(First), "overflow-probe-first");
+  EXPECT_EQ(lookupName(0), "<none>");
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- RecorderStressTest.cpp - multi-threaded emission stress ------------==//
+//
+// Part of eal, a reproduction of "Escape Analysis on Lists"
+// (Park & Goldberg, PLDI 1992).
+//
+// Concurrency contracts of the recorder, run under every ci.sh
+// configuration and specifically the TSan one (EAL_TSAN):
+//
+//  - streaming mode is lossless: N producer threads emitting while the
+//    drain tails the rings lose no event;
+//  - flight mode never blocks and dump snapshots may run concurrently
+//    with producers (torn frontier events are acceptable, data races
+//    are not — the atomic-word slot layout exists for exactly this);
+//  - the ring's Tail CAS protocol accounts every event as either popped
+//    or dropped, never both, under a live producer/consumer pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventRing.h"
+#include "obs/Recorder.h"
+#include "obs/Timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace eal::obs::rec;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+
+TEST(RecorderStress, StreamingIsLosslessAcrossFourProducerThreads) {
+  const uint64_t PerThread = 20000;
+  std::string Path = testing::TempDir() + "stress-stream.rec";
+  StreamOptions Opts;
+  Opts.Path = Path;
+  Opts.Command = "stress";
+  std::string Err;
+  ASSERT_TRUE(startStream(Opts, &Err)) << Err;
+
+  // Each producer emits births with process-unique AllocSeqs; ring
+  // capacity (8192) is far below PerThread, so the drain and the
+  // tryPush back-pressure loop genuinely interleave.
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Producers.emplace_back([T, PerThread] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        emit(RecKind::CellBirth, T * 1000000 + I, /*SiteId=*/T,
+             /*class=*/TlHeap);
+    });
+  for (std::thread &P : Producers)
+    P.join();
+  ASSERT_TRUE(stopStream(&Err)) << Err;
+
+  Timeline Tl;
+  ASSERT_TRUE(Tl.load(Path, &Err)) << Err;
+  EXPECT_EQ(Tl.Dropped, 0u) << "streaming mode must be lossless";
+  EXPECT_EQ(Tl.BirthsByClass[TlHeap], NumThreads * PerThread);
+
+  // Not just the right count: every individual event arrived.
+  std::set<uint64_t> Seqs;
+  for (const CellRibbon &R : Tl.Ribbons)
+    Seqs.insert(R.Seq);
+  EXPECT_EQ(Seqs.size(), NumThreads * PerThread);
+  std::remove(Path.c_str());
+}
+
+TEST(RecorderStress, FlightDumpRunsConcurrentlyWithProducers) {
+  const uint64_t PerThread = 50000;
+  std::string Path = testing::TempDir() + "stress-dump.rec";
+  setDumpPath(Path, "stress");
+
+  // Flight mode: rings wrap and overwrite, producers never block. The
+  // dump below snapshots the rings while all four producers are still
+  // mid-emission — the race the atomic slot words make benign.
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Producers.emplace_back([&Go, T, PerThread] {
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t I = 0; I != PerThread; ++I)
+        emit(RecKind::CellTouch, T * 1000000 + I, T);
+    });
+  Go.store(true, std::memory_order_release);
+  EXPECT_TRUE(dumpNow("stress-mid-flight"));
+  for (std::thread &P : Producers)
+    P.join();
+  EXPECT_EQ(lastDumpTrigger(), "stress-mid-flight");
+  clearDumpPath();
+
+  Timeline Tl;
+  std::string Err;
+  ASSERT_TRUE(Tl.load(Path, &Err)) << Err;
+  EXPECT_EQ(Tl.Mode, "flight");
+  EXPECT_EQ(Tl.Trigger, "stress-mid-flight");
+  std::remove(Path.c_str());
+}
+
+TEST(RecorderStress, RingAccountsEveryEventAsPoppedOrDropped) {
+  const uint64_t Total = 200000;
+  EventRing Ring(256);
+  std::atomic<uint64_t> Popped{0};
+  std::atomic<bool> Done{false};
+
+  std::thread Consumer([&] {
+    RecEvent Out;
+    for (;;) {
+      if (Ring.pop(Out))
+        Popped.fetch_add(1, std::memory_order_relaxed);
+      else if (Done.load(std::memory_order_acquire))
+        break;
+    }
+    // Drain what the producer left behind after Done flipped.
+    while (Ring.pop(Out))
+      Popped.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  RecEvent Ev;
+  Ev.Kind = static_cast<uint16_t>(RecKind::CellTouch);
+  for (uint64_t I = 0; I != Total; ++I) {
+    Ev.A = I;
+    Ring.pushOverwrite(Ev);
+  }
+  Done.store(true, std::memory_order_release);
+  Consumer.join();
+
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_EQ(Popped.load() + Ring.dropped(), Total)
+      << "every event is exactly one of popped or dropped";
+}
+
+} // namespace

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -530,6 +531,61 @@ TEST_F(ObservabilityTest, RuntimeStatsStrAndJsonCarryDerivedTotal) {
   EXPECT_TRUE(Reader.valid()) << Json;
   EXPECT_NE(Json.find("\"total_cells_allocated\": 16"), std::string::npos);
   EXPECT_NE(Json.find("\"dcons_reuses\": 5"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// flushOpenSpans: exports taken mid-phase keep the in-flight spans
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObservabilityTest, FlushOpenSpansRecordsInFlightSpanOnce) {
+  obs::enableTracing();
+  obs::enableMetrics();
+  auto S = std::make_unique<obs::Span>("open-phase", "test");
+  S->arg("depth", static_cast<uint64_t>(1));
+  EXPECT_EQ(obs::eventCount(), 0u); // still open: nothing recorded yet
+
+  EXPECT_EQ(obs::flushOpenSpans(), 1u);
+  EXPECT_EQ(obs::eventCount(), 1u);
+  EXPECT_EQ(obs::globalMetrics().counterValue("obs.export.dropped_spans"),
+            1u);
+
+  std::vector<obs::TraceEvent> Events = obs::snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "open-phase");
+  EXPECT_EQ(Events[0].Phase, 'X');
+  bool KeptArg = false, Marked = false;
+  for (const auto &[Key, Value] : Events[0].Args) {
+    KeptArg |= Key == "depth";
+    Marked |= Key == "flushed" && Value == "true";
+  }
+  EXPECT_TRUE(KeptArg);
+  EXPECT_TRUE(Marked);
+
+  // The span's own destruction must not record the event a second time.
+  S.reset();
+  EXPECT_EQ(obs::eventCount(), 1u);
+}
+
+TEST_F(ObservabilityTest, FlushOpenSpansIsNoOpWhenAllSpansClosed) {
+  obs::enableTracing();
+  obs::enableMetrics();
+  { obs::Span S("closed-phase", "test"); }
+  EXPECT_EQ(obs::eventCount(), 1u);
+  EXPECT_EQ(obs::flushOpenSpans(), 0u);
+  EXPECT_EQ(obs::eventCount(), 1u);
+  EXPECT_EQ(obs::globalMetrics().counterValue("obs.export.dropped_spans"),
+            0u);
+}
+
+TEST_F(ObservabilityTest, FlushOpenSpansOrdersInnermostFirst) {
+  obs::enableTracing();
+  obs::Span Outer("outer", "test");
+  obs::Span Inner("inner", "test");
+  EXPECT_EQ(obs::flushOpenSpans(), 2u);
+  std::vector<obs::TraceEvent> Events = obs::snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[1].Name, "outer");
 }
 
 TEST_F(ObservabilityTest, RuntimeStatsExportToRegistry) {

@@ -8,6 +8,7 @@ time of any sufficiently-long record regressed past the threshold.
 
 Usage:
   bench_diff.py BASELINE CURRENT [options]
+  bench_diff.py --overhead REPORT [options]
   bench_diff.py --self-test
 
 Options:
@@ -18,6 +19,14 @@ Options:
                          (default 0.005; container timers are coarse)
   --strict-counters      fail (not just report) when a storage counter
                          drifted between the two reports
+  --max-overhead R       --overhead gate threshold (default 0.02)
+
+--overhead mode gates the flight recorder's self-measurement
+(docs/RECORDER.md) inside ONE report: every record pair named
+<base>/recorder_on + <base>/recorder_off is compared, and the diff
+fails when on/off - 1 exceeds --max-overhead for a pair above the
+--min-seconds floor, or when the report contains no such pair at all (a
+silently vanished measurement must not read as "no overhead").
 
 Per record the preferred time is execute_seconds (best-of-K execute
 phase, written by benches that measure it); wall_seconds (whole
@@ -173,6 +182,56 @@ def run_diff(baseline_path, current_path, max_regress, min_seconds,
     return 1 if failures else 0
 
 
+def run_overhead(path, max_overhead, min_seconds):
+    errors = []
+    report = load_report(path, errors)
+    for e in errors:
+        print("FAIL %s" % e)
+    if report is None:
+        return 1
+    failures = []
+    pairs = 0
+    for name in sorted(report):
+        if not name.endswith("/recorder_off"):
+            continue
+        on_name = name[:-len("/recorder_off")] + "/recorder_on"
+        on = report.get(on_name)
+        if on is None:
+            failures.append("record %r has no %r sibling" % (name, on_name))
+            continue
+        pairs += 1
+        off_sec, off_kind = record_seconds(report[name])
+        on_sec, on_kind = record_seconds(on)
+        if off_sec is None or on_sec is None:
+            failures.append("pair %r has no usable time" % name)
+            continue
+        if off_sec <= 0:
+            print("n/a  %s: off time is zero" % name)
+            continue
+        ratio = on_sec / off_sec - 1.0
+        if off_sec < min_seconds:
+            verdict = "skip"  # under the noise floor: never gates
+        elif ratio > max_overhead:
+            verdict = "FAIL"
+            failures.append(
+                "pair %r: recorder overhead %+.2f%% exceeds +%.2f%% "
+                "(off %.6fs, on %.6fs)"
+                % (name, 100 * ratio, 100 * max_overhead, off_sec, on_sec))
+        else:
+            verdict = "ok  "
+        print("%s %s: off %.6fs, on %.6fs (%+.2f%%) [%s]"
+              % (verdict, name, off_sec, on_sec, 100 * ratio,
+                 off_kind or "?"))
+    if pairs == 0:
+        failures.append("%s: no recorder_on/recorder_off pair found" % path)
+    for f in failures:
+        print("FAIL %s" % f)
+    if not failures:
+        print("ok   %s: recorder overhead within +%.2f%% on %d pair(s)"
+              % (os.path.basename(path), 100 * max_overhead, pairs))
+    return 1 if failures else 0
+
+
 def self_test():
     def report(records):
         return {"schema": SCHEMA, "bench": "demo", "records": records}
@@ -221,8 +280,43 @@ def self_test():
          ["--max-time-regress", "0.01"], False),
     ]
 
+    def pair(on, off):
+        return report([record("obs_overhead/x/recorder_on", on),
+                       record("obs_overhead/x/recorder_off", off)])
+
+    overhead_cases = [
+        ("1% overhead under the 2% gate passes",
+         pair(0.101, 0.100), [], True),
+        ("5% overhead fails the 2% gate",
+         pair(0.105, 0.100), [], False),
+        ("recorder faster than baseline passes",
+         pair(0.095, 0.100), [], True),
+        ("sub-floor pair never gates",
+         pair(0.0009, 0.0001), [], True),
+        ("missing recorder_on sibling fails",
+         report([record("obs_overhead/x/recorder_off", 0.1)]), [], False),
+        ("report without any pair fails",
+         report([record("a", 0.1)]), [], False),
+        ("tighter --max-overhead 0 gates any overhead",
+         pair(0.101, 0.100), ["--max-overhead", "0"], False),
+        ("zero overhead passes --max-overhead 0",
+         pair(0.100, 0.100), ["--max-overhead", "0"], True),
+    ]
+
     failures = 0
     with tempfile.TemporaryDirectory(prefix="eal-bench-diff-") as tmp:
+        for label, doc, extra, expect_ok in overhead_cases:
+            rp = os.path.join(tmp, "overhead.json")
+            with open(rp, "w") as f:
+                json.dump(doc, f)
+            code = main(["bench_diff.py", "--overhead", rp] + extra,
+                        quiet=True)
+            got_ok = code == 0
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (pass=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
         for label, base_doc, cur_doc, extra, expect_ok in cases:
             bp = os.path.join(tmp, "base.json")
             cp = os.path.join(tmp, "cur.json")
@@ -254,7 +348,9 @@ def main(argv, quiet=False):
         return self_test()
     max_regress = 0.10
     min_seconds = 0.005
+    max_overhead = 0.02
     strict_counters = False
+    overhead = False
     paths = []
     i = 0
     while i < len(args):
@@ -265,6 +361,12 @@ def main(argv, quiet=False):
         elif arg == "--min-seconds" and i + 1 < len(args):
             min_seconds = float(args[i + 1])
             i += 2
+        elif arg == "--max-overhead" and i + 1 < len(args):
+            max_overhead = float(args[i + 1])
+            i += 2
+        elif arg == "--overhead":
+            overhead = True
+            i += 1
         elif arg == "--strict-counters":
             strict_counters = True
             i += 1
@@ -274,17 +376,22 @@ def main(argv, quiet=False):
         else:
             paths.append(arg)
             i += 1
-    if len(paths) != 2:
+    if len(paths) != (1 if overhead else 2):
         print(__doc__)
         return 2
+
+    def run():
+        if overhead:
+            return run_overhead(paths[0], max_overhead, min_seconds)
+        return run_diff(paths[0], paths[1], max_regress, min_seconds,
+                        strict_counters)
+
     if quiet:
         import io
         import contextlib
         with contextlib.redirect_stdout(io.StringIO()):
-            return run_diff(paths[0], paths[1], max_regress, min_seconds,
-                            strict_counters)
-    return run_diff(paths[0], paths[1], max_regress, min_seconds,
-                    strict_counters)
+            return run()
+    return run()
 
 
 if __name__ == "__main__":

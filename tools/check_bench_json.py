@@ -26,11 +26,13 @@ Exit status: 0 if everything validates, 1 otherwise.
 Only the Python standard library is used.
 """
 
-import json
 import os
 import subprocess
 import sys
 import tempfile
+
+import schema_common
+from schema_common import fail, is_count, is_number
 
 SCHEMA = "eal-bench-v1"
 
@@ -49,10 +51,6 @@ REQUIRED_COUNTERS = [
 ]
 
 
-def fail(errors, path, message):
-    errors.append("%s: %s" % (path, message))
-
-
 def check_counters(errors, path, label, counters):
     if not isinstance(counters, dict):
         fail(errors, path, "%s: 'counters' is not an object" % label)
@@ -61,7 +59,7 @@ def check_counters(errors, path, label, counters):
         value = counters.get(key)
         if value is None:
             fail(errors, path, "%s: missing counter '%s'" % (label, key))
-        elif not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        elif not is_count(value):
             fail(errors, path,
                  "%s: counter '%s' is not a non-negative integer: %r"
                  % (label, key, value))
@@ -88,10 +86,10 @@ def check_record(errors, path, index, record):
     else:
         label = "records[%d] (%s)" % (index, name)
     n = record.get("n")
-    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+    if not is_count(n):
         fail(errors, path, "%s: 'n' is not a non-negative integer" % label)
     wall = record.get("wall_seconds")
-    if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+    if not is_number(wall):
         fail(errors, path, "%s: 'wall_seconds' is not a number" % label)
     elif wall < 0:
         fail(errors, path, "%s: 'wall_seconds' is negative" % label)
@@ -103,19 +101,9 @@ def check_record(errors, path, index, record):
 
 def check_file(path):
     """Validate one report file; returns a list of error strings."""
-    errors = []
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        return ["%s: cannot read: %s" % (path, e)]
-    except ValueError as e:
-        return ["%s: not valid JSON: %s" % (path, e)]
-    if not isinstance(doc, dict):
-        return ["%s: top level is not an object" % path]
-    if doc.get("schema") != SCHEMA:
-        fail(errors, path, "'schema' is %r, expected %r"
-             % (doc.get("schema"), SCHEMA))
+    doc, errors = schema_common.load_document(path, SCHEMA)
+    if doc is None:
+        return errors
     bench = doc.get("bench")
     if not isinstance(bench, str) or not bench:
         fail(errors, path, "'bench' is not a non-empty string")
@@ -137,16 +125,7 @@ def check_file(path):
 
 
 def validate(paths):
-    ok = True
-    for path in paths:
-        errors = check_file(path)
-        if errors:
-            ok = False
-            for e in errors:
-                print("FAIL %s" % e)
-        else:
-            print("ok   %s" % path)
-    return 0 if ok else 1
+    return schema_common.validate(paths, check_file)
 
 
 def run_and_validate(binaries):
@@ -200,10 +179,7 @@ def self_test():
         }],
     }
 
-    def broken(mutate):
-        doc = json.loads(json.dumps(good))
-        mutate(doc)
-        return doc
+    broken = schema_common.mutator(good)
 
     cases = [
         ("valid document", good, True),
@@ -224,41 +200,17 @@ def self_test():
         ("duplicate names",
          broken(lambda d: d["records"].append(d["records"][0])), False),
     ]
-    failures = 0
-    with tempfile.TemporaryDirectory(prefix="eal-bench-selftest-") as tmp:
-        for label, doc, expect_ok in cases:
-            path = os.path.join(tmp, "BENCH_case.json")
-            with open(path, "w") as f:
-                json.dump(doc, f)
-            got_ok = not check_file(path)
-            status = "ok  " if got_ok == expect_ok else "FAIL"
-            if got_ok != expect_ok:
-                failures += 1
-            print("%s self-test: %s (valid=%s, expected %s)"
-                  % (status, label, got_ok, expect_ok))
-        path = os.path.join(tmp, "BENCH_bad.json")
-        with open(path, "w") as f:
-            f.write("{ not json")
-        if check_file(path):
-            print("ok   self-test: malformed JSON rejected")
-        else:
-            print("FAIL self-test: malformed JSON accepted")
-            failures += 1
-    return 0 if failures == 0 else 1
+    return schema_common.run_self_test(
+        cases, check_file, prefix="eal-bench-selftest-", filename="BENCH_case.json")
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--self-test":
-        return self_test()
     if len(argv) >= 2 and argv[1] == "--run":
         if len(argv) < 3:
             print(__doc__)
             return 2
         return run_and_validate(argv[2:])
-    if len(argv) < 2:
-        print(__doc__)
-        return 2
-    return validate(argv[1:])
+    return schema_common.dispatch(argv, __doc__, check_file, self_test)
 
 
 if __name__ == "__main__":

@@ -17,11 +17,11 @@ Exit status: 0 if everything validates, 1 otherwise.
 Only the Python standard library is used.
 """
 
-import json
 import re
 import sys
-import tempfile
-import os
+
+import schema_common
+from schema_common import fail, is_count
 
 SCHEMA = "eal-check-v1"
 
@@ -48,14 +48,6 @@ VIOLATION_INTS = [
     "alloc_line",
     "alloc_col",
 ]
-
-
-def fail(errors, path, message):
-    errors.append("%s: %s" % (path, message))
-
-
-def is_count(value):
-    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
 
 
 def check_finding(errors, path, index, finding):
@@ -124,19 +116,9 @@ def check_oracle(errors, path, oracle):
 
 def check_file(path):
     """Validate one report file; returns a list of error strings."""
-    errors = []
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        return ["%s: cannot read: %s" % (path, e)]
-    except ValueError as e:
-        return ["%s: not valid JSON: %s" % (path, e)]
-    if not isinstance(doc, dict):
-        return ["%s: top level is not an object" % path]
-    if doc.get("schema") != SCHEMA:
-        fail(errors, path, "'schema' is %r, expected %r"
-             % (doc.get("schema"), SCHEMA))
+    doc, errors = schema_common.load_document(path, SCHEMA)
+    if doc is None:
+        return errors
     for key in ("command", "file"):
         value = doc.get(key)
         if not isinstance(value, str) or not value:
@@ -155,16 +137,7 @@ def check_file(path):
 
 
 def validate(paths):
-    ok = True
-    for path in paths:
-        errors = check_file(path)
-        if errors:
-            ok = False
-            for e in errors:
-                print("FAIL %s" % e)
-        else:
-            print("ok   %s" % path)
-    return 0 if ok else 1
+    return schema_common.validate(paths, check_file)
 
 
 def self_test():
@@ -204,10 +177,7 @@ def self_test():
         },
     }
 
-    def broken(mutate):
-        doc = json.loads(json.dumps(good))
-        mutate(doc)
-        return doc
+    broken = schema_common.mutator(good)
 
     cases = [
         ("valid document", good, True),
@@ -254,36 +224,12 @@ def self_test():
         ("violation missing kind",
          broken(lambda d: d["oracle"]["violations"][0].pop("kind")), False),
     ]
-    failures = 0
-    with tempfile.TemporaryDirectory(prefix="eal-check-selftest-") as tmp:
-        for label, doc, expect_ok in cases:
-            path = os.path.join(tmp, "check.json")
-            with open(path, "w") as f:
-                json.dump(doc, f)
-            got_ok = not check_file(path)
-            status = "ok  " if got_ok == expect_ok else "FAIL"
-            if got_ok != expect_ok:
-                failures += 1
-            print("%s self-test: %s (valid=%s, expected %s)"
-                  % (status, label, got_ok, expect_ok))
-        path = os.path.join(tmp, "bad.json")
-        with open(path, "w") as f:
-            f.write("{ not json")
-        if check_file(path):
-            print("ok   self-test: malformed JSON rejected")
-        else:
-            print("FAIL self-test: malformed JSON accepted")
-            failures += 1
-    return 0 if failures == 0 else 1
+    return schema_common.run_self_test(
+        cases, check_file, prefix="eal-check-selftest-", filename="check.json")
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--self-test":
-        return self_test()
-    if len(argv) < 2:
-        print(__doc__)
-        return 2
-    return validate(argv[1:])
+    return schema_common.dispatch(argv, __doc__, check_file, self_test)
 
 
 if __name__ == "__main__":

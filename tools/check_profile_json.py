@@ -19,10 +19,10 @@ Exit status: 0 if everything validates, 1 otherwise.
 Only the Python standard library is used.
 """
 
-import json
-import os
 import sys
-import tempfile
+
+import schema_common
+from schema_common import fail, is_count
 
 SCHEMA = "eal-profile-v1"
 
@@ -35,15 +35,6 @@ SITE_COUNTERS = [
     "deaths_heap", "deaths_stack", "deaths_region",
     "reuses", "overwritten", "first_touches", "dead_cells",
 ]
-
-
-def fail(errors, path, message):
-    errors.append("%s: %s" % (path, message))
-
-
-def is_count(value):
-    return isinstance(value, int) and not isinstance(value, bool) \
-        and value >= 0
 
 
 def check_histogram(errors, path, label, hist):
@@ -185,19 +176,9 @@ def check_engine(errors, path, index, engine):
 
 def check_file(path):
     """Validate one report file; returns a list of error strings."""
-    errors = []
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        return ["%s: cannot read: %s" % (path, e)]
-    except ValueError as e:
-        return ["%s: not valid JSON: %s" % (path, e)]
-    if not isinstance(doc, dict):
-        return ["%s: top level is not an object" % path]
-    if doc.get("schema") != SCHEMA:
-        fail(errors, path, "'schema' is %r, expected %r"
-             % (doc.get("schema"), SCHEMA))
+    doc, errors = schema_common.load_document(path, SCHEMA)
+    if doc is None:
+        return errors
     if not isinstance(doc.get("program"), str) or not doc.get("program"):
         fail(errors, path, "'program' is not a non-empty string")
     if not isinstance(doc.get("success"), bool):
@@ -233,16 +214,7 @@ def check_file(path):
 
 
 def validate(paths):
-    ok = True
-    for path in paths:
-        errors = check_file(path)
-        if errors:
-            ok = False
-            for e in errors:
-                print("FAIL %s" % e)
-        else:
-            print("ok   %s" % path)
-    return 0 if ok else 1
+    return schema_common.validate(paths, check_file)
 
 
 def self_test():
@@ -285,10 +257,7 @@ def self_test():
         ],
     }
 
-    def broken(mutate):
-        doc = json.loads(json.dumps(good))
-        mutate(doc)
-        return doc
+    broken = schema_common.mutator(good)
 
     cases = [
         ("valid document", good, True),
@@ -332,36 +301,12 @@ def self_test():
         ("missing reuse_versions",
          broken(lambda d: d.pop("reuse_versions")), False),
     ]
-    failures = 0
-    with tempfile.TemporaryDirectory(prefix="eal-profile-selftest-") as tmp:
-        for label, doc, expect_ok in cases:
-            path = os.path.join(tmp, "profile_case.json")
-            with open(path, "w") as f:
-                json.dump(doc, f)
-            got_ok = not check_file(path)
-            status = "ok  " if got_ok == expect_ok else "FAIL"
-            if got_ok != expect_ok:
-                failures += 1
-            print("%s self-test: %s (valid=%s, expected %s)"
-                  % (status, label, got_ok, expect_ok))
-        path = os.path.join(tmp, "profile_bad.json")
-        with open(path, "w") as f:
-            f.write("{ not json")
-        if check_file(path):
-            print("ok   self-test: malformed JSON rejected")
-        else:
-            print("FAIL self-test: malformed JSON accepted")
-            failures += 1
-    return 0 if failures == 0 else 1
+    return schema_common.run_self_test(
+        cases, check_file, prefix="eal-profile-selftest-", filename="profile_case.json")
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--self-test":
-        return self_test()
-    if len(argv) < 2:
-        print(__doc__)
-        return 2
-    return validate(argv[1:])
+    return schema_common.dispatch(argv, __doc__, check_file, self_test)
 
 
 if __name__ == "__main__":

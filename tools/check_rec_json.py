@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""Validate eal flight-recorder files against the eal-rec-v1 schema.
+
+`eal run FILE --record=OUT.rec` streams the recorder's event feed, and
+a failure trigger (oracle refutation, spec deopt, failed run, SIGABRT)
+dumps the retained flight window via --rec-dump=OUT.rec
+(docs/RECORDER.md).  Both produce one eal-rec-v1 file: a JSON header
+line, the event records (NDJSON lines, or raw 32-byte binary records
+closed by a sentinel), and a JSON footer line carrying the interned
+name table, the final counters, and the drop count.  This checker is
+the schema's executable definition; ctest runs it over real CLI output
+so a drift fails the test suite, not `eal timeline`.
+
+Invariants beyond shape: every event's kind is an index into the
+header's kind table; the reserved names "<none>"/"<overflow>" hold ids
+0/1; a flight dump names its trigger and its final event is the
+dump.trigger mark carrying that name; a binary stream is a whole
+number of records closed by the 0xFFFF sentinel.
+
+Usage:
+  check_rec_json.py FILE [FILE...]   validate existing recordings
+  check_rec_json.py --self-test      exercise the validator itself
+
+Exit status: 0 if everything validates, 1 otherwise.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import struct
+import sys
+import tempfile
+
+import schema_common
+from schema_common import fail, is_count
+
+SCHEMA = "eal-rec-v1"
+
+FORMATS = ("ndjson", "binary")
+MODES = ("stream", "flight")
+EVENT_KEYS = ("t", "tid", "k", "a", "b", "c")
+
+# struct RecEvent (src/obs/RecEvent.h): u64 time, u64 a, u64 b, u32 c,
+# u16 kind, u16 tid -- 32 bytes, little-endian on every supported host.
+RECORD = struct.Struct("<QQQIHH")
+SENTINEL_KIND = 0xFFFF
+
+
+def parse_line(errors, path, label, line):
+    try:
+        obj = json.loads(line)
+    except ValueError as e:
+        fail(errors, path, "%s is not valid JSON: %s" % (label, e))
+        return None
+    if not isinstance(obj, dict):
+        fail(errors, path, "%s is not an object" % label)
+        return None
+    return obj
+
+
+def check_header(errors, path, header):
+    if header is None:
+        return []
+    if header.get("schema") != SCHEMA:
+        fail(errors, path, "header: 'schema' is %r, expected %r"
+             % (header.get("schema"), SCHEMA))
+    if header.get("format") not in FORMATS:
+        fail(errors, path, "header: 'format' is %r, expected one of %s"
+             % (header.get("format"), list(FORMATS)))
+    if header.get("mode") not in MODES:
+        fail(errors, path, "header: 'mode' is %r, expected one of %s"
+             % (header.get("mode"), list(MODES)))
+    if not isinstance(header.get("command"), str) or not header.get("command"):
+        fail(errors, path, "header: 'command' is not a non-empty string")
+    if not isinstance(header.get("detail"), bool):
+        fail(errors, path, "header: 'detail' is not a boolean")
+    if not is_count(header.get("epoch_us")):
+        fail(errors, path, "header: 'epoch_us' is not a non-negative integer")
+    kinds = header.get("kinds")
+    if not isinstance(kinds, list) or not kinds or \
+            not all(isinstance(k, str) and k for k in kinds):
+        fail(errors, path, "header: 'kinds' is not a non-empty array of "
+             "non-empty strings")
+        return []
+    if kinds[0] != "none":
+        fail(errors, path, "header: kinds[0] is %r, expected 'none'"
+             % kinds[0])
+    if len(set(kinds)) != len(kinds):
+        fail(errors, path, "header: duplicate kind names")
+    return kinds
+
+
+def check_event(errors, path, label, event, kinds):
+    for key in EVENT_KEYS:
+        if not is_count(event.get(key)):
+            fail(errors, path, "%s: '%s' is not a non-negative integer"
+                 % (label, key))
+            return
+    if kinds and event["k"] >= len(kinds):
+        fail(errors, path, "%s: kind %d is outside the header's %d-entry "
+             "kind table" % (label, event["k"], len(kinds)))
+
+
+def check_footer(errors, path, footer, mode, events, kinds):
+    if footer is None:
+        fail(errors, path, "missing footer line")
+        return
+    if footer.get("footer") is not True:
+        fail(errors, path, "footer: 'footer' is not true")
+    names = footer.get("names")
+    if not isinstance(names, list) or \
+            not all(isinstance(n, str) for n in names):
+        fail(errors, path, "footer: 'names' is not an array of strings")
+        names = []
+    if names[:1] != ["<none>"] or (len(names) > 1 and
+                                   names[1] != "<overflow>"):
+        fail(errors, path, "footer: names[0..1] are %r, expected "
+             "['<none>', '<overflow>']" % names[:2])
+    counters = footer.get("counters")
+    if not isinstance(counters, dict):
+        fail(errors, path, "footer: 'counters' is not an object")
+    else:
+        for key, value in counters.items():
+            if not is_count(value):
+                fail(errors, path, "footer: counter %r is not a non-negative "
+                     "integer" % key)
+    if not is_count(footer.get("dropped")):
+        fail(errors, path, "footer: 'dropped' is not a non-negative integer")
+    trigger = footer.get("trigger")
+    if not isinstance(trigger, str):
+        fail(errors, path, "footer: 'trigger' is not a string")
+        return
+    if mode == "flight":
+        # A dump exists because something fired it: the footer names the
+        # trigger and the final event is the dump.trigger mark carrying
+        # the same interned name.
+        if not trigger:
+            fail(errors, path, "footer: flight dump without a trigger")
+        if not events:
+            fail(errors, path, "flight dump holds no events")
+            return
+        last = events[-1]
+        if kinds and last["k"] < len(kinds) and \
+                kinds[last["k"]] != "dump.trigger":
+            fail(errors, path, "flight dump's final event is %r, expected "
+                 "'dump.trigger'" % kinds[last["k"]])
+        elif trigger and last["a"] < len(names) and \
+                names[last["a"]] != trigger:
+            fail(errors, path, "dump.trigger mark names %r but the footer "
+                 "trigger is %r" % (names[last["a"]], trigger))
+
+
+def check_ndjson_body(errors, path, lines, kinds):
+    """Event lines up to the footer; returns (events, footer)."""
+    events = []
+    footer = None
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        obj = parse_line(errors, path, "line %d" % (i + 2), line)
+        if obj is None:
+            continue
+        if "footer" in obj:
+            footer = obj
+            for extra in lines[i + 1:]:
+                if extra.strip():
+                    fail(errors, path, "content after the footer line")
+                    break
+            break
+        check_event(errors, path, "line %d" % (i + 2), obj, kinds)
+        if all(is_count(obj.get(k)) for k in EVENT_KEYS):
+            events.append(obj)
+    return events, footer
+
+
+def check_binary_body(errors, path, blob, kinds):
+    """Raw records up to the sentinel; returns (events, footer)."""
+    events = []
+    offset = 0
+    closed = False
+    while offset + RECORD.size <= len(blob):
+        t, a, b, c, kind, tid = RECORD.unpack_from(blob, offset)
+        offset += RECORD.size
+        if kind == SENTINEL_KIND:
+            closed = True
+            break
+        event = {"t": t, "tid": tid, "k": kind, "a": a, "b": b, "c": c}
+        check_event(errors, path,
+                    "record %d" % len(events), event, kinds)
+        events.append(event)
+    if not closed:
+        fail(errors, path, "binary body is not closed by the 0xFFFF "
+             "sentinel record")
+        return events, None
+    tail = blob[offset:].decode("utf-8", "replace").splitlines()
+    if not tail:
+        fail(errors, path, "missing footer line")
+        return events, None
+    footer = parse_line(errors, path, "footer line", tail[0])
+    if any(extra.strip() for extra in tail[1:]):
+        fail(errors, path, "content after the footer line")
+    return events, footer
+
+
+def check_file(path):
+    """Validate one recording; returns a list of error strings."""
+    errors = []
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return ["%s: missing header line" % path]
+    header = parse_line(errors, path, "header",
+                        blob[:newline].decode("utf-8", "replace"))
+    if header is None:
+        return errors
+    kinds = check_header(errors, path, header)
+    body = blob[newline + 1:]
+    if header.get("format") == "binary":
+        events, footer = check_binary_body(errors, path, body, kinds)
+    else:
+        lines = body.decode("utf-8", "replace").splitlines()
+        events, footer = check_ndjson_body(errors, path, lines, kinds)
+    check_footer(errors, path, footer, header.get("mode"), events, kinds)
+    return errors
+
+
+def validate(paths):
+    return schema_common.validate(paths, check_file)
+
+
+KINDS = ["none", "run.begin", "run.end", "phase.begin", "phase.end",
+         "gc.begin", "gc.end", "heap.grow", "arena.open", "arena.free",
+         "cell.birth", "cell.death", "cell.dcons", "cell.touch",
+         "cell.migrate", "spec.deopt", "oracle.refuted", "live.refuted",
+         "dump.trigger"]
+
+
+def make_header(**overrides):
+    header = {"schema": SCHEMA, "format": "ndjson", "mode": "stream",
+              "command": "run", "detail": True, "epoch_us": 12, "kinds": KINDS}
+    header.update(overrides)
+    return header
+
+
+def make_footer(**overrides):
+    footer = {"footer": True, "names": ["<none>", "<overflow>", "run",
+                                        "spec-deopt"],
+              "counters": {"gc_runs": 1}, "dropped": 0, "trigger": ""}
+    footer.update(overrides)
+    return footer
+
+
+def ndjson_doc(header, events, footer):
+    lines = [json.dumps(header)]
+    lines += [json.dumps(e) for e in events]
+    if footer is not None:
+        lines.append(json.dumps(footer))
+    return ("\n".join(lines) + "\n").encode()
+
+
+def binary_doc(header, events, footer, sentinel=True):
+    out = [json.dumps(header).encode() + b"\n"]
+    for e in events:
+        out.append(RECORD.pack(e["t"], e["a"], e["b"], e["c"], e["k"],
+                               e["tid"]))
+    if sentinel:
+        out.append(RECORD.pack(0, 0, 0, 0, SENTINEL_KIND, 0))
+    if footer is not None:
+        out.append(json.dumps(footer).encode() + b"\n")
+    return b"".join(out)
+
+
+def self_test():
+    run_begin = {"t": 15, "tid": 0, "k": 1, "a": 2, "b": 0, "c": 0}
+    gc_begin = {"t": 20, "tid": 0, "k": 5, "a": 7, "b": 64, "c": 0}
+    run_end = {"t": 31, "tid": 0, "k": 2, "a": 1, "b": 0, "c": 0}
+    mark = {"t": 40, "tid": 0, "k": 18, "a": 3, "b": 0, "c": 0}
+    stream_events = [run_begin, gc_begin, run_end]
+
+    cases = [
+        ("valid ndjson stream",
+         ndjson_doc(make_header(), stream_events, make_footer()), True),
+        ("valid flight dump",
+         ndjson_doc(make_header(mode="flight"), stream_events + [mark],
+                    make_footer(trigger="spec-deopt")), True),
+        ("valid binary stream",
+         binary_doc(make_header(format="binary"), stream_events,
+                    make_footer()), True),
+        ("valid empty stream",
+         ndjson_doc(make_header(), [], make_footer()), True),
+        ("wrong schema tag",
+         ndjson_doc(make_header(schema="v0"), [], make_footer()), False),
+        ("unknown format",
+         ndjson_doc(make_header(format="xml"), [], make_footer()), False),
+        ("unknown mode",
+         ndjson_doc(make_header(mode="replay"), [], make_footer()), False),
+        ("kinds[0] not 'none'",
+         ndjson_doc(make_header(kinds=["run.begin"] + KINDS[1:]), [],
+                    make_footer()), False),
+        ("duplicate kind names",
+         ndjson_doc(make_header(kinds=KINDS + ["run.begin"]), [],
+                    make_footer()), False),
+        ("event kind outside the table",
+         ndjson_doc(make_header(), [dict(run_begin, k=len(KINDS))],
+                    make_footer()), False),
+        ("event with a negative payload",
+         ndjson_doc(make_header(), [dict(run_begin, a=-1)], make_footer()),
+         False),
+        ("missing footer",
+         ndjson_doc(make_header(), stream_events, None), False),
+        ("content after the footer",
+         ndjson_doc(make_header(), stream_events, make_footer()) +
+         b"{\"t\":99}\n", False),
+        ("reserved names wrong",
+         ndjson_doc(make_header(), [], make_footer(names=["run"])), False),
+        ("negative counter",
+         ndjson_doc(make_header(), [],
+                    make_footer(counters={"gc_runs": -1})), False),
+        ("flight dump without a trigger",
+         ndjson_doc(make_header(mode="flight"), stream_events + [mark],
+                    make_footer()), False),
+        ("flight dump not ending in dump.trigger",
+         ndjson_doc(make_header(mode="flight"), stream_events,
+                    make_footer(trigger="spec-deopt")), False),
+        ("dump.trigger mark naming a different trigger",
+         ndjson_doc(make_header(mode="flight"),
+                    stream_events + [dict(mark, a=2)],
+                    make_footer(trigger="spec-deopt")), False),
+        ("binary body without the sentinel",
+         binary_doc(make_header(format="binary"), stream_events,
+                    make_footer(), sentinel=False), False),
+        ("binary footer missing",
+         binary_doc(make_header(format="binary"), stream_events, None),
+         False),
+    ]
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="eal-rec-selftest-") as tmp:
+        for label, blob, expect_ok in cases:
+            path = os.path.join(tmp, "case.rec")
+            with open(path, "wb") as f:
+                f.write(blob)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.rec")
+        with open(path, "wb") as f:
+            f.write(b"{ not json\n")
+        if check_file(path):
+            print("ok   self-test: malformed header rejected")
+        else:
+            print("FAIL self-test: malformed header accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv):
+    return schema_common.dispatch(argv, __doc__, check_file, self_test)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,10 +25,10 @@ Exit status: 0 if everything validates, 1 otherwise.
 Only the Python standard library is used.
 """
 
-import json
-import os
 import sys
-import tempfile
+
+import schema_common
+from schema_common import fail, is_count
 
 SCHEMA = "eal-spec-v1"
 
@@ -36,14 +36,6 @@ SITE_CLASSES = ("stack", "region")
 RUNTIME_COUNTERS = ("arenas_opened", "guard_hits", "deopts",
                     "injected_deopts", "cells_migrated")
 CAUSES = ("guard", "injected")
-
-
-def fail(errors, path, message):
-    errors.append("%s: %s" % (path, message))
-
-
-def is_count(value):
-    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
 
 
 def check_loc(errors, path, label, obj, id_key):
@@ -181,19 +173,9 @@ def check_runtime(errors, path, runtime):
 
 def check_file(path):
     """Validate one report file; returns a list of error strings."""
-    errors = []
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        return ["%s: cannot read: %s" % (path, e)]
-    except ValueError as e:
-        return ["%s: not valid JSON: %s" % (path, e)]
-    if not isinstance(doc, dict):
-        return ["%s: top level is not an object" % path]
-    if doc.get("schema") != SCHEMA:
-        fail(errors, path, "'schema' is %r, expected %r"
-             % (doc.get("schema"), SCHEMA))
+    doc, errors = schema_common.load_document(path, SCHEMA)
+    if doc is None:
+        return errors
     if not isinstance(doc.get("program"), str) or not doc.get("program"):
         fail(errors, path, "'program' is not a non-empty string")
     speculations = doc.get("speculations")
@@ -211,16 +193,7 @@ def check_file(path):
 
 
 def validate(paths):
-    ok = True
-    for path in paths:
-        errors = check_file(path)
-        if errors:
-            ok = False
-            for e in errors:
-                print("FAIL %s" % e)
-        else:
-            print("ok   %s" % path)
-    return 0 if ok else 1
+    return schema_common.validate(paths, check_file)
 
 
 def self_test():
@@ -242,10 +215,7 @@ def self_test():
                     "cells_migrated": 0},
     }
 
-    def broken(mutate):
-        doc = json.loads(json.dumps(good))
-        mutate(doc)
-        return doc
+    broken = schema_common.mutator(good)
 
     cases = [
         ("valid held run", good, True),
@@ -305,36 +275,12 @@ def self_test():
         ("negative counter",
          broken(lambda d: d["runtime"].update(guard_hits=-1)), False),
     ]
-    failures = 0
-    with tempfile.TemporaryDirectory(prefix="eal-spec-selftest-") as tmp:
-        for label, doc, expect_ok in cases:
-            path = os.path.join(tmp, "spec.json")
-            with open(path, "w") as f:
-                json.dump(doc, f)
-            got_ok = not check_file(path)
-            status = "ok  " if got_ok == expect_ok else "FAIL"
-            if got_ok != expect_ok:
-                failures += 1
-            print("%s self-test: %s (valid=%s, expected %s)"
-                  % (status, label, got_ok, expect_ok))
-        path = os.path.join(tmp, "bad.json")
-        with open(path, "w") as f:
-            f.write("{ not json")
-        if check_file(path):
-            print("ok   self-test: malformed JSON rejected")
-        else:
-            print("FAIL self-test: malformed JSON accepted")
-            failures += 1
-    return 0 if failures == 0 else 1
+    return schema_common.run_self_test(
+        cases, check_file, prefix="eal-spec-selftest-", filename="spec.json")
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--self-test":
-        return self_test()
-    if len(argv) < 2:
-        print(__doc__)
-        return 2
-    return validate(argv[1:])
+    return schema_common.dispatch(argv, __doc__, check_file, self_test)
 
 
 if __name__ == "__main__":

@@ -5,11 +5,15 @@
 #   release   Release, -Werror         the configuration users build
 #   asan      AddressSanitizer        heap bugs the GC could be hiding
 #   ubsan     UndefinedBehaviorSanitizer, -fno-sanitize-recover=all
-#   portable  Release with -DEAL_COMPUTED_GOTO=OFF: the VM's switch
-#             dispatch loop, which non-GNU compilers get
+#   portable  Release with -DEAL_COMPUTED_GOTO=OFF (the VM's switch
+#             dispatch loop, which non-GNU compilers get) and
+#             -DEAL_OBS_RECORDER=OFF: every rec::emit site must compile
+#             away cleanly when the flight recorder is configured out
 #   tsan      ThreadSanitizer: the obs sinks and enable flags are read
 #             from the big-stack execution thread (prep for a parallel
-#             runtime), so toggling them must stay race-free
+#             runtime), so toggling them must stay race-free; the
+#             recorder's ring/drain/dump protocol is stressed by
+#             tests/obs/RecorderStressTest.cpp in the tier-1 suite
 #
 # Each configuration builds into build-ci-<name>/ at the repo root and
 # runs the tier-1 ctest suite (tier2 benches/sweeps are excluded: they
@@ -20,7 +24,10 @@
 # build-ci-release/bench-archive/ and tools/bench_diff.py compares each
 # BENCH_*.json against the checked-in baseline under bench/baselines/,
 # failing on execute-time regressions past EAL_BENCH_MAX_REGRESS
-# (default +10%; see docs/PROFILING.md). Usage:
+# (default +10%; see docs/PROFILING.md). The same gate holds the flight
+# recorder to its always-on budget: bench_engines self-measures execute
+# time with the lite tier on vs off and bench_diff.py --overhead fails
+# past EAL_BENCH_MAX_OVERHEAD (default +2%; docs/RECORDER.md). Usage:
 #
 #   tools/ci.sh            all four configurations
 #   tools/ci.sh asan       just one
@@ -30,6 +37,7 @@ REPO="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FUZZ_SEEDS="${EAL_FUZZ_SEEDS:-48}"
 BENCH_MAX_REGRESS="${EAL_BENCH_MAX_REGRESS:-0.10}"
+BENCH_MAX_OVERHEAD="${EAL_BENCH_MAX_OVERHEAD:-0.02}"
 # Benches whose BENCH_*.json is baselined under bench/baselines/.
 BENCH_GATE="bench_engines bench_a31_stack_alloc bench_live_deaddata bench_spec"
 
@@ -38,7 +46,7 @@ configure_flags() {
   release) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON" ;;
   asan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_ASAN=ON" ;;
   ubsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_UBSAN=ON" ;;
-  portable) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON -DEAL_COMPUTED_GOTO=OFF" ;;
+  portable) echo "-DCMAKE_BUILD_TYPE=Release -DEAL_WERROR=ON -DEAL_COMPUTED_GOTO=OFF -DEAL_OBS_RECORDER=OFF" ;;
   tsan) echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DEAL_WERROR=ON -DEAL_TSAN=ON" ;;
   *)
     echo "ci.sh: unknown configuration '$1' (expected release|asan|ubsan|portable|tsan)" >&2
@@ -61,6 +69,7 @@ run_config() {
     explain_smoke "$dir"
     live_smoke "$dir"
     spec_smoke "$dir"
+    record_smoke "$dir"
   fi
   if [ "$name" = release ]; then
     echo "=== [$name] fuzz smoke ($FUZZ_SEEDS fresh seeds)"
@@ -142,6 +151,53 @@ spec_smoke() {
   done
 }
 
+# Flight-recorder smoke: stream every shipped example into an
+# eal-rec-v1 recording under ASan (the drain thread tails per-thread
+# rings while the big-stack execution thread emits -- exactly the
+# concurrency ASan should watch), round-trip each file through the
+# schema checker, and replay it with `eal timeline`, which exits 1 if
+# the replayed counters fail to reconcile with the run's own stats
+# (docs/RECORDER.md). Then force the crash path twice: an injected
+# spec deopt and a parse error, each with --rec-dump armed, must leave
+# a loadable flight recording whose trigger names the failure.
+record_smoke() {
+  local dir="$1"
+  echo "=== [asan] eal run --record over examples/nml (+ schema + timeline)"
+  local example flags rec
+  for example in "$REPO"/examples/nml/*.nml; do
+    flags=""
+    case "$(basename "$example")" in
+    stats.nml) flags="--stdlib" ;;
+    esac
+    rec="$dir/record-$(basename "$example" .nml).rec"
+    # shellcheck disable=SC2086
+    "$dir/tools/eal" run "$example" $flags --record="$rec" >/dev/null
+    python3 "$REPO/tools/check_rec_json.py" "$rec"
+    "$dir/tools/eal" timeline "$rec" >/dev/null
+  done
+  echo "=== [asan] forced deopt dump (--spec-inject-deopt + --rec-dump)"
+  rec="$dir/record-deopt-dump.rec"
+  rm -f "$rec"
+  "$dir/tools/eal" run "$REPO/examples/nml/spec_cold.nml" --spec \
+      --spec-inject-deopt=all --rec-dump="$rec" >/dev/null
+  python3 "$REPO/tools/check_rec_json.py" "$rec"
+  "$dir/tools/eal" timeline "$rec" | grep -q "trigger=spec-deopt"
+  echo "=== [asan] forced failure dump (--rec-dump)"
+  rec="$dir/record-failure-dump.rec"
+  rm -f "$rec"
+  printf 'let x = in\n' >"$dir/record-bad-input.nml"
+  if "$dir/tools/eal" run "$dir/record-bad-input.nml" --rec-dump="$rec" \
+      >/dev/null 2>&1; then
+    echo "ci.sh: parse-error run unexpectedly succeeded" >&2
+    exit 1
+  fi
+  if [ ! -s "$rec" ]; then
+    echo "ci.sh: failed run left no flight dump at $rec" >&2
+    exit 1
+  fi
+  "$dir/tools/eal" timeline "$rec" | grep -q "trigger=run-failed"
+}
+
 # Perf-regression gate: run each baselined bench's sweep (benchmark
 # timing loops filtered out) into bench-archive/, then diff the fresh
 # BENCH_*.json against bench/baselines/. The archive directory is kept
@@ -166,6 +222,14 @@ bench_gate() {
         "$REPO/bench/baselines/$json" "$archive/$json" \
         --max-time-regress "$BENCH_MAX_REGRESS"
   done
+  # Recorder overhead budget: bench_engines self-measures execute time
+  # with the lite event tier on vs off (obs_overhead/* records); the
+  # always-on recorder must stay within EAL_BENCH_MAX_OVERHEAD.
+  echo "=== [release] recorder overhead gate (budget +$(
+      awk "BEGIN { printf \"%g\", $BENCH_MAX_OVERHEAD * 100 }")%)"
+  python3 "$REPO/tools/bench_diff.py" \
+      --overhead "$archive/BENCH_engines.json" \
+      --max-overhead "$BENCH_MAX_OVERHEAD"
 }
 
 if [ "$#" -gt 0 ]; then

@@ -31,6 +31,11 @@
 //                         profile-cold branches, execute the merged plan,
 //                         and report each speculation with its outcome
 //                         (held, or deopted with cells migrated)
+//   eal timeline <rec>    replay an eal-rec-v1 recording (--record= /
+//                         --rec-dump= output, docs/RECORDER.md) into heap
+//                         occupancy curves by storage class, cell lifetime
+//                         ribbons, and phase/GC bands; --json=FILE exports
+//                         the reconstruction (schema eal-timeline-v1)
 //
 // Common flags:
 //   --mono            monomorphic typing (the paper's base language, §3.1)
@@ -48,6 +53,16 @@
 //                     loadable by chrome://tracing / Perfetto
 //   --stats-json=FILE write runtime counters + metrics registry as JSON
 //   --time-phases     print per-phase wall times after the run
+//
+// Recorder flags (docs/RECORDER.md):
+//   --record=FILE     stream the flight-recorder event feed (run/phase/GC/
+//                     arena boundaries plus the per-cell detail tier) into
+//                     an eal-rec-v1 NDJSON file; `eal timeline` replays it
+//   --record-binary=FILE
+//                     same, as raw 32-byte binary records (compact)
+//   --rec-dump=FILE   arm the always-on flight recorder to dump its
+//                     retained event window here on the first failure
+//                     (oracle refutation, spec deopt, failed run, SIGABRT)
 //
 // Checking flags (docs/CHECKING.md):
 //   --check           run the lints alongside any command
@@ -105,6 +120,7 @@
 
 #include "driver/Pipeline.h"
 #include "escape/EscapeAnalyzer.h"
+#include "obs/Timeline.h"
 #include "lang/AstPrinter.h"
 #include "prof/ProfileReport.h"
 #include "prof/Profiler.h"
@@ -126,10 +142,12 @@ int usage() {
   std::cerr
       << "usage: eal <analyze|optimize|run|disasm|report|check|profile"
          "|explain|live|spec> <file|-> [options]\n"
+         "       eal timeline <recording> [--json=FILE]\n"
          "options: --mono --stdlib --vm --whole-object --no-reuse --no-stack "
          "--no-region "
          "--heap N --validate\n"
          "         --trace=FILE --stats-json=FILE --time-phases\n"
+         "         --record=FILE --record-binary=FILE --rec-dump=FILE\n"
          "         --check --oracle --check-json=FILE\n"
          "         --live --live-oracle --live-gc --live-json=FILE\n"
          "         --profile-json=FILE --folded=FILE   (profile only)\n"
@@ -243,6 +261,38 @@ bool parseAt(const std::string &Spec, LineColumn &LC) {
   return LC.Line > 0;
 }
 
+/// `eal timeline <recording>`: replay an eal-rec-v1 recording
+/// (docs/RECORDER.md) into occupancy curves, lifetime ribbons, and
+/// phase/GC bands. Exits 1 when the recording's event replay fails to
+/// reconcile with the footer counters.
+int runTimeline(int argc, char **argv) {
+  std::string RecPath = argv[2];
+  std::string JsonPath;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(std::strlen("--json="));
+    else
+      return usage();
+  }
+  obs::rec::Timeline T;
+  std::string Err;
+  if (!T.load(RecPath, &Err)) {
+    std::cerr << "eal: error: " << Err << "\n";
+    return 1;
+  }
+  bool Ok = true;
+  if (!JsonPath.empty())
+    Ok = writeTextFile(JsonPath, T.toJson());
+  std::cout << T.renderText();
+  std::string Why;
+  if (!T.reconciles(&Why)) {
+    std::cerr << "eal: error: recording does not reconcile: " << Why << "\n";
+    return 1;
+  }
+  return Ok ? 0 : 1;
+}
+
 /// `eal profile`: run the program on both engines under the profiler and
 /// join the two runs with the optimizer's plan into one report. The
 /// parser and optimizer are deterministic, so both runs assign the same
@@ -314,6 +364,8 @@ int main(int argc, char **argv) {
     return usage();
   std::string Command = argv[1];
   std::string Path = argv[2];
+  if (Command == "timeline")
+    return runTimeline(argc, argv);
   if (Command != "analyze" && Command != "optimize" && Command != "run" &&
       Command != "disasm" && Command != "report" && Command != "check" &&
       Command != "profile" && Command != "explain" && Command != "live" &&
@@ -358,6 +410,13 @@ int main(int argc, char **argv) {
       Options.Obs.StatsJsonPath = Arg.substr(std::strlen("--stats-json="));
     else if (Arg == "--time-phases")
       TimePhases = true;
+    else if (Arg.rfind("--record=", 0) == 0)
+      Options.Obs.RecordPath = Arg.substr(std::strlen("--record="));
+    else if (Arg.rfind("--record-binary=", 0) == 0) {
+      Options.Obs.RecordPath = Arg.substr(std::strlen("--record-binary="));
+      Options.Obs.RecordBinary = true;
+    } else if (Arg.rfind("--rec-dump=", 0) == 0)
+      Options.Obs.RecDumpPath = Arg.substr(std::strlen("--rec-dump="));
     else if (Arg == "--check")
       Options.RunLint = true;
     else if (Arg == "--oracle")

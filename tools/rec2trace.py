@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Convert an eal-rec-v1 recording into viewer-ready derived views.
+
+`eal run FILE --record=OUT.rec` (docs/RECORDER.md) captures the flight
+recorder's event feed; `eal timeline` reconstructs it numerically.
+This tool renders the same recording for standard profiling UIs:
+
+  rec2trace.py REC -o trace.json        Chrome trace_event JSON
+                                        (chrome://tracing, Perfetto):
+                                        phase and GC spans per ring,
+                                        live-cell counter tracks by
+                                        storage class, instants for
+                                        deopts/refutations/heap growth
+  rec2trace.py REC --folded -o out.txt  collapsed stacks ("a;b;gc N",
+                                        self-time in microseconds),
+                                        ready for flamegraph.pl or
+                                        speedscope
+
+Reads both NDJSON and binary recordings.  Only the Python standard
+library is used.
+"""
+
+import json
+import sys
+
+# The checker owns the binary record layout; reuse it so the two can
+# never drift apart.
+from check_rec_json import RECORD, SENTINEL_KIND
+
+MAX_COUNTER_POINTS = 4096
+
+CLASS_NAMES = ("heap", "stack", "region")
+
+
+def read_recording(path):
+    """Returns (header, events, footer); raises ValueError on malformed
+    input (check_rec_json.py is the validator; this is just a loader)."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise ValueError("missing header line")
+    header = json.loads(blob[:newline].decode("utf-8", "replace"))
+    body = blob[newline + 1:]
+    events = []
+    footer = None
+    if header.get("format") == "binary":
+        offset = 0
+        while offset + RECORD.size <= len(body):
+            t, a, b, c, kind, tid = RECORD.unpack_from(body, offset)
+            offset += RECORD.size
+            if kind == SENTINEL_KIND:
+                break
+            events.append({"t": t, "tid": tid, "k": kind, "a": a, "b": b,
+                           "c": c})
+        tail = body[offset:].decode("utf-8", "replace").splitlines()
+        if tail:
+            footer = json.loads(tail[0])
+    else:
+        for line in body.decode("utf-8", "replace").splitlines():
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            if "footer" in obj:
+                footer = obj
+                break
+            events.append(obj)
+    return header, events, footer
+
+
+class NameTable:
+    def __init__(self, header, footer):
+        self.kinds = header.get("kinds") or []
+        self.names = (footer or {}).get("names") or []
+
+    def kind(self, k):
+        return self.kinds[k] if k < len(self.kinds) else "kind#%d" % k
+
+    def name(self, a):
+        return self.names[a] if a < len(self.names) else "name#%d" % a
+
+
+def to_chrome_trace(header, events, footer):
+    nt = NameTable(header, footer)
+    out = []
+
+    def span(ph, name, ev, cat, args=None):
+        rec = {"ph": ph, "name": name, "cat": cat, "pid": 1,
+               "tid": ev["tid"], "ts": ev["t"]}
+        if args:
+            rec["args"] = args
+        out.append(rec)
+
+    # Live-cell counters, stride-compacted like Timeline::replay so a
+    # million-allocation recording stays loadable.
+    live = [0, 0, 0]
+    points = []
+
+    def point(t):
+        points.append((t, tuple(live)))
+
+    for ev in events:
+        kind = nt.kind(ev["k"])
+        if kind == "run.begin":
+            span("B", "run %s (%s)" % (nt.name(ev["a"]), nt.name(ev["b"])),
+                 ev, "run")
+        elif kind == "run.end":
+            span("E", "run", ev, "run",
+                 {"success": bool(ev["a"])})
+        elif kind == "phase.begin":
+            span("B", nt.name(ev["a"]), ev, "phase")
+        elif kind == "phase.end":
+            span("E", nt.name(ev["a"]), ev, "phase")
+        elif kind == "gc.begin":
+            span("B", "gc", ev, "gc",
+                 {"live_before": ev["a"], "capacity": ev["b"]})
+        elif kind == "gc.end":
+            span("E", "gc", ev, "gc",
+                 {"marked": ev["a"], "swept": ev["b"], "live_after": ev["c"]})
+        elif kind == "cell.birth":
+            cls = ev["c"] & 0xFF
+            if cls < 3:
+                live[cls] += 1
+                point(ev["t"])
+        elif kind == "cell.death":
+            cls = ev["c"] & 0xFF
+            if cls < 3 and live[cls] > 0:
+                live[cls] -= 1
+                point(ev["t"])
+        elif kind == "cell.migrate":
+            cls = ev["c"] & 0xFF
+            if cls < 3 and live[cls] > 0:
+                live[cls] -= 1
+            live[0] += 1
+            point(ev["t"])
+        elif kind in ("spec.deopt", "oracle.refuted", "live.refuted",
+                      "dump.trigger", "heap.grow", "arena.open",
+                      "arena.free"):
+            label = kind
+            if kind == "spec.deopt":
+                label = "spec.deopt (%s)" % nt.name(ev["a"])
+            elif kind == "dump.trigger":
+                label = "dump.trigger (%s)" % nt.name(ev["a"])
+            elif kind in ("oracle.refuted", "live.refuted"):
+                label = "%s site %d (%s)" % (kind, ev["a"],
+                                             nt.name(ev["b"]))
+            rec = {"ph": "i", "name": label, "cat": "mark", "pid": 1,
+                   "tid": ev["tid"], "ts": ev["t"], "s": "g"}
+            out.append(rec)
+
+    stride = max(1, len(points) // MAX_COUNTER_POINTS)
+    for i, (t, vals) in enumerate(points):
+        if i % stride and i != len(points) - 1:
+            continue
+        out.append({"ph": "C", "name": "live cells", "pid": 1, "ts": t,
+                    "args": dict(zip(CLASS_NAMES, vals))})
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def to_folded(header, events, footer):
+    """Collapsed self-time stacks from the phase/GC span nesting, one
+    stack per line weighted in microseconds."""
+    nt = NameTable(header, footer)
+    totals = {}
+    stacks = {}  # tid -> [[name, start, child_us], ...]
+
+    def open_frame(ev, name):
+        stacks.setdefault(ev["tid"], []).append([name, ev["t"], 0])
+
+    def close_frame(ev, name):
+        stack = stacks.get(ev["tid"]) or []
+        # Tolerate truncated recordings (a dump mid-phase): unwind to
+        # the matching frame if it is there at all.
+        while stack:
+            frame = stack.pop()
+            if frame[0] == name or name is None:
+                elapsed = max(0, ev["t"] - frame[1])
+                self_us = max(0, elapsed - frame[2])
+                path = ";".join(f[0] for f in stack) or "<root>"
+                key = path + ";" + frame[0] if stack else frame[0]
+                totals[key] = totals.get(key, 0) + self_us
+                if stack:
+                    stack[-1][2] += elapsed
+                if frame[0] == name or name is None:
+                    return
+
+    for ev in events:
+        kind = nt.kind(ev["k"])
+        if kind == "phase.begin":
+            open_frame(ev, nt.name(ev["a"]))
+        elif kind == "phase.end":
+            close_frame(ev, nt.name(ev["a"]))
+        elif kind == "gc.begin":
+            open_frame(ev, "gc")
+        elif kind == "gc.end":
+            close_frame(ev, "gc")
+
+    lines = ["%s %d" % (key, us) for key, us in sorted(totals.items())
+             if us > 0]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def main(argv):
+    rec_path = None
+    out_path = None
+    folded = False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--folded":
+            folded = True
+        elif arg == "-o":
+            i += 1
+            if i >= len(argv):
+                print(__doc__)
+                return 2
+            out_path = argv[i]
+        elif rec_path is None:
+            rec_path = arg
+        else:
+            print(__doc__)
+            return 2
+        i += 1
+    if rec_path is None:
+        print(__doc__)
+        return 2
+
+    try:
+        header, events, footer = read_recording(rec_path)
+    except (OSError, ValueError) as e:
+        print("rec2trace: error: %s: %s" % (rec_path, e), file=sys.stderr)
+        return 1
+    if header.get("schema") != "eal-rec-v1":
+        print("rec2trace: error: %s: not an eal-rec-v1 recording"
+              % rec_path, file=sys.stderr)
+        return 1
+
+    if folded:
+        text = to_folded(header, events, footer)
+    else:
+        text = json.dumps(to_chrome_trace(header, events, footer),
+                          indent=1) + "\n"
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,115 @@
+"""Shared plumbing for the eal JSON-schema checkers (tools/check_*_json.py).
+
+Every checker is the executable definition of one eal-*-v1 schema and
+follows the same shape: a per-file ``check_file`` built from small
+``check_*`` helpers, a path-list validator printing ``ok``/``FAIL``
+lines, a ``--self-test`` mode that mutates a known-good document and
+asserts the validator's verdict flips, and a tiny argv dispatcher.
+This module owns that shape so the checkers hold only their schema's
+actual invariants.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import tempfile
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def is_count(value):
+    """A non-negative integer (bools are ints in Python; they don't count)."""
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_document(path, schema):
+    """Reads ``path`` and runs the checks every schema shares: readable,
+    valid JSON, object at top level, correct ``schema`` tag.
+
+    Returns ``(doc, errors)``; ``doc`` is None when the failure is fatal
+    (the caller has nothing to inspect) and the non-empty ``errors``
+    list already explains why.
+    """
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        return None, ["%s: cannot read: %s" % (path, e)]
+    except ValueError as e:
+        return None, ["%s: not valid JSON: %s" % (path, e)]
+    if not isinstance(doc, dict):
+        return None, ["%s: top level is not an object" % path]
+    if doc.get("schema") != schema:
+        fail(errors, path, "'schema' is %r, expected %r"
+             % (doc.get("schema"), schema))
+    return doc, errors
+
+
+def validate(paths, check_file):
+    """Validates each path with ``check_file``; prints one line per file."""
+    ok = True
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            ok = False
+            for e in errors:
+                print("FAIL %s" % e)
+        else:
+            print("ok   %s" % path)
+    return 0 if ok else 1
+
+
+def mutator(good):
+    """Returns ``broken(mutate)``: a deep copy of ``good`` with one
+    mutation applied -- the self-test's way of producing each invalid
+    (or differently-valid) variant without disturbing the original."""
+    def broken(mutate):
+        doc = json.loads(json.dumps(good))
+        mutate(doc)
+        return doc
+    return broken
+
+
+def run_self_test(cases, check_file, prefix, filename="case.json"):
+    """Runs ``(label, doc, expect_ok)`` cases through ``check_file`` via
+    temp files, plus the malformed-JSON rejection every checker needs.
+    Returns a process exit status."""
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix=prefix) as tmp:
+        for label, doc, expect_ok in cases:
+            path = os.path.join(tmp, filename)
+            with open(path, "w") as f:
+                json.dump(doc, f)
+            got_ok = not check_file(path)
+            status = "ok  " if got_ok == expect_ok else "FAIL"
+            if got_ok != expect_ok:
+                failures += 1
+            print("%s self-test: %s (valid=%s, expected %s)"
+                  % (status, label, got_ok, expect_ok))
+        path = os.path.join(tmp, "bad.json")
+        with open(path, "w") as f:
+            f.write("{ not json")
+        if check_file(path):
+            print("ok   self-test: malformed JSON rejected")
+        else:
+            print("FAIL self-test: malformed JSON accepted")
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def dispatch(argv, module_doc, check_file, self_test):
+    """The standard argv shape: ``--self-test`` or FILE [FILE...]."""
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(module_doc)
+        return 2
+    return validate(argv[1:], check_file)
